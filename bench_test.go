@@ -1,0 +1,302 @@
+// Package scaleshift_bench holds the testing.B entry points that
+// regenerate the paper's evaluation figures (see DESIGN.md §4 and
+// EXPERIMENTS.md for the experiment index):
+//
+//	BenchmarkFig4CPUTime/<set>/eps=<f>        Figure 4: CPU time per query
+//	BenchmarkFig5PageAccesses/<set>/eps=<f>   Figure 5: page accesses per query
+//	BenchmarkAblationSplit/<algorithm>        DESIGN.md abl-split
+//	BenchmarkAblationDims/fc=<n>              DESIGN.md abl-dims
+//	BenchmarkNearestNeighbors/k=<n>           Corollary 1 extension
+//	BenchmarkIndexBuild                       pre-processing throughput
+//
+// The in-benchmark data set is a 1/5-scale version of the paper's
+// (200 of 1 000 companies) so the suite completes in minutes; run
+// `cmd/ssbench -scale full` for the paper-scale sweep.
+package scaleshift_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scaleshift/internal/bench"
+	"scaleshift/internal/core"
+	"scaleshift/internal/euclid"
+	"scaleshift/internal/geom"
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/seqscan"
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+)
+
+// benchConfig is the shared 1/5-scale environment.
+func benchConfig() bench.Config {
+	return bench.DefaultConfig().Scaled(200, 30)
+}
+
+var (
+	envOnce sync.Once
+	env     *bench.Env
+	envErr  error
+)
+
+func sharedEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env, envErr = bench.NewEnv(benchConfig())
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return env
+}
+
+// epsSweep is the ε sweep exercised by the figure benchmarks, as
+// fractions of the mean window SE-norm.
+var epsSweep = []float64{0, 0.02, 0.1}
+
+// benchSets pairs the tree experiment sets with their strategies.
+var benchSets = []struct {
+	name     string
+	strategy geom.Strategy
+}{
+	{"set2-tree-ee", geom.EnteringExiting},
+	{"set3-tree-spheres", geom.BoundingSpheres},
+}
+
+// BenchmarkFig4CPUTime measures average CPU time per query — the
+// y-axis of Figure 4 — for the three method sets across the ε sweep.
+func BenchmarkFig4CPUTime(b *testing.B) {
+	e := sharedEnv(b)
+	for _, frac := range epsSweep {
+		eps := frac * e.NormScale
+		b.Run(fmt.Sprintf("set1-seqscan/eps=%.2f", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := e.Queries[i%len(e.Queries)]
+				if _, err := seqscan.Search(e.Store, q.Values, eps, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, set := range benchSets {
+			b.Run(fmt.Sprintf("%s/eps=%.2f", set.name, frac), func(b *testing.B) {
+				if err := e.Index.SetStrategy(set.strategy); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < b.N; i++ {
+					q := e.Queries[i%len(e.Queries)]
+					if _, err := e.Index.Search(q.Values, eps, core.UnboundedCosts(), nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5PageAccesses measures page accesses per query — the
+// y-axis of Figure 5 — reported as the custom metrics pages/query
+// (data pages, the paper's counting) and total-pages/query (strict:
+// index nodes included).
+func BenchmarkFig5PageAccesses(b *testing.B) {
+	e := sharedEnv(b)
+	for _, frac := range epsSweep {
+		eps := frac * e.NormScale
+		b.Run(fmt.Sprintf("set1-seqscan/eps=%.2f", frac), func(b *testing.B) {
+			var pages int
+			for i := 0; i < b.N; i++ {
+				q := e.Queries[i%len(e.Queries)]
+				var pc store.PageCounter
+				if _, err := seqscan.Search(e.Store, q.Values, eps, nil, &pc); err != nil {
+					b.Fatal(err)
+				}
+				pages += pc.Distinct()
+			}
+			b.ReportMetric(float64(pages)/float64(b.N), "pages/query")
+			b.ReportMetric(float64(pages)/float64(b.N), "total-pages/query")
+		})
+		for _, set := range benchSets {
+			b.Run(fmt.Sprintf("%s/eps=%.2f", set.name, frac), func(b *testing.B) {
+				if err := e.Index.SetStrategy(set.strategy); err != nil {
+					b.Fatal(err)
+				}
+				var stats core.SearchStats
+				for i := 0; i < b.N; i++ {
+					q := e.Queries[i%len(e.Queries)]
+					if _, err := e.Index.Search(q.Values, eps, core.UnboundedCosts(), &stats); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(stats.DataPageAccesses)/float64(b.N), "pages/query")
+				b.ReportMetric(float64(stats.PageAccesses())/float64(b.N), "total-pages/query")
+			})
+		}
+	}
+}
+
+// ablationEnvs caches per-configuration environments for the ablation
+// benchmarks (each needs its own index).
+var (
+	ablMu   sync.Mutex
+	ablEnvs = map[string]*bench.Env{}
+)
+
+func ablationEnv(b *testing.B, key string, cfg bench.Config) *bench.Env {
+	b.Helper()
+	ablMu.Lock()
+	defer ablMu.Unlock()
+	if e, ok := ablEnvs[key]; ok {
+		return e
+	}
+	e, err := bench.NewEnv(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ablEnvs[key] = e
+	return e
+}
+
+// BenchmarkAblationSplit compares query time across node-split
+// algorithms (DESIGN.md abl-split) on a 1/10-scale index.
+func BenchmarkAblationSplit(b *testing.B) {
+	for _, split := range []rtree.SplitAlgorithm{rtree.SplitRStar, rtree.SplitQuadratic, rtree.SplitLinear} {
+		b.Run(split.String(), func(b *testing.B) {
+			cfg := benchConfig().Scaled(100, 20)
+			cfg.Split = split
+			e := ablationEnv(b, "split/"+split.String(), cfg)
+			eps := 0.02 * e.NormScale
+			var stats core.SearchStats
+			b.ResetTimer() // exclude the one-off environment build
+			for i := 0; i < b.N; i++ {
+				q := e.Queries[i%len(e.Queries)]
+				if _, err := e.Index.Search(q.Values, eps, core.UnboundedCosts(), &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.PageAccesses())/float64(b.N), "total-pages/query")
+		})
+	}
+}
+
+// BenchmarkAblationDims sweeps the DFT coefficient count f_c
+// (DESIGN.md abl-dims).
+func BenchmarkAblationDims(b *testing.B) {
+	for _, fc := range []int{1, 2, 3, 4, 6} {
+		b.Run(fmt.Sprintf("fc=%d", fc), func(b *testing.B) {
+			cfg := benchConfig().Scaled(100, 20)
+			cfg.Coefficients = fc
+			e := ablationEnv(b, fmt.Sprintf("dims/%d", fc), cfg)
+			eps := 0.02 * e.NormScale
+			var stats core.SearchStats
+			b.ResetTimer() // exclude the one-off environment build
+			for i := 0; i < b.N; i++ {
+				q := e.Queries[i%len(e.Queries)]
+				if _, err := e.Index.Search(q.Values, eps, core.UnboundedCosts(), &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Candidates)/float64(b.N), "candidates/query")
+			b.ReportMetric(float64(stats.FalseAlarms)/float64(b.N), "false-alarms/query")
+		})
+	}
+}
+
+// BenchmarkNearestNeighbors measures the k-NN extension (Corollary 1).
+func BenchmarkNearestNeighbors(b *testing.B) {
+	e := sharedEnv(b)
+	if err := e.Index.SetStrategy(geom.EnteringExiting); err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 10, 50} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var stats core.SearchStats
+			for i := 0; i < b.N; i++ {
+				q := e.Queries[i%len(e.Queries)]
+				if _, err := e.Index.NearestNeighbors(q.Values, k, &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Candidates)/float64(b.N), "candidates/query")
+			b.ReportMetric(float64(stats.PageAccesses())/float64(b.N), "total-pages/query")
+		})
+	}
+}
+
+// BenchmarkIndexBuild measures pre-processing throughput: windows
+// SE-transformed, feature-mapped and inserted per second.
+func BenchmarkIndexBuild(b *testing.B) {
+	st := store.New()
+	scfg := stock.DefaultConfig()
+	scfg.Companies = 20
+	if _, err := stock.Populate(st, scfg); err != nil {
+		b.Fatal(err)
+	}
+	windows := 20 * (650 - 128 + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := core.NewIndex(st, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ix.Build(); err != nil {
+			b.Fatal(err)
+		}
+		if ix.WindowCount() != windows {
+			b.Fatalf("indexed %d windows, want %d", ix.WindowCount(), windows)
+		}
+	}
+	b.ReportMetric(float64(windows)*float64(b.N)/b.Elapsed().Seconds(), "windows/sec")
+}
+
+// BenchmarkTrailSearch compares the per-window leaf representation
+// against sub-trail MBR leaves (DESIGN.md abl-trail) at a tight ε.
+func BenchmarkTrailSearch(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := benchConfig().Scaled(100, 20)
+			cfg.SubtrailLen = k
+			e := ablationEnv(b, fmt.Sprintf("trail/%d", k), cfg)
+			eps := 0.02 * e.NormScale
+			var stats core.SearchStats
+			b.ResetTimer() // exclude the one-off environment build
+			for i := 0; i < b.N; i++ {
+				q := e.Queries[i%len(e.Queries)]
+				if _, err := e.Index.Search(q.Values, eps, core.UnboundedCosts(), &stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.PageAccesses())/float64(b.N), "total-pages/query")
+			b.ReportMetric(float64(e.Index.IndexPageCount()), "index-pages")
+		})
+	}
+}
+
+// BenchmarkEuclideanBaseline measures the prior-art Euclidean index
+// ([1,2]) on the same workload for scale comparison — note it answers
+// a different (weaker) similarity question.
+func BenchmarkEuclideanBaseline(b *testing.B) {
+	st := store.New()
+	scfg := stock.DefaultConfig()
+	scfg.Companies = 100
+	if _, err := stock.Populate(st, scfg); err != nil {
+		b.Fatal(err)
+	}
+	opts := euclid.DefaultOptions()
+	ix, err := euclid.NewIndex(st, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ix.Build(); err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float64, opts.WindowLen)
+	if err := st.Window(10, 100, opts.WindowLen, q, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(q, 5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

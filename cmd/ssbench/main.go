@@ -1,0 +1,278 @@
+// Command ssbench regenerates the paper's evaluation (§7) and the
+// ablation tables listed in DESIGN.md.
+//
+// Experiments:
+//
+//	fig45            Figures 4 and 5: CPU time and page accesses vs ε
+//	                 for the three method sets (one run feeds both)
+//	ablation-split   R* vs Guttman quadratic vs linear node splits
+//	ablation-dims    DFT coefficient count f_c sweep
+//	ablation-window  extracting-window length n sweep
+//	ablation-fanout  node capacity M sweep
+//	nn               nearest-neighbour search cost vs k (Corollary 1)
+//	all              everything above
+//
+// -scale full reproduces the paper's 1 000 × 650 data set (the index
+// build alone takes tens of seconds); -scale medium and small shrink
+// it for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"scaleshift/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
+	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | all")
+	scale := fs.String("scale", "medium", "full (paper: 1000x650, 100 queries) | medium (200x650, 30) | small (50x330, 10)")
+	companies := fs.Int("companies", 0, "override company count")
+	queries := fs.Int("queries", 0, "override query count")
+	seed := fs.Int64("seed", 1, "data and workload seed")
+	csvPath := fs.String("csv", "", "also write the fig45 sweep as CSV to this file")
+	subtrail := fs.Int("subtrail", 0, "sub-trail MBR length for the index (0/1 = per-window point entries)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.DefaultConfig()
+	cfg.Seed = *seed
+	switch *scale {
+	case "full":
+		// Paper scale, as configured by DefaultConfig.
+	case "medium":
+		cfg = cfg.Scaled(200, 30)
+	case "small":
+		cfg = cfg.Scaled(50, 10)
+		cfg.Days = 330
+		cfg.WindowLen = 64
+	default:
+		return fmt.Errorf("unknown -scale %q", *scale)
+	}
+	if *companies > 0 {
+		cfg.Companies = *companies
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	cfg.SubtrailLen = *subtrail
+
+	runFig45 := *experiment == "fig45" || *experiment == "all"
+	runNN := *experiment == "nn" || *experiment == "all"
+	runBuffer := *experiment == "buffer" || *experiment == "all"
+	runShape := *experiment == "shape" || *experiment == "all"
+	needEnv := runFig45 || runNN || runBuffer || runShape
+
+	var env *bench.Env
+	if needEnv {
+		fmt.Fprintf(stdout, "building environment: %d companies x %d days, window %d, %d queries...\n",
+			cfg.Companies, cfg.Days, cfg.WindowLen, cfg.Queries)
+		start := time.Now()
+		var err error
+		env, err = bench.NewEnv(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "environment ready in %v: %d values (%d data pages), %d windows indexed (%d index pages, height %d)\n\n",
+			time.Since(start).Round(time.Millisecond),
+			env.Store.TotalValues(), env.Store.PageCount(),
+			env.Index.WindowCount(), env.Index.IndexPageCount(), env.Index.TreeHeight())
+	}
+
+	if runFig45 {
+		series, err := env.RunAll()
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteCPUTable(stdout, series); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if err := bench.WritePagesTable(stdout, series); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if err := bench.WriteTotalPagesTable(stdout, series); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if err := bench.WriteCPUPlot(stdout, series); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if err := bench.WritePagesPlot(stdout, series); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		for _, s := range series[1:] {
+			if err := bench.WriteDetailTable(stdout, s); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteCSV(f, series); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", *csvPath)
+		}
+	}
+
+	// Ablations rebuild their own (smaller) environments.
+	ablCfg := cfg
+	if ablCfg.Companies > 200 {
+		ablCfg.Companies = 200 // keep rebuild sweeps tractable
+	}
+	const ablEps = 0.02
+
+	if *experiment == "ablation-split" || *experiment == "all" {
+		rows, err := bench.SplitAblation(ablCfg, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: split algorithm (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "ablation-dims" || *experiment == "all" {
+		rows, err := bench.DimsAblation(ablCfg, []int{1, 2, 3, 4, 6}, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: DFT coefficients f_c (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "ablation-window" || *experiment == "all" {
+		windows := []int{32, 64, 128, 256}
+		if ablCfg.Days <= 330 {
+			windows = []int{32, 64, 128}
+		}
+		rows, err := bench.WindowAblation(ablCfg, windows, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: window length n (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "ablation-fanout" || *experiment == "all" {
+		rows, err := bench.FanoutAblation(ablCfg, []int{10, 20, 40, 80}, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: node fanout M (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "ablation-trail" || *experiment == "all" {
+		rows, err := bench.TrailAblation(ablCfg, []int{1, 8, 32, 128}, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: sub-trail MBR length (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "ablation-index" || *experiment == "all" {
+		rows, err := bench.IndexAblation(ablCfg, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: R*-tree vs X-tree (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "ablation-reduction" || *experiment == "all" {
+		rows, err := bench.ReductionAblation(ablCfg, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: feature basis DFT vs Haar (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "ablation-build" || *experiment == "all" {
+		rows, err := bench.BuildAblation(ablCfg, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteAblationTable(stdout, "Ablation: construction method (eps/scale = 0.02)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if runShape {
+		fmt.Fprintln(stdout, "Index directory shape (why bounding spheres fail, cf. [26]):")
+		if err := env.Index.WriteIndexStats(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if runBuffer {
+		pages := env.Store.PageCount()
+		points, err := env.RunBufferSweep([]int{pages / 16, pages / 4, pages / 2, pages, 2 * pages}, ablEps)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteBufferTable(stdout, points, pages); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *experiment == "recall" || *experiment == "all" {
+		points, err := bench.RecallSweep(ablCfg, []float64{0, 0.1, 0.5, 1, 2})
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteRecallTable(stdout, points); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	if runNN {
+		points, err := env.RunNearestNeighbor([]int{1, 5, 10, 50})
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteNNTable(stdout, points, env.Store.PageCount()); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
+		*experiment != "ablation-window" && *experiment != "ablation-fanout" &&
+		*experiment != "ablation-build" && *experiment != "ablation-reduction" &&
+		*experiment != "ablation-index" && *experiment != "ablation-trail" && *experiment != "all" {
+		return fmt.Errorf("unknown -experiment %q", *experiment)
+	}
+	return nil
+}

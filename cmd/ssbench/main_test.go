@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBenchSmallFig45(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	var sb strings.Builder
+	err := run([]string{"-experiment", "fig45", "-scale", "small", "-companies", "15", "-queries", "3", "-csv", csv}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 4", "Figure 5", "set1-seqscan", "set2-tree-ee", "set3-tree-spheres", "Detail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "method,eps_frac") {
+		t.Errorf("CSV malformed: %q", string(data[:60]))
+	}
+}
+
+func TestBenchAblations(t *testing.T) {
+	for _, exp := range []string{"ablation-split", "ablation-build"} {
+		var sb strings.Builder
+		err := run([]string{"-experiment", exp, "-scale", "small", "-companies", "12", "-queries", "3"}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(sb.String(), "Ablation") {
+			t.Errorf("%s output missing table:\n%s", exp, sb.String())
+		}
+	}
+}
+
+func TestBenchNN(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-experiment", "nn", "-scale", "small", "-companies", "12", "-queries", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Nearest-neighbour") {
+		t.Errorf("nn output:\n%s", sb.String())
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}, nil); err == nil {
+		t.Error("bad scale accepted")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-experiment", "bogus", "-scale", "small"}, &sb); err == nil {
+		t.Error("bad experiment accepted")
+	}
+}

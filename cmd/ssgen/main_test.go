@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scaleshift/internal/store"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "prices.csv")
+	err := run([]string{"-companies", "5", "-days", "40", "-o", out}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := store.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSequences() != 5 || st.TotalValues() != 200 {
+		t.Errorf("store: %d seqs, %d values", st.NumSequences(), st.TotalValues())
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-companies", "2", "-days", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "HK0001,") {
+		t.Errorf("stdout CSV malformed: %q", sb.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-companies", "0"}, nil); err == nil {
+		t.Error("companies=0 accepted")
+	}
+	if err := run([]string{"-bogus"}, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	var a, b, c strings.Builder
+	if err := run([]string{"-companies", "2", "-days", "10", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-companies", "2", "-days", "10", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-companies", "2", "-days", "10", "-seed", "6"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed, different output")
+	}
+	if a.String() == c.String() {
+		t.Error("different seed, same output")
+	}
+}

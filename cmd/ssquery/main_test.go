@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+)
+
+// smallArgs keeps CLI tests quick: tiny market, short window.
+func smallArgs(extra ...string) []string {
+	base := []string{"-companies", "20", "-days", "200", "-window", "32"}
+	return append(base, extra...)
+}
+
+func TestQueryFindsDisguisedWindow(t *testing.T) {
+	var sb strings.Builder
+	err := run(smallArgs("-query", "3:50", "-scale", "2", "-shift", "-5", "-eps-frac", "0.001"), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "HK0004") {
+		t.Errorf("source window not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "a=0.5") {
+		t.Errorf("inverse transform not recovered:\n%s", out)
+	}
+}
+
+func TestQueryFromCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = 10
+	cfg.Days = 100
+	if _, err := stock.Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var sb strings.Builder
+	err = run([]string{"-data", path, "-window", "32", "-query", "0:10", "-eps", "0.5"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "database: 10 sequences") {
+		t.Errorf("CSV database not loaded:\n%s", sb.String())
+	}
+}
+
+func TestQueryModes(t *testing.T) {
+	// Nearest-neighbour mode.
+	var sb strings.Builder
+	if err := run(smallArgs("-query", "2:20", "-nn", "3"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "3 matches") {
+		t.Errorf("nn mode:\n%s", sb.String())
+	}
+	// Spheres strategy.
+	sb.Reset()
+	if err := run(smallArgs("-query", "2:20", "-spheres", "-eps-frac", "0.01"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Long query (multipiece).
+	sb.Reset()
+	if err := run(smallArgs("-query", "2:20", "-long", "-eps-frac", "0.001"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Long mode doubles the query span: window [20, 20+64).
+	if !strings.Contains(sb.String(), "[20:84)") {
+		t.Errorf("long mode:\n%s", sb.String())
+	}
+	// Explicit values.
+	sb.Reset()
+	vals := make([]string, 32)
+	for i := range vals {
+		vals[i] = "1"
+	}
+	if err := run(smallArgs("-query-values", strings.Join(vals, ",")), &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Cost bounds.
+	sb.Reset()
+	if err := run(smallArgs("-query", "2:20", "-eps-frac", "0.05",
+		"-scale-min", "0.5", "-scale-max", "2", "-shift-abs", "10"), &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	tests := [][]string{
+		smallArgs(),                                         // no query
+		smallArgs("-query", "banana"),                       // malformed spec
+		smallArgs("-query", "999:0"),                        // out of range
+		smallArgs("-query-values", "1,two,3"),               // bad float
+		smallArgs("-query", "x:1"),                          // bad seq
+		smallArgs("-query", "1:y"),                          // bad start
+		{"-data", "/nonexistent/file.csv", "-query", "0:0"}, // missing file
+	}
+	for _, args := range tests {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestIndexCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "idx.bin")
+	// First run builds and caches.
+	var sb strings.Builder
+	if err := run(smallArgs("-query", "3:50", "-eps-frac", "0.001", "-index-cache", cache), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cached to") {
+		t.Errorf("first run did not cache:\n%s", sb.String())
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatal(err)
+	}
+	// Second run loads, producing identical matches.
+	var sb2 strings.Builder
+	if err := run(smallArgs("-query", "3:50", "-eps-frac", "0.001", "-index-cache", cache), &sb2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "loaded from") {
+		t.Errorf("second run did not load:\n%s", sb2.String())
+	}
+	tail := func(s string) string { return s[strings.Index(s, "matches"):] }
+	if tail(sb.String()) != tail(sb2.String()) {
+		t.Errorf("results differ between built and loaded index:\n%s\nvs\n%s", sb.String(), sb2.String())
+	}
+}
+
+func TestQueryTrailAndBulkModes(t *testing.T) {
+	var sb strings.Builder
+	if err := run(smallArgs("-query", "3:50", "-scale", "2", "-eps-frac", "0.001", "-subtrail", "8"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "HK0004") {
+		t.Errorf("trail mode missed the source:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run(smallArgs("-query", "3:50", "-eps-frac", "0.001", "-bulk"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "HK0004") {
+		t.Errorf("bulk mode missed the source:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module scaleshift
+
+go 1.22

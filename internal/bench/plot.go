@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// plotWidth and plotHeight size the ASCII charts.
+const (
+	plotWidth  = 60
+	plotHeight = 16
+)
+
+// WriteCPUPlot renders Figure 4 as an ASCII chart: CPU time per query
+// (log scale) against the ε sweep, one glyph per method.
+func WriteCPUPlot(w io.Writer, series []Series) error {
+	return writePlot(w, "Figure 4 (plot): CPU time per query, log scale", series,
+		func(r Row) float64 { return float64(r.CPUPerQuery) },
+		func(v float64) string { return fmtDuration(time.Duration(v)) })
+}
+
+// WritePagesPlot renders Figure 5 (the paper's data-page counting) as
+// an ASCII chart on a log scale.
+func WritePagesPlot(w io.Writer, series []Series) error {
+	return writePlot(w, "Figure 5 (plot): data page accesses per query, log scale", series,
+		func(r Row) float64 { return r.DataPages },
+		func(v float64) string { return fmt.Sprintf("%.0f", v) })
+}
+
+// methodGlyphs are the plot markers in Methods order.
+var methodGlyphs = []byte{'1', '2', '3'}
+
+// writePlot draws the selected metric for up to three series on a
+// log-y grid with the ε fractions spread across the x axis.
+func writePlot(w io.Writer, title string, series []Series, metric func(Row) float64, label func(float64) string) error {
+	if len(series) == 0 || len(series[0].Rows) == 0 {
+		return fmt.Errorf("bench: nothing to plot")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, r := range s.Rows {
+			v := metric(r)
+			if v <= 0 {
+				v = 1 // log floor for zero measurements
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo == hi {
+		hi = lo * 2
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+
+	grid := make([][]byte, plotHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	nCols := len(series[0].Rows)
+	colOf := func(i int) int {
+		if nCols == 1 {
+			return plotWidth / 2
+		}
+		return i * (plotWidth - 1) / (nCols - 1)
+	}
+	rowOf := func(v float64) int {
+		if v <= 0 {
+			v = 1
+		}
+		frac := (math.Log(v) - logLo) / (logHi - logLo)
+		r := int(math.Round(float64(plotHeight-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= plotHeight {
+			r = plotHeight - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		glyph := byte('?')
+		if si < len(methodGlyphs) {
+			glyph = methodGlyphs[si]
+		}
+		for i, r := range s.Rows {
+			c, rr := colOf(i), rowOf(metric(r))
+			if grid[rr][c] == ' ' {
+				grid[rr][c] = glyph
+			} else {
+				grid[rr][c] = '*' // collision
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, line := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%10s |%s\n", label(hi), line)
+		case plotHeight - 1:
+			fmt.Fprintf(&b, "%10s |%s\n", label(lo), line)
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", line)
+		}
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", plotWidth))
+	first := series[0].Rows[0].EpsFrac
+	last := series[0].Rows[nCols-1].EpsFrac
+	fmt.Fprintf(&b, "%10s  eps/scale: %.3g%s%.3g   (1=seqscan 2=tree-ee 3=tree-spheres *=overlap)\n",
+		"", first, strings.Repeat(" ", plotWidth-24), last)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

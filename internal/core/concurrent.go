@@ -1,0 +1,88 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"scaleshift/internal/vec"
+)
+
+// ConcurrentIndex wraps an Index with a readers-writer lock so
+// searches may run in parallel with occasional mutations (dynamic
+// insertion of arriving data, delisting) without external
+// synchronization.  Searches take the read lock; mutating methods take
+// the write lock.  For read-only workloads the plain Index is
+// lock-free and faster.
+type ConcurrentIndex struct {
+	mu sync.RWMutex
+	ix *Index
+}
+
+// NewConcurrentIndex wraps ix.  The caller must stop using ix directly.
+func NewConcurrentIndex(ix *Index) *ConcurrentIndex {
+	return &ConcurrentIndex{ix: ix}
+}
+
+// Search is Index.Search under the read lock.
+func (c *ConcurrentIndex) Search(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.Search(q, eps, costs, stats)
+}
+
+// SearchLong is Index.SearchLong under the read lock.
+func (c *ConcurrentIndex) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchLong(q, eps, costs, stats)
+}
+
+// NearestNeighbors is Index.NearestNeighbors under the read lock.
+func (c *ConcurrentIndex) NearestNeighbors(q vec.Vector, k int, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.NearestNeighbors(q, k, stats)
+}
+
+// NearestNeighborsWithCosts is the cost-bounded variant under the read
+// lock.
+func (c *ConcurrentIndex) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.NearestNeighborsWithCosts(q, k, costs, stats)
+}
+
+// AppendAndIndex is Index.AppendAndIndex under the write lock.
+func (c *ConcurrentIndex) AppendAndIndex(name string, values []float64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ix.AppendAndIndex(name, values)
+}
+
+// ExtendAndIndex is Index.ExtendAndIndex under the write lock.
+func (c *ConcurrentIndex) ExtendAndIndex(seq int, values []float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ix.ExtendAndIndex(seq, values)
+}
+
+// UnindexSequence is Index.UnindexSequence under the write lock.
+func (c *ConcurrentIndex) UnindexSequence(seq int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ix.UnindexSequence(seq)
+}
+
+// WindowCount is Index.WindowCount under the read lock.
+func (c *ConcurrentIndex) WindowCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.WindowCount()
+}
+
+// WriteBinary is Index.WriteBinary under the read lock.
+func (c *ConcurrentIndex) WriteBinary(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.WriteBinary(w)
+}

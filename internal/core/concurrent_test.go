@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// TestConcurrentIndexMixedWorkload interleaves searches with dynamic
+// insertion, extension and removal under -race.
+func TestConcurrentIndexMixedWorkload(t *testing.T) {
+	opts := testOptions()
+	opts.WindowLen = 16
+	st := store.New()
+	base := make([]float64, 120)
+	for i := range base {
+		base[i] = 20 + 5*math.Sin(float64(i)/4)
+	}
+	st.AppendSequence("base", base)
+	plain, err := NewIndex(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ix := NewConcurrentIndex(plain)
+
+	q := make(vec.Vector, 16)
+	copy(q, base[10:26])
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Readers.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := ix.Search(q, 0.5, UnboundedCosts(), nil); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := ix.NearestNeighbors(q, 3, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Writer: lists new tickers and extends the latest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			seq, err := ix.AppendAndIndex(fmt.Sprintf("T%02d", i), seqVals(i*7, 30))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := ix.ExtendAndIndex(seq, seqVals(i*7+30, 10)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Final state is consistent and searchable.
+	if ix.WindowCount() == 0 {
+		t.Fatal("index emptied")
+	}
+	res, err := ix.Search(q, 1e-6, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res {
+		if m.Name == "base" && m.Start == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("base window lost during concurrent mutation")
+	}
+	// Delist everything that was added.
+	for seq := 1; seq <= 10; seq++ {
+		if err := ix.UnindexSequence(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

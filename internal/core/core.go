@@ -1,0 +1,600 @@
+// Package core implements the paper's contribution: similarity search
+// over time-series databases under scaling and shifting transformations
+// (Chu & Wong, PODS '99).
+//
+// A sequence u is similar to v with error bound ε when some scale
+// factor a and shift offset b make ‖a·u + b·N − v‖ ≤ ε (Definition 1).
+// The Index answers range queries under this similarity over every
+// sliding window of a sequence database, returning the optimal (a, b)
+// per match, and supports cost bounds on the transformation, dynamic
+// insertion, nearest-neighbour queries (Corollary 1), and long queries
+// via multipiece search (§7).
+//
+// The pipeline follows §6 exactly:
+//
+//	pre-processing: slide a length-n window over every sequence,
+//	    apply the Shift-Eliminated Transformation (Definition 2),
+//	    reduce to 2·f_c dimensions with the DFT feature map, and
+//	    insert the feature points into an R*-tree;
+//	searching: descend only into children whose ε-enlarged MBR is
+//	    penetrated by the query's SE-line (Theorem 3), collecting leaf
+//	    points within ε of the line (Theorem 2, in feature space);
+//	post-processing: fetch each candidate window, compute the exact
+//	    distance and the optimal (a, b) (§5.2), and apply the user's
+//	    transformation cost bounds.
+//
+// Feature-space search has no false dismissals because the SE and DFT
+// maps are linear contractions; the post-processing step removes all
+// false alarms, so results are exactly the brute-force answer set.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"scaleshift/internal/dft"
+	"scaleshift/internal/geom"
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// ReductionKind selects the dimension-reduction basis.
+type ReductionKind int
+
+const (
+	// ReductionDFT keeps the first f_c complex DFT coefficients — the
+	// paper's choice, following Faloutsos et al. [2].
+	ReductionDFT ReductionKind = iota
+	// ReductionHaar keeps the 2·f_c coarsest Haar wavelet rows — the
+	// alternative family the paper cites (Chan & Fu [14]).  Requires a
+	// power-of-two window length.
+	ReductionHaar
+)
+
+// String names the reduction for tables and logs.
+func (k ReductionKind) String() string {
+	switch k {
+	case ReductionDFT:
+		return "dft"
+	case ReductionHaar:
+		return "haar"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures an Index.  Start from DefaultOptions.
+type Options struct {
+	// WindowLen is the extracting-window length n (§6 pre-processing).
+	WindowLen int
+	// Coefficients is f_c, the number of DFT coefficients kept by the
+	// dimension-reduction step; the index dimensionality is 2·f_c
+	// (§7: 3 coefficients → a 6-dimensional R*-tree).  The Haar
+	// reduction keeps 2·f_c rows so the index dimensionality matches.
+	Coefficients int
+	// Reduction selects the feature basis (default DFT, as in §7).
+	Reduction ReductionKind
+	// SubtrailLen, when >= 2, stores one leaf entry per run of that
+	// many consecutive windows — the sub-trail MBR representation of
+	// the ST-index ([2], which §6 builds on) — instead of one entry per
+	// window.  The index shrinks by roughly that factor; searches
+	// expand each qualifying trail back into its windows for the exact
+	// post-check, so results are unchanged.  0 and 1 mean per-window
+	// point entries (the paper's presentation).
+	SubtrailLen int
+	// Tree holds the R*-tree structural parameters.  Tree.Dim is
+	// ignored; it is derived from Coefficients.
+	Tree rtree.Config
+	// Strategy selects the MBR penetration check (§7): experiment
+	// set 2 uses geom.EnteringExiting, set 3 geom.BoundingSpheres.
+	Strategy geom.Strategy
+}
+
+// DefaultOptions returns the paper's experimental configuration:
+// window length 128, f_c = 3 (6 dims), M = 20, m = 8, p = 6, R* split,
+// Entering/Exiting-Points penetration.
+func DefaultOptions() Options {
+	return Options{
+		WindowLen:    128,
+		Coefficients: 3,
+		Tree:         rtree.DefaultConfig(6),
+		Strategy:     geom.EnteringExiting,
+	}
+}
+
+// CostBounds is the user-specified cost limit on transformations (§3):
+// a match is reported only when its optimal scale factor lies in
+// [ScaleMin, ScaleMax] and its shift offset in [ShiftMin, ShiftMax].
+// Use UnboundedCosts to accept every transformation; the zero value
+// accepts only a = b = 0.
+type CostBounds struct {
+	ScaleMin, ScaleMax float64
+	ShiftMin, ShiftMax float64
+}
+
+// UnboundedCosts places no restriction on the transformation.
+func UnboundedCosts() CostBounds {
+	inf := math.Inf(1)
+	return CostBounds{ScaleMin: -inf, ScaleMax: inf, ShiftMin: -inf, ShiftMax: inf}
+}
+
+// Allow reports whether a transformation with scale a and shift b is
+// within bounds.
+func (c CostBounds) Allow(a, b float64) bool {
+	return a >= c.ScaleMin && a <= c.ScaleMax && b >= c.ShiftMin && b <= c.ShiftMax
+}
+
+// Match is one qualifying data subsequence.
+type Match struct {
+	// Seq and Start address the window inside the store; Name is the
+	// sequence's name.
+	Seq, Start int
+	Name       string
+	// Dist is the exact minimum D₂(F_{a,b}(Q), S').
+	Dist float64
+	// Scale and Shift are the optimal transformation (§5.2).
+	Scale, Shift float64
+}
+
+// SearchStats accounts one query in the paper's cost model.
+type SearchStats struct {
+	// IndexNodeAccesses counts R*-tree pages read.
+	IndexNodeAccesses int
+	// DataPageAccesses counts distinct data pages fetched during
+	// post-processing.
+	DataPageAccesses int
+	// Candidates counts leaf hits forwarded to post-processing.
+	Candidates int
+	// FalseAlarms counts candidates rejected by the exact check.
+	FalseAlarms int
+	// CostRejected counts exact matches rejected by the cost bounds.
+	CostRejected int
+	// Results counts reported matches.
+	Results int
+	// LeafEntriesChecked counts leaf feature points compared.
+	LeafEntriesChecked int
+	// Penetration counts geometric pruning primitives.
+	Penetration geom.CheckStats
+}
+
+// PageAccesses returns the total page count (index + data), the
+// quantity plotted in Figure 5.
+func (s SearchStats) PageAccesses() int {
+	return s.IndexNodeAccesses + s.DataPageAccesses
+}
+
+// Add accumulates o into s.
+func (s *SearchStats) Add(o SearchStats) {
+	s.IndexNodeAccesses += o.IndexNodeAccesses
+	s.DataPageAccesses += o.DataPageAccesses
+	s.Candidates += o.Candidates
+	s.FalseAlarms += o.FalseAlarms
+	s.CostRejected += o.CostRejected
+	s.Results += o.Results
+	s.LeafEntriesChecked += o.LeafEntriesChecked
+	s.Penetration.Add(o.Penetration)
+}
+
+// Index is the scale/shift-invariant subsequence index of §6.
+// Mutating methods must not run concurrently with searches.
+type Index struct {
+	opts Options
+	st   *store.Store
+	fmap *dft.FeatureMap
+	tree *rtree.Tree
+	// indexed tracks how many windows of each sequence are indexed, so
+	// dynamic extension indexes only the new ones.
+	indexed []int
+}
+
+// NewIndex creates an empty index over st.  Sequences already in st
+// are not indexed until Build (or IndexSequence) is called.
+func NewIndex(st *store.Store, opts Options) (*Index, error) {
+	if opts.WindowLen < 3 {
+		return nil, fmt.Errorf("core: window length %d too short", opts.WindowLen)
+	}
+	var fmap *dft.FeatureMap
+	var err error
+	switch opts.Reduction {
+	case ReductionDFT:
+		fmap, err = dft.NewFeatureMap(opts.WindowLen, opts.Coefficients)
+	case ReductionHaar:
+		fmap, err = dft.NewHaarMap(opts.WindowLen, 2*opts.Coefficients)
+	default:
+		return nil, fmt.Errorf("core: unknown reduction kind %d", int(opts.Reduction))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	cfg := opts.Tree
+	cfg.Dim = fmap.Dim()
+	tree, err := rtree.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	switch opts.Strategy {
+	case geom.EnteringExiting, geom.BoundingSpheres:
+	default:
+		return nil, fmt.Errorf("core: unknown penetration strategy %d", int(opts.Strategy))
+	}
+	if opts.SubtrailLen < 0 {
+		return nil, fmt.Errorf("core: negative SubtrailLen %d", opts.SubtrailLen)
+	}
+	return &Index{opts: opts, st: st, fmap: fmap, tree: tree}, nil
+}
+
+// trailMode reports whether leaf entries are sub-trail MBRs.
+func (ix *Index) trailMode() bool { return ix.opts.SubtrailLen >= 2 }
+
+// trailRect computes the MBR of the features of windows
+// [first, first+count) of sequence seq, using the direct transform so
+// the result is bit-reproducible from any starting call (required for
+// DeleteRect on dynamic updates).
+func (ix *Index) trailRect(seq, first, count int) (geom.Rect, error) {
+	n := ix.opts.WindowLen
+	w := make(vec.Vector, n)
+	se := make(vec.Vector, n)
+	feat := make(vec.Vector, ix.fmap.Dim())
+	var r geom.Rect
+	for i := 0; i < count; i++ {
+		if err := ix.st.Window(seq, first+i, n, w, nil); err != nil {
+			return geom.Rect{}, err
+		}
+		vec.SETransformInPlace(se, w)
+		ix.fmap.TransformInto(feat, se)
+		if i == 0 {
+			r = geom.RectFromPoint(feat)
+		} else {
+			r.ExtendPoint(feat)
+		}
+	}
+	return r, nil
+}
+
+// indexSequenceTrails is IndexSequence for trail mode: trails are
+// aligned to multiples of SubtrailLen; a partial trailing trail is
+// replaced when the sequence has grown since the last call.
+func (ix *Index) indexSequenceTrails(seq int) error {
+	n := ix.opts.WindowLen
+	k := ix.opts.SubtrailLen
+	L := ix.st.SequenceLen(seq)
+	lastStart := L - n
+	from := ix.indexed[seq]
+	if lastStart < 0 || from > lastStart {
+		return nil // nothing new
+	}
+	if rem := from % k; rem != 0 {
+		// A partial trail [g0, from) was inserted earlier; replace it.
+		g0 := from - rem
+		r, err := ix.trailRect(seq, g0, rem)
+		if err != nil {
+			return fmt.Errorf("core: trail indexing: %w", err)
+		}
+		if !ix.tree.DeleteRect(r, store.EncodeWindowID(seq, g0)) {
+			return fmt.Errorf("core: partial trail (%d, %d) missing from tree", seq, g0)
+		}
+		from = g0
+	}
+	for g := from; g <= lastStart; g += k {
+		count := k
+		if g+count-1 > lastStart {
+			count = lastStart - g + 1
+		}
+		r, err := ix.trailRect(seq, g, count)
+		if err != nil {
+			return fmt.Errorf("core: trail indexing: %w", err)
+		}
+		ix.tree.InsertRect(r, store.EncodeWindowID(seq, g))
+		ix.indexed[seq] = g + count
+	}
+	return nil
+}
+
+// trailWindows returns the first window and window count covered by
+// the trail starting at first in sequence seq.
+func (ix *Index) trailWindows(seq, first int) (count int) {
+	k := ix.opts.SubtrailLen
+	limit := ix.indexed[seq]
+	count = k
+	if first+count > limit {
+		count = limit - first
+	}
+	return count
+}
+
+// Options returns the index configuration.
+func (ix *Index) Options() Options { return ix.opts }
+
+// SetStrategy switches the MBR penetration check used by subsequent
+// searches.  The index structure is independent of the strategy, so
+// the paper's experiment sets 2 and 3 can share one index.
+func (ix *Index) SetStrategy(s geom.Strategy) error {
+	switch s {
+	case geom.EnteringExiting, geom.BoundingSpheres:
+		ix.opts.Strategy = s
+		return nil
+	default:
+		return fmt.Errorf("core: unknown penetration strategy %d", int(s))
+	}
+}
+
+// Store returns the underlying sequence store.
+func (ix *Index) Store() *store.Store { return ix.st }
+
+// WindowCount returns the number of indexed windows.
+func (ix *Index) WindowCount() int {
+	if !ix.trailMode() {
+		return ix.tree.Len()
+	}
+	total := 0
+	for _, c := range ix.indexed {
+		total += c
+	}
+	return total
+}
+
+// EntryCount returns the number of leaf entries in the tree — equal to
+// WindowCount for point mode, and the number of sub-trail MBRs in
+// trail mode.
+func (ix *Index) EntryCount() int { return ix.tree.Len() }
+
+// IndexPageCount returns the number of index pages (tree nodes).
+func (ix *Index) IndexPageCount() int { return ix.tree.NodeCount() }
+
+// TreeHeight returns the R*-tree height.
+func (ix *Index) TreeHeight() int { return ix.tree.Height() }
+
+// WriteIndexStats renders per-level geometry statistics of the
+// directory (occupancy, MBR elongation, circumscribed/inscribed sphere
+// gap) — the numbers behind §7's explanation of the bounding-spheres
+// failure.
+func (ix *Index) WriteIndexStats(w io.Writer) error { return ix.tree.WriteStats(w) }
+
+// Build indexes every not-yet-indexed window of every sequence
+// currently in the store (§6 pre-processing).
+func (ix *Index) Build() error {
+	for seq := 0; seq < ix.st.NumSequences(); seq++ {
+		if err := ix.IndexSequence(seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildBulk indexes every window of every sequence by building the
+// R*-tree with Sort-Tile-Recursive bulk loading instead of one-by-one
+// insertion — typically an order of magnitude faster and producing a
+// tighter tree.  It requires an empty index; dynamic insertion and
+// removal work normally afterwards.
+func (ix *Index) BuildBulk() error {
+	if ix.tree.Len() != 0 {
+		return fmt.Errorf("core: BuildBulk requires an empty index (have %d windows)", ix.tree.Len())
+	}
+	if ix.trailMode() {
+		// Trail entries are rectangles; STR bulk loading packs points.
+		// Trail indexes are already ~SubtrailLen× smaller, so plain
+		// insertion is fast enough.
+		return ix.Build()
+	}
+	var items []rtree.Item
+	ix.indexed = make([]int, ix.st.NumSequences())
+	feat := make(vec.Vector, ix.fmap.Dim())
+	for seq := 0; seq < ix.st.NumSequences(); seq++ {
+		err := ix.featureWindows(seq, 0, func(start int, f vec.Vector) error {
+			items = append(items, rtree.Item{
+				Point: f.Clone(),
+				ID:    store.EncodeWindowID(seq, start),
+			})
+			ix.indexed[seq] = start + 1
+			return nil
+		}, feat)
+		if err != nil {
+			return fmt.Errorf("core: bulk indexing: %w", err)
+		}
+	}
+	cfg := ix.opts.Tree
+	cfg.Dim = ix.fmap.Dim()
+	tree, err := rtree.BulkLoad(cfg, items)
+	if err != nil {
+		return fmt.Errorf("core: bulk loading: %w", err)
+	}
+	ix.tree = tree
+	return nil
+}
+
+// IndexSequence indexes the windows of sequence seq that are not yet
+// indexed.  It is idempotent and supports sequences that grew since
+// the last call (requirement 2 of §3).
+func (ix *Index) IndexSequence(seq int) error {
+	if seq < 0 || seq >= ix.st.NumSequences() {
+		return fmt.Errorf("core: sequence %d out of range [0, %d)", seq, ix.st.NumSequences())
+	}
+	for len(ix.indexed) <= seq {
+		ix.indexed = append(ix.indexed, 0)
+	}
+	if ix.trailMode() {
+		return ix.indexSequenceTrails(seq)
+	}
+	n := ix.opts.WindowLen
+	L := ix.st.SequenceLen(seq)
+	from := ix.indexed[seq]
+	if from+n > L {
+		return nil // nothing new to index
+	}
+	feat := make(vec.Vector, ix.fmap.Dim())
+	err := ix.featureWindows(seq, from, func(start int, f vec.Vector) error {
+		ix.tree.Insert(f, store.EncodeWindowID(seq, start))
+		ix.indexed[seq] = start + 1
+		return nil
+	}, feat)
+	if err != nil {
+		return fmt.Errorf("core: indexing: %w", err)
+	}
+	return nil
+}
+
+// featureWindows streams the feature point of every window of sequence
+// seq from position from onward into fn, reusing feat as the output
+// buffer.  For the DFT basis the features are computed incrementally
+// with the sliding recurrence of [2] — O(f_c) per window instead of
+// O(n·f_c) — exploiting that the retained non-DC coefficients are
+// unaffected by mean removal, so raw windows yield SE features.
+// featureCheckpoint is the absolute window-start stride at which the
+// sliding DFT restarts from scratch.  Restarting at fixed checkpoints
+// makes every window's feature bit-reproducible no matter where a
+// featureWindows call begins — required so dynamic extension
+// (ExtendAndIndex) and later deletion (UnindexSequence) regenerate
+// exactly the stored feature points — and bounds floating-point drift
+// as a side effect.
+const featureCheckpoint = 256
+
+func (ix *Index) featureWindows(seq, from int, fn func(start int, f vec.Vector) error, feat vec.Vector) error {
+	n := ix.opts.WindowLen
+	L := ix.st.SequenceLen(seq)
+	lastStart := L - n
+	if from > lastStart {
+		return nil
+	}
+	if ix.opts.Reduction == ReductionDFT {
+		raw := make(vec.Vector, n+featureCheckpoint-1)
+		for cp := from - from%featureCheckpoint; cp <= lastStart; cp += featureCheckpoint {
+			segLast := cp + featureCheckpoint - 1
+			if segLast > lastStart {
+				segLast = lastStart
+			}
+			span := segLast - cp + n // samples covering windows [cp, segLast]
+			if err := ix.st.Window(seq, cp, span, raw[:span], nil); err != nil {
+				return err
+			}
+			slider, err := dft.NewSlidingTransformer(ix.fmap, raw[:n])
+			if err != nil {
+				return err
+			}
+			for s := cp; s <= segLast; s++ {
+				if s > cp {
+					slider.Slide(raw[s-cp+n-1])
+				}
+				if s < from {
+					continue
+				}
+				slider.Feature(feat)
+				if err := fn(s, feat); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	w := make(vec.Vector, n)
+	se := make(vec.Vector, n)
+	for start := from; start+n <= L; start++ {
+		if err := ix.st.Window(seq, start, n, w, nil); err != nil {
+			return err
+		}
+		vec.SETransformInPlace(se, w)
+		ix.fmap.TransformInto(feat, se)
+		if err := fn(start, feat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendAndIndex appends a new sequence to the store and indexes its
+// windows, returning the sequence id.
+func (ix *Index) AppendAndIndex(name string, values []float64) (int, error) {
+	seq := ix.st.AppendSequence(name, values)
+	if err := ix.IndexSequence(seq); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// ExtendAndIndex appends new samples to the store's most recent
+// sequence and indexes the windows they complete — including the
+// windows spanning the old end (requirement 2 of §3: time series are
+// collected regularly and must become searchable as they arrive).
+func (ix *Index) ExtendAndIndex(seq int, values []float64) error {
+	if err := ix.st.ExtendSequence(seq, values); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return ix.IndexSequence(seq)
+}
+
+// UnindexSequence removes every indexed window of sequence seq from
+// the tree.  The raw data remains in the store (the store is
+// append-only) but the windows will no longer be found by searches.
+func (ix *Index) UnindexSequence(seq int) error {
+	if seq < 0 || seq >= len(ix.indexed) {
+		return fmt.Errorf("core: sequence %d not indexed", seq)
+	}
+	limit := ix.indexed[seq]
+	if ix.trailMode() {
+		k := ix.opts.SubtrailLen
+		for g := 0; g < limit; g += k {
+			count := k
+			if g+count > limit {
+				count = limit - g
+			}
+			r, err := ix.trailRect(seq, g, count)
+			if err != nil {
+				return fmt.Errorf("core: unindexing: %w", err)
+			}
+			if !ix.tree.DeleteRect(r, store.EncodeWindowID(seq, g)) {
+				return fmt.Errorf("core: trail (%d, %d) missing from tree", seq, g)
+			}
+		}
+		ix.indexed[seq] = 0
+		return nil
+	}
+	feat := make(vec.Vector, ix.fmap.Dim())
+	// Regenerate the stored feature points with featureWindows so they
+	// are bit-identical to what Build/IndexSequence inserted (the
+	// sliding DFT path differs from the direct transform by float
+	// rounding).
+	err := ix.featureWindows(seq, 0, func(start int, f vec.Vector) error {
+		if start >= limit {
+			return nil
+		}
+		if !ix.tree.Delete(f, store.EncodeWindowID(seq, start)) {
+			return fmt.Errorf("core: window (%d, %d) missing from tree", seq, start)
+		}
+		return nil
+	}, feat)
+	if err != nil {
+		return fmt.Errorf("core: unindexing: %w", err)
+	}
+	ix.indexed[seq] = 0
+	return nil
+}
+
+// numericSlack bounds the floating-point error of the feature-space
+// point-to-line distance.  Computing PLD near zero cancels
+// catastrophically, with absolute error on the order of
+// ‖point‖·√ε_machine ≈ 1.5e-8·‖point‖; the slack widens the index
+// phase's epsilon by a conservative multiple of the largest point norm
+// in the tree so that no true match is dismissed by rounding.  The
+// exact post-processing check reapplies the caller's epsilon, so the
+// widening never adds false results.
+func (ix *Index) numericSlack() float64 {
+	bounds, ok := ix.tree.Bounds()
+	if !ok {
+		return 0
+	}
+	var m float64
+	for i := range bounds.L {
+		m = math.Max(m, math.Max(math.Abs(bounds.L[i]), math.Abs(bounds.H[i])))
+	}
+	return 1e-7 * m * math.Sqrt(float64(ix.fmap.Dim()))
+}
+
+// seLine returns the query's SE-line image in feature space: the line
+// {t·F(T_se(q))} through the origin (§5.1 property 3; linear maps send
+// lines through the origin to lines through the origin).
+func (ix *Index) seLine(q vec.Vector) vec.Line {
+	se := vec.SETransform(q)
+	d := ix.fmap.Transform(se)
+	return vec.Line{P: make(vec.Vector, ix.fmap.Dim()), D: d}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// candidateWindows runs the index phase for one SE-line and streams
+// every candidate window address (already widened by the numeric
+// slack).  In point mode candidates are the leaf feature points within
+// ε of the line; in trail mode each penetrated sub-trail MBR expands
+// into the windows it covers.
+func (ix *Index) candidateWindows(line vec.Line, eps float64, costs CostBounds, treeStats *rtree.SearchStats, fn func(seq, start int)) {
+	epsIdx := eps + ix.numericSlack()
+	// When the cost bounds restrict the scale factor, the index phase
+	// can search only the SEGMENT of the scaling line with t in
+	// [ScaleMin, ScaleMax]: for any true match its exact scale a lies
+	// in that range, and by the contraction property
+	// ‖a·F(T_se q) − F(T_se v)‖ <= ‖a·T_se q − T_se v‖ <= eps, so the
+	// candidate is still reached through the segment.  This prunes the
+	// a ≈ 0 degeneracy at the directory rather than in post-processing.
+	segment := !math.IsInf(costs.ScaleMin, -1) || !math.IsInf(costs.ScaleMax, 1)
+	tMin, tMax := costs.ScaleMin, costs.ScaleMax
+	if segment {
+		// Widen the parameter range against feature rounding: a shift
+		// of delta along the unit direction moves the point by
+		// delta·‖D‖, so slack/‖D‖ in parameter units is conservative.
+		if dn := vec.Norm(line.D); dn > 0 {
+			pad := ix.numericSlack() / dn
+			tMin -= pad
+			tMax += pad
+		}
+	}
+	if !ix.trailMode() {
+		var cands []rtree.Item
+		if segment {
+			cands = ix.tree.SegmentSearch(line, tMin, tMax, epsIdx, ix.opts.Strategy, treeStats)
+		} else {
+			cands = ix.tree.LineSearch(line, epsIdx, ix.opts.Strategy, treeStats)
+		}
+		for _, cand := range cands {
+			seq, start := store.DecodeWindowID(cand.ID)
+			fn(seq, start)
+		}
+		return
+	}
+	var cands []rtree.RectItem
+	if segment {
+		cands = ix.tree.SegmentSearchRects(line, tMin, tMax, epsIdx, ix.opts.Strategy, treeStats)
+	} else {
+		cands = ix.tree.LineSearchRects(line, epsIdx, ix.opts.Strategy, treeStats)
+	}
+	for _, cand := range cands {
+		seq, first := store.DecodeWindowID(cand.ID)
+		count := ix.trailWindows(seq, first)
+		for i := 0; i < count; i++ {
+			fn(seq, first+i)
+		}
+	}
+}
+
+// Search returns every indexed window S' with Q ~ε S' (Definition 1)
+// whose optimal transformation passes the cost bounds, together with
+// the scale factor and shift offset realizing each match (§6).  The
+// query length must equal Options.WindowLen; use SearchLong for longer
+// queries.  stats may be nil.
+//
+// The result set is exact: the feature-space search cannot dismiss a
+// true match (the SE and DFT maps contract distances) and the
+// post-processing step verifies every candidate against the original
+// data.
+func (ix *Index) Search(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	return ix.SearchPooled(q, eps, costs, nil, stats)
+}
+
+// SearchPooled is Search with the data-page fetches of the
+// post-processing step played through a shared LRU buffer pool, for
+// bounded-memory cost studies.  pool may be nil (plain Search).
+func (ix *Index) SearchPooled(q vec.Vector, eps float64, costs CostBounds, pool *store.BufferPool, stats *SearchStats) ([]Match, error) {
+	if len(q) != ix.opts.WindowLen {
+		return nil, fmt.Errorf("core: query length %d, index window length %d (use SearchLong for longer queries)",
+			len(q), ix.opts.WindowLen)
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %v", eps)
+	}
+
+	// Searching step: collect candidates via SE-line penetration.  The
+	// index phase widens eps by a numerical slack so floating-point
+	// cancellation in the feature-space distance cannot dismiss a true
+	// match; the exact post-processing check below still applies the
+	// caller's eps, so the widening only admits extra candidates.
+	var treeStats rtree.SearchStats
+	line := ix.seLine(q)
+
+	// Post-processing step: exact check, transform recovery, cost
+	// bounds.
+	pc := store.PageCounter{Pool: pool}
+	var out []Match
+	w := make(vec.Vector, ix.opts.WindowLen)
+	var candidates, falseAlarms, costRejected int
+	var postErr error
+	ix.candidateWindows(line, eps, costs, &treeStats, func(seq, start int) {
+		if postErr != nil {
+			return
+		}
+		candidates++
+		if err := ix.st.Window(seq, start, ix.opts.WindowLen, w, &pc); err != nil {
+			postErr = err
+			return
+		}
+		m := vec.MinDist(q, w)
+		if m.Dist > eps {
+			falseAlarms++
+			return
+		}
+		if !costs.Allow(m.Scale, m.Shift) {
+			costRejected++
+			return
+		}
+		out = append(out, Match{
+			Seq:   seq,
+			Start: start,
+			Name:  ix.st.SequenceName(seq),
+			Dist:  m.Dist,
+			Scale: m.Scale,
+			Shift: m.Shift,
+		})
+	})
+	if postErr != nil {
+		return nil, fmt.Errorf("core: post-processing: %w", postErr)
+	}
+	sortMatches(out)
+
+	if stats != nil {
+		stats.IndexNodeAccesses += treeStats.NodeAccesses
+		stats.DataPageAccesses += pc.Distinct()
+		stats.Candidates += candidates
+		stats.FalseAlarms += falseAlarms
+		stats.CostRejected += costRejected
+		stats.Results += len(out)
+		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
+		stats.Penetration.Add(treeStats.Penetration)
+	}
+	return out, nil
+}
+
+// SearchLong answers queries longer than the index window using the
+// multipiece method sketched in §7 (after [2]): the query is cut into
+// k = ⌊len(Q)/n⌋ disjoint length-n pieces, each piece is searched with
+// error bound ε/√k, every hit proposes a full-length alignment, and
+// each proposal is verified exactly against the original data.
+//
+// No qualified subsequence is missed: if ‖a·Q + b − V‖ ≤ ε over the
+// full length, then the piecewise residuals satisfy
+// Σᵢ ‖a·Qᵢ + b − Vᵢ‖² ≤ ε², so at least one piece is within ε/√k of
+// its aligned window at the same (a, b), and the per-piece optimal
+// distance can only be smaller.
+func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	n := ix.opts.WindowLen
+	if len(q) == n {
+		return ix.Search(q, eps, costs, stats)
+	}
+	if len(q) < n {
+		return nil, fmt.Errorf("core: query length %d below index window length %d", len(q), n)
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %v", eps)
+	}
+	pieces := len(q) / n
+	pieceEps := eps / math.Sqrt(float64(pieces))
+
+	// Searching step, once per piece; candidate alignments are the
+	// piece hits translated back to the query's start.
+	type align struct{ seq, start int }
+	proposed := make(map[align]bool)
+	var treeStats rtree.SearchStats
+	for i := 0; i < pieces; i++ {
+		piece := q[i*n : (i+1)*n]
+		line := ix.seLine(piece)
+		i := i
+		ix.candidateWindows(line, pieceEps, costs, &treeStats, func(seq, start int) {
+			full := align{seq, start - i*n}
+			if full.start < 0 || full.start+len(q) > ix.st.SequenceLen(seq) {
+				return
+			}
+			proposed[full] = true
+		})
+	}
+
+	// Post-processing on the full-length windows.
+	var pc store.PageCounter
+	w := make(vec.Vector, len(q))
+	var out []Match
+	var falseAlarms, costRejected int
+	for a := range proposed {
+		if err := ix.st.Window(a.seq, a.start, len(q), w, &pc); err != nil {
+			return nil, fmt.Errorf("core: long-query post-processing: %w", err)
+		}
+		m := vec.MinDist(q, w)
+		if m.Dist > eps {
+			falseAlarms++
+			continue
+		}
+		if !costs.Allow(m.Scale, m.Shift) {
+			costRejected++
+			continue
+		}
+		out = append(out, Match{
+			Seq:   a.seq,
+			Start: a.start,
+			Name:  ix.st.SequenceName(a.seq),
+			Dist:  m.Dist,
+			Scale: m.Scale,
+			Shift: m.Shift,
+		})
+	}
+	sortMatches(out)
+
+	if stats != nil {
+		stats.IndexNodeAccesses += treeStats.NodeAccesses
+		stats.DataPageAccesses += pc.Distinct()
+		stats.Candidates += len(proposed)
+		stats.FalseAlarms += falseAlarms
+		stats.CostRejected += costRejected
+		stats.Results += len(out)
+		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
+		stats.Penetration.Add(treeStats.Penetration)
+	}
+	return out, nil
+}
+
+// NearestNeighbors returns the k indexed windows with the smallest
+// scale/shift distance to q, in increasing order (Corollary 1).  The
+// answer is exact: candidates stream from the tree in increasing
+// feature-space distance, which lower-bounds the true distance, so the
+// search stops as soon as the bound passes the kth best exact
+// distance (GEMINI-style refinement).  stats may be nil.
+func (ix *Index) NearestNeighbors(q vec.Vector, k int, stats *SearchStats) ([]Match, error) {
+	return ix.NearestNeighborsWithCosts(q, k, UnboundedCosts(), stats)
+}
+
+// NearestNeighborsWithCosts is NearestNeighbors restricted to windows
+// whose optimal transformation passes the cost bounds — e.g. bounding
+// the scale factor away from zero excludes the degenerate matches
+// where a near-constant window "matches" any query via a ≈ 0.
+// The refinement bound remains valid because the feature distance
+// lower-bounds the true distance of every window, filtered or not.
+func (ix *Index) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	if len(q) != ix.opts.WindowLen {
+		return nil, fmt.Errorf("core: query length %d, index window length %d", len(q), ix.opts.WindowLen)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k %d < 1", k)
+	}
+
+	var treeStats rtree.SearchStats
+	var pc store.PageCounter
+	line := ix.seLine(q)
+	w := make(vec.Vector, ix.opts.WindowLen)
+	var best []Match // sorted ascending by Dist, at most k
+	var candidates int
+	var scanErr error
+
+	slack := ix.numericSlack()
+	// refine exact-checks one window against the running top-k.
+	refine := func(seq, start int) bool {
+		candidates++
+		if err := ix.st.Window(seq, start, ix.opts.WindowLen, w, &pc); err != nil {
+			scanErr = err
+			return false
+		}
+		m := vec.MinDist(q, w)
+		if !costs.Allow(m.Scale, m.Shift) {
+			return true
+		}
+		if len(best) == k && m.Dist >= best[k-1].Dist {
+			return true
+		}
+		match := Match{
+			Seq:   seq,
+			Start: start,
+			Name:  ix.st.SequenceName(seq),
+			Dist:  m.Dist,
+			Scale: m.Scale,
+			Shift: m.Shift,
+		}
+		pos := sort.Search(len(best), func(i int) bool { return best[i].Dist > m.Dist })
+		if len(best) < k {
+			best = append(best, Match{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = match
+		return true
+	}
+	if ix.trailMode() {
+		// Trails stream in non-decreasing line-to-MBR distance, a lower
+		// bound for every window feature inside the MBR.
+		ix.tree.NearestRectsToLineFunc(line, &treeStats, func(it rtree.RectItemDist) bool {
+			if len(best) == k && it.Dist > best[k-1].Dist+slack {
+				return false
+			}
+			seq, first := store.DecodeWindowID(it.ID)
+			count := ix.trailWindows(seq, first)
+			for i := 0; i < count; i++ {
+				if !refine(seq, first+i) {
+					return false
+				}
+			}
+			return true
+		})
+	} else {
+		ix.tree.NearestToLineFunc(line, &treeStats, func(id rtree.ItemDist) bool {
+			if len(best) == k && id.Dist > best[k-1].Dist+slack {
+				return false // lower bound exceeds kth exact distance: done
+			}
+			seq, start := store.DecodeWindowID(id.Item.ID)
+			return refine(seq, start)
+		})
+	}
+	if scanErr != nil {
+		return nil, fmt.Errorf("core: nearest-neighbour refinement: %w", scanErr)
+	}
+
+	if stats != nil {
+		stats.IndexNodeAccesses += treeStats.NodeAccesses
+		stats.DataPageAccesses += pc.Distinct()
+		stats.Candidates += candidates
+		stats.Results += len(best)
+		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
+	}
+	return best, nil
+}
+
+// sortMatches orders matches by (Seq, Start) for deterministic output.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Seq != ms[j].Seq {
+			return ms[i].Seq < ms[j].Seq
+		}
+		return ms[i].Start < ms[j].Start
+	})
+}
+
+// SearchBatch answers many queries concurrently with up to parallelism
+// goroutines (capped at the query count; values < 1 mean
+// GOMAXPROCS-style default of 4).  Results are positionally aligned
+// with the queries, and per-query stats are summed into stats when it
+// is non-nil.  Searches are read-only, so no locking is needed; do not
+// mutate the index concurrently.
+func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds, parallelism int, stats *SearchStats) ([][]Match, error) {
+	if parallelism < 1 {
+		parallelism = 4
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	results := make([][]Match, len(queries))
+	perQuery := make([]SearchStats, len(queries))
+	errs := make([]error, len(queries))
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < parallelism; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = ix.Search(queries[i], eps, costs, &perQuery[i])
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	if stats != nil {
+		for i := range perQuery {
+			stats.Add(perQuery[i])
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"scaleshift/internal/geom"
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/store"
+)
+
+// indexMagic identifies the binary index format, version 1.
+var indexMagic = []byte("SSIDX\x01")
+
+// WriteBinary serializes the index — its options, per-sequence indexed
+// window counts, and the full R*-tree — so it can be reopened with
+// LoadIndex without re-running pre-processing.  The underlying store
+// is NOT included; persist it separately with Store.WriteBinary.
+func (ix *Index) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	for _, v := range []uint64{
+		uint64(ix.opts.WindowLen),
+		uint64(ix.opts.Coefficients),
+		uint64(ix.opts.Reduction),
+		uint64(ix.opts.Strategy),
+		uint64(ix.opts.SubtrailLen),
+		uint64(len(ix.indexed)),
+	} {
+		if err := writeU64(v); err != nil {
+			return err
+		}
+	}
+	for _, c := range ix.indexed {
+		if err := writeU64(uint64(c)); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The tree (including its Config) follows inline.
+	return ix.tree.WriteBinary(w)
+}
+
+// LoadIndex reopens an index written by WriteBinary, attaching it to
+// st, which must be the same store (or a bit-exact copy) the index was
+// built over.  Cheap consistency checks guard against mismatched
+// pairs; they cannot catch every corruption, so treat the pair as one
+// artifact.
+func LoadIndex(r io.Reader, st *store.Store) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(head) != string(indexMagic) {
+		return nil, fmt.Errorf("core: bad magic %q", head)
+	}
+	var scratch [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	var windowLen, coeffs, reduction, strategy, subtrail, nIndexed uint64
+	for _, dst := range []*uint64{&windowLen, &coeffs, &reduction, &strategy, &subtrail, &nIndexed} {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading header: %w", err)
+		}
+		*dst = v
+	}
+	if nIndexed > uint64(st.NumSequences()) {
+		return nil, fmt.Errorf("core: index covers %d sequences but store has %d",
+			nIndexed, st.NumSequences())
+	}
+	indexed := make([]int, nIndexed)
+	for i := range indexed {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("core: reading indexed counts: %w", err)
+		}
+		indexed[i] = int(v)
+	}
+	tree, err := rtree.ReadBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	opts := Options{
+		WindowLen:    int(windowLen),
+		Coefficients: int(coeffs),
+		Reduction:    ReductionKind(reduction),
+		Strategy:     geom.Strategy(strategy),
+		SubtrailLen:  int(subtrail),
+		Tree:         tree.Config(),
+	}
+	ix, err := NewIndex(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	if tree.Config().Dim != ix.fmap.Dim() {
+		return nil, fmt.Errorf("core: tree dimension %d does not match options (%d)",
+			tree.Config().Dim, ix.fmap.Dim())
+	}
+	// The indexed counts must be consistent with the store and the tree:
+	// one leaf entry per window in point mode, one per sub-trail in
+	// trail mode.
+	total := 0
+	for seq, c := range indexed {
+		if c < 0 || (c > 0 && c+int(windowLen)-1 > st.SequenceLen(seq)) {
+			return nil, fmt.Errorf("core: indexed count %d exceeds sequence %d (len %d)",
+				c, seq, st.SequenceLen(seq))
+		}
+		if ix0 := int(subtrail); ix0 >= 2 {
+			total += (c + ix0 - 1) / ix0
+		} else {
+			total += c
+		}
+	}
+	if total != tree.Len() {
+		return nil, fmt.Errorf("core: indexed counts imply %d leaf entries but tree holds %d",
+			total, tree.Len())
+	}
+	ix.tree = tree
+	ix.indexed = indexed
+	return ix, nil
+}

@@ -1,0 +1,47 @@
+package dft
+
+import (
+	"fmt"
+	"math"
+)
+
+// NewHaarMap returns a feature map for windows of length n (a power of
+// two) keeping the dim coarsest non-DC rows of the orthonormal Haar
+// wavelet basis.  Like the DFT map it is a linear contraction, so it
+// enjoys the same no-false-dismissal guarantee; the paper's related
+// work (Chan & Fu [14]) proposes exactly this family as an alternative
+// dimension reduction for time-series indexing.
+//
+// The DC (scaling-function) row is omitted because indexed windows are
+// shift-eliminated and have zero mean.  Rows are ordered coarsest
+// first: the full-window step, then the two half-window steps, and so
+// on, so small dim captures the lowest "frequencies" as with the DFT.
+func NewHaarMap(n, dim int) (*FeatureMap, error) {
+	if n < 4 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dft: Haar map needs a power-of-two window >= 4, got %d", n)
+	}
+	if dim < 1 || dim >= n {
+		return nil, fmt.Errorf("dft: Haar dimension %d out of range for n=%d (need 1 <= dim < n)", dim, n)
+	}
+	m := &FeatureMap{n: n, fc: 0, basis: make([][]float64, 0, dim)}
+	// Level 0 has 1 wavelet spanning the window; level l has 2^l
+	// wavelets of support n/2^l.  Emit in level order until dim rows.
+	for level := 0; len(m.basis) < dim; level++ {
+		count := 1 << level
+		support := n / count
+		if support < 2 {
+			return nil, fmt.Errorf("dft: Haar dimension %d exceeds the %d available wavelet rows for n=%d", dim, n-1, n)
+		}
+		amp := 1 / math.Sqrt(float64(support))
+		for w := 0; w < count && len(m.basis) < dim; w++ {
+			row := make([]float64, n)
+			start := w * support
+			for j := 0; j < support/2; j++ {
+				row[start+j] = amp
+				row[start+support/2+j] = -amp
+			}
+			m.basis = append(m.basis, row)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,150 @@
+package dft
+
+import (
+	"math/rand"
+	"testing"
+
+	"scaleshift/internal/vec"
+)
+
+func TestSlidingMatchesDirectTransform(t *testing.T) {
+	n, fc := 32, 3
+	m, err := NewFeatureMap(n, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	series := make([]float64, 500)
+	for i := range series {
+		series[i] = r.Float64()*40 - 20
+	}
+	st, err := NewSlidingTransformer(m, series[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(vec.Vector, m.Dim())
+	w := make(vec.Vector, n)
+	for start := 0; start+n <= len(series); start++ {
+		if start > 0 {
+			st.Slide(series[start+n-1])
+		}
+		st.Feature(got)
+		copy(w, series[start:start+n])
+		want := m.Transform(w)
+		for i := range want {
+			if diff := got[i] - want[i]; diff > 1e-8 || diff < -1e-8 {
+				t.Fatalf("window %d coord %d: sliding %v, direct %v", start, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSlidingMatchesSEFeature(t *testing.T) {
+	// Non-DC coefficients ignore the mean, so raw windows and
+	// SE-transformed windows produce the same feature.
+	n := 16
+	m, err := NewFeatureMap(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	w := randVec(r, n)
+	raw := m.Transform(w)
+	se := m.Transform(vec.SETransform(w))
+	for i := range raw {
+		if d := raw[i] - se[i]; d > 1e-10 || d < -1e-10 {
+			t.Fatalf("coord %d: raw %v vs SE %v", i, raw[i], se[i])
+		}
+	}
+}
+
+func TestSlidingDriftReset(t *testing.T) {
+	// A tiny ResetInterval forces many recomputations; results must
+	// still match the direct transform bit-closely.
+	n := 16
+	m, err := NewFeatureMap(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	series := make([]float64, 300)
+	for i := range series {
+		series[i] = r.NormFloat64() * 1e4 // large values stress drift
+	}
+	st, err := NewSlidingTransformer(m, series[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.ResetInterval = 7
+	got := make(vec.Vector, m.Dim())
+	w := make(vec.Vector, n)
+	for start := 0; start+n <= len(series); start++ {
+		if start > 0 {
+			st.Slide(series[start+n-1])
+		}
+		st.Feature(got)
+		copy(w, series[start:start+n])
+		want := m.Transform(w)
+		if vec.Dist(got, want) > 1e-6 {
+			t.Fatalf("window %d drifted: %v", start, vec.Dist(got, want))
+		}
+	}
+}
+
+func TestSlidingValidation(t *testing.T) {
+	m, err := NewFeatureMap(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSlidingTransformer(m, make(vec.Vector, 15)); err == nil {
+		t.Error("short initial window accepted")
+	}
+	h, err := NewHaarMap(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSlidingTransformer(h, make(vec.Vector, 16)); err == nil {
+		t.Error("Haar map accepted for sliding transform")
+	}
+	st, err := NewSlidingTransformer(m, make(vec.Vector, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics(t, "bad feature dst", func() { st.Feature(make(vec.Vector, 3)) })
+}
+
+func BenchmarkSlidingVsDirect(b *testing.B) {
+	n, fc := 128, 3
+	m, err := NewFeatureMap(n, fc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	series := make([]float64, n+1024)
+	for i := range series {
+		series[i] = r.Float64()
+	}
+	b.Run("sliding", func(b *testing.B) {
+		st, err := NewSlidingTransformer(m, series[:n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make(vec.Vector, m.Dim())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Slide(series[n+i%1024])
+			st.Feature(dst)
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		dst := make(vec.Vector, m.Dim())
+		w := make(vec.Vector, n)
+		copy(w, series[:n])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.TransformInto(dst, w)
+		}
+	})
+}

@@ -1,0 +1,174 @@
+package euclid
+
+import (
+	"math"
+	"testing"
+
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+func testIndex(t testing.TB, companies, days int) *Index {
+	t.Helper()
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = companies
+	cfg.Days = days
+	if _, err := stock.Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.WindowLen = 32
+	ix, err := NewIndex(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	st := store.New()
+	opts := DefaultOptions()
+	opts.WindowLen = 2
+	if _, err := NewIndex(st, opts); err == nil {
+		t.Error("short window accepted")
+	}
+	opts = DefaultOptions()
+	opts.Coefficients = 0
+	if _, err := NewIndex(st, opts); err == nil {
+		t.Error("fc=0 accepted")
+	}
+	opts = DefaultOptions()
+	opts.Tree.MinEntries = 0
+	if _, err := NewIndex(st, opts); err == nil {
+		t.Error("bad tree accepted")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ix := testIndex(t, 5, 60)
+	if _, err := ix.Search(make(vec.Vector, 5), 1, nil); err == nil {
+		t.Error("short query accepted")
+	}
+	if _, err := ix.Search(make(vec.Vector, 32), -1, nil); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestSearchExactlyMatchesBruteForce(t *testing.T) {
+	ix := testIndex(t, 15, 150)
+	st := ix.st
+	w := make(vec.Vector, 32)
+	for _, src := range []struct{ seq, start int }{{0, 5}, {7, 80}, {14, 110}} {
+		if err := st.Window(src.seq, src.start, 32, w, nil); err != nil {
+			t.Fatal(err)
+		}
+		q := w.Clone()
+		for _, eps := range []float64{0, 1, 5, 25} {
+			var stats Stats
+			got, err := ix.Search(q, eps, &stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Brute force oracle.
+			want := 0
+			st.ScanWindows(32, nil, func(seq, start int, win vec.Vector) bool {
+				if vec.Dist(q, win) <= eps {
+					want++
+				}
+				return true
+			})
+			if len(got) != want {
+				t.Fatalf("eps=%v: index %d, brute %d", eps, len(got), want)
+			}
+			for _, m := range got {
+				if m.Dist > eps {
+					t.Fatalf("match dist %v > eps %v", m.Dist, eps)
+				}
+			}
+			if stats.Results != len(got) || stats.Candidates < stats.Results {
+				t.Fatalf("stats inconsistent: %+v", stats)
+			}
+		}
+	}
+}
+
+// TestEuclideanMissesScaledShifted quantifies the paper's motivating
+// claim: disguise a database window by scale and shift, and Euclidean
+// search no longer finds it at any reasonable epsilon, while the
+// disguise is irrelevant to the scale/shift index (verified in
+// internal/core's tests).
+func TestEuclideanMissesScaledShifted(t *testing.T) {
+	ix := testIndex(t, 10, 120)
+	st := ix.st
+	w := make(vec.Vector, 32)
+	if err := st.Window(4, 40, 32, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Exact copy: found at tiny epsilon.
+	got, err := ix.Search(w, 1e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSelf := false
+	for _, m := range got {
+		if m.Seq == 4 && m.Start == 40 {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Fatal("euclidean search missed the identical window")
+	}
+	// Shifted copy: the distance is at least |b|·√n, so any epsilon
+	// below that misses the source.
+	const b = 25.0
+	q := vec.Shift(w, b)
+	eps := b*math.Sqrt(32) - 1 // just below the theoretical distance
+	got, err = ix.Search(q, eps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range got {
+		if m.Seq == 4 && m.Start == 40 {
+			t.Fatal("shifted window found below the shift distance bound — impossible")
+		}
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	ix := testIndex(t, 6, 80)
+	if want := 6 * (80 - 32 + 1); ix.WindowCount() != want {
+		t.Errorf("WindowCount = %d, want %d", ix.WindowCount(), want)
+	}
+	if ix.IndexPageCount() < 2 {
+		t.Errorf("IndexPageCount = %d", ix.IndexPageCount())
+	}
+}
+
+func TestFeatureIsContraction(t *testing.T) {
+	ix := testIndex(t, 3, 60)
+	st := ix.st
+	a := make(vec.Vector, 32)
+	b := make(vec.Vector, 32)
+	if err := st.Window(0, 0, 32, a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Window(2, 15, 32, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	df := vec.Dist(ix.feature(a), ix.feature(b))
+	d := vec.Dist(a, b)
+	if df > d+1e-9 {
+		t.Errorf("feature distance %v exceeds true distance %v", df, d)
+	}
+	// The mean dimension matters: two windows differing only by shift
+	// must have positive feature distance.
+	c := vec.Shift(a, 5)
+	if got := vec.Dist(ix.feature(a), ix.feature(c)); got < 1 {
+		t.Errorf("shift-only difference invisible to euclid features: %v", got)
+	}
+}

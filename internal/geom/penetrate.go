@@ -1,0 +1,442 @@
+package geom
+
+import (
+	"math"
+	"sort"
+
+	"scaleshift/internal/vec"
+)
+
+// Strategy selects how MBR penetration checks are performed during a
+// tree search (§7).  The paper's experiment set 2 uses EnteringExiting
+// alone; set 3 adds the bounding-spheres pre-check.
+type Strategy int
+
+const (
+	// EnteringExiting uses only the exact Entering/Exiting-Points (slab)
+	// method.
+	EnteringExiting Strategy = iota
+	// BoundingSpheres first tries the inner/outer bounding-spheres
+	// heuristic from ray tracing and falls back to the slab method only
+	// when the spheres are inconclusive.
+	BoundingSpheres
+)
+
+// String returns the experiment-set label used in the paper.
+func (s Strategy) String() string {
+	switch s {
+	case EnteringExiting:
+		return "entering-exiting"
+	case BoundingSpheres:
+		return "bounding-spheres"
+	default:
+		return "unknown"
+	}
+}
+
+// CheckStats counts the primitive geometric tests performed, letting
+// benchmarks attribute CPU cost to the two penetration methods.
+type CheckStats struct {
+	SlabTests   int // Entering/Exiting-Points evaluations
+	SphereTests int // bounding-sphere evaluations
+	SphereHits  int // sphere tests that were conclusive
+}
+
+// Add accumulates o into s.
+func (s *CheckStats) Add(o CheckStats) {
+	s.SlabTests += o.SlabTests
+	s.SphereTests += o.SphereTests
+	s.SphereHits += o.SphereHits
+}
+
+// SlabPenetrates reports whether the (doubly infinite) line l passes
+// through the rectangle r, using the Entering/Exiting-Points method:
+// intersect, per dimension, the parameter intervals in which the line
+// lies between the two slab planes (§7).
+func SlabPenetrates(r Rect, l vec.Line) bool {
+	tMin, tMax := math.Inf(-1), math.Inf(1)
+	for i := range r.L {
+		p, d := l.P[i], l.D[i]
+		if d == 0 {
+			if p < r.L[i] || p > r.H[i] {
+				return false
+			}
+			continue
+		}
+		lo := (r.L[i] - p) / d
+		hi := (r.H[i] - p) / d
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo > tMin {
+			tMin = lo
+		}
+		if hi < tMax {
+			tMax = hi
+		}
+		if tMin > tMax {
+			return false
+		}
+	}
+	return true
+}
+
+// SphereVerdict is the outcome of the bounding-spheres pre-check.
+type SphereVerdict int
+
+const (
+	// SphereInconclusive means the line passes inside the outer sphere
+	// but outside the inner sphere; the slab method must decide.
+	SphereInconclusive SphereVerdict = iota
+	// SphereMiss means the line misses the outer sphere, hence the MBR.
+	SphereMiss
+	// SphereHit means the line pierces the inner sphere, hence the MBR.
+	SphereHit
+)
+
+// SphereCheck runs the two-bounding-spheres heuristic of §7 on
+// rectangle r: if the line misses the sphere circumscribing r the MBR
+// cannot be penetrated; if it pierces the sphere inscribed in r the MBR
+// must be penetrated; otherwise the check is inconclusive.
+func SphereCheck(r Rect, l vec.Line) SphereVerdict {
+	d, _ := vec.PLD(r.Center(), l)
+	if d > r.OuterRadius() {
+		return SphereMiss
+	}
+	if d <= r.InnerRadius() {
+		return SphereHit
+	}
+	return SphereInconclusive
+}
+
+// Penetrates reports whether line l penetrates rectangle r using the
+// given strategy, accumulating primitive-test counts into stats (which
+// may be nil).
+func Penetrates(strategy Strategy, r Rect, l vec.Line, stats *CheckStats) bool {
+	return PenetratesEnlarged(strategy, r, 0, l, stats)
+}
+
+// PenetratesEnlarged reports whether line l penetrates the
+// ε-enlargement of rectangle r (Theorem 3's test) without
+// materializing the enlarged rectangle — this sits on the innermost
+// loop of every tree search.  stats may be nil.
+func PenetratesEnlarged(strategy Strategy, r Rect, eps float64, l vec.Line, stats *CheckStats) bool {
+	if strategy == BoundingSpheres {
+		if stats != nil {
+			stats.SphereTests++
+		}
+		switch sphereCheckEnlarged(r, eps, l) {
+		case SphereMiss:
+			if stats != nil {
+				stats.SphereHits++
+			}
+			return false
+		case SphereHit:
+			if stats != nil {
+				stats.SphereHits++
+			}
+			return true
+		}
+	}
+	if stats != nil {
+		stats.SlabTests++
+	}
+	return slabPenetratesEnlarged(r, eps, l)
+}
+
+// slabPenetratesEnlarged is SlabPenetrates against r.Enlarge(eps),
+// allocation-free.
+func slabPenetratesEnlarged(r Rect, eps float64, l vec.Line) bool {
+	tMin, tMax := math.Inf(-1), math.Inf(1)
+	for i := range r.L {
+		lo, hi := r.L[i]-eps, r.H[i]+eps
+		p, d := l.P[i], l.D[i]
+		if d == 0 {
+			if p < lo || p > hi {
+				return false
+			}
+			continue
+		}
+		a := (lo - p) / d
+		b := (hi - p) / d
+		if a > b {
+			a, b = b, a
+		}
+		if a > tMin {
+			tMin = a
+		}
+		if b < tMax {
+			tMax = b
+		}
+		if tMin > tMax {
+			return false
+		}
+	}
+	return true
+}
+
+// sphereCheckEnlarged is SphereCheck against r.Enlarge(eps),
+// allocation-free: the center is unchanged, the outer radius grows to
+// the enlarged half-diagonal, and the inner radius grows by eps.
+func sphereCheckEnlarged(r Rect, eps float64, l vec.Line) SphereVerdict {
+	// Distance from the enlarged rectangle's center (= r's center) to l.
+	var qpD, qpQp, dd float64
+	for i := range r.L {
+		c := (r.L[i] + r.H[i]) / 2
+		qp := c - l.P[i]
+		d := l.D[i]
+		qpD += qp * d
+		qpQp += qp * qp
+		dd += d * d
+	}
+	var distSq float64
+	if dd == 0 {
+		distSq = qpQp
+	} else {
+		distSq = qpQp - qpD*qpD/dd
+	}
+	if distSq < 0 {
+		distSq = 0
+	}
+	var outerSq float64
+	inner := math.Inf(1)
+	for i := range r.L {
+		h := (r.H[i]-r.L[i])/2 + eps
+		outerSq += h * h
+		if h < inner {
+			inner = h
+		}
+	}
+	if distSq > outerSq {
+		return SphereMiss
+	}
+	if distSq <= inner*inner {
+		return SphereHit
+	}
+	return SphereInconclusive
+}
+
+// LineRectDist returns the exact smallest Euclidean distance between
+// the line l and the rectangle r (0 when l penetrates r).
+//
+// The squared distance f(t) = Σᵢ gᵢ(l.P[i] + t·l.D[i])², with gᵢ the
+// per-dimension distance to the slab [L[i], H[i]], is convex and
+// piecewise quadratic in t.  The breakpoints are the parameters at
+// which the line crosses a slab plane; between consecutive breakpoints
+// the active set is constant, so the minimum is found by examining each
+// segment's quadratic vertex and the breakpoints themselves.
+func LineRectDist(r Rect, l vec.Line) float64 {
+	if l.Degenerate() {
+		return r.MinDistToPoint(l.P)
+	}
+	var bps []float64
+	for i := range r.L {
+		d := l.D[i]
+		if d == 0 {
+			continue
+		}
+		bps = append(bps, (r.L[i]-l.P[i])/d, (r.H[i]-l.P[i])/d)
+	}
+	sort.Float64s(bps)
+
+	distSqAt := func(t float64) float64 {
+		var s float64
+		for i := range r.L {
+			x := l.P[i] + t*l.D[i]
+			var g float64
+			switch {
+			case x < r.L[i]:
+				g = r.L[i] - x
+			case x > r.H[i]:
+				g = x - r.H[i]
+			}
+			s += g * g
+		}
+		return s
+	}
+
+	// Candidate minimizers: every breakpoint, plus the vertex of the
+	// quadratic on every open segment (clamped into the segment).
+	best := math.Inf(1)
+	consider := func(t float64) {
+		if v := distSqAt(t); v < best {
+			best = v
+		}
+	}
+	for _, t := range bps {
+		consider(t)
+	}
+	// Segment midpoint determines the active set; accumulate the
+	// quadratic A·t² + B·t + C over active dims and test its vertex.
+	segments := make([][2]float64, 0, len(bps)+1)
+	if len(bps) == 0 {
+		segments = append(segments, [2]float64{math.Inf(-1), math.Inf(1)})
+	} else {
+		segments = append(segments, [2]float64{math.Inf(-1), bps[0]})
+		for i := 0; i+1 < len(bps); i++ {
+			segments = append(segments, [2]float64{bps[i], bps[i+1]})
+		}
+		segments = append(segments, [2]float64{bps[len(bps)-1], math.Inf(1)})
+	}
+	for _, seg := range segments {
+		mid := segMid(seg[0], seg[1])
+		var a, b float64 // quadratic and linear coefficients of f on seg
+		for i := range r.L {
+			x := l.P[i] + mid*l.D[i]
+			switch {
+			case x < r.L[i]:
+				// term (L[i] − P[i] − t·D[i])²
+				a += l.D[i] * l.D[i]
+				b += -2 * l.D[i] * (r.L[i] - l.P[i])
+			case x > r.H[i]:
+				// term (P[i] + t·D[i] − H[i])²
+				a += l.D[i] * l.D[i]
+				b += 2 * l.D[i] * (l.P[i] - r.H[i])
+			}
+		}
+		if a == 0 {
+			// f is constant on this segment; the midpoint value covers it
+			// (and, for inside segments, is 0 — penetration).
+			consider(mid)
+			continue
+		}
+		t := -b / (2 * a)
+		if t < seg[0] {
+			t = seg[0]
+		} else if t > seg[1] {
+			t = seg[1]
+		}
+		if !math.IsInf(t, 0) {
+			consider(t)
+		}
+	}
+	return math.Sqrt(math.Max(0, best))
+}
+
+// segMid returns a finite point strictly inside the (possibly
+// unbounded) interval [a, b].
+func segMid(a, b float64) float64 {
+	switch {
+	case math.IsInf(a, -1) && math.IsInf(b, 1):
+		return 0
+	case math.IsInf(a, -1):
+		return b - 1
+	case math.IsInf(b, 1):
+		return a + 1
+	default:
+		return (a + b) / 2
+	}
+}
+
+// PenetratesEnlargedSegment is PenetratesEnlarged restricted to the
+// line segment {l.P + t·l.D : tMin <= t <= tMax}.  Restricting the
+// scaling line to the user's scale-factor bounds (§3 cost bounds)
+// prunes subtrees that only a degenerate or out-of-range scale could
+// reach.  stats may be nil.
+func PenetratesEnlargedSegment(strategy Strategy, r Rect, eps float64, l vec.Line, tMin, tMax float64, stats *CheckStats) bool {
+	if strategy == BoundingSpheres {
+		if stats != nil {
+			stats.SphereTests++
+		}
+		switch sphereCheckEnlargedSegment(r, eps, l, tMin, tMax) {
+		case SphereMiss:
+			if stats != nil {
+				stats.SphereHits++
+			}
+			return false
+		case SphereHit:
+			if stats != nil {
+				stats.SphereHits++
+			}
+			return true
+		}
+	}
+	if stats != nil {
+		stats.SlabTests++
+	}
+	return slabPenetratesEnlargedSegment(r, eps, l, tMin, tMax)
+}
+
+// slabPenetratesEnlargedSegment runs the Entering/Exiting-Points test
+// with the parameter interval pre-clamped to [tMin, tMax].
+func slabPenetratesEnlargedSegment(r Rect, eps float64, l vec.Line, tMin, tMax float64) bool {
+	if tMin > tMax {
+		return false
+	}
+	lo, hi := tMin, tMax
+	for i := range r.L {
+		a, b := r.L[i]-eps, r.H[i]+eps
+		p, d := l.P[i], l.D[i]
+		if d == 0 {
+			if p < a || p > b {
+				return false
+			}
+			continue
+		}
+		t0 := (a - p) / d
+		t1 := (b - p) / d
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > lo {
+			lo = t0
+		}
+		if t1 < hi {
+			hi = t1
+		}
+		if lo > hi {
+			return false
+		}
+	}
+	return true
+}
+
+// sphereCheckEnlargedSegment is sphereCheckEnlarged against the
+// segment: the reference distance is from the box center to the
+// closest point of the segment.
+func sphereCheckEnlargedSegment(r Rect, eps float64, l vec.Line, tMin, tMax float64) SphereVerdict {
+	if tMin > tMax {
+		return SphereMiss
+	}
+	var qpD, qpQp, dd float64
+	for i := range r.L {
+		c := (r.L[i] + r.H[i]) / 2
+		qp := c - l.P[i]
+		d := l.D[i]
+		qpD += qp * d
+		qpQp += qp * qp
+		dd += d * d
+	}
+	var distSq float64
+	if dd == 0 {
+		distSq = qpQp
+	} else {
+		t := qpD / dd
+		if t < tMin {
+			t = tMin
+		} else if t > tMax {
+			t = tMax
+		}
+		// ‖c − (P + t·D)‖² = qpQp − 2·t·qpD + t²·dd.
+		distSq = qpQp - 2*t*qpD + t*t*dd
+	}
+	if distSq < 0 {
+		distSq = 0
+	}
+	var outerSq float64
+	inner := math.Inf(1)
+	for i := range r.L {
+		h := (r.H[i]-r.L[i])/2 + eps
+		outerSq += h * h
+		if h < inner {
+			inner = h
+		}
+	}
+	if distSq > outerSq {
+		return SphereMiss
+	}
+	if distSq <= inner*inner {
+		return SphereHit
+	}
+	return SphereInconclusive
+}

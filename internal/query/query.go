@@ -1,0 +1,150 @@
+// Package query builds the search workloads of the paper's experiments
+// (§7): batches of query sequences sampled from the database, each
+// disguised by a random scaling factor, shifting offset, and optional
+// noise, so that a correct scale/shift-invariant search can re-discover
+// the source window (and its neighbours) while a plain Euclidean search
+// could not.
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// Config parameterizes workload generation.
+type Config struct {
+	// N is the number of queries (paper: 100 per experiment).
+	N int
+	// WindowLen is the query length n, matching the index window.
+	WindowLen int
+	// Seed makes the workload reproducible.
+	Seed int64
+	// ScaleMin and ScaleMax bound the random scaling factor applied to
+	// each sampled window.
+	ScaleMin, ScaleMax float64
+	// ShiftMin and ShiftMax bound the random shifting offset.
+	ShiftMin, ShiftMax float64
+	// NoiseStd adds Gaussian noise with this standard deviation after
+	// the transform (0 disables).
+	NoiseStd float64
+}
+
+// DefaultConfig returns the workload used by the benchmark harness:
+// 100 queries of length 128, disguised by scale factors in [0.25, 4]
+// and shifts in [-20, 20], with no noise.
+func DefaultConfig() Config {
+	return Config{
+		N:         100,
+		WindowLen: 128,
+		Seed:      7,
+		ScaleMin:  0.25,
+		ScaleMax:  4,
+		ShiftMin:  -20,
+		ShiftMax:  20,
+	}
+}
+
+func (c Config) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("query: N %d < 1", c.N)
+	}
+	if c.WindowLen < 2 {
+		return fmt.Errorf("query: window length %d < 2", c.WindowLen)
+	}
+	if c.ScaleMax < c.ScaleMin {
+		return fmt.Errorf("query: scale range [%v, %v] inverted", c.ScaleMin, c.ScaleMax)
+	}
+	if c.ShiftMax < c.ShiftMin {
+		return fmt.Errorf("query: shift range [%v, %v] inverted", c.ShiftMin, c.ShiftMax)
+	}
+	if c.NoiseStd < 0 {
+		return fmt.Errorf("query: negative noise %v", c.NoiseStd)
+	}
+	return nil
+}
+
+// Query is one workload entry: the disguised sequence plus the
+// provenance that lets tests assert the source window is rediscovered.
+type Query struct {
+	// Values is the query sequence handed to the search.
+	Values vec.Vector
+	// Seq and Start locate the source window in the store.
+	Seq, Start int
+	// Scale and Shift are the disguise applied to the source window.
+	Scale, Shift float64
+}
+
+// Generate samples cfg.N windows from st and disguises each.  Windows
+// are drawn uniformly over sequences long enough to hold one.
+func Generate(st *store.Store, cfg Config) ([]Query, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var eligible []int
+	for s := 0; s < st.NumSequences(); s++ {
+		if st.SequenceLen(s) >= cfg.WindowLen {
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("query: no sequence holds a window of length %d", cfg.WindowLen)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	qs := make([]Query, cfg.N)
+	w := make(vec.Vector, cfg.WindowLen)
+	for i := range qs {
+		seq := eligible[r.Intn(len(eligible))]
+		start := r.Intn(st.SequenceLen(seq) - cfg.WindowLen + 1)
+		if err := st.Window(seq, start, cfg.WindowLen, w, nil); err != nil {
+			return nil, fmt.Errorf("query: sampling window: %w", err)
+		}
+		a := cfg.ScaleMin + r.Float64()*(cfg.ScaleMax-cfg.ScaleMin)
+		b := cfg.ShiftMin + r.Float64()*(cfg.ShiftMax-cfg.ShiftMin)
+		q := vec.Apply(w, a, b)
+		if cfg.NoiseStd > 0 {
+			for j := range q {
+				q[j] += r.NormFloat64() * cfg.NoiseStd
+			}
+		}
+		qs[i] = Query{Values: q, Seq: seq, Start: start, Scale: a, Shift: b}
+	}
+	return qs, nil
+}
+
+// SENormScale estimates the mean SE-plane norm ‖T_se(w)‖ over up to
+// samples windows of length n — the natural unit for choosing ε sweeps
+// (ε = 0.05·scale is a tight search, ε = 0.5·scale a loose one).
+func SENormScale(st *store.Store, n, samples int, seed int64) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("query: window length %d < 2", n)
+	}
+	if samples < 1 {
+		return 0, fmt.Errorf("query: samples %d < 1", samples)
+	}
+	var eligible []int
+	for s := 0; s < st.NumSequences(); s++ {
+		if st.SequenceLen(s) >= n {
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		return 0, fmt.Errorf("query: no sequence holds a window of length %d", n)
+	}
+	r := rand.New(rand.NewSource(seed))
+	w := make(vec.Vector, n)
+	se := make(vec.Vector, n)
+	var sum float64
+	for i := 0; i < samples; i++ {
+		seq := eligible[r.Intn(len(eligible))]
+		start := r.Intn(st.SequenceLen(seq) - n + 1)
+		if err := st.Window(seq, start, n, w, nil); err != nil {
+			return 0, err
+		}
+		vec.SETransformInPlace(se, w)
+		sum += vec.Norm(se)
+	}
+	return sum / float64(samples), nil
+}

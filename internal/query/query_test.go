@@ -1,0 +1,163 @@
+package query
+
+import (
+	"testing"
+
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+func testStore(t testing.TB) *store.Store {
+	t.Helper()
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = 30
+	cfg.Days = 300
+	if _, err := stock.Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestValidation(t *testing.T) {
+	st := testStore(t)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		wantOK bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"zero N", func(c *Config) { c.N = 0 }, false},
+		{"tiny window", func(c *Config) { c.WindowLen = 1 }, false},
+		{"inverted scales", func(c *Config) { c.ScaleMin = 2; c.ScaleMax = 1 }, false},
+		{"inverted shifts", func(c *Config) { c.ShiftMin = 5; c.ShiftMax = -5 }, false},
+		{"negative noise", func(c *Config) { c.NoiseStd = -1 }, false},
+		{"window too long", func(c *Config) { c.WindowLen = 10000 }, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.N = 5
+			tc.mutate(&cfg)
+			_, err := Generate(st, cfg)
+			if (err == nil) != tc.wantOK {
+				t.Errorf("err=%v wantOK=%v", err, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestGenerateProvenance(t *testing.T) {
+	st := testStore(t)
+	cfg := DefaultConfig()
+	cfg.N = 40
+	qs, err := Generate(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 40 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	w := make(vec.Vector, cfg.WindowLen)
+	for i, q := range qs {
+		if len(q.Values) != cfg.WindowLen {
+			t.Fatalf("query %d length %d", i, len(q.Values))
+		}
+		if q.Scale < cfg.ScaleMin || q.Scale > cfg.ScaleMax {
+			t.Fatalf("query %d scale %v outside range", i, q.Scale)
+		}
+		if q.Shift < cfg.ShiftMin || q.Shift > cfg.ShiftMax {
+			t.Fatalf("query %d shift %v outside range", i, q.Shift)
+		}
+		// With zero noise, the query is exactly the transformed source
+		// window: un-disguising must give distance ~0.
+		if err := st.Window(q.Seq, q.Start, cfg.WindowLen, w, nil); err != nil {
+			t.Fatal(err)
+		}
+		m := vec.MinDist(q.Values, w)
+		if m.Dist > 1e-6*vec.Norm(w) {
+			t.Fatalf("query %d does not match its source: dist=%v", i, m.Dist)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	st := testStore(t)
+	cfg := DefaultConfig()
+	cfg.N = 10
+	a, err := Generate(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].Start != b[i].Start ||
+			a[i].Scale != b[i].Scale || a[i].Shift != b[i].Shift {
+			t.Fatalf("query %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateWithNoise(t *testing.T) {
+	st := testStore(t)
+	cfg := DefaultConfig()
+	cfg.N = 10
+	cfg.NoiseStd = 0.5
+	qs, err := Generate(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make(vec.Vector, cfg.WindowLen)
+	anyPerturbed := false
+	for _, q := range qs {
+		if err := st.Window(q.Seq, q.Start, cfg.WindowLen, w, nil); err != nil {
+			t.Fatal(err)
+		}
+		if m := vec.MinDist(q.Values, w); m.Dist > 1e-9 {
+			anyPerturbed = true
+		}
+	}
+	if !anyPerturbed {
+		t.Error("noise had no effect")
+	}
+}
+
+func TestSENormScale(t *testing.T) {
+	st := testStore(t)
+	s, err := SENormScale(st, 128, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Errorf("scale = %v", s)
+	}
+	// Deterministic for the same seed.
+	s2, err := SENormScale(st, 128, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != s2 {
+		t.Error("SENormScale not deterministic")
+	}
+	// Errors.
+	if _, err := SENormScale(st, 1, 10, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := SENormScale(st, 128, 0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+	if _, err := SENormScale(st, 100000, 10, 1); err == nil {
+		t.Error("oversized window accepted")
+	}
+}
+
+func TestGenerateOnEmptyStore(t *testing.T) {
+	st := store.New()
+	if _, err := Generate(st, DefaultConfig()); err == nil {
+		t.Error("empty store accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"scaleshift/internal/geom"
+)
+
+// bulkFill is the target node occupancy of a bulk-loaded tree: packing
+// nodes completely would make the very next insert split every node on
+// the path, so a standard ~85 % fill leaves headroom.
+const bulkFill = 0.85
+
+// BulkLoad builds a tree over the items with Sort-Tile-Recursive
+// packing (Leutenegger et al.): items are recursively sorted and
+// tiled one dimension at a time into groups of about bulkFill·M, then
+// the node level is packed the same way on MBR centers, up to the
+// root.  The result is a valid dynamic tree — inserts and deletes work
+// as usual — with far less overlap (and a far cheaper build) than
+// one-by-one insertion.
+//
+// Points are copied.  Items of the wrong dimension are rejected.
+func BulkLoad(cfg Config, items []Item) (*Tree, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, root: &node{level: 0}, nodes: 1}
+	if len(items) == 0 {
+		return t, nil
+	}
+	for i, it := range items {
+		if len(it.Point) != cfg.Dim {
+			return nil, fmt.Errorf("rtree: bulk item %d has dimension %d, want %d", i, len(it.Point), cfg.Dim)
+		}
+	}
+
+	capacity := int(bulkFill * float64(cfg.MaxEntries))
+	if capacity < cfg.MinEntries {
+		capacity = cfg.MinEntries
+	}
+
+	// Leaf level: one entry per item.
+	entries := make([]*entry, len(items))
+	for i, it := range items {
+		p := it.Point.Clone()
+		entries[i] = &entry{rect: geom.RectFromPoint(p), item: Item{Point: p, ID: it.ID}}
+	}
+
+	level := 0
+	for len(entries) > cfg.MaxEntries {
+		groups := strTile(entries, capacity, cfg.MinEntries, cfg.Dim, 0)
+		parents := make([]*entry, len(groups))
+		for gi, g := range groups {
+			// Copy the group: strTile returns sub-slices of one backing
+			// array, and nodes must own their entry slices so later
+			// appends cannot clobber a sibling.
+			es := make([]*entry, len(g), len(g)+2)
+			copy(es, g)
+			n := &node{level: level, entries: es}
+			for _, e := range g {
+				if e.child != nil {
+					e.child.parent = n
+				}
+			}
+			t.nodes++
+			parents[gi] = &entry{rect: mbrOf(g), child: n}
+		}
+		entries = parents
+		level++
+	}
+	root := &node{level: level, entries: entries}
+	for _, e := range entries {
+		if e.child != nil {
+			e.child.parent = root
+		}
+	}
+	t.root = root
+	t.size = len(items)
+	return t, nil
+}
+
+// strTile partitions entries into groups of at most c (and at least
+// minEntries) using recursive sort-tile on the rectangle centers,
+// cycling through the dimensions starting at dim.
+func strTile(entries []*entry, c, minEntries, dims, dim int) [][]*entry {
+	if len(entries) <= c {
+		return [][]*entry{entries}
+	}
+	// Number of groups needed and slab count along this dimension.
+	groups := (len(entries) + c - 1) / c
+	slabs := 1
+	for slabs*slabs < groups { // ceil(sqrt) is enough when cycling dims
+		slabs++
+	}
+	d := dim % dims
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].rect.L[d]+entries[i].rect.H[d] < entries[j].rect.L[d]+entries[j].rect.H[d]
+	})
+	perSlab := (len(entries) + slabs - 1) / slabs
+	// Keep each slab a multiple-ish of c so downstream groups fill.
+	if r := perSlab % c; r != 0 && perSlab > c {
+		perSlab += c - r
+	}
+	var out [][]*entry
+	for start := 0; start < len(entries); start += perSlab {
+		end := start + perSlab
+		if end > len(entries) {
+			end = len(entries)
+		}
+		slab := entries[start:end]
+		if len(slab) <= c {
+			out = append(out, slab)
+			continue
+		}
+		out = append(out, strTile(slab, c, minEntries, dims, dim+1)...)
+	}
+	// Rebalance any trailing underfull group against its predecessor.
+	for i := 1; i < len(out); i++ {
+		if len(out[i]) >= minEntries {
+			continue
+		}
+		merged := append(append([]*entry(nil), out[i-1]...), out[i]...)
+		half := len(merged) / 2
+		if half < minEntries {
+			// Merge outright: half < m means merged < 2m <= M+1, so the
+			// combined group still fits in one node.
+			out[i-1] = merged
+			out = append(out[:i], out[i+1:]...)
+			i--
+			continue
+		}
+		out[i-1] = merged[:half]
+		out[i] = merged[half:]
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"scaleshift/internal/geom"
+	"scaleshift/internal/vec"
+)
+
+func bulkItems(r *rand.Rand, n, dim int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Point: randVec(r, dim), ID: int64(i)}
+	}
+	return items
+}
+
+func TestBulkLoadValidAndComplete(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for _, n := range []int{0, 1, 7, 20, 21, 100, 5000} {
+		items := bulkItems(r, n, 4)
+		tr, err := BulkLoad(DefaultConfig(4), items)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := idSet(tr.All())
+		if len(got) != n {
+			t.Fatalf("n=%d: %d items reachable", n, len(got))
+		}
+	}
+}
+
+func TestBulkLoadRejectsBadInput(t *testing.T) {
+	if _, err := BulkLoad(Config{}, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	items := []Item{{Point: vec.Vector{1, 2, 3}, ID: 1}}
+	if _, err := BulkLoad(DefaultConfig(2), items); err == nil {
+		t.Error("wrong-dimension item accepted")
+	}
+}
+
+func TestBulkLoadCopiesPoints(t *testing.T) {
+	p := vec.Vector{1, 2}
+	cfg := Config{Dim: 2, MaxEntries: 8, MinEntries: 3, Split: SplitRStar}
+	tr, err := BulkLoad(cfg, []Item{{Point: p, ID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 99
+	if tr.All()[0].Point[0] != 1 {
+		t.Error("bulk load shares caller's slice")
+	}
+}
+
+func TestBulkLoadSearchMatchesInsertBuilt(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	items := bulkItems(r, 2000, 3)
+	cfg := Config{Dim: 3, MaxEntries: 8, MinEntries: 3, ReinsertCount: 2, Split: SplitRStar}
+	bulk, err := BulkLoad(cfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		inc.Insert(it.Point, it.ID)
+	}
+	for q := 0; q < 25; q++ {
+		rect := randRect(r, 3)
+		if !sameIDSet(idSet(bulk.RangeSearch(rect, nil)), idSet(inc.RangeSearch(rect, nil))) {
+			t.Fatal("range results differ between bulk and incremental trees")
+		}
+		l := vec.Line{P: randVec(r, 3), D: randVec(r, 3)}
+		if !sameIDSet(idSet(bulk.LineSearch(l, 1.5, geom.EnteringExiting, nil)),
+			idSet(inc.LineSearch(l, 1.5, geom.EnteringExiting, nil))) {
+			t.Fatal("line results differ between bulk and incremental trees")
+		}
+	}
+}
+
+func TestBulkLoadedTreeSupportsMutation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	items := bulkItems(r, 1000, 2)
+	cfg := Config{Dim: 2, MaxEntries: 8, MinEntries: 3, ReinsertCount: 2, Split: SplitRStar}
+	tr, err := BulkLoad(cfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert new items.
+	for i := 0; i < 300; i++ {
+		tr.Insert(randVec(r, 2), int64(10000+i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after inserts: %v", err)
+	}
+	// Delete original items.
+	for i := 0; i < 500; i++ {
+		if !tr.Delete(items[i].Point, items[i].ID) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after deletes: %v", err)
+	}
+	if tr.Len() != 800 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestBulkLoadPackingQuality(t *testing.T) {
+	// STR packing guarantees a smaller tree; line-search cost should be
+	// in the same ballpark as an insert-built R*-tree (R* insertion
+	// optimizes overlap specifically, so parity — not victory — is the
+	// expectation on uniform data).
+	r := rand.New(rand.NewSource(43))
+	items := bulkItems(r, 5000, 4)
+	cfg := DefaultConfig(4)
+	bulk, err := BulkLoad(cfg, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		inc.Insert(it.Point, it.ID)
+	}
+	if bulk.NodeCount() > inc.NodeCount() {
+		t.Errorf("bulk tree has %d nodes, incremental %d", bulk.NodeCount(), inc.NodeCount())
+	}
+	var bulkAcc, incAcc int
+	for q := 0; q < 40; q++ {
+		l := vec.Line{P: make(vec.Vector, 4), D: randVec(r, 4)}
+		var sb, si SearchStats
+		bulk.LineSearch(l, 0.3, geom.EnteringExiting, &sb)
+		inc.LineSearch(l, 0.3, geom.EnteringExiting, &si)
+		bulkAcc += sb.NodeAccesses
+		incAcc += si.NodeAccesses
+	}
+	if float64(bulkAcc) > 1.6*float64(incAcc) {
+		t.Errorf("bulk tree accesses %d vs incremental %d; packing hurt badly", bulkAcc, incAcc)
+	}
+}
+
+func BenchmarkBulkLoad50k(b *testing.B) {
+	r := rand.New(rand.NewSource(44))
+	items := bulkItems(r, 50000, 6)
+	cfg := DefaultConfig(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(cfg, items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

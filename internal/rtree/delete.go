@@ -1,0 +1,143 @@
+package rtree
+
+import (
+	"scaleshift/internal/geom"
+	"scaleshift/internal/vec"
+)
+
+// Delete removes one item equal to (point, id) and reports whether it
+// was found.  When several identical items exist, one is removed.
+func (t *Tree) Delete(point vec.Vector, id int64) bool {
+	leaf, idx := t.findLeaf(t.root, point, id)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	// Shrink the root while it is an internal node with a single child.
+	for !t.root.isLeaf() && len(t.root.entries) == 1 {
+		t.nodes -= t.root.pages()
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+	}
+	t.shrinkSupernodeIfPossible(t.root)
+	return true
+}
+
+// DeleteRect removes one rectangle entry equal to (r, id) — inserted
+// with InsertRect — and reports whether it was found.
+func (t *Tree) DeleteRect(r geom.Rect, id int64) bool {
+	leaf, idx := t.findLeafRect(t.root, r, id)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	for !t.root.isLeaf() && len(t.root.entries) == 1 {
+		t.nodes -= t.root.pages()
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+	}
+	t.shrinkSupernodeIfPossible(t.root)
+	return true
+}
+
+// findLeafRect locates the leaf and entry index holding the rectangle
+// entry (r, id), or (nil, 0) when absent.
+func (t *Tree) findLeafRect(n *node, r geom.Rect, id int64) (*node, int) {
+	if n.isLeaf() {
+		for i, e := range n.entries {
+			if e.item.ID != id || e.item.Point != nil {
+				continue
+			}
+			if rectsEqual(e.rect, r) {
+				return n, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if e.rect.ContainsRect(r) {
+			if leaf, i := t.findLeafRect(e.child, r, id); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// findLeaf locates the leaf and entry index holding (point, id), or
+// (nil, 0) when absent.
+func (t *Tree) findLeaf(n *node, point vec.Vector, id int64) (*node, int) {
+	if n.isLeaf() {
+		for i, e := range n.entries {
+			if e.item.ID != id {
+				continue
+			}
+			if pointsEqual(e.item.Point, point) {
+				return n, i
+			}
+		}
+		return nil, 0
+	}
+	for _, e := range n.entries {
+		if e.rect.Contains(point) {
+			if leaf, i := t.findLeaf(e.child, point, id); leaf != nil {
+				return leaf, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+func pointsEqual(a, b vec.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// condense walks from a shrunken leaf to the root, dissolving nodes
+// that fell below the minimum fill and re-inserting their entries at
+// their original levels (Guttman's CondenseTree).
+func (t *Tree) condense(n *node) {
+	type orphan struct {
+		e     *entry
+		level int
+	}
+	var orphans []orphan
+
+	for n.parent != nil {
+		parent := n.parent
+		if len(n.entries) < t.cfg.MinEntries {
+			// Dissolve n: detach from parent, queue entries for reinsert.
+			pe := n.parentEntry()
+			for i, e := range parent.entries {
+				if e == pe {
+					parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+					break
+				}
+			}
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e, n.level})
+			}
+			t.nodes -= n.pages()
+		} else {
+			t.shrinkSupernodeIfPossible(n)
+			n.parentEntry().rect = n.mbr()
+		}
+		n = parent
+	}
+
+	t.reinsertDone = make(map[int]bool)
+	for _, o := range orphans {
+		t.insertEntry(o.e, o.level)
+	}
+}

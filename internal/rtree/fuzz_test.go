@@ -1,0 +1,43 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadBinaryTree asserts that the tree deserializer never panics
+// and that anything it accepts satisfies the structural invariants
+// (ReadBinary runs CheckInvariants itself; the fuzz target verifies
+// that promise holds under corruption).
+func FuzzReadBinaryTree(f *testing.F) {
+	good := func() []byte {
+		r := rand.New(rand.NewSource(1))
+		tr, err := New(Config{Dim: 2, MaxEntries: 4, MinEntries: 2, Split: SplitRStar})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 40; i++ {
+			tr.Insert(randVec(r, 2), int64(i))
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("RTREE\x01"))
+	f.Add(good[:20])
+	f.Add(good[:len(good)-7])
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("accepted tree violates invariants: %v", err)
+		}
+	})
+}

@@ -1,0 +1,374 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"scaleshift/internal/geom"
+	"scaleshift/internal/vec"
+)
+
+// SearchStats records the cost of one query in the paper's model:
+// every node visited is one index page access.
+type SearchStats struct {
+	// NodeAccesses counts tree nodes read (index pages, §7).
+	NodeAccesses int
+	// LeafEntriesChecked counts leaf items whose distance was evaluated.
+	LeafEntriesChecked int
+	// Penetration counts the geometric primitives used while pruning.
+	Penetration geom.CheckStats
+}
+
+// Add accumulates o into s.
+func (s *SearchStats) Add(o SearchStats) {
+	s.NodeAccesses += o.NodeAccesses
+	s.LeafEntriesChecked += o.LeafEntriesChecked
+	s.Penetration.Add(o.Penetration)
+}
+
+// RangeSearch appends to out every item whose point lies inside r and
+// returns the result.  stats may be nil.
+func (t *Tree) RangeSearch(r geom.Rect, stats *SearchStats) []Item {
+	var out []Item
+	t.rangeSearch(t.root, r, &out, stats)
+	return out
+}
+
+func (t *Tree) rangeSearch(n *node, r geom.Rect, out *[]Item, stats *SearchStats) {
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if r.Contains(e.item.Point) {
+				*out = append(*out, e.item)
+			}
+		}
+		return
+	}
+	for _, e := range n.entries {
+		if r.Intersects(e.rect) {
+			t.rangeSearch(e.child, r, out, stats)
+		}
+	}
+}
+
+// LineSearch returns every item whose point lies within eps of the
+// line l, in the order encountered.  Internal subtrees are pruned by
+// Theorem 3: a child is visited only when its ε-enlarged MBR is
+// penetrated by l under the chosen strategy.  At the leaves the exact
+// point-to-line distance (Lemma 1) decides.  stats may be nil.
+func (t *Tree) LineSearch(l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) []Item {
+	var out []Item
+	t.lineSearch(t.root, l, eps, strategy, &out, stats)
+	return out
+}
+
+func (t *Tree) lineSearch(n *node, l vec.Line, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats) {
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if vec.PLDFast(e.item.Point, l) <= eps {
+				*out = append(*out, e.item)
+			}
+		}
+		return
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlarged(strategy, e.rect, eps, l, pen) {
+			t.lineSearch(e.child, l, eps, strategy, out, stats)
+		}
+	}
+}
+
+// RectItem is a leaf entry together with its extent, as returned by
+// the rectangle-aware searches.  For point entries the rectangle is
+// degenerate (L == H == the point).
+type RectItem struct {
+	Rect geom.Rect
+	ID   int64
+}
+
+// LineSearchRects returns every leaf entry whose ε-enlarged extent is
+// penetrated by the line l — the Theorem 3 test applied all the way to
+// the leaf slots.  Unlike LineSearch it works for rectangle (sub-trail
+// MBR) entries: any point within L2 distance ε of the line lies inside
+// the ε-enlargement of every box containing it, so no qualifying entry
+// is missed; the caller's exact post-check removes the extra
+// candidates the L∞ box test admits.  stats may be nil.
+func (t *Tree) LineSearchRects(l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) []RectItem {
+	var out []RectItem
+	t.lineSearchRects(t.root, l, eps, strategy, &out, stats)
+	return out
+}
+
+func (t *Tree) lineSearchRects(n *node, l vec.Line, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats) {
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if geom.PenetratesEnlarged(strategy, e.rect, eps, l, pen) {
+				*out = append(*out, RectItem{Rect: e.rect, ID: e.item.ID})
+			}
+		}
+		return
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlarged(strategy, e.rect, eps, l, pen) {
+			t.lineSearchRects(e.child, l, eps, strategy, out, stats)
+		}
+	}
+}
+
+// RectItemDist pairs a leaf entry with a lower bound on the distance
+// from the line to anything inside its extent.
+type RectItemDist struct {
+	Rect geom.Rect
+	ID   int64
+	Dist float64
+}
+
+// NearestRectsToLineFunc streams leaf entries in non-decreasing
+// line-to-extent distance (exact LineRectDist, a valid lower bound for
+// every point inside).  Works for both point and rectangle entries.
+func (t *Tree) NearestRectsToLineFunc(l vec.Line, stats *SearchStats, fn func(RectItemDist) bool) {
+	if t.size == 0 {
+		return
+	}
+	h := &rectNNHeap{{dist: 0, child: t.root}}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(rectNNEntry)
+		if top.child == nil {
+			if !fn(RectItemDist{Rect: top.rect, ID: top.id, Dist: top.dist}) {
+				return
+			}
+			continue
+		}
+		n := top.child
+		if stats != nil {
+			stats.NodeAccesses += n.pages()
+		}
+		for _, e := range n.entries {
+			d := geom.LineRectDist(e.rect, l)
+			if n.isLeaf() {
+				if stats != nil {
+					stats.LeafEntriesChecked++
+				}
+				heap.Push(h, rectNNEntry{dist: d, rect: e.rect, id: e.item.ID})
+			} else {
+				heap.Push(h, rectNNEntry{dist: d, child: e.child})
+			}
+		}
+	}
+}
+
+type rectNNEntry struct {
+	dist  float64
+	child *node
+	rect  geom.Rect
+	id    int64
+}
+
+type rectNNHeap []rectNNEntry
+
+func (h rectNNHeap) Len() int            { return len(h) }
+func (h rectNNHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h rectNNHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rectNNHeap) Push(x interface{}) { *h = append(*h, x.(rectNNEntry)) }
+func (h *rectNNHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ItemDist pairs an item with its distance to the query line.
+type ItemDist struct {
+	Item Item
+	Dist float64
+}
+
+// nnHeapEntry is either a node (child != nil) or a materialized item in
+// the best-first priority queue.
+type nnHeapEntry struct {
+	dist  float64
+	child *node
+	item  Item
+}
+
+type nnHeap []nnHeapEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnHeapEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestToLine returns the k items whose points are closest to the
+// line l in increasing distance order, using best-first traversal with
+// the exact line-to-MBR distance as the bound (nearest-neighbour
+// search per Corollary 1).  stats may be nil.
+func (t *Tree) NearestToLine(l vec.Line, k int, stats *SearchStats) []ItemDist {
+	if k <= 0 {
+		return nil
+	}
+	var out []ItemDist
+	t.NearestToLineFunc(l, stats, func(id ItemDist) bool {
+		out = append(out, id)
+		return len(out) < k
+	})
+	return out
+}
+
+// NearestToLineFunc streams items in strictly non-decreasing distance
+// to the line l until fn returns false or the tree is exhausted.  The
+// caller can use the monotone distances as lower bounds for early
+// termination (e.g. GEMINI-style exact refinement over reduced
+// features).  stats may be nil.
+func (t *Tree) NearestToLineFunc(l vec.Line, stats *SearchStats, fn func(ItemDist) bool) {
+	if t.size == 0 {
+		return
+	}
+	h := &nnHeap{{dist: 0, child: t.root}}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(nnHeapEntry)
+		if top.child == nil {
+			if !fn(ItemDist{Item: top.item, Dist: top.dist}) {
+				return
+			}
+			continue
+		}
+		n := top.child
+		if stats != nil {
+			stats.NodeAccesses += n.pages()
+		}
+		if n.isLeaf() {
+			for _, e := range n.entries {
+				if stats != nil {
+					stats.LeafEntriesChecked++
+				}
+				heap.Push(h, nnHeapEntry{dist: vec.PLDFast(e.item.Point, l), item: e.item})
+			}
+			continue
+		}
+		for _, e := range n.entries {
+			heap.Push(h, nnHeapEntry{dist: geom.LineRectDist(e.rect, l), child: e.child})
+		}
+	}
+}
+
+// All returns every stored item (document order).  Intended for tests
+// and diagnostics.
+func (t *Tree) All() []Item {
+	var out []Item
+	var walk func(*node)
+	walk = func(n *node) {
+		if n.isLeaf() {
+			for _, e := range n.entries {
+				out = append(out, e.item)
+			}
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// SegmentSearch is LineSearch restricted to the parameter range
+// [tMin, tMax] of the line: returned items lie within eps of the
+// SEGMENT {l.P + t·l.D : tMin <= t <= tMax}.  Point entries only.
+func (t *Tree) SegmentSearch(l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) []Item {
+	var out []Item
+	t.segmentSearch(t.root, l, tMin, tMax, eps, strategy, &out, stats)
+	return out
+}
+
+func (t *Tree) segmentSearch(n *node, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats) {
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if vec.PSegDFast(e.item.Point, l, tMin, tMax) <= eps {
+				*out = append(*out, e.item)
+			}
+		}
+		return
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlargedSegment(strategy, e.rect, eps, l, tMin, tMax, pen) {
+			t.segmentSearch(e.child, l, tMin, tMax, eps, strategy, out, stats)
+		}
+	}
+}
+
+// SegmentSearchRects is SegmentSearch for trees with rectangle
+// (sub-trail MBR) leaf entries: the ε-enlarged extent must be
+// penetrated by the segment.
+func (t *Tree) SegmentSearchRects(l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) []RectItem {
+	var out []RectItem
+	t.segmentSearchRects(t.root, l, tMin, tMax, eps, strategy, &out, stats)
+	return out
+}
+
+func (t *Tree) segmentSearchRects(n *node, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats) {
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if geom.PenetratesEnlargedSegment(strategy, e.rect, eps, l, tMin, tMax, pen) {
+				*out = append(*out, RectItem{Rect: e.rect, ID: e.item.ID})
+			}
+		}
+		return
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlargedSegment(strategy, e.rect, eps, l, tMin, tMax, pen) {
+			t.segmentSearchRects(e.child, l, tMin, tMax, eps, strategy, out, stats)
+		}
+	}
+}

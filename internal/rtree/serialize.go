@@ -1,0 +1,252 @@
+package rtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"scaleshift/internal/geom"
+	"scaleshift/internal/vec"
+)
+
+// treeMagic identifies the binary tree format, version 1.
+var treeMagic = []byte("RTREE\x01")
+
+// WriteBinary serializes the tree: configuration, then a pre-order
+// walk.  Internal-entry rectangles are not written; ReadBinary
+// recomputes them as exact child MBRs, which both shrinks the file and
+// self-validates the structure.
+func (t *Tree) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(treeMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	writeF64 := func(v float64) error { return writeU64(math.Float64bits(v)) }
+
+	for _, v := range []uint64{
+		uint64(t.cfg.Dim), uint64(t.cfg.MaxEntries), uint64(t.cfg.MinEntries),
+		uint64(t.cfg.ReinsertCount), uint64(t.cfg.Split),
+	} {
+		if err := writeU64(v); err != nil {
+			return err
+		}
+	}
+	if err := writeF64(t.cfg.SupernodeMaxOverlap); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(t.size)); err != nil {
+		return err
+	}
+
+	var writeNode func(n *node) error
+	writeNode = func(n *node) error {
+		if err := writeU64(uint64(n.level)); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(n.pages())); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(len(n.entries))); err != nil {
+			return err
+		}
+		for _, e := range n.entries {
+			if n.isLeaf() {
+				if e.item.Point != nil {
+					if err := writeU64(0); err != nil { // kind: point
+						return err
+					}
+					for _, x := range e.item.Point {
+						if err := writeF64(x); err != nil {
+							return err
+						}
+					}
+				} else {
+					if err := writeU64(1); err != nil { // kind: rect
+						return err
+					}
+					for _, x := range e.rect.L {
+						if err := writeF64(x); err != nil {
+							return err
+						}
+					}
+					for _, x := range e.rect.H {
+						if err := writeF64(x); err != nil {
+							return err
+						}
+					}
+				}
+				if err := writeU64(uint64(e.item.ID)); err != nil {
+					return err
+				}
+			} else if err := writeNode(e.child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeNode(t.root); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reconstructs a tree written by WriteBinary, recomputing
+// MBRs and parent pointers and verifying the structural invariants.
+func ReadBinary(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(treeMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("rtree: reading magic: %w", err)
+	}
+	if string(head) != string(treeMagic) {
+		return nil, fmt.Errorf("rtree: bad magic %q", head)
+	}
+	var scratch [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	readF64 := func() (float64, error) {
+		v, err := readU64()
+		return math.Float64frombits(v), err
+	}
+
+	var cfg Config
+	fields := []*int{&cfg.Dim, &cfg.MaxEntries, &cfg.MinEntries, &cfg.ReinsertCount}
+	for _, f := range fields {
+		v, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("rtree: reading config: %w", err)
+		}
+		*f = int(v)
+	}
+	split, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("rtree: reading config: %w", err)
+	}
+	cfg.Split = SplitAlgorithm(split)
+	if cfg.SupernodeMaxOverlap, err = readF64(); err != nil {
+		return nil, fmt.Errorf("rtree: reading config: %w", err)
+	}
+	// Bound the structural fields before allocating anything from them:
+	// a corrupt header must not drive huge make() calls.
+	if cfg.Dim > 1<<16 || cfg.MaxEntries > 1<<20 {
+		return nil, fmt.Errorf("rtree: implausible config (dim=%d, M=%d)", cfg.Dim, cfg.MaxEntries)
+	}
+	t, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sz, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("rtree: reading size: %w", err)
+	}
+
+	t.nodes = 0
+	var readNode func() (*node, error)
+	readNode = func() (*node, error) {
+		level, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("rtree: reading node level: %w", err)
+		}
+		pages, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("rtree: reading node pages: %w", err)
+		}
+		count, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("rtree: reading entry count: %w", err)
+		}
+		if pages < 1 || pages > 1<<16 || count > pages*uint64(cfg.MaxEntries) {
+			return nil, fmt.Errorf("rtree: implausible node (pages=%d, entries=%d)", pages, count)
+		}
+		n := &node{level: int(level), super: int(pages)}
+		t.nodes += int(pages)
+		for i := uint64(0); i < count; i++ {
+			if n.isLeaf() {
+				kind, err := readU64()
+				if err != nil {
+					return nil, fmt.Errorf("rtree: reading entry kind: %w", err)
+				}
+				var e *entry
+				switch kind {
+				case 0: // point
+					p := make(vec.Vector, cfg.Dim)
+					for d := range p {
+						if p[d], err = readF64(); err != nil {
+							return nil, fmt.Errorf("rtree: reading point: %w", err)
+						}
+					}
+					e = &entry{rect: geom.RectFromPoint(p), item: Item{Point: p}}
+				case 1: // rect
+					lo := make(vec.Vector, cfg.Dim)
+					hi := make(vec.Vector, cfg.Dim)
+					for d := range lo {
+						if lo[d], err = readF64(); err != nil {
+							return nil, fmt.Errorf("rtree: reading rect: %w", err)
+						}
+					}
+					for d := range hi {
+						if hi[d], err = readF64(); err != nil {
+							return nil, fmt.Errorf("rtree: reading rect: %w", err)
+						}
+					}
+					for d := range lo {
+						if lo[d] > hi[d] {
+							return nil, fmt.Errorf("rtree: inverted stored rect on dim %d", d)
+						}
+					}
+					e = &entry{rect: geom.Rect{L: lo, H: hi}}
+				default:
+					return nil, fmt.Errorf("rtree: unknown leaf entry kind %d", kind)
+				}
+				id, err := readU64()
+				if err != nil {
+					return nil, fmt.Errorf("rtree: reading item id: %w", err)
+				}
+				e.item.ID = int64(id)
+				n.entries = append(n.entries, e)
+				continue
+			}
+			child, err := readNode()
+			if err != nil {
+				return nil, err
+			}
+			if child.level != n.level-1 {
+				return nil, fmt.Errorf("rtree: child level %d under level %d", child.level, n.level)
+			}
+			if len(child.entries) == 0 {
+				return nil, fmt.Errorf("rtree: empty child node at level %d", child.level)
+			}
+			child.parent = n
+			n.entries = append(n.entries, &entry{rect: child.mbr(), child: child})
+		}
+		if len(n.entries) == 0 && n.level != 0 {
+			return nil, fmt.Errorf("rtree: empty internal node at level %d", n.level)
+		}
+		return n, nil
+	}
+	root, err := readNode()
+	if err != nil {
+		return nil, err
+	}
+	if len(root.entries) == 0 && sz != 0 {
+		return nil, fmt.Errorf("rtree: empty root but size %d", sz)
+	}
+	t.root = root
+	t.size = int(sz)
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("rtree: deserialized tree invalid: %w", err)
+	}
+	return t, nil
+}

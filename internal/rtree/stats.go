@@ -1,0 +1,108 @@
+package rtree
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// LevelStats summarizes the geometry of one tree level — the numbers
+// behind the paper's §7 discussion (after [26]) of why the
+// bounding-spheres heuristic fails: R*-tree MBRs have long diagonals
+// but small volume, so the circumscribed sphere is hugely larger than
+// the box and the inscribed sphere hugely smaller.
+type LevelStats struct {
+	// Level is the tree level (0 = leaves).
+	Level int
+	// Nodes and Pages count nodes and their disk pages (supernodes
+	// span several pages).
+	Nodes, Pages int
+	// Entries is the total number of entries across the level.
+	Entries int
+	// AvgOccupancy is Entries divided by the level's capacity.
+	AvgOccupancy float64
+	// AvgElongation is the mean ratio of an MBR's longest side to its
+	// shortest side (1 = hypercube; large = long and thin).
+	AvgElongation float64
+	// AvgSphereGap is the mean ratio of an MBR's outer (circumscribed)
+	// sphere radius to its inner (inscribed) sphere radius.  For a
+	// hypercube in d dims this is √d; values far above that mean the
+	// sphere pre-checks of §7 are almost always inconclusive.
+	AvgSphereGap float64
+}
+
+// Stats returns per-level geometry statistics, leaves first.
+func (t *Tree) Stats() []LevelStats {
+	byLevel := map[int]*LevelStats{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		ls, ok := byLevel[n.level]
+		if !ok {
+			ls = &LevelStats{Level: n.level}
+			byLevel[n.level] = ls
+		}
+		ls.Nodes++
+		ls.Pages += n.pages()
+		ls.Entries += len(n.entries)
+		if len(n.entries) > 0 {
+			r := n.mbr()
+			minSide, maxSide := math.Inf(1), 0.0
+			for i := range r.L {
+				side := r.H[i] - r.L[i]
+				minSide = math.Min(minSide, side)
+				maxSide = math.Max(maxSide, side)
+			}
+			if minSide > 0 {
+				ls.AvgElongation += maxSide / minSide
+			} else if maxSide > 0 {
+				ls.AvgElongation += math.Inf(1)
+			} else {
+				ls.AvgElongation++ // a point is a degenerate cube
+			}
+			if inner := r.InnerRadius(); inner > 0 {
+				ls.AvgSphereGap += r.OuterRadius() / inner
+			} else if r.OuterRadius() > 0 {
+				ls.AvgSphereGap += math.Inf(1)
+			} else {
+				ls.AvgSphereGap++
+			}
+		}
+		for _, e := range n.entries {
+			if e.child != nil {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+
+	out := make([]LevelStats, 0, len(byLevel))
+	for lvl := 0; lvl <= t.root.level; lvl++ {
+		ls := byLevel[lvl]
+		if ls == nil {
+			continue
+		}
+		n := float64(ls.Nodes)
+		ls.AvgElongation /= n
+		ls.AvgSphereGap /= n
+		ls.AvgOccupancy = float64(ls.Entries) / float64(ls.Pages*t.cfg.MaxEntries)
+		out = append(out, *ls)
+	}
+	return out
+}
+
+// WriteStats renders Stats as an aligned table.
+func (t *Tree) WriteStats(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %10s %12s %12s\n",
+		"level", "nodes", "pages", "entries", "occupancy", "elongation", "sphere-gap")
+	b.WriteString(strings.Repeat("-", 70))
+	b.WriteByte('\n')
+	for _, ls := range t.Stats() {
+		fmt.Fprintf(&b, "%-6d %8d %8d %8d %9.1f%% %12.1f %12.1f\n",
+			ls.Level, ls.Nodes, ls.Pages, ls.Entries,
+			100*ls.AvgOccupancy, ls.AvgElongation, ls.AvgSphereGap)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,198 @@
+package seqscan
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+func testStore(t testing.TB) *store.Store {
+	t.Helper()
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = 20
+	cfg.Days = 250
+	if _, err := stock.Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSearchValidation(t *testing.T) {
+	st := testStore(t)
+	if _, err := Search(st, vec.Vector{1}, 1, nil, nil); err == nil {
+		t.Error("length-1 query accepted")
+	}
+	if _, err := Search(st, vec.Vector{1, 2, 3}, -1, nil, nil); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestSearchFindsPlantedWindow(t *testing.T) {
+	st := testStore(t)
+	n := 64
+	w := make(vec.Vector, n)
+	if err := st.Window(3, 100, n, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Disguise the window: the scan must still find it at distance ~0.
+	q := vec.Apply(w, 3.5, -12)
+	res, err := Search(st, q, 1e-6*vec.Norm(w), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.Seq == 3 && r.Start == 100 {
+			found = true
+			// Recovered transform must invert the disguise:
+			// q = 3.5*w - 12, so w = (q+12)/3.5, i.e. a=1/3.5, b=12/3.5.
+			if math.Abs(r.Scale-1/3.5) > 1e-9 || math.Abs(r.Shift-12.0/3.5) > 1e-6 {
+				t.Errorf("recovered a=%v b=%v", r.Scale, r.Shift)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("planted window not found")
+	}
+}
+
+func TestSearchEpsilonMonotone(t *testing.T) {
+	st := testStore(t)
+	q := make(vec.Vector, 64)
+	if err := st.Window(0, 10, 64, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, eps := range []float64{0.1, 1, 5, 20} {
+		res, err := Search(st, q, eps, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) < prev {
+			t.Fatalf("results shrank as epsilon grew: %d < %d", len(res), prev)
+		}
+		prev = len(res)
+		// Every reported distance respects eps.
+		for _, r := range res {
+			if r.Dist > eps {
+				t.Fatalf("result dist %v > eps %v", r.Dist, eps)
+			}
+		}
+	}
+}
+
+func TestSearchFilter(t *testing.T) {
+	st := testStore(t)
+	q := make(vec.Vector, 64)
+	if err := st.Window(1, 50, 64, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	all, err := Search(st, q, 10, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlyPositive, err := Search(st, q, 10, func(a, b float64) bool { return a > 0 }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyPositive) > len(all) {
+		t.Error("filter added results")
+	}
+	for _, r := range onlyPositive {
+		if r.Scale <= 0 {
+			t.Errorf("filter leaked scale %v", r.Scale)
+		}
+	}
+	// A rejecting filter removes everything.
+	none, err := Search(st, q, 10, func(a, b float64) bool { return false }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("rejecting filter returned %d results", len(none))
+	}
+}
+
+func TestSearchPageAccessesConstant(t *testing.T) {
+	// The defining property of set 1: every query reads every page.
+	st := testStore(t)
+	q := make(vec.Vector, 64)
+	for _, src := range []struct{ seq, start int }{{0, 0}, {5, 99}, {19, 180}} {
+		if err := st.Window(src.seq, src.start, 64, q, nil); err != nil {
+			t.Fatal(err)
+		}
+		var pc store.PageCounter
+		if _, err := Search(st, q, 1, nil, &pc); err != nil {
+			t.Fatal(err)
+		}
+		if pc.Distinct() != st.PageCount() {
+			t.Fatalf("scan touched %d of %d pages", pc.Distinct(), st.PageCount())
+		}
+	}
+}
+
+func TestNearestMatchesSortedSearch(t *testing.T) {
+	st := testStore(t)
+	q := make(vec.Vector, 64)
+	if err := st.Window(2, 42, 64, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Nearest(st, q, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("returned %d results", len(got))
+	}
+	// Oracle: all windows, sorted by distance.
+	var all []Result
+	st.ScanWindows(64, nil, func(seq, start int, w vec.Vector) bool {
+		m := vec.MinDist(q, w)
+		all = append(all, Result{Seq: seq, Start: start, Dist: m.Dist})
+		return true
+	})
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Dist < all[j].Dist })
+	for i := range got {
+		if math.Abs(got[i].Dist-all[i].Dist) > 1e-9 {
+			t.Fatalf("rank %d: dist %v, want %v", i, got[i].Dist, all[i].Dist)
+		}
+	}
+	// Result ordering is ascending.
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestNearestValidation(t *testing.T) {
+	st := testStore(t)
+	if _, err := Nearest(st, vec.Vector{1}, 3, nil); err == nil {
+		t.Error("length-1 query accepted")
+	}
+	if _, err := Nearest(st, vec.Vector{1, 2, 3}, 0, nil); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestNearestSmallK(t *testing.T) {
+	st := testStore(t)
+	q := make(vec.Vector, 64)
+	if err := st.Window(0, 0, 64, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Nearest(st, q, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query IS a database window, so the nearest hit is itself at
+	// distance ~0.
+	if len(got) != 1 || got[0].Seq != 0 || got[0].Start != 0 || got[0].Dist > 1e-6 {
+		t.Errorf("self-query nearest = %+v", got)
+	}
+}

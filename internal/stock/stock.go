@@ -1,0 +1,157 @@
+// Package stock generates the synthetic stand-in for the paper's
+// proprietary data set (§7): closing prices of 1 000 Hong Kong
+// companies from July 1995 to October 1996, about 650 000 values in
+// total.
+//
+// Prices follow a geometric random walk driven by three correlated
+// factors — a market factor shared by every company, a sector factor
+// shared within a sector, and idiosyncratic noise — plus occasional
+// volatility regime switches.  This reproduces the two data properties
+// the paper's results depend on: the database cardinality (page count)
+// and the clustered, trending shape of price windows that makes R*-tree
+// MBRs long and thin (which is what defeats the bounding-spheres
+// heuristic).
+//
+// Generation is fully deterministic given Config.Seed.
+package stock
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scaleshift/internal/store"
+)
+
+// Config parameterizes the generator.  The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// Companies is the number of price sequences (paper: 1 000).
+	Companies int
+	// Days is the number of samples per sequence (paper: ≈ 650).
+	Days int
+	// Sectors is how many sector factors to draw companies from.
+	Sectors int
+	// Seed makes generation reproducible.
+	Seed int64
+
+	// MinPrice and MaxPrice bound the initial prices (log-uniform).
+	MinPrice, MaxPrice float64
+	// MarketVol, SectorVol and IdioVol are the daily volatilities of
+	// the three return components.
+	MarketVol, SectorVol, IdioVol float64
+	// RegimeSwitchProb is the per-day probability that a company's
+	// volatility regime flips between calm and turbulent.
+	RegimeSwitchProb float64
+	// TurbulentFactor multiplies volatility in the turbulent regime.
+	TurbulentFactor float64
+}
+
+// DefaultConfig reproduces the paper's data-set scale: 1 000 companies
+// × 650 trading days = 650 000 values.
+func DefaultConfig() Config {
+	return Config{
+		Companies:        1000,
+		Days:             650,
+		Sectors:          12,
+		Seed:             1,
+		MinPrice:         0.5,
+		MaxPrice:         150,
+		MarketVol:        0.008,
+		SectorVol:        0.007,
+		IdioVol:          0.012,
+		RegimeSwitchProb: 0.01,
+		TurbulentFactor:  2.5,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Companies < 1 || c.Days < 2 {
+		return fmt.Errorf("stock: need at least 1 company and 2 days, got %d, %d", c.Companies, c.Days)
+	}
+	if c.Sectors < 1 {
+		return fmt.Errorf("stock: need at least 1 sector, got %d", c.Sectors)
+	}
+	if c.MinPrice <= 0 || c.MaxPrice < c.MinPrice {
+		return fmt.Errorf("stock: bad price range [%v, %v]", c.MinPrice, c.MaxPrice)
+	}
+	return nil
+}
+
+// Company is one generated price series.
+type Company struct {
+	Name   string
+	Sector int
+	Prices []float64
+}
+
+// Generate produces the synthetic companies deterministically.
+func Generate(cfg Config) ([]Company, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shared factor paths, one market return and one return per sector
+	// per day.
+	market := make([]float64, cfg.Days)
+	sectors := make([][]float64, cfg.Sectors)
+	for d := range market {
+		market[d] = r.NormFloat64() * cfg.MarketVol
+	}
+	for s := range sectors {
+		sectors[s] = make([]float64, cfg.Days)
+		// Small per-sector drift separates long-run sector trends.
+		drift := r.NormFloat64() * 0.0004
+		for d := range sectors[s] {
+			sectors[s][d] = drift + r.NormFloat64()*cfg.SectorVol
+		}
+	}
+
+	companies := make([]Company, cfg.Companies)
+	for i := range companies {
+		sector := r.Intn(cfg.Sectors)
+		// Log-uniform initial price: HK boards mix penny and blue-chip
+		// stocks.
+		logP := math.Log(cfg.MinPrice) + r.Float64()*(math.Log(cfg.MaxPrice)-math.Log(cfg.MinPrice))
+		price := math.Exp(logP)
+		drift := r.NormFloat64() * 0.0005
+		beta := 0.6 + r.Float64()*0.9   // market exposure
+		gamma := 0.4 + r.Float64()*0.9  // sector exposure
+		turbulent := r.Float64() < 0.15 // some start turbulent
+
+		prices := make([]float64, cfg.Days)
+		prices[0] = price
+		for d := 1; d < cfg.Days; d++ {
+			if r.Float64() < cfg.RegimeSwitchProb {
+				turbulent = !turbulent
+			}
+			vol := cfg.IdioVol
+			if turbulent {
+				vol *= cfg.TurbulentFactor
+			}
+			ret := drift + beta*market[d] + gamma*sectors[sector][d] + r.NormFloat64()*vol
+			price *= math.Exp(ret)
+			prices[d] = price
+		}
+		companies[i] = Company{
+			Name:   fmt.Sprintf("HK%04d", i+1),
+			Sector: sector,
+			Prices: prices,
+		}
+	}
+	return companies, nil
+}
+
+// Populate generates the companies and appends them to st, returning
+// the generated set.
+func Populate(st *store.Store, cfg Config) ([]Company, error) {
+	companies, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range companies {
+		st.AppendSequence(c.Name, c.Prices)
+	}
+	return companies, nil
+}

@@ -1,0 +1,222 @@
+package stock
+
+import (
+	"math"
+	"testing"
+
+	"scaleshift/internal/store"
+)
+
+// smallConfig keeps unit tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Companies = 50
+	cfg.Days = 200
+	return cfg
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		wantOK bool
+	}{
+		{"default", func(c *Config) {}, true},
+		{"no companies", func(c *Config) { c.Companies = 0 }, false},
+		{"one day", func(c *Config) { c.Days = 1 }, false},
+		{"no sectors", func(c *Config) { c.Sectors = 0 }, false},
+		{"zero min price", func(c *Config) { c.MinPrice = 0 }, false},
+		{"inverted prices", func(c *Config) { c.MinPrice = 10; c.MaxPrice = 5 }, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig()
+			tc.mutate(&cfg)
+			_, err := Generate(cfg)
+			if (err == nil) != tc.wantOK {
+				t.Errorf("err=%v wantOK=%v", err, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestShapeAndPositivity(t *testing.T) {
+	cfg := smallConfig()
+	cs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != cfg.Companies {
+		t.Fatalf("got %d companies", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		if len(c.Prices) != cfg.Days {
+			t.Fatalf("%s has %d days", c.Name, len(c.Prices))
+		}
+		if c.Sector < 0 || c.Sector >= cfg.Sectors {
+			t.Fatalf("%s sector %d out of range", c.Name, c.Sector)
+		}
+		if names[c.Name] {
+			t.Fatalf("duplicate name %s", c.Name)
+		}
+		names[c.Name] = true
+		for d, p := range c.Prices {
+			if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("%s day %d: price %v", c.Name, d, p)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for d := range a[i].Prices {
+			if a[i].Prices[d] != b[i].Prices[d] {
+				t.Fatalf("same seed diverged at company %d day %d", i, d)
+			}
+		}
+	}
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		for d := range a[i].Prices {
+			if a[i].Prices[d] != c[i].Prices[d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSectorCorrelation(t *testing.T) {
+	// Log returns of same-sector companies must correlate more strongly
+	// on average than cross-sector pairs — the property that clusters
+	// windows in feature space.
+	cfg := smallConfig()
+	cfg.Companies = 60
+	cfg.Sectors = 3
+	cfg.IdioVol = 0.006 // strengthen the shared components for the test
+	cs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returns := make([][]float64, len(cs))
+	for i, c := range cs {
+		rets := make([]float64, len(c.Prices)-1)
+		for d := 1; d < len(c.Prices); d++ {
+			rets[d-1] = math.Log(c.Prices[d] / c.Prices[d-1])
+		}
+		returns[i] = rets
+	}
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			corr := correlation(returns[i], returns[j])
+			if cs[i].Sector == cs[j].Sector {
+				sameSum += corr
+				sameN++
+			} else {
+				crossSum += corr
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Fatal("sector assignment degenerate")
+	}
+	same, cross := sameSum/float64(sameN), crossSum/float64(crossN)
+	if same <= cross {
+		t.Errorf("same-sector corr %v not above cross-sector %v", same, cross)
+	}
+	// Everything shares the market factor, so even cross-sector pairs
+	// should correlate positively.
+	if cross <= 0 {
+		t.Errorf("cross-sector correlation %v not positive", cross)
+	}
+}
+
+func correlation(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cab, ca, cb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cab += da * db
+		ca += da * da
+		cb += db * db
+	}
+	if ca == 0 || cb == 0 {
+		return 0
+	}
+	return cab / math.Sqrt(ca*cb)
+}
+
+func TestPopulateMatchesPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	st := store.New()
+	cs, err := Populate(st, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1000 {
+		t.Fatalf("companies = %d", len(cs))
+	}
+	if st.TotalValues() != 650000 {
+		t.Errorf("total values = %d, want 650000 (paper: >650k)", st.TotalValues())
+	}
+	if pc := st.PageCount(); pc < 1200 || pc > 1350 {
+		t.Errorf("page count %d outside the paper's ~1300", pc)
+	}
+	if st.SequenceName(0) != "HK0001" {
+		t.Errorf("first name %q", st.SequenceName(0))
+	}
+}
+
+func TestPriceScaleDiversity(t *testing.T) {
+	// Initial prices should span the configured range broadly (log-
+	// uniform), giving the scale diversity that motivates scale/shift-
+	// invariant search.
+	cfg := smallConfig()
+	cfg.Companies = 200
+	cs, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0, 0
+	for _, c := range cs {
+		if c.Prices[0] < 2 {
+			lo++
+		}
+		if c.Prices[0] > 50 {
+			hi++
+		}
+	}
+	if lo == 0 || hi == 0 {
+		t.Errorf("price diversity missing: %d cheap, %d expensive of %d", lo, hi, len(cs))
+	}
+}

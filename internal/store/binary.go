@@ -1,0 +1,122 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// storeMagic identifies the binary store format, version 1.
+var storeMagic = []byte("SSTOR\x01")
+
+// maxSequences bounds deserialization against corrupt headers.
+const maxSequences = 1 << 28
+
+// WriteBinary serializes the store in a compact little-endian format:
+// magic, sequence count, per-sequence name and length, then the raw
+// sample data.  The format is bit-exact: ReadBinary reproduces every
+// float64 identically.
+func (s *Store) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(storeMagic); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	if err := writeU64(uint64(len(s.names))); err != nil {
+		return err
+	}
+	for seq := range s.names {
+		name := s.names[seq]
+		if err := writeU64(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := writeU64(uint64(s.lengths[seq])); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.data {
+		if err := writeU64(math.Float64bits(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format written by WriteBinary into a fresh
+// store.
+func ReadBinary(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(head) != string(storeMagic) {
+		return nil, fmt.Errorf("store: bad magic %q", head)
+	}
+	var scratch [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	nSeqs, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("store: reading sequence count: %w", err)
+	}
+	if nSeqs > maxSequences {
+		return nil, fmt.Errorf("store: implausible sequence count %d", nSeqs)
+	}
+	st := New()
+	total := 0
+	for i := uint64(0); i < nSeqs; i++ {
+		nameLen, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("store: sequence %d name length: %w", i, err)
+		}
+		if nameLen > 1<<20 {
+			return nil, fmt.Errorf("store: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("store: sequence %d name: %w", i, err)
+		}
+		length, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("store: sequence %d length: %w", i, err)
+		}
+		if length > 1<<40 {
+			return nil, fmt.Errorf("store: implausible sequence length %d", length)
+		}
+		st.names = append(st.names, string(name))
+		st.offsets = append(st.offsets, total)
+		st.lengths = append(st.lengths, int(length))
+		total += int(length)
+	}
+	// Grow incrementally rather than trusting the header's total: a
+	// corrupt length field must fail at end-of-input, not allocate
+	// gigabytes up front.
+	capHint := total
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	st.data = make([]float64, 0, capHint)
+	for j := 0; j < total; j++ {
+		bits, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("store: data value %d: %w", j, err)
+		}
+		st.data = append(st.data, math.Float64frombits(bits))
+	}
+	return st, nil
+}

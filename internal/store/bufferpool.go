@@ -1,0 +1,68 @@
+package store
+
+import "container/list"
+
+// BufferPool is an LRU page cache model.  It holds no page contents —
+// only identities — because the cost model needs hit/miss accounting,
+// not data: a PageCounter with an attached pool charges only misses,
+// so experiments can study how a limited buffer changes the relative
+// cost of sequential scans (which flood the LRU) versus index searches
+// (which re-touch hot directory and data pages).
+type BufferPool struct {
+	capacity int
+	ll       *list.List // front = most recently used; values are page numbers
+	pages    map[int]*list.Element
+	hits     int
+	misses   int
+}
+
+// NewBufferPool returns an empty pool holding up to capacity pages.
+// Capacity 0 means every access misses.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BufferPool{
+		capacity: capacity,
+		ll:       list.New(),
+		pages:    make(map[int]*list.Element),
+	}
+}
+
+// Access records a reference to the page, returning true on a hit.
+// On a miss the page is admitted, evicting the least recently used
+// page when full.
+func (b *BufferPool) Access(page int) bool {
+	if e, ok := b.pages[page]; ok {
+		b.ll.MoveToFront(e)
+		b.hits++
+		return true
+	}
+	b.misses++
+	if b.capacity == 0 {
+		return false
+	}
+	if b.ll.Len() >= b.capacity {
+		oldest := b.ll.Back()
+		b.ll.Remove(oldest)
+		delete(b.pages, oldest.Value.(int))
+	}
+	b.pages[page] = b.ll.PushFront(page)
+	return false
+}
+
+// Hits returns the number of cache hits since the last Reset.
+func (b *BufferPool) Hits() int { return b.hits }
+
+// Misses returns the number of cache misses since the last Reset.
+func (b *BufferPool) Misses() int { return b.misses }
+
+// Len returns the number of resident pages.
+func (b *BufferPool) Len() int { return b.ll.Len() }
+
+// Capacity returns the configured capacity.
+func (b *BufferPool) Capacity() int { return b.capacity }
+
+// ResetStats clears the hit/miss counters, keeping the resident set —
+// use between queries to measure steady-state behaviour.
+func (b *BufferPool) ResetStats() { b.hits, b.misses = 0, 0 }

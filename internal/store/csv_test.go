@@ -1,0 +1,91 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"scaleshift/internal/vec"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(1))
+	want := make(map[string][]float64)
+	for i := 0; i < 10; i++ {
+		name := "SEQ" + string(rune('A'+i))
+		vals := make([]float64, 5+r.Intn(50))
+		for j := range vals {
+			vals[j] = r.NormFloat64() * math.Pow(10, float64(r.Intn(7)-3))
+		}
+		s.AppendSequence(name, vals)
+		want[name] = vals
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSequences() != s.NumSequences() {
+		t.Fatalf("round trip lost sequences: %d vs %d", got.NumSequences(), s.NumSequences())
+	}
+	for seq := 0; seq < got.NumSequences(); seq++ {
+		name := got.SequenceName(seq)
+		vals := want[name]
+		if got.SequenceLen(seq) != len(vals) {
+			t.Fatalf("%s: length %d vs %d", name, got.SequenceLen(seq), len(vals))
+		}
+		dst := make(vec.Vector, len(vals))
+		if err := got.Window(seq, 0, len(vals), dst, nil); err != nil {
+			t.Fatal(err)
+		}
+		for j := range vals {
+			if dst[j] != vals[j] {
+				t.Fatalf("%s[%d]: %v vs %v (bit-exactness lost)", name, j, dst[j], vals[j])
+			}
+		}
+	}
+}
+
+func TestCSVEmptySequenceAndBlankLines(t *testing.T) {
+	in := "a,1,2\n\nb\nc,3\n"
+	st, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSequences() != 3 {
+		t.Fatalf("%d sequences", st.NumSequences())
+	}
+	if st.SequenceLen(1) != 0 {
+		t.Errorf("bare-name sequence length %d", st.SequenceLen(1))
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,notanumber\n")); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(",1,2\n")); err == nil {
+		t.Error("empty name accepted")
+	}
+	s := New()
+	s.AppendSequence("bad,name", []float64{1})
+	if err := s.WriteCSV(&bytes.Buffer{}); err == nil {
+		t.Error("comma in name accepted")
+	}
+}
+
+func TestCSVWindowsLineEndings(t *testing.T) {
+	st, err := ReadCSV(strings.NewReader("a,1,2\r\nb,3\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSequences() != 2 || st.SequenceLen(0) != 2 {
+		t.Errorf("CRLF parsing broken: %d seqs", st.NumSequences())
+	}
+}

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV parser never panics and that everything
+// it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,1,2,3\nb,4.5\n")
+	f.Add("")
+	f.Add("name\n")
+	f.Add("x,1e308,-1e308,0\r\n")
+	f.Add("a,NaN\n")
+	f.Add(",missing\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		st, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := st.WriteCSV(&buf); err != nil {
+			// Only names with delimiters may refuse to serialize, and
+			// ReadCSV cannot produce those.
+			t.Fatalf("accepted store failed to serialize: %v", err)
+		}
+		st2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if st2.NumSequences() != st.NumSequences() || st2.TotalValues() != st.TotalValues() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				st2.NumSequences(), st2.TotalValues(), st.NumSequences(), st.TotalValues())
+		}
+	})
+}
+
+// FuzzReadBinary asserts the binary parser never panics or
+// over-allocates on corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	good := func() []byte {
+		st := New()
+		st.AppendSequence("a", []float64{1, 2, 3})
+		st.AppendSequence("b", []float64{4})
+		var buf bytes.Buffer
+		if err := st.WriteBinary(&buf); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("SSTOR\x01"))
+	f.Add(good[:len(good)-3])
+	f.Fuzz(func(t *testing.T, in []byte) {
+		st, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Whatever parses must be internally consistent.
+		total := 0
+		for i := 0; i < st.NumSequences(); i++ {
+			total += st.SequenceLen(i)
+		}
+		if total != st.TotalValues() {
+			t.Fatalf("inconsistent store: %d vs %d", total, st.TotalValues())
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package store implements the paged time-sequence storage that the
+// paper's cost model measures (§7): sequences of float64 samples packed
+// contiguously into 4 KB pages, with per-query page-access accounting.
+//
+// The paper's sequential-scan baseline reads the entire database —
+// 650 000 values × 8 bytes / 4 KB ≈ 1300 pages per query — while the
+// tree-based search touches only the index pages plus the data pages of
+// candidate subsequences fetched during post-processing.  PageCounter
+// reproduces both numbers.
+package store
+
+import (
+	"fmt"
+
+	"scaleshift/internal/vec"
+)
+
+// PageSize is the disk page size of the paper's experiments (4 KB).
+const PageSize = 4096
+
+// ValuesPerPage is how many float64 samples fit in one page.
+const ValuesPerPage = PageSize / 8
+
+// PageCounter records page accesses for one query.  Raw counts every
+// page touch; Distinct() reports unique pages, modelling a per-query
+// buffer pool that never evicts (each page is fetched from disk at
+// most once per query).  When Pool is set, every touch is also played
+// through the shared LRU buffer pool and Misses counts the touches
+// that had to go to disk under that bounded-memory model.
+type PageCounter struct {
+	Raw    int
+	Misses int
+	Pool   *BufferPool
+	seen   map[int]struct{}
+}
+
+// Touch records an access to the given page number.
+func (c *PageCounter) Touch(page int) {
+	c.Raw++
+	if c.seen == nil {
+		c.seen = make(map[int]struct{})
+	}
+	c.seen[page] = struct{}{}
+	if c.Pool != nil && !c.Pool.Access(page) {
+		c.Misses++
+	}
+}
+
+// Distinct returns the number of unique pages touched.
+func (c *PageCounter) Distinct() int { return len(c.seen) }
+
+// Reset clears the counter for the next query.  The attached Pool (if
+// any) keeps its resident set, modelling a cache that stays warm
+// across queries.
+func (c *PageCounter) Reset() {
+	c.Raw = 0
+	c.Misses = 0
+	c.seen = nil
+}
+
+// Store holds a collection of named time sequences packed back to back
+// in page-granular storage.  Sequences are append-only; a Store is safe
+// for concurrent reads after all appends complete.
+type Store struct {
+	names   []string
+	offsets []int // global index of each sequence's first value
+	lengths []int
+	data    []float64
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{} }
+
+// AppendSequence adds a sequence and returns its id.  The values are
+// copied.
+func (s *Store) AppendSequence(name string, values []float64) int {
+	id := len(s.names)
+	s.names = append(s.names, name)
+	s.offsets = append(s.offsets, len(s.data))
+	s.lengths = append(s.lengths, len(values))
+	s.data = append(s.data, values...)
+	return id
+}
+
+// ExtendSequence appends values to an existing sequence.  Only the
+// most recently added sequence can grow, because sequences are packed
+// contiguously — extending an interior sequence would shift its
+// successors.  This is the natural shape of a live feed: the active
+// series receives new samples while completed series are immutable.
+func (s *Store) ExtendSequence(seq int, values []float64) error {
+	if seq < 0 || seq >= len(s.names) {
+		return fmt.Errorf("store: sequence %d out of range [0, %d)", seq, len(s.names))
+	}
+	if seq != len(s.names)-1 {
+		return fmt.Errorf("store: only the last sequence (%d) can be extended, not %d",
+			len(s.names)-1, seq)
+	}
+	s.data = append(s.data, values...)
+	s.lengths[seq] += len(values)
+	return nil
+}
+
+// NumSequences returns the number of stored sequences.
+func (s *Store) NumSequences() int { return len(s.names) }
+
+// TotalValues returns the total number of samples stored.
+func (s *Store) TotalValues() int { return len(s.data) }
+
+// PageCount returns the number of pages the data occupies.
+func (s *Store) PageCount() int {
+	return (len(s.data) + ValuesPerPage - 1) / ValuesPerPage
+}
+
+// SequenceName returns the name of sequence seq.
+func (s *Store) SequenceName(seq int) string { return s.names[seq] }
+
+// SequenceLen returns the number of samples in sequence seq.
+func (s *Store) SequenceLen(seq int) int { return s.lengths[seq] }
+
+// Window copies the n samples of sequence seq starting at start into
+// dst (which must have length n), charging the covering pages to pc
+// (which may be nil).  It returns an error when the window falls
+// outside the sequence.
+func (s *Store) Window(seq, start, n int, dst vec.Vector, pc *PageCounter) error {
+	if seq < 0 || seq >= len(s.names) {
+		return fmt.Errorf("store: sequence %d out of range [0, %d)", seq, len(s.names))
+	}
+	if n < 0 || start < 0 || start+n > s.lengths[seq] {
+		return fmt.Errorf("store: window [%d, %d) outside sequence %d of length %d",
+			start, start+n, seq, s.lengths[seq])
+	}
+	if len(dst) != n {
+		return fmt.Errorf("store: dst length %d, want %d", len(dst), n)
+	}
+	g := s.offsets[seq] + start
+	copy(dst, s.data[g:g+n])
+	if pc != nil && n > 0 {
+		for p := g / ValuesPerPage; p <= (g+n-1)/ValuesPerPage; p++ {
+			pc.Touch(p)
+		}
+	}
+	return nil
+}
+
+// ScanWindows streams every length-n sliding window of every sequence
+// through fn in storage order, stopping early when fn returns false.
+// The window slice passed to fn is reused between calls; clone it to
+// retain it.  Each data page is charged to pc exactly once, when the
+// scan first enters it — the sequential-read cost model of §7.
+func (s *Store) ScanWindows(n int, pc *PageCounter, fn func(seq, start int, w vec.Vector) bool) {
+	if n <= 0 {
+		return
+	}
+	w := make(vec.Vector, n)
+	lastPage := -1
+	for seq := range s.names {
+		L := s.lengths[seq]
+		base := s.offsets[seq]
+		if pc != nil && L > 0 {
+			// Charge the pages of this sequence as the scan streams over
+			// them, including short sequences with no full window.
+			first := base / ValuesPerPage
+			last := (base + L - 1) / ValuesPerPage
+			for p := first; p <= last; p++ {
+				if p > lastPage {
+					pc.Touch(p)
+					lastPage = p
+				}
+			}
+		}
+		for start := 0; start+n <= L; start++ {
+			copy(w, s.data[base+start:base+start+n])
+			if !fn(seq, start, w) {
+				return
+			}
+		}
+	}
+}
+
+// EncodeWindowID packs a (sequence, start) window address into the
+// int64 identifier stored in index leaves.
+func EncodeWindowID(seq, start int) int64 {
+	return int64(seq)<<32 | int64(uint32(start))
+}
+
+// DecodeWindowID unpacks an identifier produced by EncodeWindowID.
+func DecodeWindowID(id int64) (seq, start int) {
+	return int(id >> 32), int(uint32(id))
+}

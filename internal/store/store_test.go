@@ -1,0 +1,356 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scaleshift/internal/vec"
+)
+
+func TestAppendAndAccessors(t *testing.T) {
+	s := New()
+	id0 := s.AppendSequence("a", []float64{1, 2, 3})
+	id1 := s.AppendSequence("b", []float64{4, 5})
+	if id0 != 0 || id1 != 1 {
+		t.Errorf("ids = %d, %d", id0, id1)
+	}
+	if s.NumSequences() != 2 || s.TotalValues() != 5 {
+		t.Errorf("counts: %d seqs, %d values", s.NumSequences(), s.TotalValues())
+	}
+	if s.SequenceName(0) != "a" || s.SequenceLen(1) != 2 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestAppendCopies(t *testing.T) {
+	s := New()
+	vals := []float64{1, 2, 3}
+	s.AppendSequence("a", vals)
+	vals[0] = 99
+	dst := make(vec.Vector, 3)
+	if err := s.Window(0, 0, 3, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 1 {
+		t.Error("store shares caller's slice")
+	}
+}
+
+func TestWindowRoundTrip(t *testing.T) {
+	s := New()
+	r := rand.New(rand.NewSource(1))
+	seqs := make([][]float64, 5)
+	for i := range seqs {
+		seqs[i] = make([]float64, 100+r.Intn(400))
+		for j := range seqs[i] {
+			seqs[i][j] = r.NormFloat64()
+		}
+		s.AppendSequence("s", seqs[i])
+	}
+	for trial := 0; trial < 200; trial++ {
+		seq := r.Intn(5)
+		n := 1 + r.Intn(50)
+		start := r.Intn(len(seqs[seq]) - n + 1)
+		dst := make(vec.Vector, n)
+		if err := s.Window(seq, start, n, dst, nil); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			if dst[j] != seqs[seq][start+j] {
+				t.Fatalf("value mismatch at seq %d start %d offset %d", seq, start, j)
+			}
+		}
+	}
+}
+
+func TestWindowErrors(t *testing.T) {
+	s := New()
+	s.AppendSequence("a", []float64{1, 2, 3})
+	dst := make(vec.Vector, 2)
+	tests := []struct {
+		name          string
+		seq, start, n int
+		dstLen        int
+	}{
+		{"bad seq", 1, 0, 2, 2},
+		{"negative seq", -1, 0, 2, 2},
+		{"negative start", 0, -1, 2, 2},
+		{"past end", 0, 2, 2, 2},
+		{"negative n", 0, 0, -1, 2},
+		{"dst mismatch", 0, 0, 2, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := dst
+			if tc.dstLen != 2 {
+				d = make(vec.Vector, tc.dstLen)
+			}
+			if err := s.Window(tc.seq, tc.start, tc.n, d, nil); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	// In-bounds window at the very end works.
+	if err := s.Window(0, 1, 2, dst, nil); err != nil {
+		t.Errorf("valid window errored: %v", err)
+	}
+}
+
+func TestPageCountFormula(t *testing.T) {
+	// The paper's number: 0.65M values * 8 bytes / 4KB = ~1270 pages.
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.AppendSequence("stk", make([]float64, 650))
+	}
+	if got := s.TotalValues(); got != 650000 {
+		t.Fatalf("TotalValues = %d", got)
+	}
+	want := (650000 + ValuesPerPage - 1) / ValuesPerPage // 1270
+	if got := s.PageCount(); got != want {
+		t.Errorf("PageCount = %d, want %d", got, want)
+	}
+	if want < 1200 || want > 1350 {
+		t.Errorf("page count %d far from the paper's ~1300", want)
+	}
+}
+
+func TestPageCounter(t *testing.T) {
+	var pc PageCounter
+	pc.Touch(3)
+	pc.Touch(3)
+	pc.Touch(5)
+	if pc.Raw != 3 || pc.Distinct() != 2 {
+		t.Errorf("Raw=%d Distinct=%d", pc.Raw, pc.Distinct())
+	}
+	pc.Reset()
+	if pc.Raw != 0 || pc.Distinct() != 0 {
+		t.Errorf("after reset: Raw=%d Distinct=%d", pc.Raw, pc.Distinct())
+	}
+}
+
+func TestWindowPageAccounting(t *testing.T) {
+	s := New()
+	s.AppendSequence("a", make([]float64, 3*ValuesPerPage))
+	dst := make(vec.Vector, 10)
+	var pc PageCounter
+
+	// Entirely inside page 0.
+	if err := s.Window(0, 5, 10, dst, &pc); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Raw != 1 || pc.Distinct() != 1 {
+		t.Errorf("single page: %d raw %d distinct", pc.Raw, pc.Distinct())
+	}
+	// Straddling pages 0-1.
+	pc.Reset()
+	if err := s.Window(0, ValuesPerPage-5, 10, dst, &pc); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Raw != 2 {
+		t.Errorf("straddling window touched %d pages", pc.Raw)
+	}
+	// Full-page window.
+	pc.Reset()
+	big := make(vec.Vector, ValuesPerPage)
+	if err := s.Window(0, 0, ValuesPerPage, big, &pc); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Raw != 1 {
+		t.Errorf("aligned full page window touched %d pages", pc.Raw)
+	}
+	// Distinct dedups across fetches in one query.
+	pc.Reset()
+	_ = s.Window(0, 0, 10, dst, &pc)
+	_ = s.Window(0, 20, 10, dst, &pc)
+	if pc.Raw != 2 || pc.Distinct() != 1 {
+		t.Errorf("dedup: raw=%d distinct=%d", pc.Raw, pc.Distinct())
+	}
+}
+
+func TestScanWindowsEnumeratesAll(t *testing.T) {
+	s := New()
+	lens := []int{100, 37, 64, 5, 200}
+	n := 32
+	for i, L := range lens {
+		vals := make([]float64, L)
+		for j := range vals {
+			vals[j] = float64(i*1000 + j)
+		}
+		s.AppendSequence("s", vals)
+	}
+	want := 0
+	for _, L := range lens {
+		if L >= n {
+			want += L - n + 1
+		}
+	}
+	got := 0
+	s.ScanWindows(n, nil, func(seq, start int, w vec.Vector) bool {
+		if len(w) != n {
+			t.Fatalf("window length %d", len(w))
+		}
+		// Values must match the generator formula.
+		if w[0] != float64(seq*1000+start) {
+			t.Fatalf("window content wrong at seq %d start %d", seq, start)
+		}
+		got++
+		return true
+	})
+	if got != want {
+		t.Errorf("scanned %d windows, want %d", got, want)
+	}
+}
+
+func TestScanWindowsEarlyStop(t *testing.T) {
+	s := New()
+	s.AppendSequence("a", make([]float64, 100))
+	count := 0
+	s.ScanWindows(10, nil, func(seq, start int, w vec.Vector) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop after %d windows", count)
+	}
+}
+
+func TestScanWindowsChargesEveryPageOnce(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.AppendSequence("s", make([]float64, 700))
+	}
+	var pc PageCounter
+	s.ScanWindows(128, &pc, func(seq, start int, w vec.Vector) bool { return true })
+	if pc.Raw != s.PageCount() {
+		t.Errorf("scan charged %d pages, store has %d", pc.Raw, s.PageCount())
+	}
+	if pc.Distinct() != s.PageCount() {
+		t.Errorf("distinct %d != %d", pc.Distinct(), s.PageCount())
+	}
+}
+
+func TestScanWindowsZeroN(t *testing.T) {
+	s := New()
+	s.AppendSequence("a", make([]float64, 10))
+	called := false
+	s.ScanWindows(0, nil, func(seq, start int, w vec.Vector) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Error("n=0 scan produced windows")
+	}
+}
+
+func TestWindowIDRoundTrip(t *testing.T) {
+	f := func(seq uint16, start uint16) bool {
+		id := EncodeWindowID(int(seq), int(start))
+		s2, st2 := DecodeWindowID(id)
+		return s2 == int(seq) && st2 == int(start)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Large but in-range values.
+	seq, start := 1<<30, 1<<31-1
+	s2, st2 := DecodeWindowID(EncodeWindowID(seq, start))
+	if s2 != seq || st2 != start {
+		t.Errorf("round trip (%d, %d) -> (%d, %d)", seq, start, s2, st2)
+	}
+}
+
+func TestBufferPoolLRU(t *testing.T) {
+	bp := NewBufferPool(2)
+	if bp.Access(1) {
+		t.Error("cold access hit")
+	}
+	if !bp.Access(1) {
+		t.Error("warm access missed")
+	}
+	bp.Access(2) // miss, pool now {1,2}
+	bp.Access(3) // miss, evicts 1 (LRU order: 2 was... 1 touched most recently before 2)
+	// After accesses 1,1,2,3: LRU evicted 1? Order front->back after 1,1,2: [2,1]; 3 evicts 1.
+	if bp.Access(2) != true {
+		t.Error("2 should be resident")
+	}
+	if bp.Access(1) {
+		t.Error("1 should have been evicted")
+	}
+	if bp.Len() != 2 || bp.Capacity() != 2 {
+		t.Errorf("Len=%d Cap=%d", bp.Len(), bp.Capacity())
+	}
+	if bp.Hits() != 2 || bp.Misses() != 4 {
+		t.Errorf("hits=%d misses=%d", bp.Hits(), bp.Misses())
+	}
+	bp.ResetStats()
+	if bp.Hits() != 0 || bp.Misses() != 0 {
+		t.Error("ResetStats failed")
+	}
+	// Resident set survives the stats reset.
+	if !bp.Access(2) {
+		t.Error("resident set lost on ResetStats")
+	}
+	// Zero-capacity pool always misses.
+	z := NewBufferPool(0)
+	z.Access(7)
+	if z.Access(7) {
+		t.Error("zero-capacity pool cached a page")
+	}
+	// Negative capacity clamps to zero.
+	if NewBufferPool(-5).Capacity() != 0 {
+		t.Error("negative capacity not clamped")
+	}
+}
+
+func TestPageCounterWithPool(t *testing.T) {
+	bp := NewBufferPool(1)
+	pc := PageCounter{Pool: bp}
+	pc.Touch(5)
+	pc.Touch(5)
+	pc.Touch(6)
+	if pc.Raw != 3 || pc.Misses != 2 {
+		t.Errorf("Raw=%d Misses=%d", pc.Raw, pc.Misses)
+	}
+	pc.Reset()
+	// Pool retains page 6; touching it again is a hit, not a miss.
+	pc.Pool = bp
+	pc.Touch(6)
+	if pc.Misses != 0 {
+		t.Errorf("warm page missed: %d", pc.Misses)
+	}
+}
+
+func TestExtendSequence(t *testing.T) {
+	s := New()
+	s.AppendSequence("a", []float64{1, 2, 3})
+	b := s.AppendSequence("b", []float64{4, 5})
+	// Only the last sequence can grow.
+	if err := s.ExtendSequence(0, []float64{9}); err == nil {
+		t.Error("extended a non-last sequence")
+	}
+	if err := s.ExtendSequence(5, []float64{9}); err == nil {
+		t.Error("extended an absent sequence")
+	}
+	if err := s.ExtendSequence(b, []float64{6, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if s.SequenceLen(b) != 4 || s.TotalValues() != 7 {
+		t.Errorf("len=%d total=%d", s.SequenceLen(b), s.TotalValues())
+	}
+	// Windows across the old boundary read correctly.
+	w := make(vec.Vector, 4)
+	if err := s.Window(b, 0, 4, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{4, 5, 6, 7} {
+		if w[i] != want {
+			t.Fatalf("w[%d]=%v want %v", i, w[i], want)
+		}
+	}
+	// Appending another sequence freezes b.
+	s.AppendSequence("c", []float64{8})
+	if err := s.ExtendSequence(b, []float64{9}); err == nil {
+		t.Error("extended a frozen sequence")
+	}
+}

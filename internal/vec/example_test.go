@@ -1,0 +1,38 @@
+package vec_test
+
+import (
+	"fmt"
+
+	"scaleshift/internal/vec"
+)
+
+// The paper's Figure 1: B is A scaled by 2, C is A shifted by 20.
+func ExampleMinDist() {
+	a := vec.Vector{5, 10, 6, 12, 4}
+	b := vec.Vector{10, 20, 12, 24, 8}
+
+	m := vec.MinDist(a, b)
+	fmt.Printf("a=%.0f b=%.0f similar=%v\n", m.Scale, m.Shift, m.Dist < 1e-9)
+	// Output: a=2 b=0 similar=true
+}
+
+func ExampleSETransform() {
+	// Shift elimination is mean removal: every shifted copy of a
+	// sequence maps to the same point on the SE-plane.
+	v := vec.Vector{1, 2, 3}
+	fmt.Println(vec.SETransform(v))
+	fmt.Println(vec.SETransform(vec.Shift(v, 100)))
+	// Output:
+	// [-1 0 1]
+	// [-1 0 1]
+}
+
+func ExampleSimilar() {
+	u := vec.Vector{1, 2, 1, 2}
+	v := vec.Vector{10, 30, 10, 30} // v = 20*u - 10 exactly
+	fmt.Println(vec.Similar(u, v, 0.001))
+	fmt.Println(vec.Similar(u, vec.Vector{1, 2, 3, 4}, 0.001))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,145 @@
+package vec
+
+import "math"
+
+// Line is a line in Rⁿ in parametric form {P + t·D : t ∈ R}
+// (Preliminaries, property 5).  A Line with a zero direction vector
+// degenerates to the single point P; PLD and LLD handle that case.
+type Line struct {
+	P Vector // a point on the line
+	D Vector // a vector parallel to the line
+}
+
+// At returns the position vector P + t·D.
+func (l Line) At(t float64) Vector {
+	w := make(Vector, len(l.P))
+	for i := range w {
+		w[i] = l.P[i] + t*l.D[i]
+	}
+	return w
+}
+
+// Degenerate reports whether the line has a zero direction vector and is
+// therefore a single point.
+func (l Line) Degenerate() bool { return NormSq(l.D) == 0 }
+
+// ScalingLine returns Line_sa,u = {a·u : a ∈ R}, the locus of all
+// scalings of u (§5).
+func ScalingLine(u Vector) Line {
+	return Line{P: make(Vector, len(u)), D: u.Clone()}
+}
+
+// ShiftingLine returns Line_sh,v = {v + b·N : b ∈ R}, the locus of all
+// vertical shiftings of v (§5).
+func ShiftingLine(v Vector) Line {
+	return Line{P: v.Clone(), D: Ones(len(v))}
+}
+
+// PLD returns the shortest Euclidean distance between the point q and
+// the line l (Lemma 1), together with the parameter t* attaining it.
+// For a degenerate line the distance to the point l.P is returned with
+// t* = 0.
+func PLD(q Vector, l Line) (dist, tStar float64) {
+	assertSameDim(q, l.P)
+	dd := NormSq(l.D)
+	if dd == 0 {
+		return Dist(q, l.P), 0
+	}
+	qp := Sub(q, l.P)
+	tStar = Dot(qp, l.D) / dd
+	var s float64
+	for i := range qp {
+		r := qp[i] - tStar*l.D[i]
+		s += r * r
+	}
+	return math.Sqrt(s), tStar
+}
+
+// PLDFast returns only the distance of PLD, in a single allocation-free
+// pass — the form used on index hot paths.
+func PLDFast(q Vector, l Line) float64 {
+	assertSameDim(q, l.P)
+	var qpD, qpQp, dd float64
+	for i := range q {
+		qp := q[i] - l.P[i]
+		d := l.D[i]
+		qpD += qp * d
+		qpQp += qp * qp
+		dd += d * d
+	}
+	if dd == 0 {
+		return math.Sqrt(qpQp)
+	}
+	return math.Sqrt(math.Max(0, qpQp-qpD*qpD/dd))
+}
+
+// LLD returns the shortest Euclidean distance between lines l1 and l2
+// (Lemma 2), together with the parameters t1*, t2* of the closest pair
+// of points l1(t1*), l2(t2*).
+//
+// When the directions are parallel (including either being degenerate)
+// the distance is PLD of one line's base point to the other line, as in
+// the statement of Lemma 2; the corresponding parameter on the parallel
+// line is reported as 0 and the other as the PLD minimizer.
+func LLD(l1, l2 Line) (dist, t1Star, t2Star float64) {
+	assertSameDim(l1.P, l2.P)
+	d1sq := NormSq(l1.D)
+	if d1sq == 0 {
+		d, t2 := PLD(l1.P, l2)
+		return d, 0, t2
+	}
+	// d2⊥: the projection of d2 perpendicular to d1.
+	d2perp := ProjPerp(l2.D, l1.D)
+	d2psq := NormSq(d2perp)
+	if d2psq <= parallelTol*NormSq(l2.D) {
+		// Parallel (or l2 degenerate): Lemma 2 first case.
+		d, t1 := PLD(l2.P, l1)
+		return d, t1, 0
+	}
+	// General case.  Decompose p1 − p2 into components along d1, along
+	// d2⊥, and the remainder; the remainder is the distance (Lemma 2).
+	p := Sub(l1.P, l2.P)
+	// t2* solves: the closest point on l2 differs from the closest point
+	// on l1 only in directions ⊥ d1, so project on d2perp.
+	t2Star = Dot(p, d2perp) / d2psq
+	// Closest point on l2 is q2 = p2 + t2*·d2; then t1* minimizes
+	// ‖p1 + t1·d1 − q2‖, a point-to-line problem.
+	q2 := l2.At(t2Star)
+	dist, t1Star = PLD(q2, l1)
+	return dist, t1Star, t2Star
+}
+
+// parallelTol is the relative squared-norm threshold below which two
+// direction vectors are treated as parallel in LLD.  The perpendicular
+// component of d2 w.r.t. d1 has squared norm ‖d2‖²·sin²θ; directions
+// within ~1e-7 radians of parallel are merged to keep the general-case
+// formula numerically stable.
+const parallelTol = 1e-14
+
+// PSegDFast returns the distance from q to the segment
+// {l.P + t·l.D : tMin <= t <= tMax}, allocation-free.
+func PSegDFast(q Vector, l Line, tMin, tMax float64) float64 {
+	assertSameDim(q, l.P)
+	var qpD, qpQp, dd float64
+	for i := range q {
+		qp := q[i] - l.P[i]
+		d := l.D[i]
+		qpD += qp * d
+		qpQp += qp * qp
+		dd += d * d
+	}
+	if dd == 0 {
+		return math.Sqrt(qpQp)
+	}
+	t := qpD / dd
+	if t < tMin {
+		t = tMin
+	} else if t > tMax {
+		t = tMax
+	}
+	s := qpQp - 2*t*qpD + t*t*dd
+	if s < 0 {
+		s = 0
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,99 @@
+package vec
+
+import "math"
+
+// SETransform applies the Shift-Eliminated Transformation of
+// Definition 2:
+//
+//	T_se(p) = p − ((p·N)/‖N‖²)·N
+//
+// i.e. it subtracts the component of p along the shifting vector N,
+// which equals subtracting the mean of p from every element.  The image
+// lies on the SE-plane, the (n−1)-dimensional subspace of mean-zero
+// vectors.
+func SETransform(p Vector) Vector {
+	m := Mean(p)
+	w := make(Vector, len(p))
+	for i, x := range p {
+		w[i] = x - m
+	}
+	return w
+}
+
+// SETransformInPlace is SETransform writing the result into dst, which
+// must have the same length as p.  dst and p may alias.
+func SETransformInPlace(dst, p Vector) {
+	assertSameDim(dst, p)
+	m := Mean(p)
+	for i, x := range p {
+		dst[i] = x - m
+	}
+}
+
+// SELine returns Line_sa,T_se(u), the image of the scaling line of u
+// under the SE-Transformation: the line {t·T_se(u)} through the origin
+// of the SE-plane (§5.1, property 3).
+func SELine(u Vector) Line {
+	return Line{P: make(Vector, len(u)), D: SETransform(u)}
+}
+
+// Match is the outcome of comparing a query u against a candidate v
+// under the scale-shift similarity of Definition 1.
+type Match struct {
+	// Dist is the minimum achievable D₂(F_{a,b}(u), v) over all real
+	// a, b — by Theorem 1 this equals LLD(Line_sa,u, Line_sh,v).
+	Dist float64
+	// Scale is the optimal scale factor a (§5.2).
+	Scale float64
+	// Shift is the optimal shift offset b (§5.2).
+	Shift float64
+	// Degenerate reports that T_se(u) = 0 (u is a constant sequence), in
+	// which case every scale factor is optimal and Scale is reported
+	// as 0.
+	Degenerate bool
+}
+
+// MinDist computes the scale-shift match of u against v using the
+// closed forms of §5.2:
+//
+//	a = (T_se(u)·T_se(v)) / ‖T_se(u)‖²
+//	b = ((v − a·u)·N) / ‖N‖²
+//
+// and Dist = ‖F_{a,b}(u) − v‖ = ‖a·T_se(u) − T_se(v)‖ (Theorem 2).
+//
+// If u is a constant sequence, its SE-line degenerates to the origin:
+// every a achieves the same distance ‖T_se(v)‖ and the result reports
+// Scale = 0, Shift = mean(v), Degenerate = true.
+func MinDist(u, v Vector) Match {
+	assertSameDim(u, v)
+	n := float64(len(u))
+	mu, mv := Mean(u), Mean(v)
+	// Work with the SE images without allocating: T_se(x)ᵢ = xᵢ − mean.
+	var uu, uv, vv float64
+	for i := range u {
+		su := u[i] - mu
+		sv := v[i] - mv
+		uu += su * su
+		uv += su * sv
+		vv += sv * sv
+	}
+	if uu == 0 || n == 0 {
+		return Match{
+			Dist:       math.Sqrt(math.Max(0, vv)),
+			Scale:      0,
+			Shift:      mv,
+			Degenerate: true,
+		}
+	}
+	a := uv / uu
+	// ‖a·T_se(u) − T_se(v)‖² = a²·uu − 2a·uv + vv = vv − uv²/uu.
+	distSq := vv - uv*uv/uu
+	// b = ((v − a·u)·N)/‖N‖² = mean(v) − a·mean(u).
+	b := mv - a*mu
+	return Match{Dist: math.Sqrt(math.Max(0, distSq)), Scale: a, Shift: b}
+}
+
+// Similar reports whether u ~ε v per Definition 1, using Theorem 1.
+func Similar(u, v Vector, epsilon float64) bool {
+	return MinDist(u, v).Dist <= epsilon
+}

@@ -1,0 +1,309 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSETransformKnown(t *testing.T) {
+	tests := []struct {
+		in, want Vector
+	}{
+		{Vector{1, 2, 3}, Vector{-1, 0, 1}},
+		{Vector{5, 5, 5}, Vector{0, 0, 0}},
+		{Vector{0, 0}, Vector{0, 0}},
+		{Vector{10}, Vector{0}},
+	}
+	for _, tc := range tests {
+		if got := SETransform(tc.in); !vecEq(got, tc.want) {
+			t.Errorf("SETransform(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSETransformProperties(t *testing.T) {
+	// The four properties of §5.1.
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(16)
+		u, v := randVec(r, n), randVec(r, n)
+		c := r.Float64()*4 - 2
+
+		// Property 1: linearity.
+		if !vecEq(SETransform(Add(u, v)), Add(SETransform(u), SETransform(v))) {
+			t.Fatal("T_se not additive")
+		}
+		if !vecEq(SETransform(Scale(c, u)), Scale(c, SETransform(u))) {
+			t.Fatal("T_se not homogeneous")
+		}
+		// Property 2: every point of the shifting line maps to T_se(v).
+		b := r.Float64()*40 - 20
+		if !vecEq(SETransform(Shift(v, b)), SETransform(v)) {
+			t.Fatal("shifting line does not collapse to a point")
+		}
+		// Property 4 (mean-zero plane): T_se(u) ⊥ N.
+		if !almostEq(Dot(SETransform(u), Ones(n)), 0, 1e-7) {
+			t.Fatal("image not orthogonal to N")
+		}
+		// Idempotence (projection).
+		if !vecEq(SETransform(SETransform(u)), SETransform(u)) {
+			t.Fatal("T_se not idempotent")
+		}
+	}
+}
+
+func TestSETransformInPlaceAliases(t *testing.T) {
+	u := Vector{1, 2, 3}
+	SETransformInPlace(u, u)
+	if !vecEq(u, Vector{-1, 0, 1}) {
+		t.Errorf("in-place aliased = %v", u)
+	}
+	dst := make(Vector, 3)
+	src := Vector{4, 5, 6}
+	SETransformInPlace(dst, src)
+	if !vecEq(dst, Vector{-1, 0, 1}) || !vecEq(src, Vector{4, 5, 6}) {
+		t.Errorf("in-place separate: dst=%v src=%v", dst, src)
+	}
+}
+
+func TestSELine(t *testing.T) {
+	u := Vector{1, 2, 3}
+	l := SELine(u)
+	if !vecEq(l.P, Vector{0, 0, 0}) {
+		t.Errorf("SE-line base = %v", l.P)
+	}
+	if !vecEq(l.D, Vector{-1, 0, 1}) {
+		t.Errorf("SE-line direction = %v", l.D)
+	}
+}
+
+func TestFigure1Example(t *testing.T) {
+	// The worked example of §1: B = 2·A, C = A + 20, C = 0.5·B + 20.
+	a := Vector{5, 10, 6, 12, 4}
+	b := Vector{10, 20, 12, 24, 8}
+	c := Vector{25, 30, 26, 32, 24}
+
+	mAB := MinDist(a, b)
+	// Dist is a sqrt of a catastrophically cancelled residual, so allow
+	// ~1e-6 of absolute noise on "exactly zero" distances.
+	const zeroTol = 1e-6
+	if !almostEq(mAB.Dist, 0, zeroTol) || !almostEq(mAB.Scale, 2, tol) || !almostEq(mAB.Shift, 0, tol) {
+		t.Errorf("A→B: %+v, want a=2 b=0 dist=0", mAB)
+	}
+	mAC := MinDist(a, c)
+	if !almostEq(mAC.Dist, 0, zeroTol) || !almostEq(mAC.Scale, 1, tol) || !almostEq(mAC.Shift, 20, tol) {
+		t.Errorf("A→C: %+v, want a=1 b=20 dist=0", mAC)
+	}
+	mBC := MinDist(b, c)
+	if !almostEq(mBC.Dist, 0, zeroTol) || !almostEq(mBC.Scale, 0.5, tol) || !almostEq(mBC.Shift, 20, tol) {
+		t.Errorf("B→C: %+v, want a=0.5 b=20 dist=0", mBC)
+	}
+	if !Similar(a, b, 0.001) || !Similar(a, c, 0.001) || !Similar(b, c, 0.001) {
+		t.Error("figure-1 sequences not reported similar")
+	}
+}
+
+func TestLemma3(t *testing.T) {
+	// ‖F_{a,b}(u) − v‖ = ‖L_sa,u(a) − L_sh,v(−b)‖.
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(12)
+		u, v := randVec(r, n), randVec(r, n)
+		a := r.Float64()*6 - 3
+		b := r.Float64()*20 - 10
+		lhs := Dist(Apply(u, a, b), v)
+		rhs := Dist(ScalingLine(u).At(a), ShiftingLine(v).At(-b))
+		if !almostEq(lhs, rhs, 1e-7) {
+			t.Fatalf("Lemma 3 broken: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestTheorem1(t *testing.T) {
+	// MinDist (via §5.2 closed forms) equals LLD of the scaling and
+	// shifting lines.
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 300; i++ {
+		n := 2 + r.Intn(12)
+		u, v := randVec(r, n), randVec(r, n)
+		want, _, _ := LLD(ScalingLine(u), ShiftingLine(v))
+		got := MinDist(u, v).Dist
+		if !almostEq(got, want, 1e-6) {
+			t.Fatalf("Theorem 1 broken: MinDist=%v LLD=%v (u=%v v=%v)", got, want, u, v)
+		}
+	}
+}
+
+func TestLemma4(t *testing.T) {
+	// PLD(L_sa,u(a), Line_sh,v) = ‖a·T_se(u) − T_se(v)‖.
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		n := 2 + r.Intn(12)
+		u, v := randVec(r, n), randVec(r, n)
+		a := r.Float64()*6 - 3
+		lhs, _ := PLD(ScalingLine(u).At(a), ShiftingLine(v))
+		rhs := Dist(Scale(a, SETransform(u)), SETransform(v))
+		if !almostEq(lhs, rhs, 1e-7) {
+			t.Fatalf("Lemma 4 broken: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestTheorem2(t *testing.T) {
+	// u ~ε v iff PLD(T_se(v), SE-line of u) ≤ ε.
+	r := rand.New(rand.NewSource(14))
+	for i := 0; i < 300; i++ {
+		n := 2 + r.Intn(12)
+		u, v := randVec(r, n), randVec(r, n)
+		pld, _ := PLD(SETransform(v), SELine(u))
+		if got := MinDist(u, v).Dist; !almostEq(got, pld, 1e-6) {
+			t.Fatalf("Theorem 2 broken: MinDist=%v PLD=%v", got, pld)
+		}
+	}
+}
+
+func TestMinDistIsGlobalMinimum(t *testing.T) {
+	// No random (a, b) probe achieves a smaller residual than the §5.2
+	// closed forms, and the returned (a, b) attains the reported Dist.
+	r := rand.New(rand.NewSource(15))
+	for i := 0; i < 300; i++ {
+		n := 2 + r.Intn(12)
+		u, v := randVec(r, n), randVec(r, n)
+		m := MinDist(u, v)
+		if !m.Degenerate {
+			attained := Dist(Apply(u, m.Scale, m.Shift), v)
+			if !almostEq(attained, m.Dist, 1e-5) {
+				t.Fatalf("(a,b) does not attain Dist: %v vs %v", attained, m.Dist)
+			}
+		}
+		for j := 0; j < 30; j++ {
+			a := r.Float64()*8 - 4
+			b := r.Float64()*40 - 20
+			if Dist(Apply(u, a, b), v) < m.Dist-1e-8 {
+				t.Fatalf("probe (a=%v,b=%v) beats closed form %v", a, b, m.Dist)
+			}
+		}
+	}
+}
+
+func TestMinDistDegenerateConstantQuery(t *testing.T) {
+	u := Vector{7, 7, 7, 7}
+	v := Vector{1, 2, 3, 4}
+	m := MinDist(u, v)
+	if !m.Degenerate {
+		t.Fatal("constant query not flagged degenerate")
+	}
+	if want := Norm(SETransform(v)); !almostEq(m.Dist, want, tol) {
+		t.Errorf("degenerate dist = %v, want %v", m.Dist, want)
+	}
+	// The reported (a=0, b=mean(v)) must attain the distance.
+	if got := Dist(Apply(u, m.Scale, m.Shift), v); !almostEq(got, m.Dist, tol) {
+		t.Errorf("degenerate (a,b) attains %v, want %v", got, m.Dist)
+	}
+}
+
+func TestMinDistSelfSimilarity(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		u := Vector(raw)
+		for _, x := range u {
+			if x != x || x > 1e6 || x < -1e6 {
+				return true // reject non-finite / overflow-prone inputs
+			}
+		}
+		m := MinDist(u, u)
+		return m.Dist < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistInvariantUnderTransformOfCandidate(t *testing.T) {
+	// Scaling/shifting the candidate keeps distance zero reachable from
+	// any query that already matches it.
+	r := rand.New(rand.NewSource(16))
+	for i := 0; i < 200; i++ {
+		n := 2 + r.Intn(12)
+		u := randVec(r, n)
+		a := r.Float64()*4 + 0.1 // strictly positive, bounded away from 0
+		b := r.Float64()*20 - 10
+		v := Apply(u, a, b)
+		m := MinDist(u, v)
+		if !almostEq(m.Dist, 0, 1e-4) {
+			t.Fatalf("exact transform not recovered: dist=%v", m.Dist)
+		}
+		if m.Degenerate {
+			continue // constant u: any scale works
+		}
+		if !almostEq(m.Scale, a, 1e-6) || !almostEq(m.Shift, b, 1e-5) {
+			t.Fatalf("recovered (a=%v, b=%v), want (%v, %v)", m.Scale, m.Shift, a, b)
+		}
+	}
+}
+
+func TestSimilarThreshold(t *testing.T) {
+	u := Vector{0, 1, 0, -1}
+	v := Vector{0, 1, 0, -1 + 0.2} // small perturbation
+	d := MinDist(u, v).Dist
+	if d <= 0 {
+		t.Fatal("perturbed pair should have positive distance")
+	}
+	if !Similar(u, v, d+1e-12) {
+		t.Error("Similar false just above the minimum distance")
+	}
+	if Similar(u, v, d-1e-6) {
+		t.Error("Similar true below the minimum distance (contradicts Corollary 1)")
+	}
+}
+
+func TestCorollary1NoSmallerEpsilon(t *testing.T) {
+	// If LLD = ε then no ε' < ε admits similarity: Similar(u,v,ε') must be
+	// false for sampled ε' < MinDist.
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		n := 2 + r.Intn(10)
+		u, v := randVec(r, n), randVec(r, n)
+		d := MinDist(u, v).Dist
+		if d < 1e-9 {
+			continue
+		}
+		if Similar(u, v, d*0.999) {
+			t.Fatalf("similar below minimum distance %v", d)
+		}
+		if !Similar(u, v, d*1.001) {
+			t.Fatalf("not similar above minimum distance %v", d)
+		}
+	}
+}
+
+func TestMinDistEmptyVectors(t *testing.T) {
+	m := MinDist(Vector{}, Vector{})
+	if m.Dist != 0 || !m.Degenerate {
+		t.Errorf("empty MinDist = %+v", m)
+	}
+}
+
+func BenchmarkMinDist128(b *testing.B) {
+	r := rand.New(rand.NewSource(99))
+	u, v := randVec(r, 128), randVec(r, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MinDist(u, v)
+	}
+}
+
+func BenchmarkLLD128(b *testing.B) {
+	r := rand.New(rand.NewSource(100))
+	l1 := Line{P: randVec(r, 128), D: randVec(r, 128)}
+	l2 := Line{P: randVec(r, 128), D: randVec(r, 128)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = LLD(l1, l2)
+	}
+}

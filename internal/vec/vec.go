@@ -1,0 +1,183 @@
+// Package vec implements the vector-geometry substrate of Chu & Wong,
+// "Fast Time-Series Searching with Scaling and Shifting" (PODS '99).
+//
+// A time sequence of length n is treated as a position vector in Rⁿ
+// (paper §3).  The package provides the primitive operations the paper
+// builds on — scalar products, norms, projections — together with the
+// paper-specific constructions:
+//
+//   - scaling lines and shifting lines (§5),
+//   - point-to-line and line-to-line distance, PLD and LLD (Lemmas 1–2),
+//   - the Shift-Eliminated Transformation T_se (Definition 2),
+//   - the closed forms for the optimal scale factor a and shift offset b
+//     (§5.2).
+//
+// All operations treat dimension mismatches as programming errors and
+// panic, mirroring the convention of the standard library's copy on
+// slices of different element types.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a time sequence viewed as a position vector in Rⁿ.
+type Vector []float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// assertSameDim panics unless u and v have the same dimension.
+func assertSameDim(u, v Vector) {
+	if len(u) != len(v) {
+		panic(fmt.Sprintf("vec: dimension mismatch: %d vs %d", len(u), len(v)))
+	}
+}
+
+// Dot returns the scalar product u·v (Preliminaries, property 1).
+func Dot(u, v Vector) float64 {
+	assertSameDim(u, v)
+	var s float64
+	for i, x := range u {
+		s += x * v[i]
+	}
+	return s
+}
+
+// NormSq returns ‖u‖² = u·u.
+func NormSq(u Vector) float64 {
+	var s float64
+	for _, x := range u {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean length ‖u‖ (Preliminaries, property 2).
+func Norm(u Vector) float64 { return math.Sqrt(NormSq(u)) }
+
+// Add returns u + v as a fresh vector.
+func Add(u, v Vector) Vector {
+	assertSameDim(u, v)
+	w := make(Vector, len(u))
+	for i := range u {
+		w[i] = u[i] + v[i]
+	}
+	return w
+}
+
+// Sub returns u − v as a fresh vector.
+func Sub(u, v Vector) Vector {
+	assertSameDim(u, v)
+	w := make(Vector, len(u))
+	for i := range u {
+		w[i] = u[i] - v[i]
+	}
+	return w
+}
+
+// Scale returns a·u as a fresh vector (sequence scaling, §3).
+func Scale(a float64, u Vector) Vector {
+	w := make(Vector, len(u))
+	for i := range u {
+		w[i] = a * u[i]
+	}
+	return w
+}
+
+// Shift returns u + b·N as a fresh vector, where N is the shifting
+// vector (1,…,1) of matching dimension (sequence shifting, §3).
+func Shift(u Vector, b float64) Vector {
+	w := make(Vector, len(u))
+	for i := range u {
+		w[i] = u[i] + b
+	}
+	return w
+}
+
+// Apply evaluates the scale-shift transformation
+// F_{a,b}(u) = a·u + b·N of Definition 1.
+func Apply(u Vector, a, b float64) Vector {
+	w := make(Vector, len(u))
+	for i := range u {
+		w[i] = a*u[i] + b
+	}
+	return w
+}
+
+// Dist returns the Euclidean distance D₂(u, v) = ‖u − v‖.
+func Dist(u, v Vector) float64 {
+	assertSameDim(u, v)
+	var s float64
+	for i := range u {
+		d := u[i] - v[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DistP returns the Lp distance D_p(u, v) for p ≥ 1 (§1).  DistP(u, v, 2)
+// agrees with Dist up to floating-point rounding.
+func DistP(u, v Vector, p float64) float64 {
+	assertSameDim(u, v)
+	if p < 1 {
+		panic(fmt.Sprintf("vec: DistP requires p >= 1, got %v", p))
+	}
+	if math.IsInf(p, 1) {
+		var m float64
+		for i := range u {
+			m = math.Max(m, math.Abs(u[i]-v[i]))
+		}
+		return m
+	}
+	var s float64
+	for i := range u {
+		s += math.Pow(math.Abs(u[i]-v[i]), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// Mean returns the arithmetic mean of the components of u, i.e.
+// (u·N)/‖N‖².  Mean of the empty vector is 0.
+func Mean(u Vector) float64 {
+	if len(u) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range u {
+		s += x
+	}
+	return s / float64(len(u))
+}
+
+// Ones returns the shifting vector N(n) = (1,…,1) of §3.
+func Ones(n int) Vector {
+	w := make(Vector, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// ProjAlong returns the projection of u along d, (u·d)/‖d‖²·d
+// (Preliminaries, property 3).  The projection along the zero vector is
+// the zero vector.
+func ProjAlong(u, d Vector) Vector {
+	assertSameDim(u, d)
+	dd := NormSq(d)
+	if dd == 0 {
+		return make(Vector, len(u))
+	}
+	return Scale(Dot(u, d)/dd, d)
+}
+
+// ProjPerp returns the projection of u perpendicular to d,
+// u − u_∥d (Preliminaries, property 3).
+func ProjPerp(u, d Vector) Vector {
+	return Sub(u, ProjAlong(u, d))
+}

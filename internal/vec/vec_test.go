@@ -1,0 +1,250 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func almostEq(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= eps*scale
+}
+
+// randVec draws a vector of dimension n with entries in [-10, 10).
+func randVec(r *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = r.Float64()*20 - 10
+	}
+	return v
+}
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		u, v Vector
+		want float64
+	}{
+		{"orthogonal", Vector{1, 0}, Vector{0, 1}, 0},
+		{"parallel", Vector{1, 2, 3}, Vector{2, 4, 6}, 28},
+		{"negative", Vector{1, -1}, Vector{1, 1}, 0},
+		{"empty", Vector{}, Vector{}, 0},
+		{"single", Vector{3}, Vector{-4}, -12},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Dot(tc.u, tc.v); got != tc.want {
+				t.Errorf("Dot(%v, %v) = %v, want %v", tc.u, tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDotPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot on mismatched dims did not panic")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestNorm(t *testing.T) {
+	tests := []struct {
+		u    Vector
+		want float64
+	}{
+		{Vector{3, 4}, 5},
+		{Vector{0, 0, 0}, 0},
+		{Vector{1, 1, 1, 1}, 2},
+		{Vector{-2}, 2},
+	}
+	for _, tc := range tests {
+		if got := Norm(tc.u); !almostEq(got, tc.want, tol) {
+			t.Errorf("Norm(%v) = %v, want %v", tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestAddSubScaleShift(t *testing.T) {
+	u := Vector{1, 2, 3}
+	v := Vector{4, 5, 6}
+	if got := Add(u, v); !vecEq(got, Vector{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(v, u); !vecEq(got, Vector{3, 3, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(2, u); !vecEq(got, Vector{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Shift(u, 10); !vecEq(got, Vector{11, 12, 13}) {
+		t.Errorf("Shift = %v", got)
+	}
+	// Inputs must be untouched.
+	if !vecEq(u, Vector{1, 2, 3}) || !vecEq(v, Vector{4, 5, 6}) {
+		t.Error("operands mutated")
+	}
+}
+
+func vecEq(a, b Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestApplyMatchesScaleThenShift(t *testing.T) {
+	u := Vector{5, 10, 6, 12, 4}
+	got := Apply(u, 2, 3)
+	want := Shift(Scale(2, u), 3)
+	if !vecEq(got, want) {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestDistP(t *testing.T) {
+	u := Vector{0, 0}
+	v := Vector{3, 4}
+	if got := DistP(u, v, 2); !almostEq(got, 5, tol) {
+		t.Errorf("L2 = %v", got)
+	}
+	if got := DistP(u, v, 1); !almostEq(got, 7, tol) {
+		t.Errorf("L1 = %v", got)
+	}
+	if got := DistP(u, v, math.Inf(1)); !almostEq(got, 4, tol) {
+		t.Errorf("Linf = %v", got)
+	}
+	if got, want := DistP(u, v, 2), Dist(u, v); !almostEq(got, want, tol) {
+		t.Errorf("DistP(2)=%v disagrees with Dist=%v", got, want)
+	}
+}
+
+func TestDistPPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DistP with p<1 did not panic")
+		}
+	}()
+	DistP(Vector{1}, Vector{2}, 0.5)
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		u    Vector
+		want float64
+	}{
+		{Vector{1, 2, 3}, 2},
+		{Vector{}, 0},
+		{Vector{-5, 5}, 0},
+		{Vector{7}, 7},
+	}
+	for _, tc := range tests {
+		if got := Mean(tc.u); !almostEq(got, tc.want, tol) {
+			t.Errorf("Mean(%v) = %v, want %v", tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestOnes(t *testing.T) {
+	if got := Ones(3); !vecEq(got, Vector{1, 1, 1}) {
+		t.Errorf("Ones(3) = %v", got)
+	}
+	if got := Ones(0); len(got) != 0 {
+		t.Errorf("Ones(0) = %v", got)
+	}
+}
+
+func TestMeanIsDotWithOnesOverNormSq(t *testing.T) {
+	// Mean(u) must equal (u·N)/‖N‖² — the projection coefficient used by
+	// the SE-Transformation (Definition 2).
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if x != x || x > 1e6 || x < -1e6 {
+				return true // reject non-finite / overflow-prone inputs
+			}
+		}
+		u := Vector(raw)
+		n := Ones(len(u))
+		return almostEq(Mean(u), Dot(u, n)/NormSq(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjAlongPerp(t *testing.T) {
+	u := Vector{3, 4}
+	d := Vector{1, 0}
+	if got := ProjAlong(u, d); !vecEq(got, Vector{3, 0}) {
+		t.Errorf("ProjAlong = %v", got)
+	}
+	if got := ProjPerp(u, d); !vecEq(got, Vector{0, 4}) {
+		t.Errorf("ProjPerp = %v", got)
+	}
+	// Zero direction: projection along is zero, perpendicular is u.
+	z := Vector{0, 0}
+	if got := ProjAlong(u, z); !vecEq(got, z) {
+		t.Errorf("ProjAlong zero dir = %v", got)
+	}
+	if got := ProjPerp(u, z); !vecEq(got, u) {
+		t.Errorf("ProjPerp zero dir = %v", got)
+	}
+}
+
+func TestProjDecompositionProperty(t *testing.T) {
+	// u = u_∥d + u_⊥d, and u_⊥d · d = 0 (Preliminaries, property 3).
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + r.Intn(16)
+		u, d := randVec(r, n), randVec(r, n)
+		par, perp := ProjAlong(u, d), ProjPerp(u, d)
+		if !vecEq(Add(par, perp), u) {
+			t.Fatalf("decomposition broken: %v + %v != %v", par, perp, u)
+		}
+		if !almostEq(Dot(perp, d), 0, 1e-6) {
+			t.Fatalf("perp not orthogonal: dot=%v", Dot(perp, d))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	u := Vector{1, 2, 3}
+	c := u.Clone()
+	c[0] = 99
+	if u[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestCauchySchwarzProperty(t *testing.T) {
+	// |u·v| ≤ ‖u‖‖v‖ — sanity for the scalar-product identity the paper's
+	// Preliminaries rely on.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(32)
+		u, v := randVec(r, n), randVec(r, n)
+		if Dot(u, v) > Norm(u)*Norm(v)+1e-9 {
+			t.Fatalf("Cauchy-Schwarz violated for %v, %v", u, v)
+		}
+	}
+}
