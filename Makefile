@@ -1,0 +1,26 @@
+# Standard entry points for the scaleshift repo.  `make check` is the
+# gate CI (and contributors) run before merging.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick benchmark smoke: the build comparison and the verification
+# micro-benchmarks committed under results/.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBulkBuild' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkVerify' -benchtime 0.2s ./internal/vec/

@@ -248,6 +248,44 @@ func BenchmarkIndexBuild(b *testing.B) {
 	b.ReportMetric(float64(windows)*float64(b.N)/b.Elapsed().Seconds(), "windows/sec")
 }
 
+// BenchmarkBulkBuild compares sequential and parallel STR bulk loading
+// at the 1/5-scale database (200 × 650 days, window 128 → 104,600
+// windows; the ISSUE's ≥100k-window scale).  The speedup column is the
+// point of the comparison: on a multi-core machine parallel/GOMAXPROCS
+// should approach the core count; on one core the two are equal.
+func BenchmarkBulkBuild(b *testing.B) {
+	st := store.New()
+	scfg := stock.DefaultConfig()
+	scfg.Companies = 200
+	if _, err := stock.Populate(st, scfg); err != nil {
+		b.Fatal(err)
+	}
+	windows := 200 * (650 - 128 + 1)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := core.NewIndex(st, core.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ix.BuildBulkParallel(tc.workers); err != nil {
+					b.Fatal(err)
+				}
+				if ix.WindowCount() != windows {
+					b.Fatalf("indexed %d windows, want %d", ix.WindowCount(), windows)
+				}
+			}
+			b.ReportMetric(float64(windows)*float64(b.N)/b.Elapsed().Seconds(), "windows/sec")
+		})
+	}
+}
+
 // BenchmarkTrailSearch compares the per-window leaf representation
 // against sub-trail MBR leaves (DESIGN.md abl-trail) at a tight ε.
 func BenchmarkTrailSearch(b *testing.B) {

@@ -14,7 +14,9 @@
 //
 // -scale full reproduces the paper's 1 000 × 650 data set (the index
 // build alone takes tens of seconds); -scale medium and small shrink
-// it for quick runs.
+// it for quick runs.  -build selects the construction method (insert,
+// bulk, or parallel), and -cpuprofile/-memprofile write pprof profiles
+// of the run.
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"scaleshift/internal/bench"
@@ -43,7 +47,41 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "data and workload seed")
 	csvPath := fs.String("csv", "", "also write the fig45 sweep as CSV to this file")
 	subtrail := fs.Int("subtrail", 0, "sub-trail MBR length for the index (0/1 = per-window point entries)")
+	buildMode := fs.String("build", "insert", "index construction: insert | bulk | parallel")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ssbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is meaningful
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ssbench: memprofile:", err)
+			}
+		}()
+	}
+
+	mode, err := bench.ParseBuildMode(*buildMode)
+	if err != nil {
 		return err
 	}
 
@@ -77,11 +115,11 @@ func run(args []string, stdout io.Writer) error {
 
 	var env *bench.Env
 	if needEnv {
-		fmt.Fprintf(stdout, "building environment: %d companies x %d days, window %d, %d queries...\n",
-			cfg.Companies, cfg.Days, cfg.WindowLen, cfg.Queries)
+		fmt.Fprintf(stdout, "building environment (%s): %d companies x %d days, window %d, %d queries...\n",
+			mode, cfg.Companies, cfg.Days, cfg.WindowLen, cfg.Queries)
 		start := time.Now()
 		var err error
-		env, err = bench.NewEnv(cfg)
+		env, err = bench.NewEnvBuilt(cfg, mode)
 		if err != nil {
 			return err
 		}

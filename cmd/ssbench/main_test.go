@@ -62,4 +62,30 @@ func TestBenchErrors(t *testing.T) {
 	if err := run([]string{"-experiment", "bogus", "-scale", "small"}, &sb); err == nil {
 		t.Error("bad experiment accepted")
 	}
+	if err := run([]string{"-build", "osmotic", "-scale", "small"}, &sb); err == nil {
+		t.Error("bad build mode accepted")
+	}
+}
+
+func TestBenchParallelBuildAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var sb strings.Builder
+	err := run([]string{"-experiment", "nn", "-scale", "small", "-companies", "12", "-queries", "2",
+		"-build", "parallel", "-cpuprofile", cpu, "-memprofile", mem}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "building environment (bulk-parallel)") {
+		t.Errorf("output missing build mode:\n%s", sb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", p, err)
+		} else if fi.Size() == 0 {
+			t.Errorf("profile %s empty", p)
+		}
+	}
 }

@@ -138,15 +138,56 @@ type Env struct {
 	BuildTime time.Duration
 }
 
-// NewEnv generates the data, builds the index by one-by-one insertion
-// (as the paper's dynamic-index requirement implies), and samples the
-// workload.
-func NewEnv(cfg Config) (*Env, error) {
-	return newEnvWithBuild(cfg, false)
+// BuildMode selects how the experiment index is constructed.
+type BuildMode int
+
+const (
+	// BuildInsert constructs the tree by one-by-one R* insertion (as
+	// the paper's dynamic-index requirement implies).
+	BuildInsert BuildMode = iota
+	// BuildBulk constructs the tree with sequential STR bulk loading.
+	BuildBulk
+	// BuildParallel shards feature extraction and STR packing across
+	// GOMAXPROCS workers; the resulting tree is identical to BuildBulk.
+	BuildParallel
+)
+
+// String returns the construction label used in reports.
+func (m BuildMode) String() string {
+	switch m {
+	case BuildInsert:
+		return "insert"
+	case BuildBulk:
+		return "bulk"
+	case BuildParallel:
+		return "bulk-parallel"
+	default:
+		return "unknown"
+	}
 }
 
-// newEnvWithBuild is NewEnv with a choice of construction method.
-func newEnvWithBuild(cfg Config, bulk bool) (*Env, error) {
+// ParseBuildMode maps a command-line name to a BuildMode.
+func ParseBuildMode(s string) (BuildMode, error) {
+	switch s {
+	case "insert":
+		return BuildInsert, nil
+	case "bulk":
+		return BuildBulk, nil
+	case "parallel", "bulk-parallel":
+		return BuildParallel, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown build mode %q (want insert, bulk, or parallel)", s)
+	}
+}
+
+// NewEnv generates the data, builds the index by one-by-one insertion,
+// and samples the workload.
+func NewEnv(cfg Config) (*Env, error) {
+	return NewEnvBuilt(cfg, BuildInsert)
+}
+
+// NewEnvBuilt is NewEnv with a choice of construction method.
+func NewEnvBuilt(cfg Config, mode BuildMode) (*Env, error) {
 	st := store.New()
 	scfg := stock.DefaultConfig()
 	scfg.Companies = cfg.Companies
@@ -167,9 +208,12 @@ func newEnvWithBuild(cfg Config, bulk bool) (*Env, error) {
 		return nil, fmt.Errorf("bench: creating index: %w", err)
 	}
 	buildStart := time.Now()
-	if bulk {
+	switch mode {
+	case BuildBulk:
 		err = ix.BuildBulk()
-	} else {
+	case BuildParallel:
+		err = ix.BuildBulkParallel(0)
+	default:
 		err = ix.Build()
 	}
 	if err != nil {

@@ -279,16 +279,23 @@ func TestBuildAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || rows[0].Label != "insert-built" || rows[1].Label != "bulk-built" {
+	if len(rows) != 3 || rows[0].Label != "insert-built" || rows[1].Label != "bulk-built" ||
+		rows[2].Label != "bulk-parallel-built" {
 		t.Fatalf("rows: %+v", rows)
 	}
-	// Both trees index the same windows; result counts must agree.
-	if rows[0].Results != rows[1].Results {
-		t.Errorf("insert-built found %v results, bulk-built %v", rows[0].Results, rows[1].Results)
+	// All trees index the same windows; result counts must agree.
+	for _, r := range rows[1:] {
+		if r.Results != rows[0].Results {
+			t.Errorf("insert-built found %v results, %s %v", rows[0].Results, r.Label, r.Results)
+		}
 	}
-	// Bulk packing never produces a larger tree.
+	// Bulk packing never produces a larger tree, and the parallel bulk
+	// load builds the identical tree.
 	if rows[1].IndexPagesTotal > rows[0].IndexPagesTotal {
 		t.Errorf("bulk index %d pages > insert-built %d", rows[1].IndexPagesTotal, rows[0].IndexPagesTotal)
+	}
+	if rows[2].IndexPagesTotal != rows[1].IndexPagesTotal {
+		t.Errorf("parallel bulk index %d pages, sequential bulk %d", rows[2].IndexPagesTotal, rows[1].IndexPagesTotal)
 	}
 }
 

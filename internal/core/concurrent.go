@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 
+	"scaleshift/internal/store"
 	"scaleshift/internal/vec"
 )
 
@@ -35,6 +36,25 @@ func (c *ConcurrentIndex) SearchLong(q vec.Vector, eps float64, costs CostBounds
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.ix.SearchLong(q, eps, costs, stats)
+}
+
+// SearchPooled is Index.SearchPooled under the read lock.  The buffer
+// pool itself is not synchronized by the index lock; give each caller
+// its own pool (or serialize callers sharing one).
+func (c *ConcurrentIndex) SearchPooled(q vec.Vector, eps float64, costs CostBounds, pool *store.BufferPool, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchPooled(q, eps, costs, pool, stats)
+}
+
+// SearchBatch is Index.SearchBatch under the read lock: the whole
+// batch runs inside one read-lock acquisition, so its queries are
+// answered against a single consistent snapshot of the index and the
+// batch's internal parallelism composes with the lock.
+func (c *ConcurrentIndex) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds, parallelism int, stats *SearchStats) ([][]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchBatch(queries, eps, costs, parallelism, stats)
 }
 
 // NearestNeighbors is Index.NearestNeighbors under the read lock.

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"sync"
 
 	"scaleshift/internal/dft"
 	"scaleshift/internal/geom"
@@ -404,6 +406,103 @@ func (ix *Index) BuildBulk() error {
 	return nil
 }
 
+// BuildBulkParallel is BuildBulk with the pre-processing fanned out
+// over a bounded worker pool: feature extraction is sharded across
+// sequences and across featureCheckpoint-aligned segments (each
+// segment restarts the sliding DFT, so its features are
+// bit-reproducible no matter which worker computes them and land at
+// precomputed slots), and the STR bulk load parallelizes its sort and
+// tiling passes.  workers < 1 means runtime.GOMAXPROCS(0).  The
+// resulting tree is identical to the sequential BuildBulk tree.
+func (ix *Index) BuildBulkParallel(workers int) error {
+	if ix.tree.Len() != 0 {
+		return fmt.Errorf("core: BuildBulkParallel requires an empty index (have %d windows)", ix.tree.Len())
+	}
+	if ix.trailMode() {
+		// Trail entries are rectangles; STR bulk loading packs points.
+		return ix.Build()
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := ix.opts.WindowLen
+	nSeq := ix.st.NumSequences()
+	ix.indexed = make([]int, nSeq)
+
+	// Per-sequence item offsets: window (seq, s) goes to slot
+	// base[seq]+s, making the item order independent of scheduling.
+	base := make([]int, nSeq+1)
+	type segment struct{ seq, cp, segLast int }
+	var segs []segment
+	for seq := 0; seq < nSeq; seq++ {
+		count := ix.st.SequenceLen(seq) - n + 1
+		if count < 0 {
+			count = 0
+		}
+		base[seq+1] = base[seq] + count
+		lastStart := count - 1
+		for cp := 0; cp <= lastStart; cp += featureCheckpoint {
+			segLast := cp + featureCheckpoint - 1
+			if segLast > lastStart {
+				segLast = lastStart
+			}
+			segs = append(segs, segment{seq, cp, segLast})
+		}
+		ix.indexed[seq] = count
+	}
+	items := make([]rtree.Item, base[nSeq])
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+
+	next := make(chan segment, len(segs))
+	for _, sg := range segs {
+		next <- sg
+	}
+	close(next)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sc := ix.newSegScratch()
+			feat := make(vec.Vector, ix.fmap.Dim())
+			for sg := range next {
+				off := base[sg.seq]
+				err := ix.featureSegment(sg.seq, sg.cp, sg.segLast, sg.cp, sc, feat, func(start int, f vec.Vector) error {
+					items[off+start] = rtree.Item{
+						Point: f.Clone(),
+						ID:    store.EncodeWindowID(sg.seq, start),
+					}
+					return nil
+				})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			ix.indexed = make([]int, nSeq)
+			return fmt.Errorf("core: parallel bulk indexing: %w", err)
+		}
+	}
+
+	cfg := ix.opts.Tree
+	cfg.Dim = ix.fmap.Dim()
+	tree, err := rtree.BulkLoadParallel(cfg, items, workers)
+	if err != nil {
+		ix.indexed = make([]int, nSeq)
+		return fmt.Errorf("core: parallel bulk loading: %w", err)
+	}
+	ix.tree = tree
+	return nil
+}
+
 // IndexSequence indexes the windows of sequence seq that are not yet
 // indexed.  It is idempotent and supports sequences that grew since
 // the last call (requirement 2 of §3).
@@ -452,49 +551,79 @@ const featureCheckpoint = 256
 
 func (ix *Index) featureWindows(seq, from int, fn func(start int, f vec.Vector) error, feat vec.Vector) error {
 	n := ix.opts.WindowLen
-	L := ix.st.SequenceLen(seq)
-	lastStart := L - n
+	lastStart := ix.st.SequenceLen(seq) - n
 	if from > lastStart {
 		return nil
 	}
+	sc := ix.newSegScratch()
+	for cp := from - from%featureCheckpoint; cp <= lastStart; cp += featureCheckpoint {
+		segLast := cp + featureCheckpoint - 1
+		if segLast > lastStart {
+			segLast = lastStart
+		}
+		if err := ix.featureSegment(seq, cp, segLast, from, sc, feat, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segScratch holds the per-worker buffers of one feature-extraction
+// stream: raw spans a checkpoint segment's samples for the sliding
+// DFT; w and se serve the direct (Haar) transform.
+type segScratch struct {
+	raw, w, se vec.Vector
+}
+
+func (ix *Index) newSegScratch() *segScratch {
+	n := ix.opts.WindowLen
 	if ix.opts.Reduction == ReductionDFT {
-		raw := make(vec.Vector, n+featureCheckpoint-1)
-		for cp := from - from%featureCheckpoint; cp <= lastStart; cp += featureCheckpoint {
-			segLast := cp + featureCheckpoint - 1
-			if segLast > lastStart {
-				segLast = lastStart
+		return &segScratch{raw: make(vec.Vector, n+featureCheckpoint-1)}
+	}
+	return &segScratch{w: make(vec.Vector, n), se: make(vec.Vector, n)}
+}
+
+// featureSegment streams the features of windows [max(cp, from),
+// segLast] of sequence seq into fn, where cp is a checkpoint-aligned
+// segment start.  The sliding DFT restarts from scratch at cp, so the
+// emitted features depend only on (seq, cp) — any caller that respects
+// checkpoint alignment reproduces them bit-identically, which is what
+// lets the parallel build shard segments across workers.
+func (ix *Index) featureSegment(seq, cp, segLast, from int, sc *segScratch, feat vec.Vector, fn func(start int, f vec.Vector) error) error {
+	n := ix.opts.WindowLen
+	if ix.opts.Reduction == ReductionDFT {
+		span := segLast - cp + n // samples covering windows [cp, segLast]
+		if err := ix.st.Window(seq, cp, span, sc.raw[:span], nil); err != nil {
+			return err
+		}
+		slider, err := dft.NewSlidingTransformer(ix.fmap, sc.raw[:n])
+		if err != nil {
+			return err
+		}
+		for s := cp; s <= segLast; s++ {
+			if s > cp {
+				slider.Slide(sc.raw[s-cp+n-1])
 			}
-			span := segLast - cp + n // samples covering windows [cp, segLast]
-			if err := ix.st.Window(seq, cp, span, raw[:span], nil); err != nil {
+			if s < from {
+				continue
+			}
+			slider.Feature(feat)
+			if err := fn(s, feat); err != nil {
 				return err
-			}
-			slider, err := dft.NewSlidingTransformer(ix.fmap, raw[:n])
-			if err != nil {
-				return err
-			}
-			for s := cp; s <= segLast; s++ {
-				if s > cp {
-					slider.Slide(raw[s-cp+n-1])
-				}
-				if s < from {
-					continue
-				}
-				slider.Feature(feat)
-				if err := fn(s, feat); err != nil {
-					return err
-				}
 			}
 		}
 		return nil
 	}
-	w := make(vec.Vector, n)
-	se := make(vec.Vector, n)
-	for start := from; start+n <= L; start++ {
-		if err := ix.st.Window(seq, start, n, w, nil); err != nil {
+	start := cp
+	if start < from {
+		start = from
+	}
+	for ; start <= segLast; start++ {
+		if err := ix.st.Window(seq, start, n, sc.w, nil); err != nil {
 			return err
 		}
-		vec.SETransformInPlace(se, w)
-		ix.fmap.TransformInto(feat, se)
+		vec.SETransformInPlace(sc.se, sc.w)
+		ix.fmap.TransformInto(feat, sc.se)
 		if err := fn(start, feat); err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -10,6 +11,163 @@ import (
 	"scaleshift/internal/store"
 	"scaleshift/internal/vec"
 )
+
+// candidate addresses one window proposed by the index phase.
+type candidate struct{ seq, start int }
+
+// Post-processing verdicts.
+const (
+	verdictMatch = iota
+	verdictFalseAlarm
+	verdictCostRejected
+)
+
+// verifier carries the query-side quantities shared by every candidate
+// check of one query: the SE image su = T_se(q), its squared norm uu,
+// and the query mean mu feed the prefix-sum fast path of
+// vec.MinDistWithStats; q itself feeds the exact confirmation.  A
+// verifier is read-only after construction and therefore shared by the
+// parallel verification workers.
+type verifier struct {
+	ix     *Index
+	q, su  vec.Vector
+	mu, uu float64
+	eps    float64
+	costs  CostBounds
+}
+
+func (ix *Index) newVerifier(q vec.Vector, eps float64, costs CostBounds) *verifier {
+	su := vec.SETransform(q)
+	return &verifier{ix: ix, q: q, su: su, mu: vec.Mean(q), uu: vec.NormSq(su), eps: eps, costs: costs}
+}
+
+// verify runs the exact post-processing check on one candidate window.
+// The window is read in place (no copy) and charged to pc; the
+// prefix-sum fast path rejects candidates whose distance provably
+// exceeds eps after one cross-term pass, and only survivors — true
+// matches and candidates within the fast path's error bound of the
+// boundary — pay for the exact MinDist, whose values are reported so
+// results are bit-identical to the all-exact path.
+func (v *verifier) verify(seq, start int, pc *store.PageCounter) (Match, int, error) {
+	n := len(v.q)
+	w, err := v.ix.st.WindowView(seq, start, n, pc)
+	if err != nil {
+		return Match{}, 0, err
+	}
+	ws, err := v.ix.st.WindowStats(seq, start, n)
+	if err != nil {
+		return Match{}, 0, err
+	}
+	fast, slack := vec.MinDistWithStats(v.su, v.mu, v.uu, w, ws.Sum, ws.SumSq, ws.SumErr, ws.SumSqErr)
+	if fast.Dist*fast.Dist > v.eps*v.eps+slack {
+		return Match{}, verdictFalseAlarm, nil
+	}
+	m := vec.MinDist(v.q, w)
+	if m.Dist > v.eps {
+		return Match{}, verdictFalseAlarm, nil
+	}
+	if !v.costs.Allow(m.Scale, m.Shift) {
+		return Match{}, verdictCostRejected, nil
+	}
+	return Match{
+		Seq:   seq,
+		Start: start,
+		Name:  v.ix.st.SequenceName(seq),
+		Dist:  m.Dist,
+		Scale: m.Scale,
+		Shift: m.Shift,
+	}, verdictMatch, nil
+}
+
+// verifyParallelThreshold is the candidate count below which the
+// per-query verification fan-out is not worth the goroutine handoff.
+const verifyParallelThreshold = 32
+
+// verifyCandidates post-processes the candidate list, returning the
+// matches in candidate order plus the false-alarm and cost-rejection
+// counts.  When the query yields enough candidates, pc is not attached
+// to a buffer pool, and GOMAXPROCS allows, verification fans out
+// across a bounded worker pool: workers fill disjoint slots of a
+// verdict array and keep private page counters that are merged into pc
+// afterwards, so results, ordering, and every SearchStats field are
+// identical to the sequential pass.
+func (ix *Index) verifyCandidates(v *verifier, cands []candidate, pc *store.PageCounter) ([]Match, int, int, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(cands) < verifyParallelThreshold || workers < 2 || pc.Pool != nil {
+		var out []Match
+		var falseAlarms, costRejected int
+		for _, c := range cands {
+			m, verdict, err := v.verify(c.seq, c.start, pc)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			switch verdict {
+			case verdictFalseAlarm:
+				falseAlarms++
+			case verdictCostRejected:
+				costRejected++
+			default:
+				out = append(out, m)
+			}
+		}
+		return out, falseAlarms, costRejected, nil
+	}
+
+	type outcome struct {
+		m       Match
+		verdict int
+	}
+	outs := make([]outcome, len(cands))
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	pcs := make([]store.PageCounter, workers)
+	errs := make([]error, workers)
+	chunk := (len(cands) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				m, verdict, err := v.verify(cands[i].seq, cands[i].start, &pcs[g])
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				outs[i] = outcome{m, verdict}
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	for g := range errs {
+		if errs[g] != nil {
+			return nil, 0, 0, errs[g]
+		}
+		pc.Merge(&pcs[g])
+	}
+	var out []Match
+	var falseAlarms, costRejected int
+	for i := range outs {
+		switch outs[i].verdict {
+		case verdictFalseAlarm:
+			falseAlarms++
+		case verdictCostRejected:
+			costRejected++
+		default:
+			out = append(out, outs[i].m)
+		}
+	}
+	return out, falseAlarms, costRejected, nil
+}
 
 // candidateWindows runs the index phase for one SE-line and streams
 // every candidate window address (already widened by the numeric
@@ -100,48 +258,24 @@ func (ix *Index) SearchPooled(q vec.Vector, eps float64, costs CostBounds, pool 
 	line := ix.seLine(q)
 
 	// Post-processing step: exact check, transform recovery, cost
-	// bounds.
+	// bounds — prefix-sum filtered and, for large candidate sets,
+	// fanned across a worker pool (see verifyCandidates).
 	pc := store.PageCounter{Pool: pool}
-	var out []Match
-	w := make(vec.Vector, ix.opts.WindowLen)
-	var candidates, falseAlarms, costRejected int
-	var postErr error
+	var cands []candidate
 	ix.candidateWindows(line, eps, costs, &treeStats, func(seq, start int) {
-		if postErr != nil {
-			return
-		}
-		candidates++
-		if err := ix.st.Window(seq, start, ix.opts.WindowLen, w, &pc); err != nil {
-			postErr = err
-			return
-		}
-		m := vec.MinDist(q, w)
-		if m.Dist > eps {
-			falseAlarms++
-			return
-		}
-		if !costs.Allow(m.Scale, m.Shift) {
-			costRejected++
-			return
-		}
-		out = append(out, Match{
-			Seq:   seq,
-			Start: start,
-			Name:  ix.st.SequenceName(seq),
-			Dist:  m.Dist,
-			Scale: m.Scale,
-			Shift: m.Shift,
-		})
+		cands = append(cands, candidate{seq, start})
 	})
-	if postErr != nil {
-		return nil, fmt.Errorf("core: post-processing: %w", postErr)
+	v := ix.newVerifier(q, eps, costs)
+	out, falseAlarms, costRejected, err := ix.verifyCandidates(v, cands, &pc)
+	if err != nil {
+		return nil, fmt.Errorf("core: post-processing: %w", err)
 	}
 	sortMatches(out)
 
 	if stats != nil {
 		stats.IndexNodeAccesses += treeStats.NodeAccesses
 		stats.DataPageAccesses += pc.Distinct()
-		stats.Candidates += candidates
+		stats.Candidates += len(cands)
 		stats.FalseAlarms += falseAlarms
 		stats.CostRejected += costRejected
 		stats.Results += len(out)
@@ -178,48 +312,41 @@ func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *
 
 	// Searching step, once per piece; candidate alignments are the
 	// piece hits translated back to the query's start.
-	type align struct{ seq, start int }
-	proposed := make(map[align]bool)
+	proposed := make(map[candidate]bool)
 	var treeStats rtree.SearchStats
 	for i := 0; i < pieces; i++ {
 		piece := q[i*n : (i+1)*n]
 		line := ix.seLine(piece)
 		i := i
 		ix.candidateWindows(line, pieceEps, costs, &treeStats, func(seq, start int) {
-			full := align{seq, start - i*n}
+			full := candidate{seq, start - i*n}
 			if full.start < 0 || full.start+len(q) > ix.st.SequenceLen(seq) {
 				return
 			}
 			proposed[full] = true
 		})
 	}
-
-	// Post-processing on the full-length windows.
-	var pc store.PageCounter
-	w := make(vec.Vector, len(q))
-	var out []Match
-	var falseAlarms, costRejected int
+	// Sort the deduplicated proposals so verification order — and with
+	// it any page-access pattern — is deterministic despite map
+	// iteration.
+	cands := make([]candidate, 0, len(proposed))
 	for a := range proposed {
-		if err := ix.st.Window(a.seq, a.start, len(q), w, &pc); err != nil {
-			return nil, fmt.Errorf("core: long-query post-processing: %w", err)
+		cands = append(cands, a)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].seq != cands[j].seq {
+			return cands[i].seq < cands[j].seq
 		}
-		m := vec.MinDist(q, w)
-		if m.Dist > eps {
-			falseAlarms++
-			continue
-		}
-		if !costs.Allow(m.Scale, m.Shift) {
-			costRejected++
-			continue
-		}
-		out = append(out, Match{
-			Seq:   a.seq,
-			Start: a.start,
-			Name:  ix.st.SequenceName(a.seq),
-			Dist:  m.Dist,
-			Scale: m.Scale,
-			Shift: m.Shift,
-		})
+		return cands[i].start < cands[j].start
+	})
+
+	// Post-processing on the full-length windows, through the same
+	// prefix-sum filtered (and possibly parallel) path as Search.
+	var pc store.PageCounter
+	v := ix.newVerifier(q, eps, costs)
+	out, falseAlarms, costRejected, err := ix.verifyCandidates(v, cands, &pc)
+	if err != nil {
+		return nil, fmt.Errorf("core: long-query post-processing: %w", err)
 	}
 	sortMatches(out)
 
@@ -263,18 +390,34 @@ func (ix *Index) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds
 	var treeStats rtree.SearchStats
 	var pc store.PageCounter
 	line := ix.seLine(q)
-	w := make(vec.Vector, ix.opts.WindowLen)
 	var best []Match // sorted ascending by Dist, at most k
 	var candidates int
 	var scanErr error
 
 	slack := ix.numericSlack()
-	// refine exact-checks one window against the running top-k.
+	vq := ix.newVerifier(q, 0, costs)
+	// refine exact-checks one window against the running top-k.  The
+	// prefix-sum fast path supplies a certified lower bound on the true
+	// distance; when the running top-k is full and the bound already
+	// exceeds the kth best, the exact MinDist (and its cost check, which
+	// could only discard the window anyway) is skipped.
 	refine := func(seq, start int) bool {
 		candidates++
-		if err := ix.st.Window(seq, start, ix.opts.WindowLen, w, &pc); err != nil {
+		w, err := ix.st.WindowView(seq, start, ix.opts.WindowLen, &pc)
+		if err != nil {
 			scanErr = err
 			return false
+		}
+		if len(best) == k {
+			ws, err := ix.st.WindowStats(seq, start, ix.opts.WindowLen)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			fast, fslack := vec.MinDistWithStats(vq.su, vq.mu, vq.uu, w, ws.Sum, ws.SumSq, ws.SumErr, ws.SumSqErr)
+			if lb := fast.Dist*fast.Dist - fslack; lb > 0 && math.Sqrt(lb) >= best[k-1].Dist {
+				return true
+			}
 		}
 		m := vec.MinDist(q, w)
 		if !costs.Allow(m.Scale, m.Shift) {
@@ -349,14 +492,14 @@ func sortMatches(ms []Match) {
 }
 
 // SearchBatch answers many queries concurrently with up to parallelism
-// goroutines (capped at the query count; values < 1 mean
-// GOMAXPROCS-style default of 4).  Results are positionally aligned
-// with the queries, and per-query stats are summed into stats when it
-// is non-nil.  Searches are read-only, so no locking is needed; do not
+// goroutines (capped at the query count; values < 1 default to
+// runtime.GOMAXPROCS(0)).  Results are positionally aligned with the
+// queries, and per-query stats are summed into stats when it is
+// non-nil.  Searches are read-only, so no locking is needed; do not
 // mutate the index concurrently.
 func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds, parallelism int, stats *SearchStats) ([][]Match, error) {
 	if parallelism < 1 {
-		parallelism = 4
+		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)

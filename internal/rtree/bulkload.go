@@ -3,6 +3,7 @@ package rtree
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"scaleshift/internal/geom"
 )
@@ -11,6 +12,31 @@ import (
 // nodes completely would make the very next insert split every node on
 // the path, so a standard ~85 % fill leaves headroom.
 const bulkFill = 0.85
+
+// sema is a counting semaphore bounding the extra goroutines a
+// parallel bulk load may spawn; the calling goroutine is not counted,
+// so capacity 0 means fully sequential execution.
+type sema chan struct{}
+
+func newSema(extra int) sema {
+	if extra < 0 {
+		extra = 0
+	}
+	return make(sema, extra)
+}
+
+// tryAcquire takes a worker token without blocking: bulk loading never
+// waits for parallelism, it degrades to inline execution.
+func (s sema) tryAcquire() bool {
+	select {
+	case s <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s sema) release() { <-s }
 
 // BulkLoad builds a tree over the items with Sort-Tile-Recursive
 // packing (Leutenegger et al.): items are recursively sorted and
@@ -22,6 +48,17 @@ const bulkFill = 0.85
 //
 // Points are copied.  Items of the wrong dimension are rejected.
 func BulkLoad(cfg Config, items []Item) (*Tree, error) {
+	return BulkLoadParallel(cfg, items, 1)
+}
+
+// BulkLoadParallel is BulkLoad with the leaf-entry construction, the
+// STR sort passes, and the per-slab tiling recursion fanned out over
+// at most workers goroutines (including the caller; values < 2 mean
+// sequential).  The tree is identical to BulkLoad's: every sort is
+// stable — the parallel path uses a stable merge sort, and any two
+// stable sorts under the same comparator produce the same permutation
+// — and slab outputs are concatenated in slab order.
+func BulkLoadParallel(cfg Config, items []Item, workers int) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -34,22 +71,45 @@ func BulkLoad(cfg Config, items []Item) (*Tree, error) {
 			return nil, fmt.Errorf("rtree: bulk item %d has dimension %d, want %d", i, len(it.Point), cfg.Dim)
 		}
 	}
+	sem := newSema(workers - 1)
 
 	capacity := int(bulkFill * float64(cfg.MaxEntries))
 	if capacity < cfg.MinEntries {
 		capacity = cfg.MinEntries
 	}
 
-	// Leaf level: one entry per item.
+	// Leaf level: one entry per item, built in parallel chunks (each
+	// chunk writes a disjoint range, so the result is order-exact).
 	entries := make([]*entry, len(items))
-	for i, it := range items {
-		p := it.Point.Clone()
-		entries[i] = &entry{rect: geom.RectFromPoint(p), item: Item{Point: p, ID: it.ID}}
+	buildRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := items[i].Point.Clone()
+			entries[i] = &entry{rect: geom.RectFromPoint(p), item: Item{Point: p, ID: items[i].ID}}
+		}
 	}
+	var wg sync.WaitGroup
+	const leafChunk = 4096
+	for lo := 0; lo < len(items); lo += leafChunk {
+		hi := lo + leafChunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if hi < len(items) && sem.tryAcquire() {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer sem.release()
+				buildRange(lo, hi)
+			}(lo, hi)
+		} else {
+			buildRange(lo, hi)
+		}
+	}
+	wg.Wait()
 
 	level := 0
 	for len(entries) > cfg.MaxEntries {
-		groups := strTile(entries, capacity, cfg.MinEntries, cfg.Dim, 0)
+		groups := strTile(entries, capacity, cfg.MinEntries, cfg.Dim, 0, sem)
 		parents := make([]*entry, len(groups))
 		for gi, g := range groups {
 			// Copy the group: strTile returns sub-slices of one backing
@@ -82,8 +142,11 @@ func BulkLoad(cfg Config, items []Item) (*Tree, error) {
 
 // strTile partitions entries into groups of at most c (and at least
 // minEntries) using recursive sort-tile on the rectangle centers,
-// cycling through the dimensions starting at dim.
-func strTile(entries []*entry, c, minEntries, dims, dim int) [][]*entry {
+// cycling through the dimensions starting at dim.  Slabs recurse on
+// disjoint sub-slices, so spare worker tokens from sem run them
+// concurrently; outputs are collected in slab order, keeping the
+// grouping identical to the sequential tiling.
+func strTile(entries []*entry, c, minEntries, dims, dim int, sem sema) [][]*entry {
 	if len(entries) <= c {
 		return [][]*entry{entries}
 	}
@@ -94,26 +157,40 @@ func strTile(entries []*entry, c, minEntries, dims, dim int) [][]*entry {
 		slabs++
 	}
 	d := dim % dims
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].rect.L[d]+entries[i].rect.H[d] < entries[j].rect.L[d]+entries[j].rect.H[d]
-	})
+	sortByDim(entries, d, sem)
 	perSlab := (len(entries) + slabs - 1) / slabs
 	// Keep each slab a multiple-ish of c so downstream groups fill.
 	if r := perSlab % c; r != 0 && perSlab > c {
 		perSlab += c - r
 	}
-	var out [][]*entry
-	for start := 0; start < len(entries); start += perSlab {
+	nSlabs := (len(entries) + perSlab - 1) / perSlab
+	slabOut := make([][][]*entry, nSlabs)
+	var wg sync.WaitGroup
+	for si, start := 0, 0; start < len(entries); si, start = si+1, start+perSlab {
 		end := start + perSlab
 		if end > len(entries) {
 			end = len(entries)
 		}
 		slab := entries[start:end]
 		if len(slab) <= c {
-			out = append(out, slab)
+			slabOut[si] = [][]*entry{slab}
 			continue
 		}
-		out = append(out, strTile(slab, c, minEntries, dims, dim+1)...)
+		if sem.tryAcquire() {
+			wg.Add(1)
+			go func(si int, slab []*entry) {
+				defer wg.Done()
+				defer sem.release()
+				slabOut[si] = strTile(slab, c, minEntries, dims, dim+1, sem)
+			}(si, slab)
+		} else {
+			slabOut[si] = strTile(slab, c, minEntries, dims, dim+1, sem)
+		}
+	}
+	wg.Wait()
+	var out [][]*entry
+	for _, groups := range slabOut {
+		out = append(out, groups...)
 	}
 	// Rebalance any trailing underfull group against its predecessor.
 	for i := 1; i < len(out); i++ {
@@ -134,4 +211,69 @@ func strTile(entries []*entry, c, minEntries, dims, dim int) [][]*entry {
 		out[i] = merged[half:]
 	}
 	return out
+}
+
+// sortKey orders entries by rectangle center along dimension d.
+func sortKey(e *entry, d int) float64 { return e.rect.L[d] + e.rect.H[d] }
+
+// parallelSortCutoff is the slice length below which a sort runs
+// inline: goroutine handoff and merge copying cost more than sorting.
+const parallelSortCutoff = 1 << 12
+
+// sortByDim stable-sorts entries by center along dimension d.  Large
+// slices with spare worker tokens use a stable parallel merge sort;
+// stability makes its output identical to sort.SliceStable's, so the
+// tree shape is independent of the worker count.
+func sortByDim(entries []*entry, d int, sem sema) {
+	if len(entries) < parallelSortCutoff || cap(sem) == 0 {
+		sort.SliceStable(entries, func(i, j int) bool {
+			return sortKey(entries[i], d) < sortKey(entries[j], d)
+		})
+		return
+	}
+	mergeSortByDim(entries, make([]*entry, len(entries)), d, sem)
+}
+
+// mergeSortByDim sorts es using aux (same length) as merge scratch.
+func mergeSortByDim(es, aux []*entry, d int, sem sema) {
+	if len(es) < parallelSortCutoff {
+		sort.SliceStable(es, func(i, j int) bool {
+			return sortKey(es[i], d) < sortKey(es[j], d)
+		})
+		return
+	}
+	mid := len(es) / 2
+	if sem.tryAcquire() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sem.release()
+			mergeSortByDim(es[:mid], aux[:mid], d, sem)
+		}()
+		mergeSortByDim(es[mid:], aux[mid:], d, sem)
+		wg.Wait()
+	} else {
+		mergeSortByDim(es[:mid], aux[:mid], d, sem)
+		mergeSortByDim(es[mid:], aux[mid:], d, sem)
+	}
+	// Stable merge: ties take the left run, preserving original order.
+	copy(aux, es)
+	i, j := 0, mid
+	for k := range es {
+		switch {
+		case i >= mid:
+			es[k] = aux[j]
+			j++
+		case j >= len(aux):
+			es[k] = aux[i]
+			i++
+		case sortKey(aux[j], d) < sortKey(aux[i], d):
+			es[k] = aux[j]
+			j++
+		default:
+			es[k] = aux[i]
+			i++
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -162,6 +163,46 @@ func BenchmarkBulkLoad50k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := BulkLoad(cfg, items); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestBulkLoadParallelDeterministic asserts the tentpole determinism
+// requirement: the parallel bulk load serializes byte-identically to
+// the sequential one at every worker count, including sizes that
+// exercise the parallel merge sort (> parallelSortCutoff) and
+// duplicate keys that would expose an unstable sort.
+func TestBulkLoadParallelDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for _, n := range []int{100, 5000, parallelSortCutoff + 1234} {
+		items := bulkItems(r, n, 4)
+		// Duplicate coordinates: stability is what keeps ties ordered.
+		for i := 0; i+10 < len(items); i += 10 {
+			items[i+1].Point = items[i].Point.Clone()
+		}
+		want, err := BulkLoad(DefaultConfig(4), items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantBuf bytes.Buffer
+		if err := want.WriteBinary(&wantBuf); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4, 13} {
+			got, err := BulkLoadParallel(DefaultConfig(4), items, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if err := got.CheckInvariants(); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			var gotBuf bytes.Buffer
+			if err := got.WriteBinary(&gotBuf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+				t.Fatalf("n=%d workers=%d: parallel bulk load differs from sequential", n, workers)
+			}
 		}
 	}
 }

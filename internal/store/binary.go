@@ -118,5 +118,6 @@ func ReadBinary(r io.Reader) (*Store, error) {
 		}
 		st.data = append(st.data, math.Float64frombits(bits))
 	}
+	st.rebuildStats()
 	return st, nil
 }

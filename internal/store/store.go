@@ -11,6 +11,7 @@ package store
 
 import (
 	"fmt"
+	"math"
 
 	"scaleshift/internal/vec"
 )
@@ -49,6 +50,24 @@ func (c *PageCounter) Touch(page int) {
 // Distinct returns the number of unique pages touched.
 func (c *PageCounter) Distinct() int { return len(c.seen) }
 
+// Merge folds o's accesses into c as if c had performed them: raw
+// touches and misses add, distinct pages union.  It combines the
+// private counters of a parallel verification pass into the query's
+// counter; o must not be attached to a Pool (workers run pool-less).
+func (c *PageCounter) Merge(o *PageCounter) {
+	c.Raw += o.Raw
+	c.Misses += o.Misses
+	if len(o.seen) == 0 {
+		return
+	}
+	if c.seen == nil {
+		c.seen = make(map[int]struct{}, len(o.seen))
+	}
+	for p := range o.seen {
+		c.seen[p] = struct{}{}
+	}
+}
+
 // Reset clears the counter for the next query.  The attached Pool (if
 // any) keeps its resident set, modelling a cache that stays warm
 // across queries.
@@ -66,6 +85,54 @@ type Store struct {
 	offsets []int // global index of each sequence's first value
 	lengths []int
 	data    []float64
+	// stats holds the per-sequence running prefix sums of Σv and Σv²
+	// that back O(1) WindowStats lookups during candidate verification.
+	stats []seqStats
+}
+
+// seqStats carries one sequence's prefix sums: psum[i] (psumsq[i]) is
+// the Kahan-compensated sum of the first i samples (their squares).
+// The running compensations csum/csumsq are kept so ExtendSequence
+// continues the summation exactly as if the sequence had been appended
+// whole — prefix values are therefore independent of the append
+// schedule.
+type seqStats struct {
+	psum, psumsq []float64
+	csum, csumsq float64
+}
+
+// accumulate extends the prefix sums with values using Kahan
+// compensated summation, which keeps the absolute error of every
+// prefix within a small constant multiple of ε_machine times the
+// magnitude of the terms — independent of the sequence length — so
+// differencing two prefixes stays accurate for O(1) window statistics.
+func (st *seqStats) accumulate(values []float64) {
+	s := st.psum[len(st.psum)-1]
+	q := st.psumsq[len(st.psumsq)-1]
+	cs, cq := st.csum, st.csumsq
+	for _, v := range values {
+		y := v - cs
+		t := s + y
+		cs = (t - s) - y
+		s = t
+		st.psum = append(st.psum, s)
+
+		v2 := v * v
+		y = v2 - cq
+		t = q + y
+		cq = (t - q) - y
+		q = t
+		st.psumsq = append(st.psumsq, q)
+	}
+	st.csum, st.csumsq = cs, cq
+}
+
+// newSeqStats returns empty prefix sums with room for n samples.
+func newSeqStats(n int) seqStats {
+	return seqStats{
+		psum:   append(make([]float64, 0, n+1), 0),
+		psumsq: append(make([]float64, 0, n+1), 0),
+	}
 }
 
 // New returns an empty store.
@@ -79,6 +146,8 @@ func (s *Store) AppendSequence(name string, values []float64) int {
 	s.offsets = append(s.offsets, len(s.data))
 	s.lengths = append(s.lengths, len(values))
 	s.data = append(s.data, values...)
+	s.stats = append(s.stats, newSeqStats(len(values)))
+	s.stats[id].accumulate(values)
 	return id
 }
 
@@ -97,6 +166,7 @@ func (s *Store) ExtendSequence(seq int, values []float64) error {
 	}
 	s.data = append(s.data, values...)
 	s.lengths[seq] += len(values)
+	s.stats[seq].accumulate(values)
 	return nil
 }
 
@@ -117,29 +187,109 @@ func (s *Store) SequenceName(seq int) string { return s.names[seq] }
 // SequenceLen returns the number of samples in sequence seq.
 func (s *Store) SequenceLen(seq int) int { return s.lengths[seq] }
 
+// checkWindow validates a window address and returns the global index
+// of its first sample.
+func (s *Store) checkWindow(seq, start, n int) (int, error) {
+	if seq < 0 || seq >= len(s.names) {
+		return 0, fmt.Errorf("store: sequence %d out of range [0, %d)", seq, len(s.names))
+	}
+	if n < 0 || start < 0 || start+n > s.lengths[seq] {
+		return 0, fmt.Errorf("store: window [%d, %d) outside sequence %d of length %d",
+			start, start+n, seq, s.lengths[seq])
+	}
+	return s.offsets[seq] + start, nil
+}
+
+// chargeWindow touches the pages covering n samples from global index
+// g.
+func chargeWindow(pc *PageCounter, g, n int) {
+	if pc == nil || n <= 0 {
+		return
+	}
+	for p := g / ValuesPerPage; p <= (g+n-1)/ValuesPerPage; p++ {
+		pc.Touch(p)
+	}
+}
+
 // Window copies the n samples of sequence seq starting at start into
 // dst (which must have length n), charging the covering pages to pc
 // (which may be nil).  It returns an error when the window falls
 // outside the sequence.
 func (s *Store) Window(seq, start, n int, dst vec.Vector, pc *PageCounter) error {
-	if seq < 0 || seq >= len(s.names) {
-		return fmt.Errorf("store: sequence %d out of range [0, %d)", seq, len(s.names))
-	}
-	if n < 0 || start < 0 || start+n > s.lengths[seq] {
-		return fmt.Errorf("store: window [%d, %d) outside sequence %d of length %d",
-			start, start+n, seq, s.lengths[seq])
+	g, err := s.checkWindow(seq, start, n)
+	if err != nil {
+		return err
 	}
 	if len(dst) != n {
 		return fmt.Errorf("store: dst length %d, want %d", len(dst), n)
 	}
-	g := s.offsets[seq] + start
 	copy(dst, s.data[g:g+n])
-	if pc != nil && n > 0 {
-		for p := g / ValuesPerPage; p <= (g+n-1)/ValuesPerPage; p++ {
-			pc.Touch(p)
-		}
-	}
+	chargeWindow(pc, g, n)
 	return nil
+}
+
+// WindowView returns the n samples of sequence seq starting at start
+// as a read-only view of the backing array, charging the covering
+// pages to pc like Window but without copying.  The view must not be
+// modified and is invalidated by the next AppendSequence or
+// ExtendSequence; it is safe for concurrent use with other reads.
+func (s *Store) WindowView(seq, start, n int, pc *PageCounter) (vec.Vector, error) {
+	g, err := s.checkWindow(seq, start, n)
+	if err != nil {
+		return nil, err
+	}
+	chargeWindow(pc, g, n)
+	return s.data[g : g+n : g+n], nil
+}
+
+// statsEps scales the conservative error bounds WindowStats reports:
+// Kahan prefix sums are within 2·ε_machine of the exact sum of their
+// terms, differencing adds one rounding each, and the factor 8 leaves
+// margin for the compensation's own second-order terms.
+const statsEps = 8 * 0x1p-52
+
+// WindowStats are the sufficient statistics Σv and Σv² of one window,
+// with conservative absolute error bounds relative to exact
+// summation.  Candidate verification combines them with a query-side
+// cross term to evaluate MinDist without re-reducing the window.
+type WindowStats struct {
+	Sum, SumSq       float64
+	SumErr, SumSqErr float64
+}
+
+// WindowStats retrieves the statistics of the window in O(1) by
+// differencing the per-sequence prefix sums.  The prefix sums are
+// index-side metadata, so the lookup charges no data pages — the
+// verification pass that consumes them still reads (and is charged
+// for) the window itself.
+func (s *Store) WindowStats(seq, start, n int) (WindowStats, error) {
+	if _, err := s.checkWindow(seq, start, n); err != nil {
+		return WindowStats{}, err
+	}
+	st := &s.stats[seq]
+	lo, hi := st.psum[start], st.psum[start+n]
+	qlo, qhi := st.psumsq[start], st.psumsq[start+n]
+	// The Kahan bound is relative to the sum of |terms|; for the squares
+	// that is the prefix itself, and for the values Cauchy–Schwarz gives
+	// Σ|v| ≤ √(i·Σv²) over any prefix of length i.
+	absLo := math.Sqrt(float64(start) * math.Abs(qlo))
+	absHi := math.Sqrt(float64(start+n) * math.Abs(qhi))
+	return WindowStats{
+		Sum:      hi - lo,
+		SumSq:    qhi - qlo,
+		SumErr:   statsEps * (absLo + absHi + math.Abs(lo) + math.Abs(hi)),
+		SumSqErr: statsEps * (math.Abs(qlo) + math.Abs(qhi)),
+	}, nil
+}
+
+// rebuildStats recomputes every sequence's prefix sums from the raw
+// data — used by deserialization, which fills the data array directly.
+func (s *Store) rebuildStats() {
+	s.stats = make([]seqStats, len(s.names))
+	for seq := range s.names {
+		s.stats[seq] = newSeqStats(s.lengths[seq])
+		s.stats[seq].accumulate(s.data[s.offsets[seq] : s.offsets[seq]+s.lengths[seq]])
+	}
 }
 
 // ScanWindows streams every length-n sliding window of every sequence

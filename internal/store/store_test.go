@@ -1,6 +1,8 @@
 package store
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -352,5 +354,140 @@ func TestExtendSequence(t *testing.T) {
 	s.AppendSequence("c", []float64{8})
 	if err := s.ExtendSequence(b, []float64{9}); err == nil {
 		t.Error("extended a frozen sequence")
+	}
+}
+
+func TestWindowView(t *testing.T) {
+	s := New()
+	s.AppendSequence("a", []float64{1, 2, 3, 4, 5})
+	s.AppendSequence("b", []float64{6, 7, 8})
+
+	var pc PageCounter
+	v, err := s.WindowView(0, 1, 3, &pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("view[%d]=%v want %v", i, v[i], want[i])
+		}
+	}
+	if pc.Distinct() != 1 {
+		t.Errorf("view charged %d pages, want 1", pc.Distinct())
+	}
+	// Same pages as the copying accessor.
+	var pcCopy PageCounter
+	w := make(vec.Vector, 3)
+	if err := s.Window(0, 1, 3, w, &pcCopy); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Distinct() != pcCopy.Distinct() || pc.Raw != pcCopy.Raw {
+		t.Errorf("view pages (%d,%d) != copy pages (%d,%d)",
+			pc.Distinct(), pc.Raw, pcCopy.Distinct(), pcCopy.Raw)
+	}
+	// The view has capacity clamped to its length: an append through it
+	// cannot clobber the next sequence.
+	if cap(v) != len(v) {
+		t.Errorf("view cap %d != len %d", cap(v), len(v))
+	}
+	if _, err := s.WindowView(0, 3, 3, nil); err == nil {
+		t.Error("out-of-range view succeeded")
+	}
+	if _, err := s.WindowView(9, 0, 1, nil); err == nil {
+		t.Error("view of absent sequence succeeded")
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	var seqs [][]float64
+	for i := 0; i < 3; i++ {
+		vals := make([]float64, 200+50*i)
+		for j := range vals {
+			vals[j] = 100 + 20*rng.NormFloat64() // stock-like magnitudes
+		}
+		seqs = append(seqs, vals)
+		s.AppendSequence(fmt.Sprintf("s%d", i), vals)
+	}
+	for seq, vals := range seqs {
+		for _, win := range []struct{ start, n int }{
+			{0, 1}, {0, 64}, {10, 128}, {len(vals) - 32, 32}, {5, 0},
+		} {
+			ws, err := s.WindowStats(seq, win.start, win.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum, sumSq float64
+			for _, v := range vals[win.start : win.start+win.n] {
+				sum += v
+				sumSq += v * v
+			}
+			if d := math.Abs(ws.Sum - sum); d > ws.SumErr+1e-9*math.Abs(sum) {
+				t.Errorf("seq %d [%d,%d): Sum off by %g (bound %g)", seq, win.start, win.start+win.n, d, ws.SumErr)
+			}
+			if d := math.Abs(ws.SumSq - sumSq); d > ws.SumSqErr+1e-9*sumSq {
+				t.Errorf("seq %d [%d,%d): SumSq off by %g (bound %g)", seq, win.start, win.start+win.n, d, ws.SumSqErr)
+			}
+		}
+	}
+	if _, err := s.WindowStats(0, 190, 100); err == nil {
+		t.Error("out-of-range stats succeeded")
+	}
+}
+
+// TestWindowStatsExtend checks that prefix sums built by ExtendSequence
+// match an all-at-once append bit for bit: the Kahan compensation is
+// carried across the boundary.
+func TestWindowStatsExtend(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]float64, 300)
+	for j := range vals {
+		vals[j] = 50 + 10*rng.NormFloat64()
+	}
+	whole := New()
+	whole.AppendSequence("x", vals)
+	grown := New()
+	grown.AppendSequence("x", vals[:100])
+	if err := grown.ExtendSequence(0, vals[100:250]); err != nil {
+		t.Fatal(err)
+	}
+	if err := grown.ExtendSequence(0, vals[250:]); err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start+64 <= len(vals); start += 37 {
+		a, err := whole.WindowStats(0, start, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := grown.WindowStats(0, start, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Sum != b.Sum || a.SumSq != b.SumSq {
+			t.Fatalf("start %d: whole (%v,%v) vs grown (%v,%v)", start, a.Sum, a.SumSq, b.Sum, b.SumSq)
+		}
+	}
+}
+
+func TestPageCounterMerge(t *testing.T) {
+	var a, b PageCounter
+	a.Touch(1)
+	a.Touch(2)
+	b.Touch(2)
+	b.Touch(3)
+	b.Touch(3)
+	a.Merge(&b)
+	if a.Raw != 5 {
+		t.Errorf("Raw = %d, want 5", a.Raw)
+	}
+	if a.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", a.Distinct())
+	}
+	var empty PageCounter
+	empty.Merge(&a)
+	if empty.Distinct() != 3 || empty.Raw != 5 {
+		t.Errorf("merge into empty: %d distinct, %d raw", empty.Distinct(), empty.Raw)
 	}
 }

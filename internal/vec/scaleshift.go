@@ -97,3 +97,66 @@ func MinDist(u, v Vector) Match {
 func Similar(u, v Vector, epsilon float64) bool {
 	return MinDist(u, v).Dist <= epsilon
 }
+
+// machEps is the double-precision machine epsilon 2⁻⁵².
+const machEps = 0x1p-52
+
+// MinDistWithStats computes the scale-shift match of a query u against
+// a candidate window v from precomputed query-side quantities and O(1)
+// window statistics, replacing MinDist's three O(n) reductions with a
+// single cross-term pass:
+//
+//	su  = T_se(u)   (the query's SE image, computed once per query)
+//	mu  = mean(u),  uu = ‖su‖²
+//	sum = Σvᵢ,  sumSq = Σvᵢ²   (from the store's prefix sums)
+//
+// Then mv = sum/n, vv = ‖T_se(v)‖² = sumSq − n·mv², and because
+// Σ(su)ᵢ = 0 the cross term reduces to su·v, so MinDist's closed forms
+// apply unchanged.
+//
+// The window statistics come from differencing long-running prefix
+// sums, so the result carries floating-point error proportional to the
+// prefix magnitudes rather than the window's.  sumErr and sumSqErr are
+// the caller's absolute error bounds on sum and sumSq (see
+// store.WindowStats); the second return value bounds |Dist² − exact
+// Dist²| so callers can use the fast value as a conservative filter
+// and fall back to MinDist only near the decision boundary.
+func MinDistWithStats(su Vector, mu, uu float64, v Vector, sum, sumSq, sumErr, sumSqErr float64) (Match, float64) {
+	assertSameDim(su, v)
+	n := float64(len(v))
+	if n == 0 {
+		return Match{Degenerate: true}, 0
+	}
+	mv := sum / n
+	vv := sumSq - n*mv*mv
+	// |Δvv| ≤ Δ(sumSq) + 2|mv|·Δ(sum) (mean-error propagation) plus the
+	// cancellation rounding of the subtraction itself.
+	slack := sumSqErr + 2*math.Abs(mv)*sumErr + 4*machEps*(math.Abs(sumSq)+n*mv*mv)
+	if vv < 0 {
+		vv = 0
+	}
+	if uu == 0 {
+		return Match{
+			Dist:       math.Sqrt(vv),
+			Scale:      0,
+			Shift:      mv,
+			Degenerate: true,
+		}, slack
+	}
+	uv := Dot(su, v)
+	// Dot-product rounding: ≤ (n+2)·ε·‖su‖·‖v‖, with ‖v‖² ≤ sumSq
+	// widened by its own error.  The identity Σ(su)ᵢ = 0 holds only up
+	// to the rounding of su's construction, adding ≤ 4ε·|mv|·Σ|uᵢ| with
+	// Σ|uᵢ| ≤ √(n·(uu + n·mu²)) by Cauchy–Schwarz.
+	nrmV := math.Sqrt(math.Max(0, sumSq+sumSqErr))
+	uvErr := (n+2)*machEps*math.Sqrt(uu)*nrmV +
+		4*machEps*math.Abs(mv)*math.Sqrt(n*(uu+n*mu*mu))
+	a := uv / uu
+	distSq := vv - uv*uv/uu
+	slack += (2*math.Abs(uv)*uvErr+uvErr*uvErr)/uu + 4*machEps*(uv*uv)/uu
+	slack *= 2 // safety margin on the assembled bound
+	if distSq < 0 {
+		distSq = 0
+	}
+	return Match{Dist: math.Sqrt(distSq), Scale: a, Shift: mv - a*mu}, slack
+}

@@ -1,6 +1,8 @@
 package vec
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -305,5 +307,132 @@ func BenchmarkLLD128(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _, _ = LLD(l1, l2)
+	}
+}
+
+// statsOf reduces v directly for MinDistWithStats tests; the zero
+// error bounds model exact statistics.
+func statsOf(v Vector) (sum, sumSq float64) {
+	for _, x := range v {
+		sum += x
+		sumSq += x * x
+	}
+	return sum, sumSq
+}
+
+func TestMinDistWithStatsAgreesWithMinDist(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		n := 2 + r.Intn(64)
+		u, v := randVec(r, n), randVec(r, n)
+		if i%7 == 0 {
+			// Stock-like offsets exercise the cancellation-prone regime.
+			for j := range u {
+				u[j] += 100
+				v[j] += 250
+			}
+		}
+		su := SETransform(u)
+		sum, sumSq := statsOf(v)
+		fast, slack := MinDistWithStats(su, Mean(u), NormSq(su), v, sum, sumSq, 0, 0)
+		exact := MinDist(u, v)
+		if math.Abs(fast.Dist*fast.Dist-exact.Dist*exact.Dist) > slack+1e-12 {
+			t.Fatalf("n=%d: fast Dist² %v vs exact %v exceeds slack %v",
+				n, fast.Dist*fast.Dist, exact.Dist*exact.Dist, slack)
+		}
+		if exact.Degenerate != fast.Degenerate {
+			t.Fatalf("degeneracy mismatch: %+v vs %+v", fast, exact)
+		}
+		if exact.Degenerate {
+			continue
+		}
+		scale := math.Max(1, math.Abs(exact.Scale))
+		if math.Abs(fast.Scale-exact.Scale) > 1e-6*scale {
+			t.Fatalf("Scale %v vs %v", fast.Scale, exact.Scale)
+		}
+		shift := math.Max(1, math.Abs(exact.Shift))
+		if math.Abs(fast.Shift-exact.Shift) > 1e-6*shift {
+			t.Fatalf("Shift %v vs %v", fast.Shift, exact.Shift)
+		}
+	}
+}
+
+func TestMinDistWithStatsSlackCoversStatErrors(t *testing.T) {
+	// Perturb the statistics within their declared error bounds; the
+	// distance bound must still cover the exact value.
+	r := rand.New(rand.NewSource(43))
+	for i := 0; i < 300; i++ {
+		n := 8 + r.Intn(120)
+		u, v := randVec(r, n), randVec(r, n)
+		for j := range v {
+			v[j] += 500 // large mean: worst case for Σv² cancellation
+		}
+		su := SETransform(u)
+		sum, sumSq := statsOf(v)
+		sumErr := 1e-9 * math.Abs(sum)
+		sumSqErr := 1e-9 * sumSq
+		pSum := sum + (2*r.Float64()-1)*sumErr
+		pSumSq := sumSq + (2*r.Float64()-1)*sumSqErr
+		fast, slack := MinDistWithStats(su, Mean(u), NormSq(su), v, pSum, pSumSq, sumErr, sumSqErr)
+		exact := MinDist(u, v)
+		lo := fast.Dist*fast.Dist - slack
+		hi := fast.Dist*fast.Dist + slack
+		ed := exact.Dist * exact.Dist
+		if ed < lo-1e-12 || ed > hi+1e-12 {
+			t.Fatalf("n=%d: exact Dist² %v outside [%v, %v]", n, ed, lo, hi)
+		}
+	}
+}
+
+func TestMinDistWithStatsDegenerate(t *testing.T) {
+	u := Vector{3, 3, 3, 3}
+	v := Vector{1, 2, 3, 4}
+	su := SETransform(u)
+	sum, sumSq := statsOf(v)
+	fast, _ := MinDistWithStats(su, Mean(u), NormSq(su), v, sum, sumSq, 0, 0)
+	exact := MinDist(u, v)
+	if !fast.Degenerate || math.Abs(fast.Dist-exact.Dist) > 1e-9 || fast.Shift != exact.Shift {
+		t.Errorf("degenerate fast %+v vs exact %+v", fast, exact)
+	}
+	empty, slack := MinDistWithStats(Vector{}, 0, 0, Vector{}, 0, 0, 0, 0)
+	if !empty.Degenerate || slack != 0 {
+		t.Errorf("empty = %+v slack %v", empty, slack)
+	}
+}
+
+// BenchmarkVerifyDirect is the seed verification path: copy the window
+// out of storage, then MinDist's three O(n) reductions.
+func BenchmarkVerifyDirect(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(99))
+			u, v := randVec(r, n), randVec(r, n)
+			w := make(Vector, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(w, v) // the store fetch of the seed path
+				_ = MinDist(u, w)
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyPrefixSum is the prefix-sum verification path: one
+// cross-term pass over the in-place window view plus O(1) statistics.
+func BenchmarkVerifyPrefixSum(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rand.New(rand.NewSource(99))
+			u, v := randVec(r, n), randVec(r, n)
+			su := SETransform(u)
+			mu, uu := Mean(u), NormSq(su)
+			sum, sumSq := statsOf(v)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _ = MinDistWithStats(su, mu, uu, v, sum, sumSq, 1e-9, 1e-9)
+			}
+		})
 	}
 }

@@ -98,8 +98,8 @@ func ReadCSV(r io.Reader) (*Store, error) { return store.ReadCSV(r) }
 // ReadStoreBinary parses a store from its binary serialization.
 func ReadStoreBinary(r io.Reader) (*Store, error) { return store.ReadBinary(r) }
 
-// NewIndex creates an empty index over st; call Build (or BuildBulk)
-// to index the store's sequences.
+// NewIndex creates an empty index over st; call Build (or BuildBulk /
+// BuildBulkParallel) to index the store's sequences.
 func NewIndex(st *Store, opts Options) (*Index, error) { return core.NewIndex(st, opts) }
 
 // LoadIndex reopens an index written by Index.WriteBinary, attached to
