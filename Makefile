@@ -3,12 +3,16 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-planner fmt-check
 
-check: vet build test race
+check: vet fmt-check build test race
 
 vet:
 	$(GO) vet ./...
+
+# gofmt emits the offending paths; fail if there are any.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -24,3 +28,10 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBulkBuild' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkVerify' -benchtime 0.2s ./internal/vec/
+
+# Planner calibration: time cost-based auto against every forced access
+# path over a store-size x epsilon grid, regenerating the committed
+# ablation artifact.
+bench-planner:
+	$(GO) run ./cmd/ssbench -experiment planner -scale medium > results/planner_ablation.txt
+	@cat results/planner_ablation.txt

@@ -10,6 +10,8 @@
 //	ablation-window  extracting-window length n sweep
 //	ablation-fanout  node capacity M sweep
 //	nn               nearest-neighbour search cost vs k (Corollary 1)
+//	planner          query-engine calibration: cost-based path choice
+//	                 vs each forced access path over an ε × size grid
 //	all              everything above
 //
 // -scale full reproduces the paper's 1 000 × 650 data set (the index
@@ -40,7 +42,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | all")
+	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | all")
 	scale := fs.String("scale", "medium", "full (paper: 1000x650, 100 queries) | medium (200x650, 30) | small (50x330, 10)")
 	companies := fs.Int("companies", 0, "override company count")
 	queries := fs.Int("queries", 0, "override query count")
@@ -295,6 +297,28 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout)
 	}
+	if *experiment == "planner" || *experiment == "all" {
+		// The planner grid builds one environment per store size, so it
+		// ignores the shared env and derives its sizes from the scale.
+		sizes := []int{50, 200}
+		switch *scale {
+		case "full":
+			sizes = []int{100, 400, 1000}
+		case "small":
+			sizes = []int{25, 50}
+		}
+		if *companies > 0 {
+			sizes = []int{*companies}
+		}
+		points, err := bench.PlannerSweep(ablCfg, sizes, []float64{0.01, 0.05, 0.2, 1, 5})
+		if err != nil {
+			return err
+		}
+		if err := bench.WritePlannerTable(stdout, points); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
 	if runNN {
 		points, err := env.RunNearestNeighbor([]int{1, 5, 10, 50})
 		if err != nil {
@@ -306,7 +330,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 
-	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
+	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
 		*experiment != "ablation-window" && *experiment != "ablation-fanout" &&
 		*experiment != "ablation-build" && *experiment != "ablation-reduction" &&
 		*experiment != "ablation-index" && *experiment != "ablation-trail" && *experiment != "all" {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"scaleshift/internal/core"
+	"scaleshift/internal/engine"
 	"scaleshift/internal/geom"
 	"scaleshift/internal/query"
 	"scaleshift/internal/stock"
@@ -59,6 +60,8 @@ func run(args []string, stdout io.Writer) error {
 	shiftAbs := fs.Float64("shift-abs", 0, "cost bound: maximum |shift offset| (0=unbounded)")
 	limit := fs.Int("limit", 20, "print at most this many matches")
 	long := fs.Bool("long", false, "treat the query as longer than the window (multipiece search)")
+	explain := fs.Bool("explain", false, "print the query plan: per-path cost estimates and stage timings")
+	pathName := fs.String("path", "auto", "access path: auto (cost-based), rtree, scan, or trail")
 	indexCache := fs.String("index-cache", "", "cache the built index at this path (load when present, save after building)")
 	subtrail := fs.Int("subtrail", 0, "sub-trail MBR length (0/1 = per-window point entries)")
 	bulk := fs.Bool("bulk", false, "construct the index with STR bulk loading")
@@ -136,22 +139,37 @@ func run(args []string, stdout io.Writer) error {
 		costs.ShiftMin, costs.ShiftMax = -*shiftAbs, *shiftAbs
 	}
 
+	force, err := engine.ParsePathKind(*pathName)
+	if err != nil {
+		return err
+	}
+	if *nn > 0 && force != engine.PathAuto {
+		return fmt.Errorf("-path applies to range queries; nearest-neighbour search is pinned to the index probe")
+	}
+
 	// Run.
 	var stats core.SearchStats
 	var matches []core.Match
+	var ex *engine.Explain
 	searchStart := time.Now()
 	switch {
 	case *nn > 0:
 		matches, err = ix.NearestNeighbors(q, *nn, &stats)
 	case *long:
-		matches, err = ix.SearchLong(q, e, costs, &stats)
+		matches, ex, err = ix.SearchLongPlanned(q, e, costs, force, &stats)
 	default:
-		matches, err = ix.Search(q, e, costs, &stats)
+		matches, ex, err = ix.SearchPlanned(q, e, costs, force, nil, &stats)
 	}
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(searchStart)
+
+	if *explain && ex != nil {
+		if err := ex.WriteText(stdout); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(stdout, "search: %v cpu, %d index pages + %d data pages, %d candidates (%d false alarms, %d cost-rejected)\n",
 		elapsed.Round(time.Microsecond), stats.IndexNodeAccesses, stats.DataPageAccesses,

@@ -146,6 +146,55 @@ func TestIndexCacheRoundTrip(t *testing.T) {
 	}
 }
 
+func TestQueryExplainAndForcedPaths(t *testing.T) {
+	// -explain prints the plan; forced paths return identical results.
+	query := smallArgs("-query", "3:50", "-scale", "2", "-eps-frac", "0.001", "-explain")
+	outputs := map[string]string{}
+	for _, path := range []string{"auto", "rtree", "scan"} {
+		var sb strings.Builder
+		if err := run(append(query, "-path", path), &sb); err != nil {
+			t.Fatalf("-path %s: %v", path, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "plan: path=") || !strings.Contains(out, "stages:") {
+			t.Errorf("-path %s: no explain output:\n%s", path, out)
+		}
+		outputs[path] = out[strings.Index(out, "matches"):]
+	}
+	if outputs["rtree"] != outputs["scan"] || outputs["auto"] != outputs["rtree"] {
+		t.Errorf("forced paths disagree:\nauto: %s\nrtree: %s\nscan: %s",
+			outputs["auto"], outputs["rtree"], outputs["scan"])
+	}
+	if strings.Contains(outputs["auto"], "forced") {
+		t.Errorf("auto plan claims to be forced:\n%s", outputs["auto"])
+	}
+
+	// Forcing trail on a point-entry index must fail cleanly...
+	var sb strings.Builder
+	if err := run(append(query, "-path", "trail"), &sb); err == nil {
+		t.Error("-path trail accepted on a point-entry index")
+	}
+	// ...and an unknown path name is rejected.
+	sb.Reset()
+	if err := run(append(query, "-path", "btree"), &sb); err == nil {
+		t.Error("-path btree accepted")
+	}
+	// -path is meaningless for nearest-neighbour search.
+	sb.Reset()
+	if err := run(smallArgs("-query", "2:20", "-nn", "3", "-path", "scan"), &sb); err == nil {
+		t.Error("-path with -nn accepted")
+	}
+	// Long queries honour the forced path too.
+	sb.Reset()
+	if err := run(smallArgs("-query", "2:20", "-long", "-eps-frac", "0.001",
+		"-explain", "-path", "scan"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "path=scan") {
+		t.Errorf("long explain output:\n%s", sb.String())
+	}
+}
+
 func TestQueryTrailAndBulkModes(t *testing.T) {
 	var sb strings.Builder
 	if err := run(smallArgs("-query", "3:50", "-scale", "2", "-eps-frac", "0.001", "-subtrail", "8"), &sb); err != nil {

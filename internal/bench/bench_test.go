@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"scaleshift/internal/engine"
 	"scaleshift/internal/rtree"
 )
 
@@ -516,5 +517,49 @@ func TestRecallSweep(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "recall") {
 		t.Errorf("recall table malformed:\n%s", buf.String())
+	}
+}
+
+func TestPlannerSweep(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Queries = 4
+	points, err := PlannerSweep(cfg, []int{10, 30}, []float64{0.01, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	chosen := map[engine.PathKind]bool{}
+	for _, p := range points {
+		chosen[p.Chosen] = true
+		if p.ForcedCPU[p.Chosen] == 0 {
+			t.Errorf("chosen path %s was not measured: %+v", p.Chosen, p)
+		}
+		if p.ForcedCPU[engine.PathTrail] != 0 {
+			t.Errorf("trail measured on a point-entry index: %+v", p)
+		}
+		if p.AutoCPU <= 0 || p.ForcedCPU[p.Best] <= 0 {
+			t.Errorf("timings missing: %+v", p)
+		}
+	}
+	// The grid spans both regimes: a selective ε (index probe wins) and
+	// a degenerate one (scan wins), so the planner's choice must vary.
+	if !chosen[engine.PathRTree] || !chosen[engine.PathScan] {
+		t.Errorf("planner chose only %v across the grid", chosen)
+	}
+	var buf bytes.Buffer
+	if err := WritePlannerTable(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Planner calibration", "chosen", "rtree", "scan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("planner table missing %q:\n%s", want, out)
+		}
+	}
+	// The miss footer appears in exactly one form.
+	if !strings.Contains(out, "10%") {
+		t.Errorf("planner table lacks the 10%% calibration verdict:\n%s", out)
 	}
 }

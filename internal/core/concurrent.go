@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 
+	"scaleshift/internal/engine"
 	"scaleshift/internal/store"
 	"scaleshift/internal/vec"
 )
@@ -55,6 +56,28 @@ func (c *ConcurrentIndex) SearchBatch(queries []vec.Vector, eps float64, costs C
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.ix.SearchBatch(queries, eps, costs, parallelism, stats)
+}
+
+// SearchPlanned is Index.SearchPlanned under the read lock.
+func (c *ConcurrentIndex) SearchPlanned(q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchPlanned(q, eps, costs, force, pool, stats)
+}
+
+// SearchLongPlanned is Index.SearchLongPlanned under the read lock.
+func (c *ConcurrentIndex) SearchLongPlanned(q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchLongPlanned(q, eps, costs, force, stats)
+}
+
+// SearchBatchPlanned is Index.SearchBatchPlanned under the read lock;
+// like SearchBatch the whole batch sees one consistent snapshot.
+func (c *ConcurrentIndex) SearchBatchPlanned(queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchBatchPlanned(queries, force, parallelism, stats)
 }
 
 // NearestNeighbors is Index.NearestNeighbors under the read lock.

@@ -34,8 +34,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"scaleshift/internal/dft"
+	"scaleshift/internal/engine"
 	"scaleshift/internal/geom"
 	"scaleshift/internal/rtree"
 	"scaleshift/internal/store"
@@ -140,7 +142,12 @@ type Match struct {
 	Scale, Shift float64
 }
 
-// SearchStats accounts one query in the paper's cost model.
+// SearchStats accounts one query in the paper's cost model, extended
+// with the query engine's per-stage accounting: how long each stage
+// (plan, probe, verify) took and which access path served each probe.
+// Candidates counts windows emitted by the probe stage; FalseAlarms +
+// CostRejected count those pruned by verification; Results counts
+// those matched.
 type SearchStats struct {
 	// IndexNodeAccesses counts R*-tree pages read.
 	IndexNodeAccesses int
@@ -159,6 +166,13 @@ type SearchStats struct {
 	LeafEntriesChecked int
 	// Penetration counts geometric pruning primitives.
 	Penetration geom.CheckStats
+	// PlanTime, ProbeTime, and VerifyTime are the wall-clock totals of
+	// the engine's three execution stages.
+	PlanTime, ProbeTime, VerifyTime time.Duration
+	// PathProbes counts index-phase probes served by each access path
+	// (one per range query; one per piece for multipiece long
+	// queries), indexed by engine.PathKind.
+	PathProbes [engine.NumPathKinds]int
 }
 
 // PageAccesses returns the total page count (index + data), the
@@ -177,6 +191,12 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.Results += o.Results
 	s.LeafEntriesChecked += o.LeafEntriesChecked
 	s.Penetration.Add(o.Penetration)
+	s.PlanTime += o.PlanTime
+	s.ProbeTime += o.ProbeTime
+	s.VerifyTime += o.VerifyTime
+	for i := range s.PathProbes {
+		s.PathProbes[i] += o.PathProbes[i]
+	}
 }
 
 // Index is the scale/shift-invariant subsequence index of §6.
@@ -189,6 +209,10 @@ type Index struct {
 	// indexed tracks how many windows of each sequence are indexed, so
 	// dynamic extension indexes only the new ones.
 	indexed []int
+	// planner routes every range query through one of the engine's
+	// access paths (paths.go); its paths read the live tree through
+	// the Index, so rebuilds need no re-registration.
+	planner *engine.Planner
 }
 
 // NewIndex creates an empty index over st.  Sequences already in st
@@ -224,7 +248,9 @@ func NewIndex(st *store.Store, opts Options) (*Index, error) {
 	if opts.SubtrailLen < 0 {
 		return nil, fmt.Errorf("core: negative SubtrailLen %d", opts.SubtrailLen)
 	}
-	return &Index{opts: opts, st: st, fmap: fmap, tree: tree}, nil
+	ix := &Index{opts: opts, st: st, fmap: fmap, tree: tree}
+	ix.planner = ix.newPlanner()
+	return ix, nil
 }
 
 // trailMode reports whether leaf entries are sub-trail MBRs.

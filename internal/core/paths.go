@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+
+	"scaleshift/internal/engine"
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/seqscan"
+	"scaleshift/internal/store"
+)
+
+// The three physical access paths of the query engine.  Each one is a
+// candidate generator for the shared verifier: it must emit a superset
+// of the true answer set (no false dismissals), and nothing else —
+// exact checking, transform recovery, and cost bounds are the
+// executor's job, which is what keeps the planner's choice invisible
+// in the result set.
+//
+// Availability is structural, never per-query: the point-entry tree
+// probe and the sub-trail probe are mutually exclusive (an index
+// stores one leaf representation), and the scan is always available.
+
+// rtreePath is the paper's §6 index phase: descend into children whose
+// ε-enlarged MBR is penetrated by the SE-line, collect leaf points
+// within ε of the line.
+type rtreePath struct{ ix *Index }
+
+func (p *rtreePath) Kind() engine.PathKind { return engine.PathRTree }
+
+func (p *rtreePath) Available() (bool, string) {
+	if p.ix.trailMode() {
+		return false, "index stores sub-trail MBR entries (SubtrailLen >= 2)"
+	}
+	return true, ""
+}
+
+func (p *rtreePath) EstimateCost(q engine.Query) engine.Cost {
+	h := p.ix.tree.CostHints()
+	return engine.EstimateTreeCostSampled(h, q.Windows, q.Eps, sampleDists(h, q))
+}
+
+func (p *rtreePath) Candidates(q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	var cands []rtree.Item
+	if q.Segment {
+		cands = p.ix.tree.SegmentSearch(q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+	} else {
+		cands = p.ix.tree.LineSearch(q.Line, q.Eps, p.ix.opts.Strategy, ts)
+	}
+	for _, cand := range cands {
+		seq, start := store.DecodeWindowID(cand.ID)
+		emit(seq, start)
+	}
+	return nil
+}
+
+// trailPath is the sub-trail MBR variant (ST-index style): leaf
+// entries are MBRs over runs of consecutive windows; each penetrated
+// entry expands into the windows it covers.
+type trailPath struct{ ix *Index }
+
+func (p *trailPath) Kind() engine.PathKind { return engine.PathTrail }
+
+func (p *trailPath) Available() (bool, string) {
+	if !p.ix.trailMode() {
+		return false, "index stores per-window point entries (SubtrailLen < 2)"
+	}
+	return true, ""
+}
+
+func (p *trailPath) EstimateCost(q engine.Query) engine.Cost {
+	h := p.ix.tree.CostHints()
+	return engine.EstimateTrailCostSampled(h, q.Windows, p.ix.opts.SubtrailLen, q.Eps, sampleDists(h, q))
+}
+
+func (p *trailPath) Candidates(q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	var cands []rtree.RectItem
+	if q.Segment {
+		cands = p.ix.tree.SegmentSearchRects(q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+	} else {
+		cands = p.ix.tree.LineSearchRects(q.Line, q.Eps, p.ix.opts.Strategy, ts)
+	}
+	for _, cand := range cands {
+		seq, first := store.DecodeWindowID(cand.ID)
+		count := p.ix.trailWindows(seq, first)
+		for i := 0; i < count; i++ {
+			emit(seq, first+i)
+		}
+	}
+	return nil
+}
+
+// scanPath is experiment set 1 adapted to the engine: every indexed
+// window is a candidate, in storage order, and the shared verifier
+// does all the filtering.  It reads no index pages and beats the tree
+// probe when the store is small or ε is so large that the tree would
+// visit everything anyway.
+type scanPath struct{ ix *Index }
+
+func (p *scanPath) Kind() engine.PathKind { return engine.PathScan }
+
+func (p *scanPath) Available() (bool, string) { return true, "" }
+
+func (p *scanPath) EstimateCost(q engine.Query) engine.Cost {
+	return engine.EstimateScanCost(q.Windows)
+}
+
+func (p *scanPath) Candidates(q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	seqscan.Addresses(p.ix.st, p.ix.opts.WindowLen, p.ix.indexed, func(seq, start int) bool {
+		emit(seq, start)
+		return true
+	})
+	return nil
+}
+
+// sampleDists measures the tree's maintained feature sample against
+// the query's SE-line (restricted to the scale segment when cost
+// bounds apply), feeding the planner's empirical selectivity estimate.
+func sampleDists(h rtree.CostHints, q engine.Query) []float64 {
+	tMin, tMax := math.Inf(-1), math.Inf(1)
+	if q.Segment {
+		tMin, tMax = q.TMin, q.TMax
+	}
+	return engine.SegmentDistances(h.Sample, q.Line, tMin, tMax)
+}
+
+// newPlanner registers the paths in deterministic preference order
+// (index probes before the scan, so exact cost ties keep the paper's
+// behavior).
+func (ix *Index) newPlanner() *engine.Planner {
+	return engine.NewPlanner(&rtreePath{ix}, &trailPath{ix}, &scanPath{ix})
+}

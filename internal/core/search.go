@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"scaleshift/internal/engine"
 	"scaleshift/internal/rtree"
 	"scaleshift/internal/store"
 	"scaleshift/internal/vec"
@@ -169,20 +171,19 @@ func (ix *Index) verifyCandidates(v *verifier, cands []candidate, pc *store.Page
 	return out, falseAlarms, costRejected, nil
 }
 
-// candidateWindows runs the index phase for one SE-line and streams
-// every candidate window address (already widened by the numeric
-// slack).  In point mode candidates are the leaf feature points within
-// ε of the line; in trail mode each penetrated sub-trail MBR expands
-// into the windows it covers.
-func (ix *Index) candidateWindows(line vec.Line, eps float64, costs CostBounds, treeStats *rtree.SearchStats, fn func(seq, start int)) {
-	epsIdx := eps + ix.numericSlack()
-	// When the cost bounds restrict the scale factor, the index phase
-	// can search only the SEGMENT of the scaling line with t in
-	// [ScaleMin, ScaleMax]: for any true match its exact scale a lies
-	// in that range, and by the contraction property
-	// ‖a·F(T_se q) − F(T_se v)‖ <= ‖a·T_se q − T_se v‖ <= eps, so the
-	// candidate is still reached through the segment.  This prunes the
-	// a ≈ 0 degeneracy at the directory rather than in post-processing.
+// planQuery assembles the engine's view of one index-phase probe: the
+// query's SE-line, the slack-widened epsilon, and the scale-segment
+// restriction derived from the cost bounds.
+//
+// When the cost bounds restrict the scale factor, the index phase can
+// search only the SEGMENT of the scaling line with t in
+// [ScaleMin, ScaleMax]: for any true match its exact scale a lies in
+// that range, and by the contraction property
+// ‖a·F(T_se q) − F(T_se v)‖ <= ‖a·T_se q − T_se v‖ <= eps, so the
+// candidate is still reached through the segment.  This prunes the
+// a ≈ 0 degeneracy at the directory rather than in post-processing.
+func (ix *Index) planQuery(line vec.Line, eps float64, costs CostBounds) engine.Query {
+	slack := ix.numericSlack()
 	segment := !math.IsInf(costs.ScaleMin, -1) || !math.IsInf(costs.ScaleMax, 1)
 	tMin, tMax := costs.ScaleMin, costs.ScaleMax
 	if segment {
@@ -190,37 +191,40 @@ func (ix *Index) candidateWindows(line vec.Line, eps float64, costs CostBounds, 
 		// of delta along the unit direction moves the point by
 		// delta·‖D‖, so slack/‖D‖ in parameter units is conservative.
 		if dn := vec.Norm(line.D); dn > 0 {
-			pad := ix.numericSlack() / dn
+			pad := slack / dn
 			tMin -= pad
 			tMax += pad
 		}
 	}
-	if !ix.trailMode() {
-		var cands []rtree.Item
-		if segment {
-			cands = ix.tree.SegmentSearch(line, tMin, tMax, epsIdx, ix.opts.Strategy, treeStats)
-		} else {
-			cands = ix.tree.LineSearch(line, epsIdx, ix.opts.Strategy, treeStats)
-		}
-		for _, cand := range cands {
-			seq, start := store.DecodeWindowID(cand.ID)
-			fn(seq, start)
-		}
-		return
+	return engine.Query{
+		Line:    line,
+		Eps:     eps + slack,
+		Segment: segment,
+		TMin:    tMin,
+		TMax:    tMax,
+		Windows: ix.WindowCount(),
+		Dim:     ix.fmap.Dim(),
 	}
-	var cands []rtree.RectItem
-	if segment {
-		cands = ix.tree.SegmentSearchRects(line, tMin, tMax, epsIdx, ix.opts.Strategy, treeStats)
-	} else {
-		cands = ix.tree.LineSearchRects(line, epsIdx, ix.opts.Strategy, treeStats)
+}
+
+// probe plans and runs the index phase for one SE-line: the planner
+// picks an access path (or honors force), the path emits its candidate
+// windows into fn, and the decision, estimates, and stage timings land
+// in the returned Explain.
+func (ix *Index) probe(line vec.Line, eps float64, costs CostBounds, force engine.PathKind, treeStats *rtree.SearchStats, fn func(seq, start int)) (*engine.Explain, error) {
+	planStart := time.Now()
+	eq := ix.planQuery(line, eps, costs)
+	path, ex, err := ix.planner.Plan(eq, force)
+	if err != nil {
+		return ex, fmt.Errorf("core: planning: %w", err)
 	}
-	for _, cand := range cands {
-		seq, first := store.DecodeWindowID(cand.ID)
-		count := ix.trailWindows(seq, first)
-		for i := 0; i < count; i++ {
-			fn(seq, first+i)
-		}
+	ex.PlanTime = time.Since(planStart)
+	probeStart := time.Now()
+	if err := path.Candidates(eq, treeStats, fn); err != nil {
+		return ex, fmt.Errorf("core: %s probe: %w", ex.Chosen, err)
 	}
+	ex.ProbeTime = time.Since(probeStart)
+	return ex, nil
 }
 
 // Search returns every indexed window S' with Q ~ε S' (Definition 1)
@@ -241,36 +245,58 @@ func (ix *Index) Search(q vec.Vector, eps float64, costs CostBounds, stats *Sear
 // post-processing step played through a shared LRU buffer pool, for
 // bounded-memory cost studies.  pool may be nil (plain Search).
 func (ix *Index) SearchPooled(q vec.Vector, eps float64, costs CostBounds, pool *store.BufferPool, stats *SearchStats) ([]Match, error) {
+	out, _, err := ix.SearchPlanned(q, eps, costs, engine.PathAuto, pool, stats)
+	return out, err
+}
+
+// SearchPlanned is the engine's range-query executor: the planner
+// picks the cheapest access path for the query (or honors force when
+// it is not PathAuto, erroring if that path is unavailable), the path
+// emits candidate windows, and the shared verifier removes all false
+// alarms.  The result set is bit-identical whichever path runs — the
+// paths differ only in how many candidates reach verification — so
+// forcing a path is a debugging and benchmarking tool, never a
+// correctness knob.  The returned Explain records the decision, the
+// per-path cost estimates, the candidate actuals, and the per-stage
+// timings.  pool and stats may be nil.
+func (ix *Index) SearchPlanned(q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error) {
 	if len(q) != ix.opts.WindowLen {
-		return nil, fmt.Errorf("core: query length %d, index window length %d (use SearchLong for longer queries)",
+		return nil, nil, fmt.Errorf("core: query length %d, index window length %d (use SearchLong for longer queries)",
 			len(q), ix.opts.WindowLen)
 	}
 	if eps < 0 {
-		return nil, fmt.Errorf("core: negative epsilon %v", eps)
+		return nil, nil, fmt.Errorf("core: negative epsilon %v", eps)
 	}
 
-	// Searching step: collect candidates via SE-line penetration.  The
-	// index phase widens eps by a numerical slack so floating-point
-	// cancellation in the feature-space distance cannot dismiss a true
-	// match; the exact post-processing check below still applies the
-	// caller's eps, so the widening only admits extra candidates.
+	// Searching step: collect candidates through the planned access
+	// path.  The index phase widens eps by a numerical slack so
+	// floating-point cancellation in the feature-space distance cannot
+	// dismiss a true match; the exact post-processing check below
+	// still applies the caller's eps, so the widening only admits
+	// extra candidates.
 	var treeStats rtree.SearchStats
-	line := ix.seLine(q)
+	var cands []candidate
+	ex, err := ix.probe(ix.seLine(q), eps, costs, force, &treeStats, func(seq, start int) {
+		cands = append(cands, candidate{seq, start})
+	})
+	if err != nil {
+		return nil, ex, err
+	}
 
 	// Post-processing step: exact check, transform recovery, cost
 	// bounds — prefix-sum filtered and, for large candidate sets,
 	// fanned across a worker pool (see verifyCandidates).
+	verifyStart := time.Now()
 	pc := store.PageCounter{Pool: pool}
-	var cands []candidate
-	ix.candidateWindows(line, eps, costs, &treeStats, func(seq, start int) {
-		cands = append(cands, candidate{seq, start})
-	})
 	v := ix.newVerifier(q, eps, costs)
 	out, falseAlarms, costRejected, err := ix.verifyCandidates(v, cands, &pc)
 	if err != nil {
-		return nil, fmt.Errorf("core: post-processing: %w", err)
+		return nil, ex, fmt.Errorf("core: post-processing: %w", err)
 	}
 	sortMatches(out)
+	ex.VerifyTime = time.Since(verifyStart)
+	ex.ActualCandidates = len(cands)
+	ex.Matches = len(out)
 
 	if stats != nil {
 		stats.IndexNodeAccesses += treeStats.NodeAccesses
@@ -281,8 +307,12 @@ func (ix *Index) SearchPooled(q vec.Vector, eps float64, costs CostBounds, pool 
 		stats.Results += len(out)
 		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
 		stats.Penetration.Add(treeStats.Penetration)
+		stats.PlanTime += ex.PlanTime
+		stats.ProbeTime += ex.ProbeTime
+		stats.VerifyTime += ex.VerifyTime
+		stats.PathProbes[ex.Chosen]++
 	}
-	return out, nil
+	return out, ex, nil
 }
 
 // SearchLong answers queries longer than the index window using the
@@ -297,15 +327,26 @@ func (ix *Index) SearchPooled(q vec.Vector, eps float64, costs CostBounds, pool 
 // its aligned window at the same (a, b), and the per-piece optimal
 // distance can only be smaller.
 func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	out, _, err := ix.SearchLongPlanned(q, eps, costs, engine.PathAuto, stats)
+	return out, err
+}
+
+// SearchLongPlanned is SearchLong with the per-piece index probes
+// routed through the engine: each piece is planned independently (with
+// the piece bound ε/√k), force pins every piece to one path, and the
+// returned Explain carries the first piece's plan with candidate and
+// timing actuals totalled across pieces.  As with SearchPlanned the
+// result set is bit-identical whichever path serves the pieces.
+func (ix *Index) SearchLongPlanned(q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, stats *SearchStats) ([]Match, *engine.Explain, error) {
 	n := ix.opts.WindowLen
 	if len(q) == n {
-		return ix.Search(q, eps, costs, stats)
+		return ix.SearchPlanned(q, eps, costs, force, nil, stats)
 	}
 	if len(q) < n {
-		return nil, fmt.Errorf("core: query length %d below index window length %d", len(q), n)
+		return nil, nil, fmt.Errorf("core: query length %d below index window length %d", len(q), n)
 	}
 	if eps < 0 {
-		return nil, fmt.Errorf("core: negative epsilon %v", eps)
+		return nil, nil, fmt.Errorf("core: negative epsilon %v", eps)
 	}
 	pieces := len(q) / n
 	pieceEps := eps / math.Sqrt(float64(pieces))
@@ -314,18 +355,31 @@ func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *
 	// piece hits translated back to the query's start.
 	proposed := make(map[candidate]bool)
 	var treeStats rtree.SearchStats
+	var ex *engine.Explain
 	for i := 0; i < pieces; i++ {
 		piece := q[i*n : (i+1)*n]
-		line := ix.seLine(piece)
 		i := i
-		ix.candidateWindows(line, pieceEps, costs, &treeStats, func(seq, start int) {
+		pieceEx, err := ix.probe(ix.seLine(piece), pieceEps, costs, force, &treeStats, func(seq, start int) {
 			full := candidate{seq, start - i*n}
 			if full.start < 0 || full.start+len(q) > ix.st.SequenceLen(seq) {
 				return
 			}
 			proposed[full] = true
 		})
+		if err != nil {
+			return nil, pieceEx, err
+		}
+		if stats != nil {
+			stats.PathProbes[pieceEx.Chosen]++
+		}
+		if ex == nil {
+			ex = pieceEx
+		} else {
+			ex.PlanTime += pieceEx.PlanTime
+			ex.ProbeTime += pieceEx.ProbeTime
+		}
 	}
+	ex.Pieces = pieces
 	// Sort the deduplicated proposals so verification order — and with
 	// it any page-access pattern — is deterministic despite map
 	// iteration.
@@ -342,13 +396,17 @@ func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *
 
 	// Post-processing on the full-length windows, through the same
 	// prefix-sum filtered (and possibly parallel) path as Search.
+	verifyStart := time.Now()
 	var pc store.PageCounter
 	v := ix.newVerifier(q, eps, costs)
 	out, falseAlarms, costRejected, err := ix.verifyCandidates(v, cands, &pc)
 	if err != nil {
-		return nil, fmt.Errorf("core: long-query post-processing: %w", err)
+		return nil, ex, fmt.Errorf("core: long-query post-processing: %w", err)
 	}
 	sortMatches(out)
+	ex.VerifyTime = time.Since(verifyStart)
+	ex.ActualCandidates = len(cands)
+	ex.Matches = len(out)
 
 	if stats != nil {
 		stats.IndexNodeAccesses += treeStats.NodeAccesses
@@ -359,8 +417,11 @@ func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *
 		stats.Results += len(out)
 		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
 		stats.Penetration.Add(treeStats.Penetration)
+		stats.PlanTime += ex.PlanTime
+		stats.ProbeTime += ex.ProbeTime
+		stats.VerifyTime += ex.VerifyTime
 	}
-	return out, nil
+	return out, ex, nil
 }
 
 // NearestNeighbors returns the k indexed windows with the smallest
@@ -368,7 +429,11 @@ func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *
 // answer is exact: candidates stream from the tree in increasing
 // feature-space distance, which lower-bounds the true distance, so the
 // search stops as soon as the bound passes the kth best exact
-// distance (GEMINI-style refinement).  stats may be nil.
+// distance (GEMINI-style refinement).  NN queries pin the index-probe
+// access path rather than consulting the planner: the refinement bound
+// requires candidates in non-decreasing lower-bound order, which only
+// the tree's best-first traversal provides (a scan has no early
+// termination, so it is never cheaper).  stats may be nil.
 func (ix *Index) NearestNeighbors(q vec.Vector, k int, stats *SearchStats) ([]Match, error) {
 	return ix.NearestNeighborsWithCosts(q, k, UnboundedCosts(), stats)
 }
@@ -498,6 +563,30 @@ func sortMatches(ms []Match) {
 // non-nil.  Searches are read-only, so no locking is needed; do not
 // mutate the index concurrently.
 func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds, parallelism int, stats *SearchStats) ([][]Match, error) {
+	bqs := make([]BatchQuery, len(queries))
+	for i, q := range queries {
+		bqs[i] = BatchQuery{Q: q, Eps: eps, Costs: costs}
+	}
+	results, _, err := ix.SearchBatchPlanned(bqs, engine.PathAuto, parallelism, stats)
+	return results, err
+}
+
+// BatchQuery is one query of a heterogeneous batch: its own vector,
+// error bound, and cost bounds.
+type BatchQuery struct {
+	Q     vec.Vector
+	Eps   float64
+	Costs CostBounds
+}
+
+// SearchBatchPlanned answers a heterogeneous batch with the engine
+// planning EVERY query independently — a tiny-ε query probes the tree
+// while a huge-ε query in the same batch scans, each recorded in its
+// own Explain (positionally aligned with the queries, like the
+// results).  force pins every query to one path.  Per-query stats are
+// accumulated into stats in query order, so the totals are identical
+// to running the queries sequentially.
+func (ix *Index) SearchBatchPlanned(queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, error) {
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -505,6 +594,7 @@ func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds
 		parallelism = len(queries)
 	}
 	results := make([][]Match, len(queries))
+	explains := make([]*engine.Explain, len(queries))
 	perQuery := make([]SearchStats, len(queries))
 	errs := make([]error, len(queries))
 
@@ -515,7 +605,8 @@ func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = ix.Search(queries[i], eps, costs, &perQuery[i])
+				bq := queries[i]
+				results[i], explains[i], errs[i] = ix.SearchPlanned(bq.Q, bq.Eps, bq.Costs, force, nil, &perQuery[i])
 			}
 		}()
 	}
@@ -527,7 +618,7 @@ func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds
 
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+			return nil, nil, fmt.Errorf("core: batch query %d: %w", i, err)
 		}
 	}
 	if stats != nil {
@@ -535,5 +626,5 @@ func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds
 			stats.Add(perQuery[i])
 		}
 	}
-	return results, nil
+	return results, explains, nil
 }

@@ -1,0 +1,201 @@
+// Package engine is the query-engine layer between the public search
+// API and the physical access paths.  The paper's §6 R*-tree probe is
+// one of several ways to answer a range query Q ~ε S': the tree wins
+// when ε is small and the SE-line penetrates few directory MBRs, but a
+// sequential SE-plane scan wins on small stores or huge ε (where the
+// tree visits every node and then verifies every window anyway), and a
+// sub-trail MBR index (ST-index style) is a third physical shape.
+//
+// The engine models each of these as an AccessPath — a candidate
+// generator with a cost estimate — and a cost-based Planner that picks
+// the cheapest available path per query.  Candidate verification is
+// NOT part of a path: every path feeds the same exact post-processing
+// check, which is what makes the planner's choice invisible in the
+// result set (the bit-identical-results invariant, DESIGN.md §8).
+package engine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/vec"
+)
+
+// PathKind identifies an access path.
+type PathKind int
+
+const (
+	// PathAuto lets the planner choose the cheapest available path.
+	PathAuto PathKind = iota
+	// PathRTree probes the R*-tree with per-window point entries
+	// (the paper's §6 index phase).
+	PathRTree
+	// PathScan enumerates every indexed window in storage order and
+	// relies entirely on the shared verifier (experiment set 1).
+	PathScan
+	// PathTrail probes the R*-tree with sub-trail MBR leaf entries and
+	// expands each penetrated trail into its windows.
+	PathTrail
+	// NumPathKinds sizes arrays indexed by PathKind (the PathAuto slot
+	// stays unused in per-path counters).
+	NumPathKinds
+)
+
+// String names the path for plans, flags, and reports.
+func (k PathKind) String() string {
+	switch k {
+	case PathAuto:
+		return "auto"
+	case PathRTree:
+		return "rtree"
+	case PathScan:
+		return "scan"
+	case PathTrail:
+		return "trail"
+	default:
+		return fmt.Sprintf("path(%d)", int(k))
+	}
+}
+
+// ParsePathKind maps a command-line name to a PathKind.
+func ParsePathKind(s string) (PathKind, error) {
+	switch s {
+	case "auto":
+		return PathAuto, nil
+	case "rtree":
+		return PathRTree, nil
+	case "scan":
+		return PathScan, nil
+	case "trail":
+		return PathTrail, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown access path %q (want auto, rtree, scan, or trail)", s)
+	}
+}
+
+// Query is the planner's view of one index-phase probe: the query's
+// SE-line image in feature space, the (slack-widened) index epsilon,
+// the optional scale-segment restriction derived from the cost bounds,
+// and the candidate universe size.  It carries no data pointers — the
+// paths close over their index — so cost estimation is a pure function
+// of this struct and the paths' structural hints.
+type Query struct {
+	// Line is the query's SE-line in feature space (through the origin).
+	Line vec.Line
+	// Eps is the index-phase error bound, already widened by the
+	// numeric slack; the exact verifier reapplies the caller's bound.
+	Eps float64
+	// Segment restricts the probe to the line segment with parameter
+	// t in [TMin, TMax] (scale-factor cost bounds, §3).
+	Segment    bool
+	TMin, TMax float64
+	// Windows is the number of indexed windows — the candidate
+	// universe every path draws from.
+	Windows int
+	// Dim is the feature-space dimensionality 2·f_c.
+	Dim int
+}
+
+// AccessPath is one physical way to generate candidate windows for the
+// shared verifier.  Implementations live next to the index internals
+// (internal/core); the engine only needs the three operations below.
+type AccessPath interface {
+	// Kind identifies the path.
+	Kind() PathKind
+	// Available reports whether the path can serve queries against the
+	// current index structure, with a human-readable reason when not
+	// (e.g. the trail path on an index with per-window point entries).
+	// Availability is structural — it must not depend on the query —
+	// so a forced path either always works or always errors.
+	Available() (bool, string)
+	// EstimateCost predicts the work of Candidates for q.
+	EstimateCost(q Query) Cost
+	// Candidates emits every candidate window address for q.  Tree
+	// probes record their page and pruning work in ts.  The emitted
+	// set must be a superset of the true answer set (no false
+	// dismissals); the shared verifier removes all false alarms.
+	Candidates(q Query, ts *rtree.SearchStats, emit func(seq, start int)) error
+}
+
+// Cost is a predicted probe cost in abstract units where 1 unit is one
+// window verification (the shared verifier's prefix-sum pass).
+type Cost struct {
+	// Candidates is the expected number of windows emitted.
+	Candidates float64
+	// NodeReads is the expected number of index pages touched.
+	NodeReads float64
+	// Units is the total cost: NodeReadCost·NodeReads + Candidates.
+	Units float64
+}
+
+// PathPlan records what the planner knew about one path.
+type PathPlan struct {
+	Path      PathKind
+	Available bool
+	// Reason explains unavailability (empty when available).
+	Reason string
+	Cost   Cost
+}
+
+// Explain records one planned query: the decision, the per-path
+// estimates it was based on, and the actuals filled in by the
+// executor — the query engine's EXPLAIN ANALYZE.
+type Explain struct {
+	// Chosen is the path that ran; Forced reports whether the caller
+	// forced it rather than letting the cost model decide.
+	Chosen PathKind
+	Forced bool
+	// Plans holds one entry per registered path, in planner order.
+	Plans []PathPlan
+	// EstCandidates is the chosen path's predicted candidate count;
+	// ActualCandidates is what the probe emitted.
+	EstCandidates    float64
+	ActualCandidates int
+	// Matches counts verified results.
+	Matches int
+	// Pieces is 1 for a plain range query and the number of length-n
+	// pieces for a multipiece (long-query) search, where the recorded
+	// estimates are the first piece's and the actuals are totals.
+	Pieces int
+	// PlanTime, ProbeTime, and VerifyTime are the per-stage wall-clock
+	// times of this query.
+	PlanTime, ProbeTime, VerifyTime time.Duration
+}
+
+// WriteText renders the plan in ssquery -explain form.
+func (e *Explain) WriteText(w io.Writer) error {
+	mode := "cost-based"
+	if e.Forced {
+		mode = "forced"
+	}
+	if _, err := fmt.Fprintf(w, "plan: path=%s (%s)\n", e.Chosen, mode); err != nil {
+		return err
+	}
+	for _, p := range e.Plans {
+		if !p.Available {
+			if _, err := fmt.Fprintf(w, "  %-5s unavailable: %s\n", p.Path, p.Reason); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-5s est-cost=%.4g (candidates %.4g, node reads %.4g)\n",
+			p.Path, p.Cost.Units, p.Cost.Candidates, p.Cost.NodeReads); err != nil {
+			return err
+		}
+	}
+	if e.Pieces > 1 {
+		if _, err := fmt.Fprintf(w, "  pieces: %d (multipiece long query; per-piece estimates above)\n", e.Pieces); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  candidates: %d actual vs %.4g estimated; %d matched\n",
+		e.ActualCandidates, e.EstCandidates, e.Matches); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "  stages: plan=%v probe=%v verify=%v\n",
+		e.PlanTime.Round(time.Microsecond), e.ProbeTime.Round(time.Microsecond),
+		e.VerifyTime.Round(time.Microsecond))
+	return err
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/vec"
+)
+
+// stubPath is a configurable AccessPath for planner tests.
+type stubPath struct {
+	kind      PathKind
+	available bool
+	reason    string
+	cost      Cost
+	probes    int
+}
+
+func (p *stubPath) Kind() PathKind            { return p.kind }
+func (p *stubPath) Available() (bool, string) { return p.available, p.reason }
+func (p *stubPath) EstimateCost(q Query) Cost { return p.cost }
+func (p *stubPath) Candidates(q Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	p.probes++
+	emit(0, 0)
+	return nil
+}
+
+func units(u float64) Cost { return Cost{Candidates: u, Units: u} }
+
+func TestPathKindStringParseRoundTrip(t *testing.T) {
+	for _, k := range []PathKind{PathAuto, PathRTree, PathScan, PathTrail} {
+		got, err := ParsePathKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParsePathKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParsePathKind("btree"); err == nil {
+		t.Error("ParsePathKind accepted an unknown path")
+	}
+	if s := PathKind(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}
+
+func TestPlanPicksCheapestAvailable(t *testing.T) {
+	tree := &stubPath{kind: PathRTree, available: true, cost: units(10)}
+	scan := &stubPath{kind: PathScan, available: true, cost: units(100)}
+	p := NewPlanner(tree, scan)
+
+	path, ex, err := p.Plan(Query{}, PathAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Kind() != PathRTree || ex.Chosen != PathRTree || ex.Forced {
+		t.Errorf("chose %v (forced=%v), want rtree cost-based", ex.Chosen, ex.Forced)
+	}
+	if len(ex.Plans) != 2 || ex.EstCandidates != 10 {
+		t.Errorf("Plans=%v EstCandidates=%v", ex.Plans, ex.EstCandidates)
+	}
+
+	scan.cost = units(1)
+	if _, ex, _ := p.Plan(Query{}, PathAuto); ex.Chosen != PathScan {
+		t.Errorf("after cheapening scan, chose %v", ex.Chosen)
+	}
+}
+
+func TestPlanSkipsUnavailableAndRecordsReason(t *testing.T) {
+	tree := &stubPath{kind: PathRTree, available: false, reason: "no point entries", cost: units(1)}
+	scan := &stubPath{kind: PathScan, available: true, cost: units(1000)}
+	p := NewPlanner(tree, scan)
+
+	_, ex, err := p.Plan(Query{}, PathAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Chosen != PathScan {
+		t.Errorf("chose unavailable path %v", ex.Chosen)
+	}
+	if ex.Plans[0].Available || ex.Plans[0].Reason != "no point entries" {
+		t.Errorf("plan entry %+v lacks unavailability reason", ex.Plans[0])
+	}
+}
+
+func TestPlanTieBreaksTowardRegistrationOrder(t *testing.T) {
+	tree := &stubPath{kind: PathRTree, available: true, cost: units(7)}
+	scan := &stubPath{kind: PathScan, available: true, cost: units(7)}
+	_, ex, err := NewPlanner(tree, scan).Plan(Query{}, PathAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Chosen != PathRTree {
+		t.Errorf("tie chose %v, want first registered (rtree)", ex.Chosen)
+	}
+}
+
+func TestPlanForce(t *testing.T) {
+	tree := &stubPath{kind: PathRTree, available: true, cost: units(1)}
+	trail := &stubPath{kind: PathTrail, available: false, reason: "point entries", cost: units(1)}
+	scan := &stubPath{kind: PathScan, available: true, cost: units(1000)}
+	p := NewPlanner(tree, trail, scan)
+
+	path, ex, err := p.Plan(Query{}, PathScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Kind() != PathScan || !ex.Forced {
+		t.Errorf("forced scan got %v forced=%v", path.Kind(), ex.Forced)
+	}
+	if len(ex.Plans) != 3 {
+		t.Errorf("forced plan recorded %d paths, want all 3", len(ex.Plans))
+	}
+
+	if _, _, err := p.Plan(Query{}, PathTrail); err == nil {
+		t.Error("forcing an unavailable path did not error")
+	}
+	if _, _, err := p.Plan(Query{}, PathKind(42)); err == nil {
+		t.Error("forcing an unregistered path did not error")
+	}
+}
+
+func TestPlanNoPathAvailable(t *testing.T) {
+	tree := &stubPath{kind: PathRTree, available: false, reason: "x"}
+	if _, _, err := NewPlanner(tree).Plan(Query{}, PathAuto); err == nil {
+		t.Error("planner with no available path did not error")
+	}
+}
+
+func TestExplainWriteText(t *testing.T) {
+	tree := &stubPath{kind: PathRTree, available: true, cost: units(3)}
+	trail := &stubPath{kind: PathTrail, available: false, reason: "point entries"}
+	_, ex, err := NewPlanner(tree, trail).Plan(Query{}, PathAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.ActualCandidates = 5
+	ex.Matches = 2
+	var b strings.Builder
+	if err := ex.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"path=rtree", "cost-based", "unavailable: point entries", "5 actual", "2 matched", "stages:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEstimateCostShapes(t *testing.T) {
+	h := rtree.CostHints{Entries: 1000, Nodes: 60, Height: 3, Dim: 6, Diameter: 100, Volume: 1e9}
+
+	small := EstimateTreeCost(h, 1000, 0.01)
+	huge := EstimateTreeCost(h, 1000, 1e6)
+	if small.Units >= huge.Units {
+		t.Errorf("tree cost not increasing in eps: %v vs %v", small.Units, huge.Units)
+	}
+	// At huge eps the probe degenerates to visiting everything, so the
+	// scan (no index pages) must be cheaper.
+	if scan := EstimateScanCost(1000); huge.Units <= scan.Units {
+		t.Errorf("degenerate tree probe (%v) not costlier than scan (%v)", huge.Units, scan.Units)
+	}
+	// At tiny eps over a big store the tree must win.
+	if scan := EstimateScanCost(1000); small.Units >= scan.Units {
+		t.Errorf("selective tree probe (%v) not cheaper than scan (%v)", small.Units, scan.Units)
+	}
+
+	// Trail estimates cover whole trails, so candidates never exceed
+	// the window universe.
+	trail := EstimateTrailCost(h, 500, 8, 1e6)
+	if trail.Candidates > 500 {
+		t.Errorf("trail candidates %v exceed window count", trail.Candidates)
+	}
+}
+
+func TestEstimatesDegenerateGeometry(t *testing.T) {
+	// Empty tree: zero cost, no NaNs.
+	c := EstimateTreeCost(rtree.CostHints{}, 0, 0.5)
+	if c.Units != 0 || c.Candidates != 0 {
+		t.Errorf("empty tree cost = %+v", c)
+	}
+	// Flat MBR (zero volume) clamps selectivity to 1.
+	h := rtree.CostHints{Entries: 10, Nodes: 1, Height: 1, Dim: 6, Diameter: 5, Volume: 0}
+	if c := EstimateTreeCost(h, 10, 0.1); c.Candidates != 10 {
+		t.Errorf("flat-MBR candidates = %v, want all 10", c.Candidates)
+	}
+}
+
+func TestSampleSelectivity(t *testing.T) {
+	if s := SampleSelectivity(nil, 1); s != 0 {
+		t.Errorf("empty sample selectivity = %v, want 0", s)
+	}
+	dists := []float64{0.5, 1, 2, 4}
+	prev := 0.0
+	for _, eps := range []float64{0, 0.5, 1.5, 3, 10} {
+		s := SampleSelectivity(dists, eps)
+		if s <= 0 || s >= 1 {
+			t.Errorf("eps %g: selectivity %v outside (0,1)", eps, s)
+		}
+		if s < prev {
+			t.Errorf("eps %g: selectivity fell from %v to %v", eps, prev, s)
+		}
+		prev = s
+	}
+	// All four within eps=10: smoothed to 4.5/5, not 1.
+	if s := SampleSelectivity(dists, 10); s != 4.5/5 {
+		t.Errorf("full-coverage selectivity %v, want 0.9", s)
+	}
+}
+
+func TestSegmentDistances(t *testing.T) {
+	l := vec.Line{P: vec.Vector{0, 0}, D: vec.Vector{1, 0}}
+	sample := []vec.Vector{{5, 0}, {5, 3}, {-2, 0}}
+	inf := math.Inf(1)
+
+	// Full line: distance is perpendicular.
+	d := SegmentDistances(sample, l, -inf, inf)
+	if d[0] != 0 || d[1] != 3 || d[2] != 0 {
+		t.Errorf("line distances %v, want [0 3 0]", d)
+	}
+	// Segment [0, 1]: points beyond an endpoint measure to it.
+	d = SegmentDistances(sample, l, 0, 1)
+	if d[0] != 4 || d[2] != 2 {
+		t.Errorf("segment distances %v, want [4 ... 2]", d)
+	}
+	if SegmentDistances(nil, l, 0, 1) != nil {
+		t.Error("empty sample should return nil")
+	}
+}
+
+func TestSampledEstimateSeesConcentration(t *testing.T) {
+	// A huge, mostly empty MBR: the geometric model thinks the probe is
+	// selective, but every sampled feature sits on the query line.
+	h := rtree.CostHints{Entries: 1000, Nodes: 60, Height: 3, Dim: 6, Diameter: 1e3, Volume: 1e15}
+	geo := EstimateTreeCost(h, 1000, 1)
+	onLine := make([]float64, 64)
+	sampled := EstimateTreeCostSampled(h, 1000, 1, onLine)
+	if sampled.Candidates <= geo.Candidates {
+		t.Errorf("concentrated sample did not raise the estimate: %v vs %v", sampled.Candidates, geo.Candidates)
+	}
+	// Nearly all entries are candidates now, so the probe must cost
+	// more than the scan — the regime where the planner flips.
+	if scan := EstimateScanCost(1000); sampled.Units <= scan.Units {
+		t.Errorf("saturated probe (%v) not costlier than scan (%v)", sampled.Units, scan.Units)
+	}
+	// A distant sample leaves the geometric floor intact.
+	far := []float64{1e9, 1e9}
+	if c := EstimateTreeCostSampled(h, 1000, 1, far); c.Candidates < geo.Candidates {
+		t.Errorf("distant sample lowered the geometric estimate: %v < %v", c.Candidates, geo.Candidates)
+	}
+}

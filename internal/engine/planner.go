@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/vec"
+)
+
+// NodeReadCost is the cost of one index-page read relative to one
+// window verification.  A node access runs a slab penetration test per
+// entry (M ≈ 20 tests of O(d) planes each) plus allocation and
+// recursion overhead, while most verifications stop at the O(1)
+// prefix-sum pre-filter and only true near-matches pay the full
+// Theorem-1 pass.  Calibrated against results/planner_ablation.txt
+// (make bench-planner), where the measured rtree/scan crossover sits
+// at a candidate selectivity of roughly one half.
+const NodeReadCost = 12.0
+
+// unitBallVolume returns the volume of the m-dimensional unit ball.
+func unitBallVolume(m int) float64 {
+	fm := float64(m)
+	return math.Pow(math.Pi, fm/2) / math.Gamma(fm/2+1)
+}
+
+// lineSelectivity estimates the fraction of uniformly spread feature
+// points that lie within eps of a line crossing the index MBR: the
+// volume of an ε-radius cylinder of length diameter (the ε-ball swept
+// along the line), divided by the MBR volume, clamped to [0, 1].
+// Degenerate geometry (flat or empty MBR) clamps to 1 — assume the
+// probe filters nothing rather than everything.  The estimate is
+// non-negative and monotone in eps by construction.
+func lineSelectivity(diameter, volume float64, dim int, eps float64) float64 {
+	if dim < 2 || volume <= 0 || math.IsNaN(volume) {
+		return 1
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	cyl := diameter * unitBallVolume(dim-1) * math.Pow(eps, float64(dim-1))
+	sel := cyl / volume
+	if math.IsNaN(sel) || sel > 1 {
+		return 1
+	}
+	if sel < 0 {
+		return 0
+	}
+	return sel
+}
+
+// SegmentDistances returns each sample point's Euclidean distance to
+// the query segment {P + t·D : t ∈ [tMin, tMax]} — the empirical input
+// to SampleSelectivity.  Pass ±Inf bounds for a full line.
+func SegmentDistances(sample []vec.Vector, l vec.Line, tMin, tMax float64) []float64 {
+	if len(sample) == 0 {
+		return nil
+	}
+	out := make([]float64, len(sample))
+	for i, p := range sample {
+		d, t := vec.PLD(p, l)
+		switch {
+		case t < tMin:
+			d = vec.Dist(p, l.At(tMin))
+		case t > tMax:
+			d = vec.Dist(p, l.At(tMax))
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// SampleSelectivity estimates the fraction of stored features within
+// eps of the query from measured sample distances, with add-half
+// (Laplace) smoothing so tiny samples never report exactly 0 or 1.
+// Unlike the MBR-volume model it sees the data's actual concentration:
+// overlapping extraction windows string features into near-1-D trails
+// that a uniform-spread model misses by orders of magnitude.  Monotone
+// non-decreasing in eps.
+func SampleSelectivity(dists []float64, eps float64) float64 {
+	if len(dists) == 0 {
+		return 0
+	}
+	within := 0
+	for _, d := range dists {
+		if d <= eps {
+			within++
+		}
+	}
+	return (float64(within) + 0.5) / (float64(len(dists)) + 1)
+}
+
+// estimateNodes predicts the pages a line probe touches: the root-to-
+// leaf spine is always paid, and the rest of the directory is entered
+// in proportion to √selectivity (directory MBRs are fatter than leaf
+// points, so they are penetrated more often than points qualify).
+func estimateNodes(h rtree.CostHints, sel float64) float64 {
+	if h.Nodes <= 0 {
+		return 0
+	}
+	est := float64(h.Height) + float64(h.Nodes-1)*math.Sqrt(sel)
+	return math.Min(est, float64(h.Nodes))
+}
+
+// EstimateTreeCost predicts the cost of the point-entry R*-tree probe
+// (PathRTree) over an index holding windows candidate windows, from
+// MBR geometry alone.
+func EstimateTreeCost(h rtree.CostHints, windows int, eps float64) Cost {
+	return EstimateTreeCostSampled(h, windows, eps, nil)
+}
+
+// EstimateTreeCostSampled is EstimateTreeCost refined by measured
+// sample-to-line distances (SegmentDistances over h.Sample): the
+// selectivity is the larger of the geometric and the empirical
+// estimate, so concentrated data cannot fool the planner into a
+// doomed index probe, and a degenerate ε still clamps to everything.
+func EstimateTreeCostSampled(h rtree.CostHints, windows int, eps float64, sampleDists []float64) Cost {
+	sel := lineSelectivity(h.Diameter, h.Volume, h.Dim, eps)
+	if s := SampleSelectivity(sampleDists, eps); s > sel {
+		sel = s
+	}
+	cands := float64(windows) * sel
+	nodes := estimateNodes(h, sel)
+	return Cost{Candidates: cands, NodeReads: nodes, Units: NodeReadCost*nodes + cands}
+}
+
+// EstimateScanCost predicts the cost of the sequential scan
+// (PathScan): every indexed window is emitted and verified, no index
+// pages are read.
+func EstimateScanCost(windows int) Cost {
+	w := float64(windows)
+	if w < 0 {
+		w = 0
+	}
+	return Cost{Candidates: w, Units: w}
+}
+
+// EstimateTrailCost predicts the cost of the sub-trail MBR probe
+// (PathTrail): leaf entries are rectangles covering subtrailLen
+// consecutive windows, so the effective probe radius grows by half the
+// mean entry diameter (estimated from the index volume per entry, a
+// uniform-spread heuristic), and every penetrated entry expands into
+// its run of windows.
+func EstimateTrailCost(h rtree.CostHints, windows, subtrailLen int, eps float64) Cost {
+	return EstimateTrailCostSampled(h, windows, subtrailLen, eps, nil)
+}
+
+// EstimateTrailCostSampled is EstimateTrailCost with the empirical
+// refinement of EstimateTreeCostSampled; sampleDists are distances
+// from sub-trail MBR centers to the query line.
+func EstimateTrailCostSampled(h rtree.CostHints, windows, subtrailLen int, eps float64, sampleDists []float64) Cost {
+	if eps < 0 {
+		eps = 0
+	}
+	entryDiam := 0.0
+	if h.Entries > 0 && h.Volume > 0 && h.Dim > 0 {
+		entryDiam = math.Sqrt(float64(h.Dim)) * math.Pow(h.Volume/float64(h.Entries), 1/float64(h.Dim))
+	}
+	sel := lineSelectivity(h.Diameter, h.Volume, h.Dim, eps+entryDiam/2)
+	if s := SampleSelectivity(sampleDists, eps+entryDiam/2); s > sel {
+		sel = s
+	}
+	cands := float64(h.Entries) * sel * float64(subtrailLen)
+	if w := float64(windows); cands > w {
+		cands = w
+	}
+	nodes := estimateNodes(h, sel)
+	return Cost{Candidates: cands, NodeReads: nodes, Units: NodeReadCost*nodes + cands}
+}
+
+// Planner picks an access path per query by comparing the paths' cost
+// estimates.  Ties break toward the earlier registered path, so the
+// choice is deterministic.
+type Planner struct {
+	paths []AccessPath
+}
+
+// NewPlanner registers the candidate paths in preference order.
+func NewPlanner(paths ...AccessPath) *Planner {
+	return &Planner{paths: paths}
+}
+
+// Plan chooses the path for q: the forced path when force is not
+// PathAuto (erroring when that path is unavailable), otherwise the
+// available path with the lowest estimated cost.  The returned Explain
+// records every path's availability and estimate; the executor fills
+// in the actuals.
+func (p *Planner) Plan(q Query, force PathKind) (AccessPath, *Explain, error) {
+	ex := &Explain{Pieces: 1}
+	var chosen AccessPath
+	var chosenCost Cost
+	for _, path := range p.paths {
+		ok, reason := path.Available()
+		pp := PathPlan{Path: path.Kind(), Available: ok, Reason: reason}
+		if ok {
+			pp.Cost = path.EstimateCost(q)
+		}
+		ex.Plans = append(ex.Plans, pp)
+		if force != PathAuto {
+			if path.Kind() != force {
+				continue
+			}
+			if !ok {
+				return nil, ex, fmt.Errorf("engine: path %s unavailable: %s", force, reason)
+			}
+			chosen, chosenCost = path, pp.Cost
+			ex.Forced = true
+			continue
+		}
+		if ok && (chosen == nil || pp.Cost.Units < chosenCost.Units) {
+			chosen, chosenCost = path, pp.Cost
+		}
+	}
+	if chosen == nil {
+		if force != PathAuto {
+			return nil, ex, fmt.Errorf("engine: path %s is not registered", force)
+		}
+		return nil, ex, fmt.Errorf("engine: no access path available")
+	}
+	ex.Chosen = chosen.Kind()
+	ex.EstCandidates = chosenCost.Candidates
+	return chosen, ex, nil
+}

@@ -137,6 +137,7 @@ func BulkLoadParallel(cfg Config, items []Item, workers int) (*Tree, error) {
 	}
 	t.root = root
 	t.size = len(items)
+	t.rebuildSample()
 	return t, nil
 }
 

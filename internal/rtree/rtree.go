@@ -190,6 +190,12 @@ type Tree struct {
 	// reinsertDone marks levels already force-reinserted during the
 	// current insertion (R* "first overflow of the level" rule).
 	reinsertDone map[int]bool
+	// sample holds every sampleStride-th inserted feature point (rect
+	// entries contribute their center), the planner's data-distribution
+	// statistic; see sampleAdd in stats.go.
+	sample       []vec.Vector
+	sampleStride int
+	sampleTick   int
 }
 
 // New returns an empty tree with the given configuration.
@@ -238,6 +244,7 @@ func (t *Tree) Insert(point vec.Vector, id int64) {
 	t.reinsertDone = make(map[int]bool)
 	t.insertEntry(e, 0)
 	t.size++
+	t.sampleAdd(p)
 }
 
 // InsertRect adds a rectangle with its identifier — the sub-trail MBR
@@ -255,6 +262,7 @@ func (t *Tree) InsertRect(r geom.Rect, id int64) {
 	t.reinsertDone = make(map[int]bool)
 	t.insertEntry(e, 0)
 	t.size++
+	t.sampleAdd(e.rect.Center())
 }
 
 // insertEntry places e into a node at the given level, handling

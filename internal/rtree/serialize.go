@@ -248,5 +248,6 @@ func ReadBinary(r io.Reader) (*Tree, error) {
 	if err := t.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("rtree: deserialized tree invalid: %w", err)
 	}
+	t.rebuildSample()
 	return t, nil
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"scaleshift/internal/vec"
 )
 
 // LevelStats summarizes the geometry of one tree level — the numbers
@@ -105,4 +107,104 @@ func (t *Tree) WriteStats(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// CostHints summarizes the tree's structure for selectivity and cost
+// estimation by a query planner: the leaf-entry count, the page count,
+// the height, the root MBR's diagonal length and volume, and a small
+// feature sample.  All fields are O(1) reads of maintained state, so a
+// planner can call this on every query.
+type CostHints struct {
+	// Entries counts leaf entries (points or sub-trail MBRs).
+	Entries int
+	// Nodes counts index pages; Height counts levels.
+	Nodes, Height int
+	// Dim is the indexed dimensionality.
+	Dim int
+	// Diameter is the Euclidean length of the root MBR's diagonal and
+	// Volume its d-dimensional volume; both are 0 for an empty tree.
+	Diameter, Volume float64
+	// Sample is a deterministic stratified sample of the stored feature
+	// points (rect entries are represented by their centers), for
+	// distribution-aware selectivity estimation — the MBR-volume model
+	// alone wildly underestimates selectivity on concentrated data.
+	// The slice is shared with the tree: read-only, and valid only
+	// until the next mutation.  It may lag deletions.
+	Sample []vec.Vector
+}
+
+// CostHints returns the planner's view of the tree.
+func (t *Tree) CostHints() CostHints {
+	h := CostHints{
+		Entries: t.size,
+		Nodes:   t.nodes,
+		Height:  t.Height(),
+		Dim:     t.cfg.Dim,
+		Sample:  t.sample,
+	}
+	bounds, ok := t.Bounds()
+	if !ok {
+		return h
+	}
+	var diagSq float64
+	volume := 1.0
+	for i := range bounds.L {
+		side := bounds.H[i] - bounds.L[i]
+		diagSq += side * side
+		volume *= side
+	}
+	h.Diameter = math.Sqrt(diagSq)
+	h.Volume = volume
+	return h
+}
+
+// sampleCap bounds the planner's feature sample.  The sample holds
+// every sampleStride-th inserted entry; when it outgrows 2·sampleCap,
+// every other element is dropped and the stride doubles, which keeps
+// the kept ticks ≡ 0 (mod stride) — a stratified sample of the whole
+// insertion history, deterministic, with O(1) amortized maintenance.
+const sampleCap = 256
+
+// sampleAdd records an inserted feature point (already owned by the
+// tree — the caller must not pass a slice it will reuse).  Deletions
+// do not shrink the sample; it is a statistic, not an index.
+func (t *Tree) sampleAdd(p vec.Vector) {
+	if t.sampleStride == 0 {
+		t.sampleStride = 1
+	}
+	if t.sampleTick%t.sampleStride == 0 {
+		t.sample = append(t.sample, p)
+		if len(t.sample) > 2*sampleCap {
+			kept := t.sample[:0]
+			for i := 0; i < len(t.sample); i += 2 {
+				kept = append(kept, t.sample[i])
+			}
+			t.sample = kept
+			t.sampleStride *= 2
+		}
+	}
+	t.sampleTick++
+}
+
+// rebuildSample repopulates the sample with a leaf walk — used by the
+// constructors that assemble nodes directly instead of inserting
+// (bulk loading, deserialization).
+func (t *Tree) rebuildSample() {
+	t.sample = nil
+	t.sampleStride = 1 + t.size/sampleCap
+	t.sampleTick = 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			switch {
+			case e.child != nil:
+				walk(e.child)
+			case e.item.Point != nil:
+				t.sampleAdd(e.item.Point)
+			default:
+				t.sampleAdd(e.rect.Center())
+			}
+		}
+	}
+	walk(t.root)
 }

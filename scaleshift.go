@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"scaleshift/internal/core"
+	"scaleshift/internal/engine"
 	"scaleshift/internal/geom"
 	"scaleshift/internal/rtree"
 	"scaleshift/internal/store"
@@ -46,8 +47,17 @@ type (
 	CostBounds = core.CostBounds
 	// Match is one qualifying subsequence with its optimal transform.
 	Match = core.Match
-	// SearchStats accounts one query in the paper's page-cost model.
+	// SearchStats accounts one query in the paper's page-cost model,
+	// including the engine's per-stage timings and path counters.
 	SearchStats = core.SearchStats
+	// PathKind identifies a query-engine access path (or PathAuto).
+	PathKind = engine.PathKind
+	// Explain records one planned query: the chosen access path, the
+	// per-path cost estimates, and the per-stage actuals.
+	Explain = engine.Explain
+	// BatchQuery is one query of a heterogeneous SearchBatchPlanned
+	// batch, carrying its own error and cost bounds.
+	BatchQuery = core.BatchQuery
 	// ReductionKind selects the dimension-reduction basis.
 	ReductionKind = core.ReductionKind
 	// Strategy selects the MBR penetration check (§7).
@@ -70,6 +80,16 @@ type (
 const (
 	EnteringExiting = geom.EnteringExiting
 	BoundingSpheres = geom.BoundingSpheres
+)
+
+// Query-engine access paths: pass one of these to SearchPlanned (and
+// friends) to force a physical plan, or PathAuto to let the cost-based
+// planner choose.  Results are bit-identical whichever path runs.
+const (
+	PathAuto  = engine.PathAuto
+	PathRTree = engine.PathRTree
+	PathScan  = engine.PathScan
+	PathTrail = engine.PathTrail
 )
 
 // Dimension-reduction bases.
@@ -118,6 +138,10 @@ func DefaultTreeConfig(dim int) TreeConfig { return rtree.DefaultConfig(dim) }
 
 // UnboundedCosts places no restriction on the transformation.
 func UnboundedCosts() CostBounds { return core.UnboundedCosts() }
+
+// ParsePathKind maps an access-path name (auto, rtree, scan, trail)
+// to its PathKind.
+func ParsePathKind(s string) (PathKind, error) { return engine.ParsePathKind(s) }
 
 // MinDist returns the minimum achievable Euclidean distance between
 // F_{a,b}(u) = a·u + b·(1,…,1) and v over all real a, b, together with
