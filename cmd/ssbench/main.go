@@ -30,6 +30,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"scaleshift/internal/atomicfile"
 	"scaleshift/internal/bench"
 )
 
@@ -163,15 +164,12 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintln(stdout)
 		}
 		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
+			// Atomic replace so downstream plot scripts never read a
+			// half-written sweep.
+			err := atomicfile.WriteFile(*csvPath, func(w io.Writer) error {
+				return bench.WriteCSV(w, series)
+			})
 			if err != nil {
-				return err
-			}
-			if err := bench.WriteCSV(f, series); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "wrote %s\n\n", *csvPath)

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"scaleshift/internal/atomicfile"
 	"scaleshift/internal/stock"
 	"scaleshift/internal/store"
 )
@@ -33,6 +34,7 @@ func run(args []string, stdout io.Writer) error {
 	sectors := fs.Int("sectors", 12, "number of correlated sectors")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	binary := fs.Bool("binary", false, "write the checksummed binary store artifact instead of CSV (for ssquery -store)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,16 +50,17 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	w := stdout
+	emit := st.WriteCSV
+	if *binary {
+		emit = st.WriteBinary
+	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Atomic replace: readers of the artifact never observe a
+		// half-written file, even across a crash mid-generation.
+		if err := atomicfile.WriteFile(*out, emit); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := st.WriteCSV(w); err != nil {
+	} else if err := emit(stdout); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ssgen: wrote %d sequences, %d values (%d pages of %d bytes)\n",

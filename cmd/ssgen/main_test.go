@@ -41,6 +41,26 @@ func TestRunStdout(t *testing.T) {
 	}
 }
 
+func TestRunWritesBinaryArtifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "prices.bin")
+	if err := run([]string{"-companies", "5", "-days", "40", "-binary", "-o", out}, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := store.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSequences() != 5 || st.TotalValues() != 200 {
+		t.Errorf("store: %d seqs, %d values", st.NumSequences(), st.TotalValues())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-companies", "0"}, nil); err == nil {
 		t.Error("companies=0 accepted")

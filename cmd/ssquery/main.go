@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"scaleshift/internal/atomicfile"
 	"scaleshift/internal/core"
 	"scaleshift/internal/engine"
 	"scaleshift/internal/geom"
@@ -42,6 +43,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ssquery", flag.ContinueOnError)
 	dataFile := fs.String("data", "", "CSV database (default: generate synthetic)")
+	storeFile := fs.String("store", "", "binary store artifact written by ssgen -binary (overrides -data)")
 	companies := fs.Int("companies", 100, "synthetic companies when -data is unset")
 	days := fs.Int("days", 650, "synthetic days when -data is unset")
 	seed := fs.Int64("seed", 1, "synthetic data seed")
@@ -63,15 +65,27 @@ func run(args []string, stdout io.Writer) error {
 	explain := fs.Bool("explain", false, "print the query plan: per-path cost estimates and stage timings")
 	pathName := fs.String("path", "auto", "access path: auto (cost-based), rtree, scan, or trail")
 	indexCache := fs.String("index-cache", "", "cache the built index at this path (load when present, save after building)")
+	strictCache := fs.Bool("strict-cache", false, "fail instead of degrading to a scan when the index cache is invalid")
 	subtrail := fs.Int("subtrail", 0, "sub-trail MBR length (0/1 = per-window point entries)")
 	bulk := fs.Bool("bulk", false, "construct the index with STR bulk loading")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	// Load or generate the database.
+	// Load or generate the database.  The binary store artifact is
+	// checksummed; a truncated or corrupted file is a one-line typed
+	// failure here — never a silently wrong database.
 	var st *store.Store
-	if *dataFile != "" {
+	if *storeFile != "" {
+		f, err := os.Open(*storeFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if st, err = store.ReadBinary(f); err != nil {
+			return fmt.Errorf("store artifact %s unusable: %v (regenerate it with ssgen -binary)", *storeFile, err)
+		}
+	} else if *dataFile != "" {
 		f, err := os.Open(*dataFile)
 		if err != nil {
 			return err
@@ -101,7 +115,7 @@ func run(args []string, stdout io.Writer) error {
 		opts.Strategy = geom.BoundingSpheres
 	}
 	opts.SubtrailLen = *subtrail
-	ix, how, err := openIndex(st, opts, *indexCache, *bulk)
+	ix, how, err := openIndex(st, opts, *indexCache, *bulk, *strictCache)
 	if err != nil {
 		return err
 	}
@@ -187,15 +201,30 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // openIndex builds the index, or round-trips it through the cache file
-// when one is configured.
-func openIndex(st *store.Store, opts core.Options, cache string, bulk bool) (*core.Index, string, error) {
+// when one is configured.  An invalid cache (truncated, corrupted,
+// version-skewed, or built over a different store) degrades to the
+// scan fallback with a warning by default — queries keep returning
+// exact results through the raw store — or fails the run under
+// -strict-cache.
+func openIndex(st *store.Store, opts core.Options, cache string, bulk, strict bool) (*core.Index, string, error) {
 	if cache != "" {
 		if f, err := os.Open(cache); err == nil {
 			defer f.Close()
 			start := time.Now()
-			ix, err := core.LoadIndex(f, st)
+			if strict {
+				ix, err := core.LoadIndex(f, st)
+				if err != nil {
+					return nil, "", fmt.Errorf("index cache %s unusable: %v (delete it or rebuild without -index-cache)", cache, err)
+				}
+				return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
+			}
+			ix, status, err := core.OpenOrRebuild(f, st, opts)
 			if err != nil {
-				return nil, "", fmt.Errorf("loading index cache %s: %w", cache, err)
+				return nil, "", err
+			}
+			if status.Degraded {
+				fmt.Fprintf(os.Stderr, "ssquery: warning: %s; serving exact results via full scan (use -strict-cache to fail instead)\n", status.Reason)
+				return ix, fmt.Sprintf("DEGRADED (%s)", status.Reason), nil
 			}
 			return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
 		}
@@ -215,16 +244,10 @@ func openIndex(st *store.Store, opts core.Options, cache string, bulk bool) (*co
 	}
 	how := fmt.Sprintf("built in %v", time.Since(start).Round(time.Millisecond))
 	if cache != "" {
-		f, err := os.Create(cache)
-		if err != nil {
-			return nil, "", fmt.Errorf("creating index cache: %w", err)
-		}
-		if err := ix.WriteBinary(f); err != nil {
-			f.Close()
+		// Atomic replace: a crash mid-save leaves the previous cache (or
+		// none), never a torn file for the next run to choke on.
+		if err := atomicfile.WriteFile(cache, ix.WriteBinary); err != nil {
 			return nil, "", fmt.Errorf("writing index cache: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return nil, "", err
 		}
 		how += fmt.Sprintf(", cached to %s", cache)
 	}

@@ -146,6 +146,102 @@ func TestIndexCacheRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCorruptIndexCacheDegradesToScan(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "idx.bin")
+	query := smallArgs("-query", "3:50", "-scale", "2", "-eps-frac", "0.001")
+
+	// Baseline answer with no cache involved.
+	var fresh strings.Builder
+	if err := run(query, &fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the cache, then flip one byte in the middle of it.
+	var sb strings.Builder
+	if err := run(append(query, "-index-cache", cache), &sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(cache, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default policy: the run still succeeds, announces the
+	// degradation, and returns the exact same matches via the scan.
+	var degraded strings.Builder
+	if err := run(append(query, "-index-cache", cache), &degraded); err != nil {
+		t.Fatalf("corrupt cache failed the run: %v", err)
+	}
+	if !strings.Contains(degraded.String(), "DEGRADED") {
+		t.Errorf("degradation not reported:\n%s", degraded.String())
+	}
+	tail := func(s string) string { return s[strings.Index(s, "matches"):] }
+	if tail(degraded.String()) != tail(fresh.String()) {
+		t.Errorf("degraded results differ from fresh build:\n%s\nvs\n%s",
+			degraded.String(), fresh.String())
+	}
+
+	// -strict-cache turns the same situation into a hard failure.
+	var strict strings.Builder
+	err = run(append(query, "-index-cache", cache, "-strict-cache"), &strict)
+	if err == nil {
+		t.Fatal("-strict-cache accepted a corrupt cache")
+	}
+	if !strings.Contains(err.Error(), "unusable") {
+		t.Errorf("strict error lacks diagnostic: %v", err)
+	}
+}
+
+func TestBinaryStoreArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prices.bin")
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = 10
+	cfg.Days = 100
+	if _, err := stock.Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var sb strings.Builder
+	if err := run([]string{"-store", path, "-window", "32", "-query", "0:10", "-eps", "0.5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "database: 10 sequences") {
+		t.Errorf("binary store not loaded:\n%s", sb.String())
+	}
+
+	// A truncated artifact is a one-line failure, not a wrong answer.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	err = run([]string{"-store", path, "-window", "32", "-query", "0:10", "-eps", "0.5"}, &sb)
+	if err == nil {
+		t.Fatal("truncated store artifact accepted")
+	}
+	if !strings.Contains(err.Error(), "unusable") {
+		t.Errorf("store error lacks diagnostic: %v", err)
+	}
+}
+
 func TestQueryExplainAndForcedPaths(t *testing.T) {
 	// -explain prints the plan; forced paths return identical results.
 	query := smallArgs("-query", "3:50", "-scale", "2", "-eps-frac", "0.001", "-explain")

@@ -1,0 +1,63 @@
+// Package atomicfile writes files all-or-nothing: content goes to a
+// temporary file in the destination directory, is fsynced, and only
+// then renamed over the target (rename within a directory is atomic on
+// POSIX filesystems).  A crash or write error at any point leaves the
+// previous file — or no file — in place, never a half-written one.
+//
+// The index and store artifacts are load-validated with checksums
+// (internal/binio), so a torn write would be DETECTED at open; atomic
+// writes make the stronger guarantee that it cannot OCCUR through this
+// path: readers only ever observe the old complete artifact or the new
+// complete artifact.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever write produces.
+// The write callback streams into the temporary file; if it (or any
+// sync/rename step) fails, the target is left untouched and the
+// temporary is removed.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()        // no-op if already closed
+			os.Remove(tmpName) // best effort; the temp is junk now
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	// fsync before rename: the rename must not become durable before
+	// the data it points at.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// fsync the directory so the rename itself survives a crash.  Some
+	// platforms/filesystems refuse to sync directories; the rename is
+	// already atomic, so that refusal is not an error.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

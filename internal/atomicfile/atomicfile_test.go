@@ -1,0 +1,104 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scaleshift/internal/faulty"
+)
+
+func entries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileCreates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("content"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "content" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	if n := entries(t, dir); len(n) != 1 {
+		t.Fatalf("temp files left behind: %v", n)
+	}
+}
+
+func TestWriteFileFailureLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write crash")
+	err := WriteFile(path, func(w io.Writer) error {
+		// Simulate a crash partway through: some bytes land, then the
+		// write path dies.
+		fw := faulty.ErrWriter(w, 2, boom)
+		_, werr := fw.Write([]byte("new content that never completes"))
+		return werr
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected crash", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "old" {
+		t.Fatalf("target after failed write: %q, %v (want old content intact)", got, rerr)
+	}
+	if n := entries(t, dir); len(n) != 1 {
+		t.Fatalf("temp files left behind after failure: %v", n)
+	}
+}
+
+func TestWriteFileFailureWithoutPredecessorLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	err := WriteFile(path, func(w io.Writer) error { return errors.New("no bytes at all") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("target exists after failed first write: %v", serr)
+	}
+	if n := entries(t, dir); len(n) != 0 {
+		t.Fatalf("debris left behind: %v", n)
+	}
+}
+
+func TestWriteFileRelativePath(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := WriteFile("plain.bin", func(w io.Writer) error {
+		_, err := w.Write([]byte("x"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "plain.bin")); err != nil {
+		t.Fatal(err)
+	}
+}

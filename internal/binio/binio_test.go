@@ -1,0 +1,166 @@
+package binio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// artifact frames two sections the way the store and index writers do.
+func artifact(t *testing.T, magic []byte, sections ...[]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic(magic)
+	for _, s := range sections {
+		w.Section(s)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func parse(in []byte, magic []byte, nSections int) error {
+	r := NewReader(bytes.NewReader(in))
+	if err := r.Magic(magic); err != nil {
+		return err
+	}
+	for i := 0; i < nSections; i++ {
+		if _, err := r.Section(1 << 30); err != nil {
+			return err
+		}
+	}
+	return r.Trailer()
+}
+
+var testMagic = []byte("TESTF\x02")
+
+func TestRoundTrip(t *testing.T) {
+	a := []byte("first section payload")
+	b := []byte{0, 1, 2, 3, 255}
+	in := artifact(t, testMagic, a, b)
+
+	r := NewReader(bytes.NewReader(in))
+	if err := r.Magic(testMagic); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := r.Section(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := r.Section(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ga, a) || !bytes.Equal(gb, b) {
+		t.Fatalf("payloads changed: %q %v", ga, gb)
+	}
+	if err := r.Trailer(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySectionRoundTrips(t *testing.T) {
+	in := artifact(t, testMagic, nil)
+	if err := parse(in, testMagic, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every single-byte corruption anywhere in the artifact must be
+// detected by some layer of the framing.
+func TestEveryByteFlipDetected(t *testing.T) {
+	in := artifact(t, testMagic, []byte("hello sections"), []byte("second"))
+	for i := range in {
+		for _, mask := range []byte{0x01, 0x80} {
+			bad := append([]byte(nil), in...)
+			bad[i] ^= mask
+			if err := parse(bad, testMagic, 2); err == nil {
+				t.Fatalf("flip of byte %d (mask %#x) went undetected", i, mask)
+			}
+		}
+	}
+}
+
+// Every proper prefix must be rejected: truncation can never load.
+func TestEveryTruncationDetected(t *testing.T) {
+	in := artifact(t, testMagic, []byte("hello sections"), []byte("second"))
+	for cut := 0; cut < len(in); cut++ {
+		err := parse(in[:cut], testMagic, 2)
+		if err == nil {
+			t.Fatalf("truncation at %d went undetected", cut)
+		}
+		// Prefix-intact truncations must carry the typed error; flips
+		// inside the cut region are covered by the flip test.
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("truncation at %d: error %v is neither ErrTruncated nor ErrChecksum", cut, err)
+		}
+	}
+}
+
+func TestVersionMismatchTyped(t *testing.T) {
+	in := artifact(t, []byte("TESTF\x01"), []byte("x"))
+	err := parse(in, testMagic, 1)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 artifact against v2 reader: %v, want ErrVersion", err)
+	}
+	// A different identifier entirely is NOT a version problem.
+	in = artifact(t, []byte("OTHER\x02"), []byte("x"))
+	if err := parse(in, testMagic, 1); err == nil || errors.Is(err, ErrVersion) {
+		t.Fatalf("foreign artifact: %v, want plain mismatch error", err)
+	}
+}
+
+func TestImplausibleSectionLengthRejectedWithoutAllocating(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Magic(testMagic)
+	w.Section([]byte("ok"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in := buf.Bytes()
+	// Overwrite the section length with a huge value: must fail fast
+	// (at the limit check or at end-of-input), not allocate gigabytes.
+	for _, v := range []byte{0xff, 0x7f} {
+		bad := append([]byte(nil), in...)
+		for i := 0; i < 8; i++ {
+			bad[len(testMagic)+i] = v
+		}
+		if err := parse(bad, testMagic, 1); err == nil {
+			t.Fatalf("huge section length (%#x) accepted", v)
+		}
+	}
+}
+
+func TestTrailerCatchesMissingSection(t *testing.T) {
+	// Frame one section, then append a valid trailer computed over a
+	// DIFFERENT framing (two sections) — i.e. bytes after the first
+	// section are gone but the file does not end mid-section.  The
+	// reader expecting two sections hits end-of-input: ErrTruncated.
+	one := artifact(t, testMagic, []byte("only"))
+	err := parse(one, testMagic, 2)
+	if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) {
+		t.Fatalf("missing section: %v", err)
+	}
+}
+
+func TestWriterPropagatesSinkErrors(t *testing.T) {
+	w := NewWriter(failAfter{n: 3})
+	w.Magic(testMagic)
+	w.Section([]byte("payload"))
+	if err := w.Close(); err == nil {
+		t.Fatal("writer swallowed sink error")
+	}
+}
+
+type failAfter struct{ n int }
+
+func (f failAfter) Write(p []byte) (int, error) {
+	if len(p) > f.n {
+		return f.n, io.ErrShortWrite
+	}
+	return len(p), nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -93,6 +94,71 @@ func (c *ConcurrentIndex) NearestNeighborsWithCosts(q vec.Vector, k int, costs C
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.ix.NearestNeighborsWithCosts(q, k, costs, stats)
+}
+
+// SearchContext is Index.SearchContext under the read lock.  Note the
+// lock is held until the search returns; cancellation makes it return
+// promptly, which is exactly how a stuck reader is evicted.
+func (c *ConcurrentIndex) SearchContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchContext(ctx, q, eps, costs, stats)
+}
+
+// SearchPlannedContext is Index.SearchPlannedContext under the read
+// lock.
+func (c *ConcurrentIndex) SearchPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchPlannedContext(ctx, q, eps, costs, force, pool, stats)
+}
+
+// SearchLongContext is Index.SearchLongContext under the read lock.
+func (c *ConcurrentIndex) SearchLongContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchLongContext(ctx, q, eps, costs, stats)
+}
+
+// SearchLongPlannedContext is Index.SearchLongPlannedContext under the
+// read lock.
+func (c *ConcurrentIndex) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchLongPlannedContext(ctx, q, eps, costs, force, stats)
+}
+
+// SearchBatchContext is Index.SearchBatchContext under the read lock;
+// like SearchBatch the whole batch sees one consistent snapshot, and
+// a deadline bounds how long that read lock is held.
+func (c *ConcurrentIndex) SearchBatchContext(ctx context.Context, queries []vec.Vector, eps float64, costs CostBounds, parallelism int, stats *SearchStats) ([][]Match, []BatchStatus, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchBatchContext(ctx, queries, eps, costs, parallelism, stats)
+}
+
+// SearchBatchPlannedContext is Index.SearchBatchPlannedContext under
+// the read lock.
+func (c *ConcurrentIndex) SearchBatchPlannedContext(ctx context.Context, queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, []BatchStatus, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.SearchBatchPlannedContext(ctx, queries, force, parallelism, stats)
+}
+
+// BuildBulkParallelContext is Index.BuildBulkParallelContext under the
+// write lock; cancelling it releases the write lock promptly with the
+// index left empty and reusable.
+func (c *ConcurrentIndex) BuildBulkParallelContext(ctx context.Context, workers int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ix.BuildBulkParallelContext(ctx, workers)
+}
+
+// Degraded is Index.Degraded under the read lock.
+func (c *ConcurrentIndex) Degraded() (bool, string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.Degraded()
 }
 
 // AppendAndIndex is Index.AppendAndIndex under the write lock.

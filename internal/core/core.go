@@ -29,6 +29,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -173,6 +175,10 @@ type SearchStats struct {
 	// (one per range query; one per piece for multipiece long
 	// queries), indexed by engine.PathKind.
 	PathProbes [engine.NumPathKinds]int
+	// DegradedProbes counts probes answered in degraded mode (scan
+	// fallback after the index artifact failed validation); nonzero
+	// means results were exact but index acceleration was lost.
+	DegradedProbes int
 }
 
 // PageAccesses returns the total page count (index + data), the
@@ -197,6 +203,7 @@ func (s *SearchStats) Add(o SearchStats) {
 	for i := range s.PathProbes {
 		s.PathProbes[i] += o.PathProbes[i]
 	}
+	s.DegradedProbes += o.DegradedProbes
 }
 
 // Index is the scale/shift-invariant subsequence index of §6.
@@ -213,6 +220,12 @@ type Index struct {
 	// access paths (paths.go); its paths read the live tree through
 	// the Index, so rebuilds need no re-registration.
 	planner *engine.Planner
+	// degraded, when non-empty, records why the index artifact could
+	// not be loaded (see OpenOrRebuild): the tree is empty but indexed
+	// covers every window, so the scan path still answers every query
+	// exactly.  A degraded index is read-only and refuses to
+	// serialize.
+	degraded string
 }
 
 // NewIndex creates an empty index over st.  Sequences already in st
@@ -255,6 +268,23 @@ func NewIndex(st *store.Store, opts Options) (*Index, error) {
 
 // trailMode reports whether leaf entries are sub-trail MBRs.
 func (ix *Index) trailMode() bool { return ix.opts.SubtrailLen >= 2 }
+
+// Degraded reports whether the index is serving in degraded mode
+// (scan fallback over the raw store; see OpenOrRebuild) and why.
+func (ix *Index) Degraded() (bool, string) {
+	return ix.degraded != "", ix.degraded
+}
+
+// checkMutable rejects structural mutation of a degraded index: with
+// no tree to keep consistent, inserts and deletes would silently
+// desynchronize the indexed-window accounting the scan path relies
+// on.  Rebuild from the store instead.
+func (ix *Index) checkMutable() error {
+	if ix.degraded != "" {
+		return fmt.Errorf("core: index is degraded (%s); rebuild it before mutating", ix.degraded)
+	}
+	return nil
+}
 
 // trailRect computes the MBR of the features of windows
 // [first, first+count) of sequence seq, using the direct transform so
@@ -351,9 +381,11 @@ func (ix *Index) SetStrategy(s geom.Strategy) error {
 // Store returns the underlying sequence store.
 func (ix *Index) Store() *store.Store { return ix.st }
 
-// WindowCount returns the number of indexed windows.
+// WindowCount returns the number of indexed windows.  On a degraded
+// index this is the number of scannable windows — the tree is empty,
+// but every window of the raw store remains searchable.
 func (ix *Index) WindowCount() int {
-	if !ix.trailMode() {
+	if !ix.trailMode() && ix.degraded == "" {
 		return ix.tree.Len()
 	}
 	total := 0
@@ -383,6 +415,9 @@ func (ix *Index) WriteIndexStats(w io.Writer) error { return ix.tree.WriteStats(
 // Build indexes every not-yet-indexed window of every sequence
 // currently in the store (§6 pre-processing).
 func (ix *Index) Build() error {
+	if err := ix.checkMutable(); err != nil {
+		return err
+	}
 	for seq := 0; seq < ix.st.NumSequences(); seq++ {
 		if err := ix.IndexSequence(seq); err != nil {
 			return err
@@ -397,6 +432,9 @@ func (ix *Index) Build() error {
 // tighter tree.  It requires an empty index; dynamic insertion and
 // removal work normally afterwards.
 func (ix *Index) BuildBulk() error {
+	if err := ix.checkMutable(); err != nil {
+		return err
+	}
 	if ix.tree.Len() != 0 {
 		return fmt.Errorf("core: BuildBulk requires an empty index (have %d windows)", ix.tree.Len())
 	}
@@ -441,6 +479,21 @@ func (ix *Index) BuildBulk() error {
 // tiling passes.  workers < 1 means runtime.GOMAXPROCS(0).  The
 // resulting tree is identical to the sequential BuildBulk tree.
 func (ix *Index) BuildBulkParallel(workers int) error {
+	return ix.BuildBulkParallelContext(context.Background(), workers)
+}
+
+// BuildBulkParallelContext is BuildBulkParallel with cooperative
+// cancellation: workers poll ctx between checkpoint segments (each
+// segment is at most featureCheckpoint windows of O(f_c) work, so
+// cancellation latency is bounded by one segment) and the build
+// returns ctx.Err() with the index left empty and reusable.  A panic
+// in any worker — one poisoned sequence, say — is recovered into a
+// *WorkerPanicError naming the offending (seq, window) instead of
+// crashing the process.
+func (ix *Index) BuildBulkParallelContext(ctx context.Context, workers int) error {
+	if err := ix.checkMutable(); err != nil {
+		return err
+	}
 	if ix.tree.Len() != 0 {
 		return fmt.Errorf("core: BuildBulkParallel requires an empty index (have %d windows)", ix.tree.Len())
 	}
@@ -492,11 +545,19 @@ func (ix *Index) BuildBulkParallel(workers int) error {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			curSeq, curStart := -1, -1
+			defer recoverWorkerPanic("bulk build", &curSeq, &curStart, &errs[g])
 			sc := ix.newSegScratch()
 			feat := make(vec.Vector, ix.fmap.Dim())
 			for sg := range next {
+				if err := ctx.Err(); err != nil {
+					errs[g] = err
+					return
+				}
+				curSeq, curStart = sg.seq, sg.cp
 				off := base[sg.seq]
 				err := ix.featureSegment(sg.seq, sg.cp, sg.segLast, sg.cp, sc, feat, func(start int, f vec.Vector) error {
+					curStart = start
 					items[off+start] = rtree.Item{
 						Point: f.Clone(),
 						ID:    store.EncodeWindowID(sg.seq, start),
@@ -511,11 +572,24 @@ func (ix *Index) BuildBulkParallel(workers int) error {
 		}(g)
 	}
 	wg.Wait()
+	// Prefer reporting a real failure over a bare context error: if a
+	// worker panicked or hit I/O trouble while another saw the
+	// cancellation, the cause is the more useful message.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			ix.indexed = make([]int, nSeq)
-			return fmt.Errorf("core: parallel bulk indexing: %w", err)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+			continue
+		}
+		ix.indexed = make([]int, nSeq)
+		return fmt.Errorf("core: parallel bulk indexing: %w", err)
+	}
+	if ctxErr != nil {
+		ix.indexed = make([]int, nSeq)
+		return ctxErr
 	}
 
 	cfg := ix.opts.Tree
@@ -533,6 +607,9 @@ func (ix *Index) BuildBulkParallel(workers int) error {
 // indexed.  It is idempotent and supports sequences that grew since
 // the last call (requirement 2 of §3).
 func (ix *Index) IndexSequence(seq int) error {
+	if err := ix.checkMutable(); err != nil {
+		return err
+	}
 	if seq < 0 || seq >= ix.st.NumSequences() {
 		return fmt.Errorf("core: sequence %d out of range [0, %d)", seq, ix.st.NumSequences())
 	}
@@ -660,6 +737,9 @@ func (ix *Index) featureSegment(seq, cp, segLast, from int, sc *segScratch, feat
 // AppendAndIndex appends a new sequence to the store and indexes its
 // windows, returning the sequence id.
 func (ix *Index) AppendAndIndex(name string, values []float64) (int, error) {
+	if err := ix.checkMutable(); err != nil {
+		return -1, err
+	}
 	seq := ix.st.AppendSequence(name, values)
 	if err := ix.IndexSequence(seq); err != nil {
 		return seq, err
@@ -672,6 +752,9 @@ func (ix *Index) AppendAndIndex(name string, values []float64) (int, error) {
 // windows spanning the old end (requirement 2 of §3: time series are
 // collected regularly and must become searchable as they arrive).
 func (ix *Index) ExtendAndIndex(seq int, values []float64) error {
+	if err := ix.checkMutable(); err != nil {
+		return err
+	}
 	if err := ix.st.ExtendSequence(seq, values); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -682,6 +765,9 @@ func (ix *Index) ExtendAndIndex(seq int, values []float64) error {
 // the tree.  The raw data remains in the store (the store is
 // append-only) but the windows will no longer be found by searches.
 func (ix *Index) UnindexSequence(seq int) error {
+	if err := ix.checkMutable(); err != nil {
+		return err
+	}
 	if seq < 0 || seq >= len(ix.indexed) {
 		return fmt.Errorf("core: sequence %d not indexed", seq)
 	}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+)
+
+// FuzzLoadIndex asserts the index loader never panics, never
+// over-allocates, and never hands back a usable index from corrupt
+// bytes: whatever it accepts must pass the same structural checks a
+// freshly built index does.
+func FuzzLoadIndex(f *testing.F) {
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = 2
+	cfg.Days = 60
+	if _, err := stock.Populate(st, cfg); err != nil {
+		f.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.WindowLen = 32
+	good := func() []byte {
+		ix, err := NewIndex(st, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := ix.Build(); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ix.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("SSIDX\x01"))
+	f.Add([]byte("SSIDX\x02"))
+	f.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-2] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ix, err := LoadIndex(bytes.NewReader(in), st)
+		if err != nil {
+			return
+		}
+		// The CRC framing makes accepting anything but the genuine
+		// artifact astronomically unlikely; whatever loads must be
+		// internally consistent and searchable.
+		if ix.WindowCount() < 0 || ix.EntryCount() < 0 {
+			t.Fatalf("negative counts: %d windows, %d entries", ix.WindowCount(), ix.EntryCount())
+		}
+		q := make([]float64, opts.WindowLen)
+		if err := st.Window(0, 0, opts.WindowLen, q, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.Search(q, 0.1, UnboundedCosts(), nil); err != nil {
+			t.Fatalf("loaded index cannot search: %v", err)
+		}
+	})
+}

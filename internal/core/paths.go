@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"scaleshift/internal/engine"
@@ -18,7 +19,14 @@ import (
 //
 // Availability is structural, never per-query: the point-entry tree
 // probe and the sub-trail probe are mutually exclusive (an index
-// stores one leaf representation), and the scan is always available.
+// stores one leaf representation), the tree probes are both off on a
+// degraded index (OpenOrRebuild kept the raw store but no tree), and
+// the scan is always available.
+
+// scanCheckInterval is how many emitted windows pass between ctx polls
+// in the scan path: frequent enough that cancellation latency stays in
+// the microseconds, rare enough to stay invisible in the emit loop.
+const scanCheckInterval = 1024
 
 // rtreePath is the paper's §6 index phase: descend into children whose
 // ε-enlarged MBR is penetrated by the SE-line, collect leaf points
@@ -28,6 +36,9 @@ type rtreePath struct{ ix *Index }
 func (p *rtreePath) Kind() engine.PathKind { return engine.PathRTree }
 
 func (p *rtreePath) Available() (bool, string) {
+	if p.ix.degraded != "" {
+		return false, "index degraded: " + p.ix.degraded
+	}
 	if p.ix.trailMode() {
 		return false, "index stores sub-trail MBR entries (SubtrailLen >= 2)"
 	}
@@ -39,12 +50,16 @@ func (p *rtreePath) EstimateCost(q engine.Query) engine.Cost {
 	return engine.EstimateTreeCostSampled(h, q.Windows, q.Eps, sampleDists(h, q))
 }
 
-func (p *rtreePath) Candidates(q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+func (p *rtreePath) Candidates(ctx context.Context, q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
 	var cands []rtree.Item
+	var err error
 	if q.Segment {
-		cands = p.ix.tree.SegmentSearch(q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.SegmentSearchContext(ctx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
 	} else {
-		cands = p.ix.tree.LineSearch(q.Line, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.LineSearchContext(ctx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
+	}
+	if err != nil {
+		return err
 	}
 	for _, cand := range cands {
 		seq, start := store.DecodeWindowID(cand.ID)
@@ -61,6 +76,9 @@ type trailPath struct{ ix *Index }
 func (p *trailPath) Kind() engine.PathKind { return engine.PathTrail }
 
 func (p *trailPath) Available() (bool, string) {
+	if p.ix.degraded != "" {
+		return false, "index degraded: " + p.ix.degraded
+	}
 	if !p.ix.trailMode() {
 		return false, "index stores per-window point entries (SubtrailLen < 2)"
 	}
@@ -72,14 +90,21 @@ func (p *trailPath) EstimateCost(q engine.Query) engine.Cost {
 	return engine.EstimateTrailCostSampled(h, q.Windows, p.ix.opts.SubtrailLen, q.Eps, sampleDists(h, q))
 }
 
-func (p *trailPath) Candidates(q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+func (p *trailPath) Candidates(ctx context.Context, q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
 	var cands []rtree.RectItem
+	var err error
 	if q.Segment {
-		cands = p.ix.tree.SegmentSearchRects(q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.SegmentSearchRectsContext(ctx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
 	} else {
-		cands = p.ix.tree.LineSearchRects(q.Line, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.LineSearchRectsContext(ctx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
+	}
+	if err != nil {
+		return err
 	}
 	for _, cand := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		seq, first := store.DecodeWindowID(cand.ID)
 		count := p.ix.trailWindows(seq, first)
 		for i := 0; i < count; i++ {
@@ -93,7 +118,8 @@ func (p *trailPath) Candidates(q engine.Query, ts *rtree.SearchStats, emit func(
 // window is a candidate, in storage order, and the shared verifier
 // does all the filtering.  It reads no index pages and beats the tree
 // probe when the store is small or ε is so large that the tree would
-// visit everything anyway.
+// visit everything anyway.  It is also the degradation fallback: a
+// degraded index answers every query through this path.
 type scanPath struct{ ix *Index }
 
 func (p *scanPath) Kind() engine.PathKind { return engine.PathScan }
@@ -104,12 +130,17 @@ func (p *scanPath) EstimateCost(q engine.Query) engine.Cost {
 	return engine.EstimateScanCost(q.Windows)
 }
 
-func (p *scanPath) Candidates(q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+func (p *scanPath) Candidates(ctx context.Context, q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	n := 0
 	seqscan.Addresses(p.ix.st, p.ix.opts.WindowLen, p.ix.indexed, func(seq, start int) bool {
+		if n%scanCheckInterval == 0 && ctx.Err() != nil {
+			return false
+		}
+		n++
 		emit(seq, start)
 		return true
 	})
-	return nil
+	return ctx.Err()
 }
 
 // sampleDists measures the tree's maintained feature sample against

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"scaleshift/internal/engine"
+	"scaleshift/internal/query"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// testQueryEps returns a disguised window of ix's store and an epsilon
+// wide enough to match a handful of windows.
+func testQueryEps(t *testing.T, ix *Index) (vec.Vector, float64) {
+	t.Helper()
+	n := ix.Options().WindowLen
+	w := make(vec.Vector, n)
+	if err := ix.Store().Window(1, 7, n, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	scale, err := query.SENormScale(ix.Store(), n, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vec.Apply(w, 1.4, -3), 0.08 * scale
+}
+
+func TestQueryValidationTyped(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 4, 80)
+	q, eps := testQueryEps(t, ix)
+	n := ix.Options().WindowLen
+
+	nanQ := q.Clone()
+	nanQ[3] = math.NaN()
+	infQ := q.Clone()
+	infQ[0] = math.Inf(1)
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"NaN sample", func() error { _, err := ix.Search(nanQ, eps, UnboundedCosts(), nil); return err }},
+		{"Inf sample", func() error { _, err := ix.Search(infQ, eps, UnboundedCosts(), nil); return err }},
+		{"negative eps", func() error { _, err := ix.Search(q, -0.5, UnboundedCosts(), nil); return err }},
+		{"NaN eps", func() error { _, err := ix.Search(q, math.NaN(), UnboundedCosts(), nil); return err }},
+		{"short query", func() error { _, err := ix.Search(q[:n-1], eps, UnboundedCosts(), nil); return err }},
+		{"long-query short", func() error { _, err := ix.SearchLong(q[:n-1], eps, UnboundedCosts(), nil); return err }},
+		{"long-query NaN", func() error {
+			long := append(nanQ.Clone(), nanQ...)
+			_, err := ix.SearchLong(long, eps, UnboundedCosts(), nil)
+			return err
+		}},
+		{"NN NaN sample", func() error { _, err := ix.NearestNeighbors(nanQ, 3, nil); return err }},
+		{"NN bad k", func() error { _, err := ix.NearestNeighbors(q, 0, nil); return err }},
+		{"NN wrong length", func() error { _, err := ix.NearestNeighbors(q[:n-2], 3, nil); return err }},
+		{"batch NaN", func() error {
+			_, err := ix.SearchBatch([]vec.Vector{q, nanQ}, eps, UnboundedCosts(), 2, nil)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("%s: error %v is not ErrInvalidQuery", tc.name, err)
+		}
+	}
+}
+
+func TestSearchContextCancelled(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 6, 120)
+	q, eps := testQueryEps(t, ix)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.SearchContext(ctx, q, eps, UnboundedCosts(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := ix.SearchLongContext(ctx, append(q.Clone(), q...), eps, UnboundedCosts(), nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("long err = %v, want context.Canceled", err)
+	}
+
+	// An expired deadline surfaces as DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := ix.SearchContext(dctx, q, eps, UnboundedCosts(), nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// A live context changes nothing: results equal the plain API's.
+	want, err := ix.Search(q, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.SearchContext(context.Background(), q, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("context search: %d matches, plain %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("match %d differs under context", i)
+		}
+	}
+}
+
+func TestBuildBulkParallelContextCancelled(t *testing.T) {
+	st := buildTestIndex(t, testOptions(), 8, 160).Store()
+	ix, err := NewIndex(st, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	baseline := runtime.NumGoroutine()
+	if err := ix.BuildBulkParallelContext(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// All workers must be gone (they are joined before return).
+	for i := 0; i < 100 && runtime.NumGoroutine() > baseline; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("goroutines leaked: %d > %d", g, baseline)
+	}
+
+	// The index stays empty and reusable: a fresh build succeeds and
+	// matches the sequential tree exactly.
+	if got := ix.WindowCount(); got != 0 {
+		t.Fatalf("cancelled build left %d windows", got)
+	}
+	if err := ix.BuildBulkParallelContext(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewIndex(st, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.BuildBulk(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.WindowCount() != seq.WindowCount() || ix.EntryCount() != seq.EntryCount() {
+		t.Fatalf("rebuilt tree differs: %d/%d vs %d/%d",
+			ix.WindowCount(), ix.EntryCount(), seq.WindowCount(), seq.EntryCount())
+	}
+}
+
+// promptBound is the acceptance bound on returning after a cancel.
+// The race detector slows instrumented code 5-20x, so the strict
+// 100ms contract is asserted only in uninstrumented runs.
+func promptBound() time.Duration {
+	if raceDetectorEnabled {
+		return time.Second
+	}
+	return 100 * time.Millisecond
+}
+
+func TestBuildBulkParallelCancelsPromptly(t *testing.T) {
+	st := buildTestIndex(t, testOptions(), 30, 650).Store()
+	ix, err := NewIndex(st, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ix.BuildBulkParallelContext(ctx, 2) }()
+	time.Sleep(2 * time.Millisecond)
+	cancelled := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+		// err == nil means the build beat the cancel; that's fine.
+		if d := time.Since(cancelled); d > promptBound() {
+			t.Errorf("build returned %v after cancel, want <= %v", d, promptBound())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("build did not return after cancel")
+	}
+}
+
+func TestSearchBatchContextPartialResults(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 6, 160)
+	q, eps := testQueryEps(t, ix)
+	queries := make([]vec.Vector, 24)
+	for i := range queries {
+		queries[i] = q
+	}
+	want, err := ix.Search(q, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-cancelled: everything incomplete, ctx error returned, no
+	// goroutines left behind.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	baseline := runtime.NumGoroutine()
+	start := time.Now()
+	results, statuses, err := ix.SearchBatchContext(ctx, queries, eps, UnboundedCosts(), 4, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > promptBound() {
+		t.Errorf("cancelled batch took %v, want <= %v", d, promptBound())
+	}
+	if len(statuses) != len(queries) {
+		t.Fatalf("%d statuses for %d queries", len(statuses), len(queries))
+	}
+	for i, s := range statuses {
+		if s == BatchComplete && results[i] == nil && len(want) > 0 {
+			t.Errorf("query %d: complete but nil result", i)
+		}
+		if s == BatchIncomplete && results[i] != nil {
+			t.Errorf("query %d: incomplete but has a result", i)
+		}
+	}
+	for i := 0; i < 100 && runtime.NumGoroutine() > baseline; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("goroutines leaked: %d > %d", g, baseline)
+	}
+
+	// Cancelled mid-flight: whatever completed must equal the
+	// uncancelled answer, slot for slot.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() { time.Sleep(time.Millisecond); cancel2() }()
+	results, statuses, err = ix.SearchBatchContext(ctx2, queries, eps, UnboundedCosts(), 2, nil)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if err == nil {
+		// The batch beat the cancel: everything must be complete.
+		for i, s := range statuses {
+			if s != BatchComplete {
+				t.Fatalf("no error but query %d is %v", i, s)
+			}
+		}
+	}
+	for i, s := range statuses {
+		if s != BatchComplete {
+			continue
+		}
+		if len(results[i]) != len(want) {
+			t.Fatalf("completed query %d: %d matches, want %d", i, len(results[i]), len(want))
+		}
+		for j := range want {
+			if results[i][j] != want[j] {
+				t.Fatalf("completed query %d: match %d differs", i, j)
+			}
+		}
+	}
+
+	// Uncancelled context: statuses all complete, identical to the
+	// plain batch API.
+	results, statuses, err = ix.SearchBatchContext(context.Background(), queries, eps, UnboundedCosts(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range statuses {
+		if s != BatchComplete {
+			t.Fatalf("query %d: %v, want complete", i, s)
+		}
+		if len(results[i]) != len(want) {
+			t.Fatalf("query %d: %d matches, want %d", i, len(results[i]), len(want))
+		}
+	}
+}
+
+func TestRecoverWorkerPanic(t *testing.T) {
+	seq, start := 3, 41
+	var err error
+	func() {
+		defer recoverWorkerPanic("unit test", &seq, &start, &err)
+		panic("boom")
+	}()
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	if wpe.Seq != 3 || wpe.Start != 41 || wpe.Value != "boom" {
+		t.Fatalf("wrong panic metadata: %+v", wpe)
+	}
+	if !strings.Contains(wpe.Error(), "window (3, 41)") || !strings.Contains(wpe.Error(), "boom") {
+		t.Fatalf("unhelpful message: %s", wpe.Error())
+	}
+	if len(wpe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+
+	// A first (real) error is not overwritten by the panic.
+	prior := errors.New("prior failure")
+	err = prior
+	func() {
+		defer recoverWorkerPanic("unit test", nil, nil, &err)
+		panic("later")
+	}()
+	if err != prior {
+		t.Fatalf("panic overwrote prior error: %v", err)
+	}
+
+	// Nil position pointers degrade to (-1, -1).
+	err = nil
+	func() {
+		defer recoverWorkerPanic("unit test", nil, nil, &err)
+		panic(42)
+	}()
+	if !errors.As(err, &wpe) || wpe.Seq != -1 {
+		t.Fatalf("nil-pointer form wrong: %v", err)
+	}
+}
+
+func TestVerifyWorkerPanicRecovered(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	ix := buildTestIndex(t, testOptions(), 4, 80)
+	q, _ := testQueryEps(t, ix)
+	v := ix.newVerifier(q, 1, UnboundedCosts())
+	// Poison the verifier: a nil store makes every window fetch panic
+	// with a nil dereference inside the worker.
+	v.ix = &Index{opts: ix.opts, fmap: ix.fmap}
+	cands := make([]candidate, 2*verifyParallelThreshold)
+	for i := range cands {
+		cands[i] = candidate{0, i}
+	}
+	var pc store.PageCounter
+	_, _, _, err := ix.verifyCandidates(context.Background(), v, cands, &pc)
+	var wpe *WorkerPanicError
+	if !errors.As(err, &wpe) {
+		t.Fatalf("err = %v, want *WorkerPanicError", err)
+	}
+	if wpe.Op != "verification" || wpe.Seq != 0 {
+		t.Fatalf("wrong panic site: %+v", wpe)
+	}
+}
+
+func TestDegradedIndexServesExactResults(t *testing.T) {
+	opts := testOptions()
+	healthy := buildTestIndex(t, opts, 6, 120)
+	st := healthy.Store()
+	q, eps := testQueryEps(t, healthy)
+
+	var buf bytes.Buffer
+	if err := healthy.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0x10
+
+	ix, status, err := OpenOrRebuild(bytes.NewReader(corrupt), st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Degraded || status.Err == nil {
+		t.Fatalf("corrupt artifact opened healthy: %+v", status)
+	}
+	if !errors.Is(status.Err, ErrChecksum) && !errors.Is(status.Err, ErrTruncated) {
+		t.Errorf("status.Err = %v, want a typed artifact error", status.Err)
+	}
+	if deg, reason := ix.Degraded(); !deg || reason == "" {
+		t.Fatalf("Degraded() = %v, %q", deg, reason)
+	}
+
+	// Identical match sets, via the scan path, flagged in the explain
+	// and the stats.
+	for _, e := range []float64{0, eps, 3 * eps} {
+		want, err := healthy.Search(q, e, UnboundedCosts(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats SearchStats
+		got, ex, err := ix.SearchPlanned(q, e, UnboundedCosts(), engine.PathAuto, nil, &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ex.Degraded || ex.DegradedReason == "" {
+			t.Errorf("eps=%v: explain not flagged degraded", e)
+		}
+		if ex.Chosen != engine.PathScan {
+			t.Errorf("eps=%v: degraded query used %v, want scan", e, ex.Chosen)
+		}
+		if stats.DegradedProbes != 1 {
+			t.Errorf("eps=%v: DegradedProbes = %d, want 1", e, stats.DegradedProbes)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("eps=%v: degraded %d matches, healthy %d", e, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("eps=%v: match %d differs in degraded mode", e, i)
+			}
+		}
+	}
+
+	// The explain text announces the mode.
+	var sb strings.Builder
+	_, ex, err := ix.SearchPlanned(q, eps, UnboundedCosts(), engine.PathAuto, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "DEGRADED") {
+		t.Errorf("explain text misses degradation:\n%s", sb.String())
+	}
+
+	// Long queries degrade too.
+	long := append(q.Clone(), q...)
+	wantLong, err := healthy.SearchLong(long, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLong, err := ix.SearchLong(long, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotLong) != len(wantLong) {
+		t.Fatalf("long query: degraded %d matches, healthy %d", len(gotLong), len(wantLong))
+	}
+
+	// Forcing the tree path fails loudly; NN, mutation, and
+	// serialization are refused rather than silently wrong.
+	if _, _, err := ix.SearchPlanned(q, eps, UnboundedCosts(), engine.PathRTree, nil, nil); err == nil {
+		t.Error("forced rtree path worked on a degraded index")
+	}
+	if _, err := ix.NearestNeighbors(q, 3, nil); err == nil {
+		t.Error("NN search worked on a degraded index")
+	}
+	if _, err := ix.AppendAndIndex("new", make([]float64, 64)); err == nil {
+		t.Error("mutation worked on a degraded index")
+	}
+	if err := ix.WriteBinary(io.Discard); err == nil {
+		t.Error("degraded index serialized")
+	}
+
+	// The undamaged artifact still opens healthy through the same door.
+	ix2, status2, err := OpenOrRebuild(bytes.NewReader(good), st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status2.Degraded {
+		t.Fatalf("good artifact degraded: %+v", status2)
+	}
+	if deg, _ := ix2.Degraded(); deg {
+		t.Error("healthy open reports degraded")
+	}
+}
+
+func TestIndexArtifactCorruptionAlwaysDetected(t *testing.T) {
+	opts := testOptions()
+	ix := buildTestIndex(t, opts, 3, 70)
+	st := ix.Store()
+	var buf bytes.Buffer
+	if err := ix.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := LoadIndex(bytes.NewReader(good), st); err != nil {
+		t.Fatalf("pristine artifact rejected: %v", err)
+	}
+	// Every single-byte flip must be rejected (magic, lengths, CRCs,
+	// payloads — the whole file is covered).
+	for off := range good {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x04
+		if _, err := LoadIndex(bytes.NewReader(bad), st); err == nil {
+			t.Fatalf("flip at byte %d accepted", off)
+		}
+	}
+	// Every truncation must be rejected with a typed error.
+	for cut := 0; cut < len(good); cut += 7 {
+		_, err := LoadIndex(bytes.NewReader(good[:cut]), st)
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+	// A v1 artifact is version-skew, not garbage.
+	v1 := append([]byte(nil), good...)
+	v1[5] = 0x01
+	if _, err := LoadIndex(bytes.NewReader(v1), st); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 magic: err = %v, want ErrVersion", err)
+	}
+}

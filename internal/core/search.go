@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -23,6 +25,13 @@ const (
 	verdictFalseAlarm
 	verdictCostRejected
 )
+
+// verifyCheckInterval is how many candidates a verification loop
+// processes between ctx polls.  One candidate costs O(n) float work
+// (a prefix-sum pass, sometimes an exact MinDist), so 64 candidates
+// bound cancellation latency to a few microseconds at n = 128 while
+// keeping the poll invisible in the loop.
+const verifyCheckInterval = 64
 
 // verifier carries the query-side quantities shared by every candidate
 // check of one query: the SE image su = T_se(q), its squared norm uu,
@@ -92,13 +101,21 @@ const verifyParallelThreshold = 32
 // across a bounded worker pool: workers fill disjoint slots of a
 // verdict array and keep private page counters that are merged into pc
 // afterwards, so results, ordering, and every SearchStats field are
-// identical to the sequential pass.
-func (ix *Index) verifyCandidates(v *verifier, cands []candidate, pc *store.PageCounter) ([]Match, int, int, error) {
+// identical to the sequential pass.  Both the sequential loop and the
+// workers poll ctx every verifyCheckInterval candidates; a worker
+// panic (a poisoned window) is recovered into a *WorkerPanicError
+// rather than crashing the process.
+func (ix *Index) verifyCandidates(ctx context.Context, v *verifier, cands []candidate, pc *store.PageCounter) ([]Match, int, int, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if len(cands) < verifyParallelThreshold || workers < 2 || pc.Pool != nil {
 		var out []Match
 		var falseAlarms, costRejected int
-		for _, c := range cands {
+		for i, c := range cands {
+			if i%verifyCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, 0, err
+				}
+			}
 			m, verdict, err := v.verify(c.seq, c.start, pc)
 			if err != nil {
 				return nil, 0, 0, err
@@ -139,7 +156,16 @@ func (ix *Index) verifyCandidates(v *verifier, cands []candidate, pc *store.Page
 		wg.Add(1)
 		go func(g, lo, hi int) {
 			defer wg.Done()
+			curSeq, curStart := -1, -1
+			defer recoverWorkerPanic("verification", &curSeq, &curStart, &errs[g])
 			for i := lo; i < hi; i++ {
+				if (i-lo)%verifyCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+				curSeq, curStart = cands[i].seq, cands[i].start
 				m, verdict, err := v.verify(cands[i].seq, cands[i].start, &pcs[g])
 				if err != nil {
 					errs[g] = err
@@ -150,11 +176,21 @@ func (ix *Index) verifyCandidates(v *verifier, cands []candidate, pc *store.Page
 		}(g, lo, hi)
 	}
 	wg.Wait()
+	// A real failure (panic, I/O) outranks a context error seen by a
+	// sibling worker.
+	var ctxErr error
 	for g := range errs {
 		if errs[g] != nil {
+			if errors.Is(errs[g], context.Canceled) || errors.Is(errs[g], context.DeadlineExceeded) {
+				ctxErr = errs[g]
+				continue
+			}
 			return nil, 0, 0, errs[g]
 		}
 		pc.Merge(&pcs[g])
+	}
+	if ctxErr != nil {
+		return nil, 0, 0, ctxErr
 	}
 	var out []Match
 	var falseAlarms, costRejected int
@@ -209,18 +245,22 @@ func (ix *Index) planQuery(line vec.Line, eps float64, costs CostBounds) engine.
 
 // probe plans and runs the index phase for one SE-line: the planner
 // picks an access path (or honors force), the path emits its candidate
-// windows into fn, and the decision, estimates, and stage timings land
-// in the returned Explain.
-func (ix *Index) probe(line vec.Line, eps float64, costs CostBounds, force engine.PathKind, treeStats *rtree.SearchStats, fn func(seq, start int)) (*engine.Explain, error) {
+// windows into fn, and the decision, estimates, degraded-mode flag,
+// and stage timings land in the returned Explain.
+func (ix *Index) probe(ctx context.Context, line vec.Line, eps float64, costs CostBounds, force engine.PathKind, treeStats *rtree.SearchStats, fn func(seq, start int)) (*engine.Explain, error) {
 	planStart := time.Now()
 	eq := ix.planQuery(line, eps, costs)
 	path, ex, err := ix.planner.Plan(eq, force)
 	if err != nil {
 		return ex, fmt.Errorf("core: planning: %w", err)
 	}
+	if ix.degraded != "" {
+		ex.Degraded = true
+		ex.DegradedReason = ix.degraded
+	}
 	ex.PlanTime = time.Since(planStart)
 	probeStart := time.Now()
-	if err := path.Candidates(eq, treeStats, fn); err != nil {
+	if err := path.Candidates(ctx, eq, treeStats, fn); err != nil {
 		return ex, fmt.Errorf("core: %s probe: %w", ex.Chosen, err)
 	}
 	ex.ProbeTime = time.Since(probeStart)
@@ -239,6 +279,16 @@ func (ix *Index) probe(line vec.Line, eps float64, costs CostBounds, force engin
 // data.
 func (ix *Index) Search(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
 	return ix.SearchPooled(q, eps, costs, nil, stats)
+}
+
+// SearchContext is Search with cooperative cancellation: the R*-tree
+// descent polls ctx per node, the verification loops per
+// verifyCheckInterval candidates, so a cancelled or expired context
+// stops the query within a bounded slice of work and returns
+// ctx.Err().
+func (ix *Index) SearchContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	out, _, err := ix.SearchPlannedContext(ctx, q, eps, costs, engine.PathAuto, nil, stats)
+	return out, err
 }
 
 // SearchPooled is Search with the data-page fetches of the
@@ -260,12 +310,20 @@ func (ix *Index) SearchPooled(q vec.Vector, eps float64, costs CostBounds, pool 
 // per-path cost estimates, the candidate actuals, and the per-stage
 // timings.  pool and stats may be nil.
 func (ix *Index) SearchPlanned(q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	return ix.SearchPlannedContext(context.Background(), q, eps, costs, force, pool, stats)
+}
+
+// SearchPlannedContext is SearchPlanned with cooperative cancellation
+// (see SearchContext).  Partial work is discarded on cancellation: the
+// function returns nil matches and ctx.Err(), never a silently
+// truncated answer set.
+func (ix *Index) SearchPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error) {
 	if len(q) != ix.opts.WindowLen {
-		return nil, nil, fmt.Errorf("core: query length %d, index window length %d (use SearchLong for longer queries)",
-			len(q), ix.opts.WindowLen)
+		return nil, nil, fmt.Errorf("core: %w: query length %d, index window length %d (use SearchLong for longer queries)",
+			ErrInvalidQuery, len(q), ix.opts.WindowLen)
 	}
-	if eps < 0 {
-		return nil, nil, fmt.Errorf("core: negative epsilon %v", eps)
+	if err := ix.validateQuery(q, eps); err != nil {
+		return nil, nil, err
 	}
 
 	// Searching step: collect candidates through the planned access
@@ -276,7 +334,7 @@ func (ix *Index) SearchPlanned(q vec.Vector, eps float64, costs CostBounds, forc
 	// extra candidates.
 	var treeStats rtree.SearchStats
 	var cands []candidate
-	ex, err := ix.probe(ix.seLine(q), eps, costs, force, &treeStats, func(seq, start int) {
+	ex, err := ix.probe(ctx, ix.seLine(q), eps, costs, force, &treeStats, func(seq, start int) {
 		cands = append(cands, candidate{seq, start})
 	})
 	if err != nil {
@@ -289,8 +347,11 @@ func (ix *Index) SearchPlanned(q vec.Vector, eps float64, costs CostBounds, forc
 	verifyStart := time.Now()
 	pc := store.PageCounter{Pool: pool}
 	v := ix.newVerifier(q, eps, costs)
-	out, falseAlarms, costRejected, err := ix.verifyCandidates(v, cands, &pc)
+	out, falseAlarms, costRejected, err := ix.verifyCandidates(ctx, v, cands, &pc)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, ex, err
+		}
 		return nil, ex, fmt.Errorf("core: post-processing: %w", err)
 	}
 	sortMatches(out)
@@ -311,6 +372,9 @@ func (ix *Index) SearchPlanned(q vec.Vector, eps float64, costs CostBounds, forc
 		stats.ProbeTime += ex.ProbeTime
 		stats.VerifyTime += ex.VerifyTime
 		stats.PathProbes[ex.Chosen]++
+		if ex.Degraded {
+			stats.DegradedProbes++
+		}
 	}
 	return out, ex, nil
 }
@@ -331,6 +395,13 @@ func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *
 	return out, err
 }
 
+// SearchLongContext is SearchLong with cooperative cancellation (see
+// SearchContext).
+func (ix *Index) SearchLongContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	out, _, err := ix.SearchLongPlannedContext(ctx, q, eps, costs, engine.PathAuto, stats)
+	return out, err
+}
+
 // SearchLongPlanned is SearchLong with the per-piece index probes
 // routed through the engine: each piece is planned independently (with
 // the piece bound ε/√k), force pins every piece to one path, and the
@@ -338,15 +409,24 @@ func (ix *Index) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *
 // timing actuals totalled across pieces.  As with SearchPlanned the
 // result set is bit-identical whichever path serves the pieces.
 func (ix *Index) SearchLongPlanned(q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	return ix.SearchLongPlannedContext(context.Background(), q, eps, costs, force, stats)
+}
+
+// SearchLongPlannedContext is SearchLongPlanned with cooperative
+// cancellation: ctx is polled inside every piece probe and throughout
+// full-length verification, so even a many-piece query over a large
+// store stops within a bounded slice of work.
+func (ix *Index) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, stats *SearchStats) ([]Match, *engine.Explain, error) {
 	n := ix.opts.WindowLen
 	if len(q) == n {
-		return ix.SearchPlanned(q, eps, costs, force, nil, stats)
+		return ix.SearchPlannedContext(ctx, q, eps, costs, force, nil, stats)
 	}
 	if len(q) < n {
-		return nil, nil, fmt.Errorf("core: query length %d below index window length %d", len(q), n)
+		return nil, nil, fmt.Errorf("core: %w: query length %d below index window length %d",
+			ErrInvalidQuery, len(q), n)
 	}
-	if eps < 0 {
-		return nil, nil, fmt.Errorf("core: negative epsilon %v", eps)
+	if err := ix.validateQuery(q, eps); err != nil {
+		return nil, nil, err
 	}
 	pieces := len(q) / n
 	pieceEps := eps / math.Sqrt(float64(pieces))
@@ -359,7 +439,7 @@ func (ix *Index) SearchLongPlanned(q vec.Vector, eps float64, costs CostBounds, 
 	for i := 0; i < pieces; i++ {
 		piece := q[i*n : (i+1)*n]
 		i := i
-		pieceEx, err := ix.probe(ix.seLine(piece), pieceEps, costs, force, &treeStats, func(seq, start int) {
+		pieceEx, err := ix.probe(ctx, ix.seLine(piece), pieceEps, costs, force, &treeStats, func(seq, start int) {
 			full := candidate{seq, start - i*n}
 			if full.start < 0 || full.start+len(q) > ix.st.SequenceLen(seq) {
 				return
@@ -399,8 +479,11 @@ func (ix *Index) SearchLongPlanned(q vec.Vector, eps float64, costs CostBounds, 
 	verifyStart := time.Now()
 	var pc store.PageCounter
 	v := ix.newVerifier(q, eps, costs)
-	out, falseAlarms, costRejected, err := ix.verifyCandidates(v, cands, &pc)
+	out, falseAlarms, costRejected, err := ix.verifyCandidates(ctx, v, cands, &pc)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, ex, err
+		}
 		return nil, ex, fmt.Errorf("core: long-query post-processing: %w", err)
 	}
 	sortMatches(out)
@@ -420,6 +503,9 @@ func (ix *Index) SearchLongPlanned(q vec.Vector, eps float64, costs CostBounds, 
 		stats.PlanTime += ex.PlanTime
 		stats.ProbeTime += ex.ProbeTime
 		stats.VerifyTime += ex.VerifyTime
+		if ex.Degraded {
+			stats.DegradedProbes += pieces
+		}
 	}
 	return out, ex, nil
 }
@@ -446,10 +532,20 @@ func (ix *Index) NearestNeighbors(q vec.Vector, k int, stats *SearchStats) ([]Ma
 // lower-bounds the true distance of every window, filtered or not.
 func (ix *Index) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds, stats *SearchStats) ([]Match, error) {
 	if len(q) != ix.opts.WindowLen {
-		return nil, fmt.Errorf("core: query length %d, index window length %d", len(q), ix.opts.WindowLen)
+		return nil, fmt.Errorf("core: %w: query length %d, index window length %d",
+			ErrInvalidQuery, len(q), ix.opts.WindowLen)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("core: k %d < 1", k)
+		return nil, fmt.Errorf("core: %w: k %d < 1", ErrInvalidQuery, k)
+	}
+	if err := ix.validateQueryValues(q); err != nil {
+		return nil, err
+	}
+	if ix.degraded != "" {
+		// The refinement bound needs the tree's best-first stream; a
+		// degraded index has no tree, and silently returning nothing
+		// would be wrong, so NN queries fail loudly until a rebuild.
+		return nil, fmt.Errorf("core: nearest-neighbour search unavailable: index is degraded (%s)", ix.degraded)
 	}
 
 	var treeStats rtree.SearchStats
@@ -563,12 +659,23 @@ func sortMatches(ms []Match) {
 // non-nil.  Searches are read-only, so no locking is needed; do not
 // mutate the index concurrently.
 func (ix *Index) SearchBatch(queries []vec.Vector, eps float64, costs CostBounds, parallelism int, stats *SearchStats) ([][]Match, error) {
+	results, _, err := ix.SearchBatchContext(context.Background(), queries, eps, costs, parallelism, stats)
+	return results, err
+}
+
+// SearchBatchContext is SearchBatch under a context: when ctx is
+// cancelled mid-batch the call returns ctx.Err() together with the
+// PARTIAL results — every query whose status is BatchComplete holds
+// its full exact answer, every BatchIncomplete slot is nil — so a
+// deadline turns into "here is what finished in time" instead of all
+// work lost.
+func (ix *Index) SearchBatchContext(ctx context.Context, queries []vec.Vector, eps float64, costs CostBounds, parallelism int, stats *SearchStats) ([][]Match, []BatchStatus, error) {
 	bqs := make([]BatchQuery, len(queries))
 	for i, q := range queries {
 		bqs[i] = BatchQuery{Q: q, Eps: eps, Costs: costs}
 	}
-	results, _, err := ix.SearchBatchPlanned(bqs, engine.PathAuto, parallelism, stats)
-	return results, err
+	results, _, statuses, err := ix.SearchBatchPlannedContext(ctx, bqs, engine.PathAuto, parallelism, stats)
+	return results, statuses, err
 }
 
 // BatchQuery is one query of a heterogeneous batch: its own vector,
@@ -587,6 +694,19 @@ type BatchQuery struct {
 // accumulated into stats in query order, so the totals are identical
 // to running the queries sequentially.
 func (ix *Index) SearchBatchPlanned(queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, error) {
+	results, explains, _, err := ix.SearchBatchPlannedContext(context.Background(), queries, force, parallelism, stats)
+	return results, explains, err
+}
+
+// SearchBatchPlannedContext is SearchBatchPlanned under a context.
+// On cancellation it stops handing out new queries, lets in-flight
+// queries unwind at their next poll, and returns the partial results
+// with a per-query status slice and ctx.Err(); completed slots are
+// exact and usable, incomplete slots are nil.  A non-context failure
+// in any query (I/O error, recovered worker panic) aborts the whole
+// batch with that error, as before.  Per-query stats are accumulated
+// only for completed queries, in query order.
+func (ix *Index) SearchBatchPlannedContext(ctx context.Context, queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, []BatchStatus, error) {
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -595,36 +715,78 @@ func (ix *Index) SearchBatchPlanned(queries []BatchQuery, force engine.PathKind,
 	}
 	results := make([][]Match, len(queries))
 	explains := make([]*engine.Explain, len(queries))
+	statuses := make([]BatchStatus, len(queries))
 	perQuery := make([]SearchStats, len(queries))
 	errs := make([]error, len(queries))
+	for i := range statuses {
+		statuses[i] = BatchIncomplete
+	}
 
 	var wg sync.WaitGroup
-	next := make(chan int)
+	// Buffered and pre-filled so workers never block on the feed: a
+	// worker that sees cancellation simply stops draining.
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
 	for g := 0; g < parallelism; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				bq := queries[i]
-				results[i], explains[i], errs[i] = ix.SearchPlanned(bq.Q, bq.Eps, bq.Costs, force, nil, &perQuery[i])
+				if ctx.Err() != nil {
+					return // remaining queries stay BatchIncomplete
+				}
+				func(i int) {
+					defer recoverWorkerPanic("batch search", nil, nil, &errs[i])
+					bq := queries[i]
+					results[i], explains[i], errs[i] = ix.SearchPlannedContext(ctx, bq.Q, bq.Eps, bq.Costs, force, nil, &perQuery[i])
+				}(i)
+				if errs[i] == nil {
+					statuses[i] = BatchComplete
+				}
 			}
 		}()
 	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
+	// Classify failures: context errors mark their query incomplete
+	// (the batch still returns partial results); anything else is
+	// fatal for the whole batch.
+	canceled := ctx.Err() != nil
 	for i, err := range errs {
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			canceled = true
+			results[i] = nil
+			continue
+		}
+		return nil, nil, nil, fmt.Errorf("core: batch query %d: %w", i, err)
 	}
 	if stats != nil {
 		for i := range perQuery {
-			stats.Add(perQuery[i])
+			if statuses[i] == BatchComplete {
+				stats.Add(perQuery[i])
+			}
 		}
 	}
-	return results, explains, nil
+	if canceled {
+		err := ctx.Err()
+		if err == nil {
+			// A per-query context error surfaced before ctx.Err()
+			// transitioned (possible with per-query deadlines seen
+			// through the shared ctx); report the first one.
+			for _, e := range errs {
+				if e != nil {
+					err = e
+					break
+				}
+			}
+		}
+		return results, explains, statuses, err
+	}
+	return results, explains, statuses, nil
 }

@@ -1,33 +1,56 @@
 package core
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 
+	"scaleshift/internal/binio"
 	"scaleshift/internal/geom"
 	"scaleshift/internal/rtree"
 	"scaleshift/internal/store"
 )
 
-// indexMagic identifies the binary index format, version 1.
-var indexMagic = []byte("SSIDX\x01")
+// indexMagic identifies the binary index format, version 2: two
+// CRC32C-protected sections (header: options and per-sequence indexed
+// window counts; tree: the serialized R*-tree) and a whole-file
+// trailer checksum.  Version 1 (unchecksummed) artifacts are rejected
+// with ErrVersion; rebuild them from the store.
+var indexMagic = []byte("SSIDX\x02")
+
+// Typed artifact-validation failures from LoadIndex, re-exported from
+// the shared framing package so callers can errors.Is against
+// core.ErrChecksum etc. without importing internal/binio.
+var (
+	ErrChecksum  = binio.ErrChecksum
+	ErrTruncated = binio.ErrTruncated
+	ErrVersion   = binio.ErrVersion
+)
+
+// maxIndexSection bounds one section's length claim (64 GiB); the
+// chunked section reader fails fast on anything the input cannot
+// actually provide.
+const maxIndexSection = 1 << 36
 
 // WriteBinary serializes the index — its options, per-sequence indexed
-// window counts, and the full R*-tree — so it can be reopened with
-// LoadIndex without re-running pre-processing.  The underlying store
-// is NOT included; persist it separately with Store.WriteBinary.
+// window counts, and the full R*-tree — in the checksummed v2 format,
+// so it can be reopened with LoadIndex without re-running
+// pre-processing.  The underlying store is NOT included; persist it
+// separately with Store.WriteBinary.  A degraded index (see
+// OpenOrRebuild) refuses to serialize: it has no tree to persist.
 func (ix *Index) WriteBinary(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(indexMagic); err != nil {
-		return err
+	if ix.degraded != "" {
+		return fmt.Errorf("core: refusing to serialize a degraded index (%s)", ix.degraded)
 	}
+	bw := binio.NewWriter(w)
+	bw.Magic(indexMagic)
+
+	var head bytes.Buffer
 	var scratch [8]byte
-	writeU64 := func(v uint64) error {
+	writeU64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(scratch[:], v)
-		_, err := bw.Write(scratch[:])
-		return err
+		head.Write(scratch[:])
 	}
 	for _, v := range []uint64{
 		uint64(ix.opts.WindowLen),
@@ -37,40 +60,43 @@ func (ix *Index) WriteBinary(w io.Writer) error {
 		uint64(ix.opts.SubtrailLen),
 		uint64(len(ix.indexed)),
 	} {
-		if err := writeU64(v); err != nil {
-			return err
-		}
+		writeU64(v)
 	}
 	for _, c := range ix.indexed {
-		if err := writeU64(uint64(c)); err != nil {
-			return err
-		}
+		writeU64(uint64(c))
 	}
-	if err := bw.Flush(); err != nil {
+	bw.Section(head.Bytes())
+
+	var tree bytes.Buffer
+	if err := ix.tree.WriteBinary(&tree); err != nil {
 		return err
 	}
-	// The tree (including its Config) follows inline.
-	return ix.tree.WriteBinary(w)
+	bw.Section(tree.Bytes())
+	return bw.Close()
 }
 
 // LoadIndex reopens an index written by WriteBinary, attaching it to
 // st, which must be the same store (or a bit-exact copy) the index was
-// built over.  Cheap consistency checks guard against mismatched
-// pairs; they cannot catch every corruption, so treat the pair as one
-// artifact.
+// built over.  Every byte of the artifact is covered by a CRC32C
+// before it is parsed, so truncation and corruption always surface as
+// a typed error (ErrChecksum, ErrTruncated, ErrVersion); the
+// consistency checks against st guard the pair itself — an index
+// loaded against the wrong store is rejected, not served.
 func LoadIndex(r io.Reader, st *store.Store) (*Index, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(indexMagic))
-	if _, err := io.ReadFull(br, head); err != nil {
+	br := binio.NewReader(r)
+	if err := br.Magic(indexMagic); err != nil {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
-	if string(head) != string(indexMagic) {
-		return nil, fmt.Errorf("core: bad magic %q", head)
+
+	head, err := br.Section(maxIndexSection)
+	if err != nil {
+		return nil, fmt.Errorf("core: header section: %w", err)
 	}
+	hr := bytes.NewReader(head)
 	var scratch [8]byte
 	readU64 := func() (uint64, error) {
-		if _, err := io.ReadFull(br, scratch[:]); err != nil {
-			return 0, err
+		if _, err := io.ReadFull(hr, scratch[:]); err != nil {
+			return 0, fmt.Errorf("%w (header too short)", ErrTruncated)
 		}
 		return binary.LittleEndian.Uint64(scratch[:]), nil
 	}
@@ -94,8 +120,19 @@ func LoadIndex(r io.Reader, st *store.Store) (*Index, error) {
 		}
 		indexed[i] = int(v)
 	}
-	tree, err := rtree.ReadBinary(br)
+	if hr.Len() != 0 {
+		return nil, fmt.Errorf("core: %d trailing header bytes: %w", hr.Len(), ErrChecksum)
+	}
+
+	treeBytes, err := br.Section(maxIndexSection)
 	if err != nil {
+		return nil, fmt.Errorf("core: tree section: %w", err)
+	}
+	tree, err := rtree.ReadBinary(bytes.NewReader(treeBytes))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := br.Trailer(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 

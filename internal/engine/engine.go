@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -116,7 +117,10 @@ type AccessPath interface {
 	// probes record their page and pruning work in ts.  The emitted
 	// set must be a superset of the true answer set (no false
 	// dismissals); the shared verifier removes all false alarms.
-	Candidates(q Query, ts *rtree.SearchStats, emit func(seq, start int)) error
+	// Implementations poll ctx cooperatively and return ctx.Err() on
+	// cancellation; a partial emission followed by a non-nil error is
+	// never treated as an answer set.
+	Candidates(ctx context.Context, q Query, ts *rtree.SearchStats, emit func(seq, start int)) error
 }
 
 // Cost is a predicted probe cost in abstract units where 1 unit is one
@@ -162,6 +166,12 @@ type Explain struct {
 	// PlanTime, ProbeTime, and VerifyTime are the per-stage wall-clock
 	// times of this query.
 	PlanTime, ProbeTime, VerifyTime time.Duration
+	// Degraded reports that the index artifact failed validation and
+	// the query was served through the scan fallback over the raw
+	// store; DegradedReason says why.  Results remain exact — the scan
+	// path feeds the same verifier — only slower.
+	Degraded       bool
+	DegradedReason string
 }
 
 // WriteText renders the plan in ssquery -explain form.
@@ -172,6 +182,12 @@ func (e *Explain) WriteText(w io.Writer) error {
 	}
 	if _, err := fmt.Fprintf(w, "plan: path=%s (%s)\n", e.Chosen, mode); err != nil {
 		return err
+	}
+	if e.Degraded {
+		if _, err := fmt.Fprintf(w, "  DEGRADED: %s (results exact, served by scan over raw data)\n",
+			e.DegradedReason); err != nil {
+			return err
+		}
 	}
 	for _, p := range e.Plans {
 		if !p.Available {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +22,10 @@ type stubPath struct {
 func (p *stubPath) Kind() PathKind            { return p.kind }
 func (p *stubPath) Available() (bool, string) { return p.available, p.reason }
 func (p *stubPath) EstimateCost(q Query) Cost { return p.cost }
-func (p *stubPath) Candidates(q Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+func (p *stubPath) Candidates(ctx context.Context, q Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p.probes++
 	emit(0, 0)
 	return nil

@@ -1,0 +1,174 @@
+package rtree
+
+import (
+	"context"
+
+	"scaleshift/internal/geom"
+	"scaleshift/internal/vec"
+)
+
+// Context-aware search variants.  Each polls ctx at every node visit —
+// the natural cooperative-cancellation grain: a node is one page of
+// work (≤ M entries of O(d) geometry), so cancellation latency is
+// bounded by a single page regardless of tree size.  On cancellation
+// they return the candidates collected so far together with ctx.Err();
+// the plain variants remain unchecked (and allocation-identical) for
+// callers without deadlines.
+
+// LineSearchContext is LineSearch with cooperative cancellation.
+func (t *Tree) LineSearchContext(ctx context.Context, l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) ([]Item, error) {
+	var out []Item
+	err := t.lineSearchCtx(ctx, t.root, l, eps, strategy, &out, stats)
+	return out, err
+}
+
+func (t *Tree) lineSearchCtx(ctx context.Context, n *node, l vec.Line, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if vec.PLDFast(e.item.Point, l) <= eps {
+				*out = append(*out, e.item)
+			}
+		}
+		return nil
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlarged(strategy, e.rect, eps, l, pen) {
+			if err := t.lineSearchCtx(ctx, e.child, l, eps, strategy, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SegmentSearchContext is SegmentSearch with cooperative cancellation.
+func (t *Tree) SegmentSearchContext(ctx context.Context, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) ([]Item, error) {
+	var out []Item
+	err := t.segmentSearchCtx(ctx, t.root, l, tMin, tMax, eps, strategy, &out, stats)
+	return out, err
+}
+
+func (t *Tree) segmentSearchCtx(ctx context.Context, n *node, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if vec.PSegDFast(e.item.Point, l, tMin, tMax) <= eps {
+				*out = append(*out, e.item)
+			}
+		}
+		return nil
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlargedSegment(strategy, e.rect, eps, l, tMin, tMax, pen) {
+			if err := t.segmentSearchCtx(ctx, e.child, l, tMin, tMax, eps, strategy, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LineSearchRectsContext is LineSearchRects with cooperative
+// cancellation.
+func (t *Tree) LineSearchRectsContext(ctx context.Context, l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) ([]RectItem, error) {
+	var out []RectItem
+	err := t.lineSearchRectsCtx(ctx, t.root, l, eps, strategy, &out, stats)
+	return out, err
+}
+
+func (t *Tree) lineSearchRectsCtx(ctx context.Context, n *node, l vec.Line, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if geom.PenetratesEnlarged(strategy, e.rect, eps, l, pen) {
+				*out = append(*out, RectItem{Rect: e.rect, ID: e.item.ID})
+			}
+		}
+		return nil
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlarged(strategy, e.rect, eps, l, pen) {
+			if err := t.lineSearchRectsCtx(ctx, e.child, l, eps, strategy, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SegmentSearchRectsContext is SegmentSearchRects with cooperative
+// cancellation.
+func (t *Tree) SegmentSearchRectsContext(ctx context.Context, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) ([]RectItem, error) {
+	var out []RectItem
+	err := t.segmentSearchRectsCtx(ctx, t.root, l, tMin, tMax, eps, strategy, &out, stats)
+	return out, err
+}
+
+func (t *Tree) segmentSearchRectsCtx(ctx context.Context, n *node, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += n.pages()
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if stats != nil {
+				stats.LeafEntriesChecked++
+			}
+			if geom.PenetratesEnlargedSegment(strategy, e.rect, eps, l, tMin, tMax, pen) {
+				*out = append(*out, RectItem{Rect: e.rect, ID: e.item.ID})
+			}
+		}
+		return nil
+	}
+	for _, e := range n.entries {
+		if geom.PenetratesEnlargedSegment(strategy, e.rect, eps, l, tMin, tMax, pen) {
+			if err := t.segmentSearchRectsCtx(ctx, e.child, l, tMin, tMax, eps, strategy, out, stats); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

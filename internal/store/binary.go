@@ -1,72 +1,90 @@
 package store
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+
+	"scaleshift/internal/binio"
 )
 
-// storeMagic identifies the binary store format, version 1.
-var storeMagic = []byte("SSTOR\x01")
+// storeMagic identifies the binary store format, version 2: two
+// CRC32C-protected sections (header: sequence count, names, lengths;
+// data: raw little-endian float64 samples) and a whole-file trailer
+// checksum.  Version 1 (unchecksummed) artifacts are rejected with
+// ErrVersion; rebuild them from source data.
+var storeMagic = []byte("SSTOR\x02")
+
+// Typed artifact-validation failures, re-exported from the shared
+// framing package so callers can errors.Is against store.ErrChecksum
+// etc. without importing internal/binio.
+var (
+	ErrChecksum  = binio.ErrChecksum
+	ErrTruncated = binio.ErrTruncated
+	ErrVersion   = binio.ErrVersion
+)
 
 // maxSequences bounds deserialization against corrupt headers.
 const maxSequences = 1 << 28
 
-// WriteBinary serializes the store in a compact little-endian format:
-// magic, sequence count, per-sequence name and length, then the raw
-// sample data.  The format is bit-exact: ReadBinary reproduces every
-// float64 identically.
+// maxSectionLen bounds a single section's length claim (64 GiB of
+// samples); the chunked section reader fails fast on anything the
+// input cannot actually provide.
+const maxSectionLen = 1 << 36
+
+// WriteBinary serializes the store in the checksummed v2 format.  The
+// format is bit-exact: ReadBinary reproduces every float64
+// identically, and any torn, truncated, or bit-flipped artifact fails
+// ReadBinary with a typed error instead of loading silently wrong.
 func (s *Store) WriteBinary(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(storeMagic); err != nil {
-		return err
-	}
+	bw := binio.NewWriter(w)
+	bw.Magic(storeMagic)
+
+	var head bytes.Buffer
 	var scratch [8]byte
-	writeU64 := func(v uint64) error {
+	writeU64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(scratch[:], v)
-		_, err := bw.Write(scratch[:])
-		return err
+		head.Write(scratch[:])
 	}
-	if err := writeU64(uint64(len(s.names))); err != nil {
-		return err
-	}
+	writeU64(uint64(len(s.names)))
 	for seq := range s.names {
 		name := s.names[seq]
-		if err := writeU64(uint64(len(name))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(name); err != nil {
-			return err
-		}
-		if err := writeU64(uint64(s.lengths[seq])); err != nil {
-			return err
-		}
+		writeU64(uint64(len(name)))
+		head.WriteString(name)
+		writeU64(uint64(s.lengths[seq]))
 	}
-	for _, v := range s.data {
-		if err := writeU64(math.Float64bits(v)); err != nil {
-			return err
-		}
+	bw.Section(head.Bytes())
+
+	data := make([]byte, 8*len(s.data))
+	for i, v := range s.data {
+		binary.LittleEndian.PutUint64(data[i*8:], math.Float64bits(v))
 	}
-	return bw.Flush()
+	bw.Section(data)
+	return bw.Close()
 }
 
 // ReadBinary parses the format written by WriteBinary into a fresh
-// store.
+// store.  Failures are classified: ErrVersion for recognizable
+// artifacts of another format version, ErrTruncated for input that
+// ends early, ErrChecksum for damaged bytes — all wrapped with
+// context and matchable via errors.Is.
 func ReadBinary(r io.Reader) (*Store, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(storeMagic))
-	if _, err := io.ReadFull(br, head); err != nil {
+	br := binio.NewReader(r)
+	if err := br.Magic(storeMagic); err != nil {
 		return nil, fmt.Errorf("store: reading magic: %w", err)
 	}
-	if string(head) != string(storeMagic) {
-		return nil, fmt.Errorf("store: bad magic %q", head)
+
+	head, err := br.Section(maxSectionLen)
+	if err != nil {
+		return nil, fmt.Errorf("store: header section: %w", err)
 	}
+	hr := bytes.NewReader(head)
 	var scratch [8]byte
 	readU64 := func() (uint64, error) {
-		if _, err := io.ReadFull(br, scratch[:]); err != nil {
-			return 0, err
+		if _, err := io.ReadFull(hr, scratch[:]); err != nil {
+			return 0, fmt.Errorf("%w (header too short)", ErrTruncated)
 		}
 		return binary.LittleEndian.Uint64(scratch[:]), nil
 	}
@@ -84,12 +102,12 @@ func ReadBinary(r io.Reader) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: sequence %d name length: %w", i, err)
 		}
-		if nameLen > 1<<20 {
+		if nameLen > 1<<20 || nameLen > uint64(hr.Len()) {
 			return nil, fmt.Errorf("store: implausible name length %d", nameLen)
 		}
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, fmt.Errorf("store: sequence %d name: %w", i, err)
+		if _, err := io.ReadFull(hr, name); err != nil {
+			return nil, fmt.Errorf("store: sequence %d name: %w", i, ErrTruncated)
 		}
 		length, err := readU64()
 		if err != nil {
@@ -103,20 +121,24 @@ func ReadBinary(r io.Reader) (*Store, error) {
 		st.lengths = append(st.lengths, int(length))
 		total += int(length)
 	}
-	// Grow incrementally rather than trusting the header's total: a
-	// corrupt length field must fail at end-of-input, not allocate
-	// gigabytes up front.
-	capHint := total
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+	if hr.Len() != 0 {
+		return nil, fmt.Errorf("store: %d trailing header bytes: %w", hr.Len(), ErrChecksum)
 	}
-	st.data = make([]float64, 0, capHint)
-	for j := 0; j < total; j++ {
-		bits, err := readU64()
-		if err != nil {
-			return nil, fmt.Errorf("store: data value %d: %w", j, err)
-		}
-		st.data = append(st.data, math.Float64frombits(bits))
+
+	data, err := br.Section(maxSectionLen)
+	if err != nil {
+		return nil, fmt.Errorf("store: data section: %w", err)
+	}
+	if len(data) != 8*total {
+		return nil, fmt.Errorf("store: data section holds %d bytes but header implies %d: %w",
+			len(data), 8*total, ErrChecksum)
+	}
+	st.data = make([]float64, total)
+	for j := range st.data {
+		st.data[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[j*8:]))
+	}
+	if err := br.Trailer(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	st.rebuildStats()
 	return st, nil

@@ -53,7 +53,11 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add([]byte("SSTOR\x01"))
+	f.Add([]byte("SSTOR\x02"))
 	f.Add(good[:len(good)-3])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x08
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, in []byte) {
 		st, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {
