@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-planner fmt-check
+.PHONY: check vet build test race bench bench-planner bench-smoke bench-obs fmt-check
 
 check: vet fmt-check build test race
 
@@ -35,3 +35,15 @@ bench:
 bench-planner:
 	$(GO) run ./cmd/ssbench -experiment planner -scale medium > results/planner_ablation.txt
 	@cat results/planner_ablation.txt
+
+# Bench smoke: a small fig4/5 run with a metrics snapshot, the CI
+# trajectory artifact (BENCH_smoke.json).
+bench-smoke:
+	$(GO) run ./cmd/ssbench -experiment fig45 -scale small -metrics-out BENCH_smoke.json
+	@echo "metrics snapshot:" && head -20 BENCH_smoke.json
+
+# Observability overhead: the disabled-path micro-benchmarks (must be
+# 0 allocs/op) and the query benchmarks obs hooks ride on.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkDisabled|BenchmarkCounterInc|BenchmarkHistogramObserve' -benchmem ./internal/obs/
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4CPUTime|BenchmarkTrailSearch' -benchtime 2x -benchmem .

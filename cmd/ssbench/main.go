@@ -32,6 +32,7 @@ import (
 
 	"scaleshift/internal/atomicfile"
 	"scaleshift/internal/bench"
+	"scaleshift/internal/cliutil"
 )
 
 func main() {
@@ -53,7 +54,11 @@ func run(args []string, stdout io.Writer) error {
 	buildMode := fs.String("build", "insert", "index construction: insert | bulk | parallel")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	obsFlags := cliutil.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := obsFlags.Setup(); err != nil {
 		return err
 	}
 
@@ -334,5 +339,5 @@ func run(args []string, stdout io.Writer) error {
 		*experiment != "ablation-index" && *experiment != "ablation-trail" && *experiment != "all" {
 		return fmt.Errorf("unknown -experiment %q", *experiment)
 	}
-	return nil
+	return obsFlags.Finish()
 }

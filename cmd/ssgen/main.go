@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"scaleshift/internal/atomicfile"
+	"scaleshift/internal/cliutil"
 	"scaleshift/internal/stock"
 	"scaleshift/internal/store"
 )
@@ -35,7 +36,12 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output file (default stdout)")
 	binary := fs.Bool("binary", false, "write the checksummed binary store artifact instead of CSV (for ssquery -store)")
+	obsFlags := cliutil.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obsFlags.Setup()
+	if err != nil {
 		return err
 	}
 
@@ -63,7 +69,8 @@ func run(args []string, stdout io.Writer) error {
 	} else if err := emit(stdout); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ssgen: wrote %d sequences, %d values (%d pages of %d bytes)\n",
-		st.NumSequences(), st.TotalValues(), st.PageCount(), store.PageSize)
-	return nil
+	logger.Info("wrote data set",
+		"sequences", st.NumSequences(), "values", st.TotalValues(),
+		"pages", st.PageCount(), "page_bytes", store.PageSize)
+	return obsFlags.Finish()
 }

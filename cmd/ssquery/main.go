@@ -23,12 +23,11 @@ import (
 	"strings"
 	"time"
 
-	"scaleshift/internal/atomicfile"
+	"scaleshift/internal/cliutil"
 	"scaleshift/internal/core"
 	"scaleshift/internal/engine"
 	"scaleshift/internal/geom"
 	"scaleshift/internal/query"
-	"scaleshift/internal/stock"
 	"scaleshift/internal/store"
 	"scaleshift/internal/vec"
 )
@@ -68,41 +67,21 @@ func run(args []string, stdout io.Writer) error {
 	strictCache := fs.Bool("strict-cache", false, "fail instead of degrading to a scan when the index cache is invalid")
 	subtrail := fs.Int("subtrail", 0, "sub-trail MBR length (0/1 = per-window point entries)")
 	bulk := fs.Bool("bulk", false, "construct the index with STR bulk loading")
+	obsFlags := cliutil.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obsFlags.Setup()
+	if err != nil {
 		return err
 	}
 
 	// Load or generate the database.  The binary store artifact is
 	// checksummed; a truncated or corrupted file is a one-line typed
 	// failure here — never a silently wrong database.
-	var st *store.Store
-	if *storeFile != "" {
-		f, err := os.Open(*storeFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if st, err = store.ReadBinary(f); err != nil {
-			return fmt.Errorf("store artifact %s unusable: %v (regenerate it with ssgen -binary)", *storeFile, err)
-		}
-	} else if *dataFile != "" {
-		f, err := os.Open(*dataFile)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if st, err = store.ReadCSV(f); err != nil {
-			return err
-		}
-	} else {
-		cfg := stock.DefaultConfig()
-		cfg.Companies = *companies
-		cfg.Days = *days
-		cfg.Seed = *seed
-		st = store.New()
-		if _, err := stock.Populate(st, cfg); err != nil {
-			return err
-		}
+	st, err := cliutil.LoadStore(*storeFile, *dataFile, *companies, *days, *seed)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(stdout, "database: %d sequences, %d values, %d data pages\n",
 		st.NumSequences(), st.TotalValues(), st.PageCount())
@@ -115,7 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		opts.Strategy = geom.BoundingSpheres
 	}
 	opts.SubtrailLen = *subtrail
-	ix, how, err := openIndex(st, opts, *indexCache, *bulk, *strictCache)
+	ix, how, err := cliutil.OpenIndex(st, opts, *indexCache, *bulk, *strictCache, logger)
 	if err != nil {
 		return err
 	}
@@ -197,61 +176,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  %-8s window [%d, %d)  dist=%.4g  a=%.4g  b=%.4g\n",
 			m.Name, m.Start, m.Start+len(q), m.Dist, m.Scale, m.Shift)
 	}
-	return nil
-}
-
-// openIndex builds the index, or round-trips it through the cache file
-// when one is configured.  An invalid cache (truncated, corrupted,
-// version-skewed, or built over a different store) degrades to the
-// scan fallback with a warning by default — queries keep returning
-// exact results through the raw store — or fails the run under
-// -strict-cache.
-func openIndex(st *store.Store, opts core.Options, cache string, bulk, strict bool) (*core.Index, string, error) {
-	if cache != "" {
-		if f, err := os.Open(cache); err == nil {
-			defer f.Close()
-			start := time.Now()
-			if strict {
-				ix, err := core.LoadIndex(f, st)
-				if err != nil {
-					return nil, "", fmt.Errorf("index cache %s unusable: %v (delete it or rebuild without -index-cache)", cache, err)
-				}
-				return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
-			}
-			ix, status, err := core.OpenOrRebuild(f, st, opts)
-			if err != nil {
-				return nil, "", err
-			}
-			if status.Degraded {
-				fmt.Fprintf(os.Stderr, "ssquery: warning: %s; serving exact results via full scan (use -strict-cache to fail instead)\n", status.Reason)
-				return ix, fmt.Sprintf("DEGRADED (%s)", status.Reason), nil
-			}
-			return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
-		}
-	}
-	ix, err := core.NewIndex(st, opts)
-	if err != nil {
-		return nil, "", err
-	}
-	start := time.Now()
-	if bulk {
-		err = ix.BuildBulk()
-	} else {
-		err = ix.Build()
-	}
-	if err != nil {
-		return nil, "", err
-	}
-	how := fmt.Sprintf("built in %v", time.Since(start).Round(time.Millisecond))
-	if cache != "" {
-		// Atomic replace: a crash mid-save leaves the previous cache (or
-		// none), never a torn file for the next run to choke on.
-		if err := atomicfile.WriteFile(cache, ix.WriteBinary); err != nil {
-			return nil, "", fmt.Errorf("writing index cache: %w", err)
-		}
-		how += fmt.Sprintf(", cached to %s", cache)
-	}
-	return ix, how, nil
+	return obsFlags.Finish()
 }
 
 // buildQuery resolves the query flags into a vector and a description.

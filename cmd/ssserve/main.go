@@ -1,0 +1,132 @@
+// Command ssserve is the HTTP query server: it loads (or builds) a
+// checksummed index/store artifact pair and serves scale/shift-
+// invariant similarity queries with full observability — Prometheus
+// metrics, expvar, pprof, and a ring of recent per-query traces.
+//
+// Endpoints:
+//
+//	/search        run a query (JSON; see parseSearchRequest for params)
+//	/healthz       liveness plus the degraded-mode flag
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar JSON (includes the metrics snapshot)
+//	/debug/pprof/  the standard Go profiler endpoints
+//	/debug/traces  recent query traces, newest first (?id= for one)
+//
+// Example:
+//
+//	ssgen -companies 100 -binary -o prices.store
+//	ssserve -store prices.store -index prices.index -addr :8080
+//	curl 'localhost:8080/search?seq=3&start=25&eps_frac=0.05'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scaleshift/internal/cliutil"
+	"scaleshift/internal/core"
+	"scaleshift/internal/geom"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/query"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ssserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dataFile := fs.String("data", "", "CSV database (default: generate synthetic)")
+	storeFile := fs.String("store", "", "binary store artifact written by ssgen -binary (overrides -data)")
+	companies := fs.Int("companies", 100, "synthetic companies when -data is unset")
+	days := fs.Int("days", 650, "synthetic days when -data is unset")
+	seed := fs.Int64("seed", 1, "synthetic data seed")
+	window := fs.Int("window", 128, "index window length n")
+	fc := fs.Int("fc", 3, "DFT coefficients f_c")
+	spheres := fs.Bool("spheres", false, "use the bounding-spheres penetration heuristic")
+	subtrail := fs.Int("subtrail", 0, "sub-trail MBR length (0/1 = per-window point entries)")
+	bulk := fs.Bool("bulk", false, "construct the index with STR bulk loading")
+	indexCache := fs.String("index", "", "index artifact path (load when present, save after building)")
+	strictCache := fs.Bool("strict", false, "fail instead of degrading to a scan when the index artifact is invalid")
+	traceRing := fs.Int("trace-ring", 128, "recent query traces retained for /debug/traces")
+	obsFlags := cliutil.AddObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obsFlags.Setup()
+	if err != nil {
+		return err
+	}
+	// A query server exists to be observed: the metrics layer is always
+	// on here, not opt-in as in the batch CLIs.
+	obs.Enable()
+
+	st, err := cliutil.LoadStore(*storeFile, *dataFile, *companies, *days, *seed)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.WindowLen = *window
+	opts.Coefficients = *fc
+	if *spheres {
+		opts.Strategy = geom.BoundingSpheres
+	}
+	opts.SubtrailLen = *subtrail
+	ix, how, err := cliutil.OpenIndex(st, opts, *indexCache, *bulk, *strictCache, logger)
+	if err != nil {
+		return err
+	}
+	normScale, err := query.SENormScale(st, *window, 500, *seed+2)
+	if err != nil {
+		return err
+	}
+	logger.Info("index ready",
+		"windows", ix.WindowCount(), "pages", ix.IndexPageCount(),
+		"height", ix.TreeHeight(), "how", how,
+		"sequences", st.NumSequences(), "values", st.TotalValues())
+
+	tracer := obs.NewTracer(*traceRing)
+	obs.Default.PublishExpvar("scaleshift")
+	srv := newServer(ix, normScale, tracer, logger)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return obsFlags.Finish()
+}

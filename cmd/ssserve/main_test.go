@@ -1,0 +1,394 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"scaleshift/internal/core"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/query"
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+)
+
+// newTestServer builds a server over a small synthetic store, with the
+// obs layer enabled (as ssserve always runs).
+func newTestServer(t *testing.T, degraded bool) *server {
+	t.Helper()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = 10
+	cfg.Days = 120
+	if _, err := stock.Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.WindowLen = 32
+
+	var ix *core.Index
+	var err error
+	if degraded {
+		ix, err = core.NewDegradedIndex(st, opts, "forced for test")
+	} else {
+		ix, err = core.NewIndex(st, opts)
+		if err == nil {
+			err = ix.Build()
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	normScale, err := query.SENormScale(st, opts.WindowLen, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	return newServer(ix, normScale, obs.NewTracer(16), logger)
+}
+
+func get(t *testing.T, s *server, path string) (*http.Response, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	resp := rec.Result()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/search?seq=0&start=5&eps_frac=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, body)
+	}
+	if sr.Total < 1 {
+		t.Fatal("self-query must match itself at least")
+	}
+	if sr.Plan == nil || sr.Plan.Path == "" {
+		t.Fatalf("response missing plan: %s", body)
+	}
+	if sr.TraceID == "" {
+		t.Fatalf("response missing trace_id: %s", body)
+	}
+	if sr.Stats.Candidates != sr.Stats.FalseAlarms+sr.Stats.CostRejected+sr.Total {
+		t.Fatalf("stats ledger unbalanced in response: %+v total=%d", sr.Stats, sr.Total)
+	}
+}
+
+// TestSearchTraceSpanDurations is the acceptance check: the HTTP
+// query's trace must contain plan/probe/verify spans whose durations
+// sum to no more than the root span's total.
+func TestSearchTraceSpanDurations(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/search?seq=1&start=9&eps_frac=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	tresp, tbody := get(t, s, "/debug/traces?id="+sr.TraceID)
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d: %s", tresp.StatusCode, tbody)
+	}
+	var trace obs.TraceSnapshot
+	if err := json.Unmarshal(tbody, &trace); err != nil {
+		t.Fatal(err)
+	}
+	if trace.ID != sr.TraceID {
+		t.Fatalf("trace id %s, want %s", trace.ID, sr.TraceID)
+	}
+	var stageSum, rootDur int64
+	seen := map[string]bool{}
+	for _, span := range trace.Spans {
+		if span.InFlight {
+			t.Fatalf("span %s still in flight after response", span.Name)
+		}
+		switch span.Name {
+		case "plan", "probe", "verify":
+			seen[span.Name] = true
+			stageSum += span.DurationNs
+		case "search":
+			rootDur = span.DurationNs
+		}
+	}
+	for _, want := range []string{"plan", "probe", "verify"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span", want)
+		}
+	}
+	if rootDur == 0 {
+		t.Fatal("trace missing the root search span")
+	}
+	if stageSum > rootDur {
+		t.Fatalf("stage durations sum to %dns, exceeding the root span's %dns", stageSum, rootDur)
+	}
+	// The per-descent span nests under probe.
+	hasDescent := false
+	for _, span := range trace.Spans {
+		if span.Name == "rtree.descent" || span.Name == "scan" {
+			hasDescent = true
+		}
+	}
+	if !hasDescent {
+		t.Error("trace has no access-path span under probe")
+	}
+}
+
+func TestSearchParameterErrors(t *testing.T) {
+	s := newTestServer(t, false)
+	cases := []string{
+		"/search",                               // no query at all
+		"/search?seq=abc&start=1",               // bad int
+		"/search?seq=0&start=5&eps=x",           // bad float
+		"/search?values=1,2,zebra",              // bad values list
+		"/search?seq=0&start=99999",             // window out of range
+		"/search?seq=0&start=5&nn=3&path=rtree", // nn + forced path
+		"/search?seq=0&start=5&path=warp",       // unknown path
+	}
+	for _, path := range cases {
+		resp, body := get(t, s, path)
+		if resp.StatusCode < 400 {
+			t.Errorf("%s: status %d, want an error", path, resp.StatusCode)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error response not JSON with an error field: %s", path, body)
+		}
+	}
+}
+
+func TestSearchNearestNeighbour(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/search?seq=2&start=11&nn=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Total != 5 {
+		t.Fatalf("nn=5 returned %d matches", sr.Total)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h map[string]interface{}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["degraded"] != false {
+		t.Fatalf("healthz = %s", body)
+	}
+}
+
+func TestHealthzDegraded(t *testing.T) {
+	s := newTestServer(t, true)
+	resp, body := get(t, s, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded server must still report healthy (results stay exact), got %d", resp.StatusCode)
+	}
+	var h map[string]interface{}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["degraded"] != true || h["reason"] == "" {
+		t.Fatalf("healthz = %s", body)
+	}
+}
+
+func TestDegradedSearchServesExactResults(t *testing.T) {
+	s := newTestServer(t, true)
+	resp, body := get(t, s, "/search?seq=0&start=5&eps_frac=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Plan == nil || !sr.Plan.Degraded {
+		t.Fatalf("degraded search did not flag the plan: %s", body)
+	}
+	if sr.Total < 1 {
+		t.Fatal("degraded search must still find the self-match")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, false)
+	// Drive one query so the search counters exist.
+	get(t, s, "/search?seq=0&start=5&eps_frac=0.05")
+	resp, body := get(t, s, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"scaleshift_searches_total",
+		"scaleshift_candidates_total",
+		"scaleshift_http_requests_total{handler=\"search\"}",
+		"scaleshift_index_windows",
+		"scaleshift_search_duration_ns_bucket",
+		"# TYPE scaleshift_searches_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var v map[string]interface{}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("expvar output not JSON: %v", err)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	s := newTestServer(t, false)
+	get(t, s, "/search?seq=0&start=5&eps_frac=0.05")
+	resp, body := get(t, s, "/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var traces []obs.TraceSnapshot
+	if err := json.Unmarshal(body, &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no traces retained after a query")
+	}
+	resp, _ = get(t, s, "/debug/traces?id=doesnotexist")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConcurrentQueries hammers /search from several goroutines — the
+// registry, tracer ring, and engine must hold up under -race.
+func TestConcurrentQueries(t *testing.T) {
+	s := newTestServer(t, false)
+	_, before := get(t, s, "/metrics")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				path := fmt.Sprintf("/search?seq=%d&start=%d&eps_frac=0.05", w%4, 3+i)
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s: status %d", path, rec.Code)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	resp, after := get(t, s, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("metrics unavailable after concurrent queries")
+	}
+	// obs.Default is process-global, so compare deltas, not absolutes:
+	// 4 workers x 8 queries = 32 searches recorded.
+	delta := counterValue(t, string(after), "scaleshift_searches_total") -
+		counterValue(t, string(before), "scaleshift_searches_total")
+	if delta != 32 {
+		t.Errorf("searches_total advanced by %d over 32 concurrent queries", delta)
+	}
+}
+
+// counterValue extracts an unlabelled counter's value from Prometheus
+// text output (0 when the metric is not yet registered).
+func counterValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseInt(strings.TrimPrefix(line, name+" "), 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+func TestSearchLimitTruncates(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/search?seq=0&start=5&eps_frac=0.2&limit=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Total > 1 && (len(sr.Matches) != 1 || !sr.Truncated) {
+		t.Fatalf("limit=1 returned %d matches, truncated=%v (total %d)",
+			len(sr.Matches), sr.Truncated, sr.Total)
+	}
+}
+
+func TestLongQueryOverHTTP(t *testing.T) {
+	s := newTestServer(t, false)
+	resp, body := get(t, s, "/search?seq=0&start=5&len=64&eps_frac=0.1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Plan == nil || sr.Plan.Pieces < 2 {
+		t.Fatalf("len=2*window must run a multipiece search: %s", body)
+	}
+}

@@ -1,0 +1,422 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"scaleshift/internal/core"
+	"scaleshift/internal/engine"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/vec"
+)
+
+// server is the HTTP query frontend: one loaded index, one tracer ring,
+// one metrics registry.  It is constructed by newServer so tests can
+// drive it through httptest without opening a socket.
+type server struct {
+	ix        *core.Index
+	tracer    *obs.Tracer
+	logger    *slog.Logger
+	reg       *obs.Registry
+	normScale float64 // mean window SE-norm, the eps_frac denominator
+	mux       *http.ServeMux
+}
+
+func newServer(ix *core.Index, normScale float64, tracer *obs.Tracer, logger *slog.Logger) *server {
+	s := &server{
+		ix:        ix,
+		tracer:    tracer,
+		logger:    logger,
+		reg:       obs.Default,
+		normScale: normScale,
+		mux:       http.NewServeMux(),
+	}
+
+	// Startup gauges: the static shape of what this process serves.
+	st := ix.Store()
+	s.reg.Gauge("scaleshift_index_windows", "Windows indexed by the loaded index.").Set(float64(ix.WindowCount()))
+	s.reg.Gauge("scaleshift_index_pages", "Pages of the loaded R*-tree.").Set(float64(ix.IndexPageCount()))
+	s.reg.Gauge("scaleshift_index_height", "Height of the loaded R*-tree.").Set(float64(ix.TreeHeight()))
+	s.reg.Gauge("scaleshift_store_sequences", "Sequences in the loaded store.").Set(float64(st.NumSequences()))
+	s.reg.Gauge("scaleshift_store_values", "Samples in the loaded store.").Set(float64(st.TotalValues()))
+	s.reg.Gauge("scaleshift_store_pages", "Data pages in the loaded store.").Set(float64(st.PageCount()))
+	degraded := 0.0
+	if deg, _ := ix.Degraded(); deg {
+		degraded = 1
+	}
+	s.reg.Gauge("scaleshift_index_degraded", "1 when the index is serving in degraded (scan-only) mode.").Set(degraded)
+
+	s.handle("search", "/search", s.handleSearch)
+	s.handle("healthz", "/healthz", s.handleHealthz)
+	s.handle("metrics", "/metrics", s.handleMetrics)
+	s.handle("traces", "/debug/traces", s.handleTraces)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handle wraps a route with the request-logging and per-route metrics
+// middleware.  Route label values are constant, so the counters are
+// registered once here and recording stays allocation-free.
+func (s *server) handle(name, pattern string, h http.HandlerFunc) {
+	l := obs.Label{Key: "handler", Value: name}
+	reqs := s.reg.Counter("scaleshift_http_requests_total", "HTTP requests served, by handler.", l)
+	errs := s.reg.Counter("scaleshift_http_errors_total", "HTTP responses with status >= 400, by handler.", l)
+	dur := s.reg.Histogram("scaleshift_http_request_duration_ns", "HTTP request latency in nanoseconds, by handler.", l)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		reqs.Inc()
+		dur.ObserveDuration(elapsed)
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		s.logger.Info("request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"duration", elapsed, "remote", r.RemoteAddr)
+	})
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON renders v; encoding failures after the header is out can
+// only be logged.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logger.Error("encoding response", "err", err)
+	}
+}
+
+func (s *server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	deg, reason := s.ix.Degraded()
+	resp := map[string]interface{}{"status": "ok", "degraded": deg}
+	if deg {
+		// Degraded still answers exactly (scan fallback), so the server
+		// stays healthy — the flag tells operators acceleration is gone.
+		resp["reason"] = reason
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.logger.Error("writing metrics", "err", err)
+	}
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if id := r.URL.Query().Get("id"); id != "" {
+		tr, ok := s.tracer.Get(id)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained (ring evicts oldest)", id))
+			return
+		}
+		s.writeJSON(w, http.StatusOK, tr)
+		return
+	}
+	if err := s.tracer.WriteJSON(w); err != nil {
+		s.logger.Error("writing traces", "err", err)
+	}
+}
+
+// searchRequest is the decoded /search query string.
+type searchRequest struct {
+	q        vec.Vector
+	eps      float64
+	costs    core.CostBounds
+	force    engine.PathKind
+	nn       int
+	limit    int
+	describe string
+}
+
+// parseSearchRequest decodes the query parameters:
+//
+//	seq, start     address a window of the store (with optional len)
+//	values         comma-separated explicit query values (alternative)
+//	scale, shift   disguise the window (defaults 1, 0)
+//	eps, eps_frac  error bound, absolute or as a fraction of the mean
+//	               window SE-norm (default eps_frac=0.02)
+//	nn             k-nearest-neighbour mode when > 0
+//	path           auto | rtree | trail | scan
+//	scale_min, scale_max, shift_abs   transformation cost bounds
+//	limit          cap on returned matches (default 100, 0 = all)
+func (s *server) parseSearchRequest(r *http.Request) (*searchRequest, error) {
+	p := r.URL.Query()
+	floatParam := func(name string, def float64) (float64, error) {
+		v := p.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		return f, nil
+	}
+	intParam := func(name string, def int) (int, error) {
+		v := p.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		return n, nil
+	}
+
+	req := &searchRequest{}
+	window := s.ix.Options().WindowLen
+
+	// Query vector.
+	if values := p.Get("values"); values != "" {
+		fields := strings.Split(values, ",")
+		req.q = make(vec.Vector, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("parameter values, field %d: %w", i+1, err)
+			}
+			req.q[i] = v
+		}
+		req.describe = fmt.Sprintf("%d explicit values", len(req.q))
+	} else if p.Get("seq") != "" || p.Get("start") != "" {
+		seq, err := intParam("seq", 0)
+		if err != nil {
+			return nil, err
+		}
+		start, err := intParam("start", 0)
+		if err != nil {
+			return nil, err
+		}
+		n, err := intParam("len", window)
+		if err != nil {
+			return nil, err
+		}
+		scale, err := floatParam("scale", 1)
+		if err != nil {
+			return nil, err
+		}
+		shift, err := floatParam("shift", 0)
+		if err != nil {
+			return nil, err
+		}
+		w := make(vec.Vector, n)
+		if err := s.ix.Store().Window(seq, start, n, w, nil); err != nil {
+			return nil, err
+		}
+		req.q = vec.Apply(w, scale, shift)
+		req.describe = fmt.Sprintf("window %d:%d len %d (a=%g b=%g)", seq, start, n, scale, shift)
+	} else {
+		return nil, fmt.Errorf("provide seq=&start= or values=")
+	}
+
+	// Epsilon.
+	eps, err := floatParam("eps", -1)
+	if err != nil {
+		return nil, err
+	}
+	if eps < 0 {
+		frac, err := floatParam("eps_frac", 0.02)
+		if err != nil {
+			return nil, err
+		}
+		eps = frac * s.normScale
+	}
+	req.eps = eps
+
+	// Cost bounds.
+	req.costs = core.UnboundedCosts()
+	if v, err := floatParam("scale_min", 0); err != nil {
+		return nil, err
+	} else if v != 0 {
+		req.costs.ScaleMin = v
+	}
+	if v, err := floatParam("scale_max", 0); err != nil {
+		return nil, err
+	} else if v != 0 {
+		req.costs.ScaleMax = v
+	}
+	if v, err := floatParam("shift_abs", 0); err != nil {
+		return nil, err
+	} else if v != 0 {
+		req.costs.ShiftMin, req.costs.ShiftMax = -v, v
+	}
+
+	if req.force, err = engine.ParsePathKind(p.Get("path")); p.Get("path") != "" && err != nil {
+		return nil, err
+	} else if p.Get("path") == "" {
+		req.force = engine.PathAuto
+	}
+	if req.nn, err = intParam("nn", 0); err != nil {
+		return nil, err
+	}
+	if req.nn > 0 && req.force != engine.PathAuto {
+		return nil, fmt.Errorf("path applies to range queries; nearest-neighbour search is pinned to the index probe")
+	}
+	if req.limit, err = intParam("limit", 100); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// matchJSON is one reported match.
+type matchJSON struct {
+	Name  string  `json:"name"`
+	Seq   int     `json:"seq"`
+	Start int     `json:"start"`
+	End   int     `json:"end"`
+	Dist  float64 `json:"dist"`
+	Scale float64 `json:"scale"`
+	Shift float64 `json:"shift"`
+}
+
+// statsJSON is the per-query cost accounting in the response.
+type statsJSON struct {
+	Candidates     int   `json:"candidates"`
+	FalseAlarms    int   `json:"false_alarms"`
+	CostRejected   int   `json:"cost_rejected"`
+	IndexNodeReads int   `json:"index_node_reads"`
+	DataPageReads  int   `json:"data_page_reads"`
+	PlanNs         int64 `json:"plan_ns"`
+	ProbeNs        int64 `json:"probe_ns"`
+	VerifyNs       int64 `json:"verify_ns"`
+}
+
+// planJSON summarizes the chosen plan.
+type planJSON struct {
+	Path           string  `json:"path"`
+	Forced         bool    `json:"forced,omitempty"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	Pieces         int     `json:"pieces,omitempty"`
+	EstCandidates  float64 `json:"est_candidates"`
+}
+
+// searchResponse is the /search payload.
+type searchResponse struct {
+	TraceID   string      `json:"trace_id,omitempty"`
+	Query     string      `json:"query"`
+	Eps       float64     `json:"eps"`
+	ElapsedNs int64       `json:"elapsed_ns"`
+	Total     int         `json:"total_matches"`
+	Matches   []matchJSON `json:"matches"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Stats     statsJSON   `json:"stats"`
+	Plan      *planJSON   `json:"plan,omitempty"`
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseSearchRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Root the query's trace: the engine's plan/probe/verify spans (and
+	// the per-descent spans below them) become children of this span,
+	// so the committed trace is one complete timeline of the request.
+	ctx, root := s.tracer.StartTrace(r.Context(), "search")
+	root.SetAttr("query", req.describe)
+
+	var stats core.SearchStats
+	var matches []core.Match
+	var ex *engine.Explain
+	window := s.ix.Options().WindowLen
+	start := time.Now()
+	switch {
+	case req.nn > 0:
+		matches, err = s.ix.NearestNeighborsWithCosts(req.q, req.nn, req.costs, &stats)
+	case len(req.q) > window:
+		matches, ex, err = s.ix.SearchLongPlannedContext(ctx, req.q, req.eps, req.costs, req.force, &stats)
+	default:
+		matches, ex, err = s.ix.SearchPlannedContext(ctx, req.q, req.eps, req.costs, req.force, nil, &stats)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+		root.End()
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	root.SetInt("matches", int64(len(matches)))
+	root.End() // commits the trace, so /debug/traces can serve it immediately
+
+	resp := searchResponse{
+		TraceID:   stats.TraceID,
+		Query:     req.describe,
+		Eps:       req.eps,
+		ElapsedNs: elapsed.Nanoseconds(),
+		Total:     len(matches),
+		Matches:   make([]matchJSON, 0, len(matches)),
+		Stats: statsJSON{
+			Candidates:     stats.Candidates,
+			FalseAlarms:    stats.FalseAlarms,
+			CostRejected:   stats.CostRejected,
+			IndexNodeReads: stats.IndexNodeAccesses,
+			DataPageReads:  stats.DataPageAccesses,
+			PlanNs:         stats.PlanTime.Nanoseconds(),
+			ProbeNs:        stats.ProbeTime.Nanoseconds(),
+			VerifyNs:       stats.VerifyTime.Nanoseconds(),
+		},
+	}
+	if resp.TraceID == "" {
+		resp.TraceID = obs.TraceIDFromContext(ctx)
+	}
+	if ex != nil {
+		resp.Plan = &planJSON{
+			Path:           ex.Chosen.String(),
+			Forced:         ex.Forced,
+			Degraded:       ex.Degraded,
+			DegradedReason: ex.DegradedReason,
+			Pieces:         ex.Pieces,
+			EstCandidates:  ex.EstCandidates,
+		}
+	}
+	for i, m := range matches {
+		if req.limit > 0 && i >= req.limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Matches = append(resp.Matches, matchJSON{
+			Name: m.Name, Seq: m.Seq, Start: m.Start, End: m.Start + len(req.q),
+			Dist: m.Dist, Scale: m.Scale, Shift: m.Shift,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,153 @@
+// Package cliutil holds the plumbing the commands share: the
+// -log-format / -metrics-out observability flags, structured-logger
+// construction, and the store/index loading paths that ssquery and
+// ssserve both need.  Keeping them here means a diagnostic improvement
+// lands in every binary at once instead of drifting per command.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"scaleshift/internal/atomicfile"
+	"scaleshift/internal/core"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+)
+
+// ObsFlags carries the observability flag values shared by every
+// command.
+type ObsFlags struct {
+	LogFormat  string
+	MetricsOut string
+}
+
+// AddObsFlags registers -log-format and -metrics-out on fs.
+func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
+	o := &ObsFlags{}
+	fs.StringVar(&o.LogFormat, "log-format", "text", "diagnostic log format: text or json")
+	fs.StringVar(&o.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot to this file on exit")
+	return o
+}
+
+// Setup validates the flags, turns the metrics layer on when a
+// snapshot was requested, and returns the command's structured logger
+// (writing to stderr, so stdout stays parseable output).
+func (o *ObsFlags) Setup() (*slog.Logger, error) {
+	logger, err := obs.NewLogger(os.Stderr, o.LogFormat)
+	if err != nil {
+		return nil, err
+	}
+	if o.MetricsOut != "" {
+		obs.Enable()
+	}
+	return logger, nil
+}
+
+// Finish writes the metrics snapshot when one was requested.  Call it
+// after the command's work so the counters reflect the whole run; the
+// write is atomic so a crash never leaves a torn snapshot.
+func (o *ObsFlags) Finish() error {
+	if o.MetricsOut == "" {
+		return nil
+	}
+	if err := atomicfile.WriteFile(o.MetricsOut, obs.Default.WriteJSON); err != nil {
+		return fmt.Errorf("writing metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadStore resolves the shared database flags: a checksummed binary
+// artifact (-store), a CSV file (-data), or freshly generated
+// synthetic data.
+func LoadStore(storeFile, dataFile string, companies, days int, seed int64) (*store.Store, error) {
+	if storeFile != "" {
+		f, err := os.Open(storeFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		st, err := store.ReadBinary(f)
+		if err != nil {
+			return nil, fmt.Errorf("store artifact %s unusable: %v (regenerate it with ssgen -binary)", storeFile, err)
+		}
+		return st, nil
+	}
+	if dataFile != "" {
+		f, err := os.Open(dataFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return store.ReadCSV(f)
+	}
+	cfg := stock.DefaultConfig()
+	cfg.Companies = companies
+	cfg.Days = days
+	cfg.Seed = seed
+	st := store.New()
+	if _, err := stock.Populate(st, cfg); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// OpenIndex builds the index, or round-trips it through the cache file
+// when one is configured.  An invalid cache (truncated, corrupted,
+// version-skewed, or built over a different store) degrades to the
+// scan fallback with a structured warning by default — queries keep
+// returning exact results through the raw store — or fails the run
+// when strict is set.  The returned string describes how the index was
+// obtained, for the command's status output.
+func OpenIndex(st *store.Store, opts core.Options, cache string, bulk, strict bool, logger *slog.Logger) (*core.Index, string, error) {
+	if cache != "" {
+		if f, err := os.Open(cache); err == nil {
+			defer f.Close()
+			start := time.Now()
+			if strict {
+				ix, err := core.LoadIndex(f, st)
+				if err != nil {
+					return nil, "", fmt.Errorf("index cache %s unusable: %v (delete it or rebuild without a cache)", cache, err)
+				}
+				return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
+			}
+			ix, status, err := core.OpenOrRebuild(f, st, opts)
+			if err != nil {
+				return nil, "", err
+			}
+			if status.Degraded {
+				logger.Warn("index degraded; serving exact results via full scan",
+					"reason", status.Reason, "cache", cache)
+				return ix, fmt.Sprintf("DEGRADED (%s)", status.Reason), nil
+			}
+			return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
+		}
+	}
+	ix, err := core.NewIndex(st, opts)
+	if err != nil {
+		return nil, "", err
+	}
+	start := time.Now()
+	if bulk {
+		err = ix.BuildBulk()
+	} else {
+		err = ix.Build()
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	how := fmt.Sprintf("built in %v", time.Since(start).Round(time.Millisecond))
+	if cache != "" {
+		// Atomic replace: a crash mid-save leaves the previous cache (or
+		// none), never a torn file for the next run to choke on.
+		if err := atomicfile.WriteFile(cache, ix.WriteBinary); err != nil {
+			return nil, "", fmt.Errorf("writing index cache: %w", err)
+		}
+		how += fmt.Sprintf(", cached to %s", cache)
+	}
+	return ix, how, nil
+}

@@ -1,0 +1,141 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scaleshift/internal/core"
+	"scaleshift/internal/obs"
+)
+
+func TestAddObsFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := AddObsFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.LogFormat != "text" || o.MetricsOut != "" {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if _, err := o.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObsFlagsRejectBadFormat(t *testing.T) {
+	o := &ObsFlags{LogFormat: "yaml"}
+	if _, err := o.Setup(); err == nil {
+		t.Fatal("unknown -log-format must fail")
+	}
+}
+
+func TestMetricsOutEnablesAndWrites(t *testing.T) {
+	defer obs.Disable()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	o := &ObsFlags{LogFormat: "json", MetricsOut: path}
+	if _, err := o.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("-metrics-out must enable the obs layer")
+	}
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(bytes.TrimSpace(data), []byte("[")) {
+		t.Fatalf("snapshot is not a JSON array: %s", data)
+	}
+}
+
+func TestLoadStoreSynthetic(t *testing.T) {
+	st, err := LoadStore("", "", 5, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumSequences() != 5 {
+		t.Fatalf("sequences = %d, want 5", st.NumSequences())
+	}
+}
+
+func TestLoadStoreMissingFile(t *testing.T) {
+	if _, err := LoadStore(filepath.Join(t.TempDir(), "nope.store"), "", 0, 0, 0); err == nil {
+		t.Fatal("missing store artifact must fail")
+	}
+}
+
+func TestOpenIndexDegradesOnCorruptCache(t *testing.T) {
+	st, err := LoadStore("", "", 5, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.WindowLen = 32
+
+	cache := filepath.Join(t.TempDir(), "bad.index")
+	if err := os.WriteFile(cache, []byte("not an index artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logbuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logbuf, nil))
+	ix, how, err := OpenIndex(st, opts, cache, false, false, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg, _ := ix.Degraded(); !deg {
+		t.Fatal("corrupt cache must degrade, not fail")
+	}
+	if !bytes.Contains(logbuf.Bytes(), []byte("degraded")) {
+		t.Fatalf("degradation not logged: %s", logbuf.String())
+	}
+	if how == "" || !bytes.Contains([]byte(how), []byte("DEGRADED")) {
+		t.Fatalf("how = %q, want DEGRADED marker", how)
+	}
+
+	// Strict mode fails loudly instead.
+	if _, _, err := OpenIndex(st, opts, cache, false, true, logger); err == nil {
+		t.Fatal("strict open of a corrupt cache must fail")
+	}
+}
+
+func TestOpenIndexBuildAndReload(t *testing.T) {
+	st, err := LoadStore("", "", 5, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.WindowLen = 32
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	cache := filepath.Join(t.TempDir(), "good.index")
+	built, how, err := OpenIndex(st, opts, cache, true, false, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(how), []byte("built")) {
+		t.Fatalf("first open should build, got %q", how)
+	}
+	loaded, how, err := OpenIndex(st, opts, cache, false, true, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(how), []byte("loaded")) {
+		t.Fatalf("second open should load the cache, got %q", how)
+	}
+	if built.WindowCount() != loaded.WindowCount() {
+		t.Fatalf("cache round trip changed window count: %d != %d",
+			built.WindowCount(), loaded.WindowCount())
+	}
+}

@@ -179,6 +179,11 @@ type SearchStats struct {
 	// fallback after the index artifact failed validation); nonzero
 	// means results were exact but index acceleration was lost.
 	DegradedProbes int
+	// TraceID references the obs trace recorded for this query, when
+	// the search ran under a traced context (obs.Tracer.StartTrace);
+	// empty otherwise.  Accumulating stats across queries keeps the
+	// first ID.
+	TraceID string
 }
 
 // PageAccesses returns the total page count (index + data), the
@@ -204,6 +209,52 @@ func (s *SearchStats) Add(o SearchStats) {
 		s.PathProbes[i] += o.PathProbes[i]
 	}
 	s.DegradedProbes += o.DegradedProbes
+	if s.TraceID == "" {
+		s.TraceID = o.TraceID
+	}
+}
+
+// CheckInvariants verifies the accounting identities that range-query
+// stats must satisfy, however they were accumulated (single queries,
+// long queries, batches, any access path, degraded mode):
+//
+//   - every candidate emitted by a probe is classified exactly once:
+//     Candidates == FalseAlarms + CostRejected + Results;
+//   - no counter is negative;
+//   - degraded probes are scan probes, so DegradedProbes cannot
+//     exceed PathProbes[PathScan].
+//
+// It applies to range-query accounting only: nearest-neighbour search
+// counts refined candidates without classifying them, so NN stats are
+// exempt.  Tests assert this across every access path; production
+// callers can use it as a cheap self-check on aggregated telemetry.
+func (s SearchStats) CheckInvariants() error {
+	for _, c := range []struct {
+		name  string
+		value int
+	}{
+		{"IndexNodeAccesses", s.IndexNodeAccesses},
+		{"DataPageAccesses", s.DataPageAccesses},
+		{"Candidates", s.Candidates},
+		{"FalseAlarms", s.FalseAlarms},
+		{"CostRejected", s.CostRejected},
+		{"Results", s.Results},
+		{"LeafEntriesChecked", s.LeafEntriesChecked},
+		{"DegradedProbes", s.DegradedProbes},
+	} {
+		if c.value < 0 {
+			return fmt.Errorf("core: SearchStats invariant violated: %s = %d < 0", c.name, c.value)
+		}
+	}
+	if got := s.FalseAlarms + s.CostRejected + s.Results; s.Candidates != got {
+		return fmt.Errorf("core: SearchStats invariant violated: Candidates = %d but FalseAlarms+CostRejected+Results = %d+%d+%d = %d",
+			s.Candidates, s.FalseAlarms, s.CostRejected, s.Results, got)
+	}
+	if s.DegradedProbes > s.PathProbes[engine.PathScan] {
+		return fmt.Errorf("core: SearchStats invariant violated: DegradedProbes = %d exceeds scan probes %d",
+			s.DegradedProbes, s.PathProbes[engine.PathScan])
+	}
+	return nil
 }
 
 // Index is the scale/shift-invariant subsequence index of §6.

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+
+	"scaleshift/internal/engine"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/rtree"
+)
+
+// Instrumentation hooks: every completed range query feeds its
+// SearchStats delta into the obs default registry.  Recording is one
+// atomic add per field — race-free under concurrent SearchBatch
+// workers — and the whole function is skipped with a single atomic
+// load when the observability layer is disabled, so library embedders
+// pay nothing.
+
+// cm holds the registered metric handles, created once on first
+// recording after obs.Enable (registration takes a lock; recording
+// must not).
+var cm struct {
+	once sync.Once
+
+	searches     *obs.Counter
+	searchErrors *obs.Counter
+	candidates   *obs.Counter
+	falseAlarms  *obs.Counter
+	costRejected *obs.Counter
+	matches      *obs.Counter
+	nodeReads    *obs.Counter
+	dataPages    *obs.Counter
+	degraded     *obs.Counter
+	pathProbes   [engine.NumPathKinds]*obs.Counter
+
+	searchDur  *obs.Histogram
+	planDur    *obs.Histogram
+	probeDur   *obs.Histogram
+	verifyDur  *obs.Histogram
+	candPerQ   *obs.Histogram
+	matchPerQ  *obs.Histogram
+	piecesPerQ *obs.Histogram
+}
+
+func initCoreMetrics() {
+	r := obs.Default
+	cm.searches = r.Counter("scaleshift_searches_total",
+		"Range queries executed (a multipiece long query counts once).")
+	cm.searchErrors = r.Counter("scaleshift_search_errors_total",
+		"Range queries that returned an error (including cancellation).")
+	cm.candidates = r.Counter("scaleshift_candidates_total",
+		"Candidate windows emitted by index probes and handed to verification.")
+	cm.falseAlarms = r.Counter("scaleshift_false_alarms_total",
+		"Candidates rejected by the exact distance check.")
+	cm.costRejected = r.Counter("scaleshift_cost_rejected_total",
+		"Exact matches rejected by the transformation cost bounds.")
+	cm.matches = r.Counter("scaleshift_matches_total",
+		"Matches returned to callers.")
+	cm.nodeReads = r.Counter("scaleshift_index_node_reads_total",
+		"R*-tree index pages read by searches.")
+	cm.dataPages = r.Counter("scaleshift_data_page_reads_total",
+		"Distinct data pages fetched during verification (per-query distinct counts, summed).")
+	cm.degraded = r.Counter("scaleshift_degraded_probes_total",
+		"Probes answered by the degraded-mode scan fallback.")
+	for k := engine.PathRTree; k < engine.NumPathKinds; k++ {
+		cm.pathProbes[k] = r.Counter("scaleshift_path_probes_total",
+			"Index-phase probes served, by access path.",
+			obs.Label{Key: "path", Value: k.String()})
+	}
+	cm.searchDur = r.Histogram("scaleshift_search_duration_ns",
+		"End-to-end range-query latency in nanoseconds (plan+probe+verify).")
+	cm.planDur = r.Histogram("scaleshift_plan_duration_ns",
+		"Planner stage latency in nanoseconds.")
+	cm.probeDur = r.Histogram("scaleshift_probe_duration_ns",
+		"Index-probe stage latency in nanoseconds.")
+	cm.verifyDur = r.Histogram("scaleshift_verify_duration_ns",
+		"Verification stage latency in nanoseconds.")
+	cm.candPerQ = r.Histogram("scaleshift_search_candidates",
+		"Candidate windows per query.")
+	cm.matchPerQ = r.Histogram("scaleshift_search_matches",
+		"Matches per query.")
+	cm.piecesPerQ = r.Histogram("scaleshift_search_pieces",
+		"Index probes per query (1 for plain range queries, k for multipiece).")
+}
+
+// recordSearchMetrics publishes one completed range query's stats
+// delta.  pieces is the number of index probes the query issued.
+func recordSearchMetrics(d *SearchStats, pieces int) {
+	if !obs.Enabled() {
+		return
+	}
+	cm.once.Do(initCoreMetrics)
+	cm.searches.Inc()
+	cm.candidates.Add(int64(d.Candidates))
+	cm.falseAlarms.Add(int64(d.FalseAlarms))
+	cm.costRejected.Add(int64(d.CostRejected))
+	cm.matches.Add(int64(d.Results))
+	cm.nodeReads.Add(int64(d.IndexNodeAccesses))
+	cm.dataPages.Add(int64(d.DataPageAccesses))
+	cm.degraded.Add(int64(d.DegradedProbes))
+	for k := engine.PathRTree; k < engine.NumPathKinds; k++ {
+		if n := d.PathProbes[k]; n > 0 {
+			cm.pathProbes[k].Add(int64(n))
+		}
+	}
+	cm.searchDur.ObserveDuration(d.PlanTime + d.ProbeTime + d.VerifyTime)
+	cm.planDur.ObserveDuration(d.PlanTime)
+	cm.probeDur.ObserveDuration(d.ProbeTime)
+	cm.verifyDur.ObserveDuration(d.VerifyTime)
+	cm.candPerQ.Observe(int64(d.Candidates))
+	cm.matchPerQ.Observe(int64(d.Results))
+	cm.piecesPerQ.Observe(int64(pieces))
+}
+
+// recordSearchError counts a failed range query (validation, I/O, or
+// cancellation).
+func recordSearchError() {
+	if !obs.Enabled() {
+		return
+	}
+	cm.once.Do(initCoreMetrics)
+	cm.searchErrors.Inc()
+}
+
+// spanEndWithError stamps err (when non-nil) on a span and ends it —
+// the shared shutdown of the per-stage spans.
+func spanEndWithError(s *obs.Span, err error) {
+	if err != nil {
+		s.SetAttr("error", err.Error())
+	}
+	s.End()
+}
+
+// descentBaseline snapshots the tree counters before a descent so the
+// span can attribute only this probe's reads (ts is cumulative across
+// the pieces of a long query).
+func descentBaseline(ts *rtree.SearchStats) (nodes, leaves int) {
+	if ts == nil {
+		return 0, 0
+	}
+	return ts.NodeAccesses, ts.LeafEntriesChecked
+}
+
+// endDescentSpan closes a per-descent span with the probe's node-read
+// and leaf-check deltas plus the candidate count.
+func endDescentSpan(s *obs.Span, ts *rtree.SearchStats, nodesBefore, leavesBefore, cands int, err error) {
+	if s == nil {
+		return
+	}
+	if ts != nil {
+		s.SetInt("nodes", int64(ts.NodeAccesses-nodesBefore))
+		s.SetInt("leaf_checks", int64(ts.LeafEntriesChecked-leavesBefore))
+	}
+	s.SetInt("candidates", int64(cands))
+	spanEndWithError(s, err)
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"scaleshift/internal/engine"
+	"scaleshift/internal/obs"
 	"scaleshift/internal/rtree"
 	"scaleshift/internal/seqscan"
 	"scaleshift/internal/store"
@@ -51,13 +52,16 @@ func (p *rtreePath) EstimateCost(q engine.Query) engine.Cost {
 }
 
 func (p *rtreePath) Candidates(ctx context.Context, q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	descentCtx, span := obs.StartSpan(ctx, "rtree.descent")
+	nodesBefore, leavesBefore := descentBaseline(ts)
 	var cands []rtree.Item
 	var err error
 	if q.Segment {
-		cands, err = p.ix.tree.SegmentSearchContext(ctx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.SegmentSearchContext(descentCtx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
 	} else {
-		cands, err = p.ix.tree.LineSearchContext(ctx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.LineSearchContext(descentCtx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
 	}
+	endDescentSpan(span, ts, nodesBefore, leavesBefore, len(cands), err)
 	if err != nil {
 		return err
 	}
@@ -91,13 +95,16 @@ func (p *trailPath) EstimateCost(q engine.Query) engine.Cost {
 }
 
 func (p *trailPath) Candidates(ctx context.Context, q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	descentCtx, span := obs.StartSpan(ctx, "rtree.descent")
+	nodesBefore, leavesBefore := descentBaseline(ts)
 	var cands []rtree.RectItem
 	var err error
 	if q.Segment {
-		cands, err = p.ix.tree.SegmentSearchRectsContext(ctx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.SegmentSearchRectsContext(descentCtx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
 	} else {
-		cands, err = p.ix.tree.LineSearchRectsContext(ctx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.tree.LineSearchRectsContext(descentCtx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
 	}
+	endDescentSpan(span, ts, nodesBefore, leavesBefore, len(cands), err)
 	if err != nil {
 		return err
 	}
@@ -131,6 +138,7 @@ func (p *scanPath) EstimateCost(q engine.Query) engine.Cost {
 }
 
 func (p *scanPath) Candidates(ctx context.Context, q engine.Query, ts *rtree.SearchStats, emit func(seq, start int)) error {
+	_, span := obs.StartSpan(ctx, "scan")
 	n := 0
 	seqscan.Addresses(p.ix.st, p.ix.opts.WindowLen, p.ix.indexed, func(seq, start int) bool {
 		if n%scanCheckInterval == 0 && ctx.Err() != nil {
@@ -140,7 +148,13 @@ func (p *scanPath) Candidates(ctx context.Context, q engine.Query, ts *rtree.Sea
 		emit(seq, start)
 		return true
 	})
-	return ctx.Err()
+	err := ctx.Err()
+	if span != nil {
+		span.SetBool("degraded", p.ix.degraded != "")
+		span.SetInt("emitted", int64(n))
+		spanEndWithError(span, err)
+	}
+	return err
 }
 
 // sampleDists measures the tree's maintained feature sample against

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"scaleshift/internal/engine"
+	"scaleshift/internal/obs"
 	"scaleshift/internal/rtree"
 	"scaleshift/internal/store"
 	"scaleshift/internal/vec"
@@ -246,22 +247,49 @@ func (ix *Index) planQuery(line vec.Line, eps float64, costs CostBounds) engine.
 // probe plans and runs the index phase for one SE-line: the planner
 // picks an access path (or honors force), the path emits its candidate
 // windows into fn, and the decision, estimates, degraded-mode flag,
-// and stage timings land in the returned Explain.
+// and stage timings land in the returned Explain.  Under a traced
+// context (obs.Tracer.StartTrace) the two stages open "plan" and
+// "probe" spans — with the chosen path, emitted-candidate, and
+// node-read attrs — and the paths themselves open descent spans as
+// children of "probe"; an untraced context skips all of it without
+// allocating.
 func (ix *Index) probe(ctx context.Context, line vec.Line, eps float64, costs CostBounds, force engine.PathKind, treeStats *rtree.SearchStats, fn func(seq, start int)) (*engine.Explain, error) {
 	planStart := time.Now()
+	_, planSpan := obs.StartSpan(ctx, "plan")
 	eq := ix.planQuery(line, eps, costs)
 	path, ex, err := ix.planner.Plan(eq, force)
 	if err != nil {
+		spanEndWithError(planSpan, err)
 		return ex, fmt.Errorf("core: planning: %w", err)
 	}
 	if ix.degraded != "" {
 		ex.Degraded = true
 		ex.DegradedReason = ix.degraded
 	}
+	planSpan.SetAttr("path", ex.Chosen.String())
+	planSpan.End()
 	ex.PlanTime = time.Since(planStart)
+
 	probeStart := time.Now()
-	if err := path.Candidates(ctx, eq, treeStats, fn); err != nil {
+	probeCtx, probeSpan := obs.StartSpan(ctx, "probe")
+	emit := fn
+	emitted := 0
+	if probeSpan != nil {
+		probeSpan.SetAttr("path", ex.Chosen.String())
+		if ex.Degraded {
+			probeSpan.SetBool("degraded", true)
+		}
+		emit = func(seq, start int) { emitted++; fn(seq, start) }
+	}
+	nodesBefore := treeStats.NodeAccesses
+	if err := path.Candidates(probeCtx, eq, treeStats, emit); err != nil {
+		spanEndWithError(probeSpan, err)
 		return ex, fmt.Errorf("core: %s probe: %w", ex.Chosen, err)
+	}
+	if probeSpan != nil {
+		probeSpan.SetInt("candidates", int64(emitted))
+		probeSpan.SetInt("node_reads", int64(treeStats.NodeAccesses-nodesBefore))
+		probeSpan.End()
 	}
 	ex.ProbeTime = time.Since(probeStart)
 	return ex, nil
@@ -319,10 +347,12 @@ func (ix *Index) SearchPlanned(q vec.Vector, eps float64, costs CostBounds, forc
 // truncated answer set.
 func (ix *Index) SearchPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error) {
 	if len(q) != ix.opts.WindowLen {
+		recordSearchError()
 		return nil, nil, fmt.Errorf("core: %w: query length %d, index window length %d (use SearchLong for longer queries)",
 			ErrInvalidQuery, len(q), ix.opts.WindowLen)
 	}
 	if err := ix.validateQuery(q, eps); err != nil {
+		recordSearchError()
 		return nil, nil, err
 	}
 
@@ -338,6 +368,7 @@ func (ix *Index) SearchPlannedContext(ctx context.Context, q vec.Vector, eps flo
 		cands = append(cands, candidate{seq, start})
 	})
 	if err != nil {
+		recordSearchError()
 		return nil, ex, err
 	}
 
@@ -345,36 +376,51 @@ func (ix *Index) SearchPlannedContext(ctx context.Context, q vec.Vector, eps flo
 	// bounds — prefix-sum filtered and, for large candidate sets,
 	// fanned across a worker pool (see verifyCandidates).
 	verifyStart := time.Now()
+	verifyCtx, verifySpan := obs.StartSpan(ctx, "verify")
 	pc := store.PageCounter{Pool: pool}
 	v := ix.newVerifier(q, eps, costs)
-	out, falseAlarms, costRejected, err := ix.verifyCandidates(ctx, v, cands, &pc)
+	out, falseAlarms, costRejected, err := ix.verifyCandidates(verifyCtx, v, cands, &pc)
 	if err != nil {
+		spanEndWithError(verifySpan, err)
+		recordSearchError()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, ex, err
 		}
 		return nil, ex, fmt.Errorf("core: post-processing: %w", err)
 	}
 	sortMatches(out)
+	if verifySpan != nil {
+		verifySpan.SetInt("candidates", int64(len(cands)))
+		verifySpan.SetInt("false_alarms", int64(falseAlarms))
+		verifySpan.SetInt("matches", int64(len(out)))
+		verifySpan.End()
+	}
 	ex.VerifyTime = time.Since(verifyStart)
 	ex.ActualCandidates = len(cands)
 	ex.Matches = len(out)
+	ex.TraceID = obs.TraceIDFromContext(ctx)
 
+	delta := SearchStats{
+		IndexNodeAccesses:  treeStats.NodeAccesses,
+		DataPageAccesses:   pc.Distinct(),
+		Candidates:         len(cands),
+		FalseAlarms:        falseAlarms,
+		CostRejected:       costRejected,
+		Results:            len(out),
+		LeafEntriesChecked: treeStats.LeafEntriesChecked,
+		Penetration:        treeStats.Penetration,
+		PlanTime:           ex.PlanTime,
+		ProbeTime:          ex.ProbeTime,
+		VerifyTime:         ex.VerifyTime,
+		TraceID:            ex.TraceID,
+	}
+	delta.PathProbes[ex.Chosen]++
+	if ex.Degraded {
+		delta.DegradedProbes++
+	}
+	recordSearchMetrics(&delta, 1)
 	if stats != nil {
-		stats.IndexNodeAccesses += treeStats.NodeAccesses
-		stats.DataPageAccesses += pc.Distinct()
-		stats.Candidates += len(cands)
-		stats.FalseAlarms += falseAlarms
-		stats.CostRejected += costRejected
-		stats.Results += len(out)
-		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
-		stats.Penetration.Add(treeStats.Penetration)
-		stats.PlanTime += ex.PlanTime
-		stats.ProbeTime += ex.ProbeTime
-		stats.VerifyTime += ex.VerifyTime
-		stats.PathProbes[ex.Chosen]++
-		if ex.Degraded {
-			stats.DegradedProbes++
-		}
+		stats.Add(delta)
 	}
 	return out, ex, nil
 }
@@ -422,20 +468,27 @@ func (ix *Index) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps
 		return ix.SearchPlannedContext(ctx, q, eps, costs, force, nil, stats)
 	}
 	if len(q) < n {
+		recordSearchError()
 		return nil, nil, fmt.Errorf("core: %w: query length %d below index window length %d",
 			ErrInvalidQuery, len(q), n)
 	}
 	if err := ix.validateQuery(q, eps); err != nil {
+		recordSearchError()
 		return nil, nil, err
 	}
 	pieces := len(q) / n
 	pieceEps := eps / math.Sqrt(float64(pieces))
 
 	// Searching step, once per piece; candidate alignments are the
-	// piece hits translated back to the query's start.
+	// piece hits translated back to the query's start.  Per-path probe
+	// counts are collected locally and committed with the rest of the
+	// stats delta only when the whole query succeeds, so a failure
+	// mid-pieces never leaves probes counted against zero candidates
+	// (the CheckInvariants identity).
 	proposed := make(map[candidate]bool)
 	var treeStats rtree.SearchStats
 	var ex *engine.Explain
+	var pathProbes [engine.NumPathKinds]int
 	for i := 0; i < pieces; i++ {
 		piece := q[i*n : (i+1)*n]
 		i := i
@@ -447,11 +500,10 @@ func (ix *Index) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps
 			proposed[full] = true
 		})
 		if err != nil {
+			recordSearchError()
 			return nil, pieceEx, err
 		}
-		if stats != nil {
-			stats.PathProbes[pieceEx.Chosen]++
-		}
+		pathProbes[pieceEx.Chosen]++
 		if ex == nil {
 			ex = pieceEx
 		} else {
@@ -477,35 +529,51 @@ func (ix *Index) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps
 	// Post-processing on the full-length windows, through the same
 	// prefix-sum filtered (and possibly parallel) path as Search.
 	verifyStart := time.Now()
+	verifyCtx, verifySpan := obs.StartSpan(ctx, "verify")
 	var pc store.PageCounter
 	v := ix.newVerifier(q, eps, costs)
-	out, falseAlarms, costRejected, err := ix.verifyCandidates(ctx, v, cands, &pc)
+	out, falseAlarms, costRejected, err := ix.verifyCandidates(verifyCtx, v, cands, &pc)
 	if err != nil {
+		spanEndWithError(verifySpan, err)
+		recordSearchError()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, ex, err
 		}
 		return nil, ex, fmt.Errorf("core: long-query post-processing: %w", err)
 	}
 	sortMatches(out)
+	if verifySpan != nil {
+		verifySpan.SetInt("candidates", int64(len(cands)))
+		verifySpan.SetInt("false_alarms", int64(falseAlarms))
+		verifySpan.SetInt("matches", int64(len(out)))
+		verifySpan.End()
+	}
 	ex.VerifyTime = time.Since(verifyStart)
 	ex.ActualCandidates = len(cands)
 	ex.Matches = len(out)
+	ex.TraceID = obs.TraceIDFromContext(ctx)
 
+	delta := SearchStats{
+		IndexNodeAccesses:  treeStats.NodeAccesses,
+		DataPageAccesses:   pc.Distinct(),
+		Candidates:         len(proposed),
+		FalseAlarms:        falseAlarms,
+		CostRejected:       costRejected,
+		Results:            len(out),
+		LeafEntriesChecked: treeStats.LeafEntriesChecked,
+		Penetration:        treeStats.Penetration,
+		PlanTime:           ex.PlanTime,
+		ProbeTime:          ex.ProbeTime,
+		VerifyTime:         ex.VerifyTime,
+		PathProbes:         pathProbes,
+		TraceID:            ex.TraceID,
+	}
+	if ex.Degraded {
+		delta.DegradedProbes = pieces
+	}
+	recordSearchMetrics(&delta, pieces)
 	if stats != nil {
-		stats.IndexNodeAccesses += treeStats.NodeAccesses
-		stats.DataPageAccesses += pc.Distinct()
-		stats.Candidates += len(proposed)
-		stats.FalseAlarms += falseAlarms
-		stats.CostRejected += costRejected
-		stats.Results += len(out)
-		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
-		stats.Penetration.Add(treeStats.Penetration)
-		stats.PlanTime += ex.PlanTime
-		stats.ProbeTime += ex.ProbeTime
-		stats.VerifyTime += ex.VerifyTime
-		if ex.Degraded {
-			stats.DegradedProbes += pieces
-		}
+		stats.Add(delta)
 	}
 	return out, ex, nil
 }

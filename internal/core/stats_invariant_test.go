@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"scaleshift/internal/engine"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/query"
+	"scaleshift/internal/vec"
+)
+
+// The SearchStats ledger must balance on every path: each candidate is
+// exactly one of (false alarm, cost-rejected, result).  These tests
+// assert CheckInvariants across all three access paths, degraded mode,
+// long queries, and batches — the accounting identity a dashboard
+// reader relies on when the counters are exported.
+
+// invariantQuery returns a query window and an eps wide enough to
+// produce candidates and matches on the test store.
+func invariantQuery(t *testing.T, ix *Index) (vec.Vector, float64) {
+	t.Helper()
+	n := ix.Options().WindowLen
+	q := make(vec.Vector, n)
+	if err := ix.Store().Window(0, 3, n, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := query.SENormScale(ix.Store(), n, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, 0.05 * norm
+}
+
+func checkStats(t *testing.T, label string, stats SearchStats, matches int) {
+	t.Helper()
+	if err := stats.CheckInvariants(); err != nil {
+		t.Errorf("%s: %v", label, err)
+	}
+	if stats.Results != matches {
+		t.Errorf("%s: stats.Results = %d but %d matches returned", label, stats.Results, matches)
+	}
+}
+
+func TestStatsInvariantsAcrossPaths(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 12, 120)
+	q, eps := invariantQuery(t, ix)
+	for _, force := range []engine.PathKind{engine.PathAuto, engine.PathRTree, engine.PathScan} {
+		var stats SearchStats
+		matches, ex, err := ix.SearchPlanned(q, eps, UnboundedCosts(), force, nil, &stats)
+		if err != nil {
+			t.Fatalf("path %v: %v", force, err)
+		}
+		checkStats(t, "path "+force.String(), stats, len(matches))
+		if stats.PathProbes[ex.Chosen] != 1 {
+			t.Errorf("path %v: PathProbes[%v] = %d, want 1", force, ex.Chosen, stats.PathProbes[ex.Chosen])
+		}
+		if stats.Candidates == 0 {
+			t.Errorf("path %v: query produced no candidates; invariant check is vacuous", force)
+		}
+	}
+}
+
+func TestStatsInvariantsTrailPath(t *testing.T) {
+	opts := testOptions()
+	opts.SubtrailLen = 8
+	ix := buildTestIndex(t, opts, 12, 120)
+	q, eps := invariantQuery(t, ix)
+	var stats SearchStats
+	matches, ex, err := ix.SearchPlanned(q, eps, UnboundedCosts(), engine.PathTrail, nil, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Chosen != engine.PathTrail {
+		t.Fatalf("chosen path %v, want trail", ex.Chosen)
+	}
+	checkStats(t, "trail", stats, len(matches))
+}
+
+func TestStatsInvariantsDegraded(t *testing.T) {
+	healthy := buildTestIndex(t, testOptions(), 8, 100)
+	ix, err := NewDegradedIndex(healthy.Store(), testOptions(), "forced for test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, eps := invariantQuery(t, ix)
+	var stats SearchStats
+	matches, ex, err := ix.SearchPlanned(q, eps, UnboundedCosts(), engine.PathAuto, nil, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Degraded {
+		t.Fatal("degraded index did not report Degraded")
+	}
+	checkStats(t, "degraded", stats, len(matches))
+	if stats.DegradedProbes != 1 || stats.PathProbes[engine.PathScan] != 1 {
+		t.Errorf("degraded probes = %d, scan probes = %d; want 1, 1",
+			stats.DegradedProbes, stats.PathProbes[engine.PathScan])
+	}
+}
+
+func TestStatsInvariantsLongQuery(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 12, 120)
+	n := ix.Options().WindowLen
+	q := make(vec.Vector, 2*n)
+	if err := ix.Store().Window(0, 3, 2*n, q, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, eps := invariantQuery(t, ix)
+	for _, force := range []engine.PathKind{engine.PathAuto, engine.PathRTree, engine.PathScan} {
+		var stats SearchStats
+		matches, ex, err := ix.SearchLongPlanned(q, eps, UnboundedCosts(), force, &stats)
+		if err != nil {
+			t.Fatalf("path %v: %v", force, err)
+		}
+		checkStats(t, "long "+force.String(), stats, len(matches))
+		if ex.Pieces < 2 {
+			t.Fatalf("long query ran %d pieces, want >= 2", ex.Pieces)
+		}
+		total := 0
+		for k := engine.PathKind(0); k < engine.NumPathKinds; k++ {
+			total += stats.PathProbes[k]
+		}
+		if total != ex.Pieces {
+			t.Errorf("long %v: %d path probes recorded, want %d (one per piece)", force, total, ex.Pieces)
+		}
+	}
+}
+
+func TestStatsInvariantsBatchAccumulate(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 12, 120)
+	q, eps := invariantQuery(t, ix)
+	q2 := make(vec.Vector, len(q))
+	if err := ix.Store().Window(1, 10, len(q2), q2, nil); err != nil {
+		t.Fatal(err)
+	}
+	var stats SearchStats
+	queries := []BatchQuery{
+		{Q: q, Eps: eps, Costs: UnboundedCosts()},
+		{Q: q2, Eps: eps, Costs: UnboundedCosts()},
+		{Q: q, Eps: eps / 2, Costs: UnboundedCosts()},
+	}
+	results, _, err := ix.SearchBatchPlanned(queries, engine.PathAuto, 2, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	checkStats(t, "batch", stats, total)
+}
+
+func TestCheckInvariantsDetectsDrift(t *testing.T) {
+	s := SearchStats{Candidates: 10, FalseAlarms: 4, CostRejected: 1, Results: 3}
+	if err := s.CheckInvariants(); err == nil {
+		t.Fatal("unbalanced ledger (10 != 4+1+3) must fail")
+	} else if !strings.Contains(err.Error(), "Candidates") {
+		t.Fatalf("error %q does not name the broken identity", err)
+	}
+	s.Results = 5
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("balanced ledger rejected: %v", err)
+	}
+	s.Candidates = -1
+	if err := s.CheckInvariants(); err == nil {
+		t.Fatal("negative counter must fail")
+	}
+	s = SearchStats{DegradedProbes: 2}
+	s.PathProbes[engine.PathScan] = 1
+	if err := s.CheckInvariants(); err == nil {
+		t.Fatal("DegradedProbes > scan probes must fail")
+	}
+}
+
+func TestSearchRecordsTraceAndMetrics(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	ix := buildTestIndex(t, testOptions(), 12, 120)
+	q, eps := invariantQuery(t, ix)
+
+	tracer := obs.NewTracer(4)
+	ctx, root := tracer.StartTrace(context.Background(), "test-query")
+	var stats SearchStats
+	cm.once.Do(initCoreMetrics) // handles are lazily created on first record
+	before := cm.searches.Value()
+	_, ex, err := ix.SearchPlannedContext(ctx, q, eps, UnboundedCosts(), engine.PathAuto, nil, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if stats.TraceID == "" {
+		t.Fatal("traced search left stats.TraceID empty")
+	}
+	if ex.TraceID != stats.TraceID {
+		t.Fatalf("explain trace %q != stats trace %q", ex.TraceID, stats.TraceID)
+	}
+	snap, ok := tracer.Get(stats.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not retained", stats.TraceID)
+	}
+	var names []string
+	for _, s := range snap.Spans {
+		names = append(names, s.Name)
+	}
+	for _, want := range []string{"plan", "probe", "verify"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("trace is missing a %q span (spans: %v)", want, names)
+		}
+	}
+	if got := cm.searches.Value(); got != before+1 {
+		t.Errorf("scaleshift_searches_total advanced by %d, want 1", got-before)
+	}
+	if err := stats.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUntracedSearchHasNoTraceID(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 8, 100)
+	q, eps := invariantQuery(t, ix)
+	var stats SearchStats
+	_, ex, err := ix.SearchPlanned(q, eps, UnboundedCosts(), engine.PathAuto, nil, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TraceID != "" || ex.TraceID != "" {
+		t.Fatalf("untraced search set TraceID %q / %q", stats.TraceID, ex.TraceID)
+	}
+}

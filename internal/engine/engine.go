@@ -172,6 +172,9 @@ type Explain struct {
 	// path feeds the same verifier — only slower.
 	Degraded       bool
 	DegradedReason string
+	// TraceID links this plan to the structured trace the query
+	// produced (empty when tracing was off or no trace was active).
+	TraceID string
 }
 
 // WriteText renders the plan in ssquery -explain form.
@@ -210,8 +213,15 @@ func (e *Explain) WriteText(w io.Writer) error {
 		e.ActualCandidates, e.EstCandidates, e.Matches); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "  stages: plan=%v probe=%v verify=%v\n",
+	if _, err := fmt.Fprintf(w, "  stages: plan=%v probe=%v verify=%v\n",
 		e.PlanTime.Round(time.Microsecond), e.ProbeTime.Round(time.Microsecond),
-		e.VerifyTime.Round(time.Microsecond))
-	return err
+		e.VerifyTime.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	if e.TraceID != "" {
+		if _, err := fmt.Fprintf(w, "  trace: %s\n", e.TraceID); err != nil {
+			return err
+		}
+	}
+	return nil
 }

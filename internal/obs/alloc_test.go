@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The disabled path is a contract, not a hope: a library embedder who
+// never calls Enable must see zero allocations from the
+// instrumentation hooks.  These tests pin that with AllocsPerRun; the
+// benchmarks expose the same paths to -benchmem so CI can watch the
+// numbers.
+
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	Disable()
+	tr := NewTracer(4)
+	ctx := context.Background()
+
+	if n := testing.AllocsPerRun(100, func() {
+		c, s := tr.StartTrace(ctx, "q")
+		_ = c
+		s.SetAttr("k", "v")
+		s.SetInt("n", 1)
+		s.End()
+	}); n != 0 {
+		t.Errorf("disabled StartTrace allocates %.1f per op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		c, s := StartSpan(ctx, "stage")
+		_ = c
+		s.End()
+	}); n != 0 {
+		t.Errorf("StartSpan without a trace allocates %.1f per op, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(100, func() {
+		if Enabled() {
+			panic("unreachable")
+		}
+	}); n != 0 {
+		t.Errorf("Enabled allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestEnabledRecordingZeroAlloc(t *testing.T) {
+	// Even when on, recording on pre-registered handles is atomic adds
+	// only — no per-observation allocation.
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "h")
+	h := r.Histogram("alloc_hist", "h")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(12345)
+	}); n != 0 {
+		t.Errorf("metric recording allocates %.1f per op, want 0", n)
+	}
+}
+
+func BenchmarkDisabledStartSpan(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "stage")
+		s.End()
+	}
+}
+
+func BenchmarkDisabledStartTrace(b *testing.B) {
+	Disable()
+	tr := NewTracer(4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := tr.StartTrace(ctx, "q")
+		s.End()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_hist", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Exposition: the registry renders in Prometheus text format (for
+// /metrics and scrape-style tooling) and as a JSON snapshot (for
+// expvar, CLI -metrics-out files, and the BENCH_*.json artifacts).
+// Readers snapshot each atomic independently — recording is never
+// blocked, at the cost of point-in-time skew between metrics.
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by name so output is
+// stable for golden tests and diffable scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastName string
+	for _, d := range r.sorted() {
+		if d.name != lastName {
+			if d.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", d.name, d.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", d.name, d.typ)
+			lastName = d.name
+		}
+		switch m := r.metric(d).(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s%s %d\n", d.name, labelString(d.labels), m.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s%s %s\n", d.name, labelString(d.labels), formatFloat(m.Value()))
+		case *Histogram:
+			writePromHistogram(bw, d, m)
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits the cumulative bucket series, sum, and
+// count.  Only buckets up to the highest occupied one are listed
+// (plus +Inf); a log2 histogram over int64 has 64 fixed buckets and
+// listing empty tails would bloat every scrape.
+func writePromHistogram(w *bufio.Writer, d *desc, h *Histogram) {
+	counts, top := histCounts(h)
+	cum := int64(0)
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		w.WriteString(d.name)
+		w.WriteString("_bucket")
+		w.WriteString(labelStringWith(d.labels, Label{"le", formatLe(i)}))
+		w.WriteByte(' ')
+		w.WriteString(strconv.FormatInt(cum, 10))
+		w.WriteByte('\n')
+	}
+	count := h.Count()
+	w.WriteString(d.name)
+	w.WriteString("_bucket")
+	w.WriteString(labelStringWith(d.labels, Label{"le", "+Inf"}))
+	fmt.Fprintf(w, " %d\n", count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", d.name, labelString(d.labels), h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", d.name, labelString(d.labels), count)
+}
+
+// histCounts loads the per-bucket counts and the index of the highest
+// non-empty bucket (0 when all are empty, so at least le="1" prints).
+func histCounts(h *Histogram) (counts [numHistBuckets]int64, top int) {
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	return counts, top
+}
+
+// formatLe renders bucket i's upper bound 2^i without float notation
+// for the small buckets every reader eyeballs.
+func formatLe(i int) string {
+	if i < 63 {
+		return strconv.FormatInt(int64(1)<<uint(i), 10)
+	}
+	return strconv.FormatUint(uint64(1)<<uint(i), 10)
+}
+
+// labelStringWith renders labels plus one extra pair (the histogram
+// "le" bound), keeping registration order with the extra pair last.
+func labelStringWith(labels []Label, extra Label) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, extra)
+	return labelString(all)
+}
+
+// formatFloat renders gauge values compactly (integers without an
+// exponent, NaN/Inf in Prometheus spelling).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot: Le is
+// the inclusive upper bound, Count the (non-cumulative) observations
+// in the bucket.
+type HistBucket struct {
+	Le    uint64 `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MetricSnapshot is the JSON form of one metric at one instant.
+type MetricSnapshot struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *int64            `json:"count,omitempty"`
+	Sum     *int64            `json:"sum,omitempty"`
+	Buckets []HistBucket      `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the point-in-time state of every registered metric,
+// sorted by (name, labels).
+func (r *Registry) Snapshot() []MetricSnapshot {
+	ds := r.sorted()
+	out := make([]MetricSnapshot, 0, len(ds))
+	for _, d := range ds {
+		s := MetricSnapshot{Name: d.name, Type: d.typ}
+		if len(d.labels) > 0 {
+			s.Labels = make(map[string]string, len(d.labels))
+			for _, l := range d.labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		switch m := r.metric(d).(type) {
+		case *Counter:
+			v := float64(m.Value())
+			s.Value = &v
+		case *Gauge:
+			v := m.Value()
+			s.Value = &v
+		case *Histogram:
+			count, sum := m.Count(), m.Sum()
+			s.Count = &count
+			s.Sum = &sum
+			counts, top := histCounts(m)
+			for i := 0; i <= top; i++ {
+				if counts[i] > 0 {
+					s.Buckets = append(s.Buckets, HistBucket{Le: uint64(1) << uint(i), Count: counts[i]})
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as indented JSON — the -metrics-out
+// format of the CLIs and the CI bench artifact.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PublishExpvar exports the registry's snapshot under the given expvar
+// name, so it appears in /debug/vars next to the runtime's memstats.
+// Publishing the same name twice on one registry is a no-op (expvar
+// itself panics on duplicates).
+func (r *Registry) PublishExpvar(name string) {
+	r.mu.Lock()
+	already := r.published[name]
+	r.published[name] = true
+	r.mu.Unlock()
+	if already {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}

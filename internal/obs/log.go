@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger shared by the CLIs and the
+// query server.  format is "text" (human-readable key=value lines) or
+// "json" (one JSON object per line, for log shippers); anything else
+// is an error so a typo in -log-format fails loudly instead of
+// silently switching formats.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}

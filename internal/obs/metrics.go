@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name=value pair attached to a metric at
+// registration.  Labels are fixed for the metric's lifetime — there is
+// no per-observation label allocation, which is what keeps recording
+// a single atomic add.
+type Label struct {
+	Key, Value string
+}
+
+// desc is the immutable identity of a registered metric.
+type desc struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []Label
+	key    string // name + canonical label rendering, the registry key
+}
+
+// labelString renders {k="v",...} for exposition, or "" without labels.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return s + "}"
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// validName enforces the Prometheus metric/label-name grammar; invalid
+// names are programmer errors and panic at registration time, never at
+// recording time.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func newDesc(name, help, typ string, labels []Label) *desc {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return &desc{name: name, help: help, typ: typ, labels: ls, key: name + labelString(ls)}
+}
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct {
+	d *desc
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	d *desc
+	v atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; deltas may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// numHistBuckets is the fixed bucket count of the log2 histogram: one
+// bucket per power of two over the non-negative int64 range.
+const numHistBuckets = 64
+
+// Histogram is a log2-bucketed distribution of non-negative int64
+// observations (latencies in nanoseconds, candidate counts, sizes).
+// Bucket i counts observations v with v <= 2^i (and v > 2^(i-1) for
+// i > 0), so relative resolution is a constant 2x at every magnitude —
+// the right trade for values spanning nanoseconds to seconds — and
+// recording is three atomic adds with no floating point.
+type Histogram struct {
+	d       *desc
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numHistBuckets]atomic.Int64
+}
+
+// histBucket maps an observation to its bucket index: values <= 1 land
+// in bucket 0 (upper bound 2^0 = 1), and bucket i has upper bound 2^i.
+func histBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1))
+	if b >= numHistBuckets {
+		return numHistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.  Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Registry holds named metrics.  Registration takes a mutex once per
+// metric per process; recording on the returned handles is lock-free.
+type Registry struct {
+	mu        sync.Mutex
+	byKey     map[string]interface{}
+	order     []*desc
+	published map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]interface{}{}, published: map[string]bool{}}
+}
+
+// Default is the process-wide registry the built-in instrumentation
+// records into and the CLIs/ssserve expose.
+var Default = NewRegistry()
+
+// lookup returns the existing metric for d.key, or stores m and
+// returns nil.  A type clash on the same key is a programmer error.
+func (r *Registry) lookup(d *desc, m interface{}) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byKey[d.key]; ok {
+		return old
+	}
+	r.byKey[d.key] = m
+	r.order = append(r.order, d)
+	return nil
+}
+
+// Counter registers (or fetches) the counter with the given name and
+// constant labels.  Registering the same name+labels twice returns the
+// same handle; re-registering it as a different type panics.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	d := newDesc(name, help, "counter", labels)
+	c := &Counter{d: d}
+	if old := r.lookup(d, c); old != nil {
+		got, ok := old.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered with a different type", d.key))
+		}
+		return got
+	}
+	return c
+}
+
+// Gauge registers (or fetches) the gauge with the given name and
+// constant labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	d := newDesc(name, help, "gauge", labels)
+	g := &Gauge{d: d}
+	if old := r.lookup(d, g); old != nil {
+		got, ok := old.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered with a different type", d.key))
+		}
+		return got
+	}
+	return g
+}
+
+// Histogram registers (or fetches) the log2 histogram with the given
+// name and constant labels.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	d := newDesc(name, help, "histogram", labels)
+	h := &Histogram{d: d}
+	if old := r.lookup(d, h); old != nil {
+		got, ok := old.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered with a different type", d.key))
+		}
+		return got
+	}
+	return h
+}
+
+// sorted returns the registered descriptors ordered by (name, labels)
+// so exposition output is deterministic.
+func (r *Registry) sorted() []*desc {
+	r.mu.Lock()
+	out := append([]*desc(nil), r.order...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// metric returns the live metric for a descriptor.
+func (r *Registry) metric(d *desc) interface{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byKey[d.key]
+}

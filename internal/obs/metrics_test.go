@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5 (negative add must be ignored)", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				g.Add(-0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*perWorker)*0.5; got != want {
+		t.Fatalf("gauge = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "help")
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	n := int64(workers * perWorker)
+	if got, want := h.Sum(), n*(n-1)/2; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, // v <= 1 lands in bucket 0 (le=1)
+		{2, 1},         // le=2
+		{3, 2}, {4, 2}, // le=4
+		{5, 3}, {8, 3}, // le=8
+		{1023, 10}, {1024, 10}, {1025, 11}, // around 2^10
+		{1 << 62, 62}, {1<<62 + 1, 63},
+		{1<<63 - 1, 63}, // int64 max clamps to the top bucket
+	}
+	for _, c := range cases {
+		v := c.v
+		if v < 0 {
+			v = 0 // Observe clamps; histBucket itself sees non-negative
+		}
+		if got := histBucket(v); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramObserveNegativeClamps(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "help")
+	h.Observe(-100)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+	if got := h.Sum(); got != 0 {
+		t.Fatalf("sum = %d, want 0 (negative clamps to zero)", got)
+	}
+}
+
+func TestRegistryReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "other help")
+	if a != b {
+		t.Fatal("same name+labels must return the same handle")
+	}
+	l1 := r.Counter("lbl_total", "h", Label{Key: "path", Value: "rtree"})
+	l2 := r.Counter("lbl_total", "h", Label{Key: "path", Value: "scan"})
+	if l1 == l2 {
+		t.Fatal("different label values must be distinct metrics")
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("clash_total", "help")
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name must panic at registration")
+		}
+	}()
+	r.Counter("bad name!", "help")
+}
+
+// TestWritePrometheusGolden pins the exact exposition bytes: counter
+// and gauge lines, histogram cumulative buckets with integer le
+// bounds, label escaping, and name-sorted order.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "sorts last").Add(7)
+	r.Counter("aa_reqs_total", "requests", Label{Key: "path", Value: `with"quote`}).Add(3)
+	r.Gauge("mm_temp", "temperature").Set(2.5)
+	h := r.Histogram("hh_lat", "latency")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(900)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_reqs_total requests
+# TYPE aa_reqs_total counter
+aa_reqs_total{path="with\"quote"} 3
+# HELP hh_lat latency
+# TYPE hh_lat histogram
+hh_lat_bucket{le="1"} 1
+hh_lat_bucket{le="2"} 1
+hh_lat_bucket{le="4"} 3
+hh_lat_bucket{le="8"} 3
+hh_lat_bucket{le="16"} 3
+hh_lat_bucket{le="32"} 3
+hh_lat_bucket{le="64"} 3
+hh_lat_bucket{le="128"} 3
+hh_lat_bucket{le="256"} 3
+hh_lat_bucket{le="512"} 3
+hh_lat_bucket{le="1024"} 4
+hh_lat_bucket{le="+Inf"} 4
+hh_lat_sum 907
+hh_lat_count 4
+# HELP mm_temp temperature
+# TYPE mm_temp gauge
+mm_temp 2.5
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("prometheus output mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Add(2)
+	h := r.Histogram("h_hist", "h")
+	h.Observe(5)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d metrics, want 2", len(snap))
+	}
+	if snap[0].Name != "c_total" || snap[0].Value == nil || *snap[0].Value != 2 {
+		t.Fatalf("counter snapshot wrong: %+v", snap[0])
+	}
+	hs := snap[1]
+	if hs.Count == nil || *hs.Count != 1 || hs.Sum == nil || *hs.Sum != 5 {
+		t.Fatalf("histogram snapshot wrong: %+v", hs)
+	}
+	if len(hs.Buckets) != 1 || hs.Buckets[0].Le != 8 || hs.Buckets[0].Count != 1 {
+		t.Fatalf("histogram buckets wrong: %+v", hs.Buckets)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"name": "c_total"`) {
+		t.Fatalf("WriteJSON output missing metric: %s", b.String())
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ev_total", "h").Inc()
+	// Publishing twice must not panic (expvar itself panics on
+	// duplicate names, so the registry has to dedupe).
+	r.PublishExpvar("obs_test_registry")
+	r.PublishExpvar("obs_test_registry")
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_hist", "h")
+	h.ObserveDuration(1500 * time.Nanosecond)
+	if got := h.Sum(); got != 1500 {
+		t.Fatalf("sum = %d, want 1500", got)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enable did not take")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("Disable did not take")
+	}
+}

@@ -1,0 +1,40 @@
+// Package obs is the zero-dependency observability layer: a metrics
+// registry of atomic counters, gauges, and log2-bucketed histograms
+// with Prometheus-text and expvar/JSON exposition, plus a lightweight
+// span tracer with context propagation and a bounded ring of recent
+// traces.
+//
+// The package is built for instrumentation that lives inside hot
+// paths (the R*-tree descent, candidate verification, page fetches),
+// so the design rules are:
+//
+//   - recording is lock-free: counters, gauges, and histogram buckets
+//     are single atomic adds; registration (the only locked path) is
+//     done once per process, not per event;
+//   - the disabled path allocates nothing: Enabled() is one atomic
+//     load, StartSpan on a context without an active trace returns a
+//     nil span whose methods are no-ops, and every Record helper
+//     returns before touching a metric when the layer is off;
+//   - exposition never blocks recorders: readers snapshot atomics
+//     individually, accepting point-in-time skew between metrics in
+//     exchange for zero coordination on the write side.
+//
+// Observability is off by default so library embedders pay nothing;
+// the CLIs and the ssserve query server call Enable.
+package obs
+
+import "sync/atomic"
+
+// enabled gates all recording.  Off by default: a library embedder who
+// never calls Enable pays one atomic load per instrumentation site and
+// zero allocations.
+var enabled atomic.Bool
+
+// Enable turns on metric recording and tracing process-wide.
+func Enable() { enabled.Store(true) }
+
+// Disable turns recording back off (tests).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether the observability layer is recording.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The tracer gives every query a structured timeline: a Trace is one
+// request, a Span is one stage (plan, probe, rtree descent, verify,
+// ...), and completed traces land in a bounded in-memory ring that
+// /debug/traces dumps.  Propagation is by context: StartTrace roots a
+// trace in a context, StartSpan opens a child of whatever span the
+// context carries.  A context without an active span yields a nil
+// *Span whose methods are no-ops and allocates nothing — the disabled
+// path costs one context lookup.
+
+// Attr is one key-value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Tracer owns the ring of recent traces and issues trace IDs.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Trace // fixed capacity, next points at the oldest slot
+	next int
+	base uint32
+	seq  atomic.Uint32
+}
+
+// NewTracer returns a tracer keeping the most recent capacity traces
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{
+		ring: make([]*Trace, 0, capacity),
+		base: uint32(time.Now().UnixNano() >> 10),
+	}
+}
+
+// Trace is one request's span collection.  Spans append under mu; the
+// ring snapshot readers take the same mutex, so a trace can be dumped
+// while its query is still running.
+type Trace struct {
+	tracer *Tracer
+	id     string
+	name   string
+	start  time.Time
+	mu     sync.Mutex
+	spans  []*Span
+	nextID int
+}
+
+// ID returns the trace's identifier (16 hex characters, unique within
+// the process).
+func (tr *Trace) ID() string { return tr.id }
+
+// Span is one timed stage of a trace.  All methods are safe on a nil
+// receiver, which is how the disabled path stays free: StartSpan
+// returns nil when the context carries no trace.
+type Span struct {
+	trace  *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+	end    time.Time // zero while in flight; guarded by trace.mu
+	attrs  []Attr    // guarded by trace.mu
+}
+
+type spanCtxKey struct{}
+
+// StartTrace begins a new trace rooted at a span with the given name
+// and returns a context carrying it.  When the observability layer is
+// disabled (or t is nil) the context is returned unchanged with a nil
+// span.
+func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil || !Enabled() {
+		return ctx, nil
+	}
+	seq := t.seq.Add(1)
+	tr := &Trace{
+		tracer: t,
+		id:     formatTraceID(t.base, seq),
+		name:   name,
+		start:  time.Now(),
+	}
+	root := tr.newSpan(name, 0)
+	return context.WithValue(ctx, spanCtxKey{}, root), root
+}
+
+// formatTraceID renders a 16-hex-character id from the tracer's
+// per-process base and the trace sequence number.
+func formatTraceID(base, seq uint32) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	v := uint64(base)<<32 | uint64(seq)
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// StartSpan opens a child span of the context's active span, returning
+// a context carrying the child.  Without an active span the original
+// context and a nil span come back, and nothing is allocated.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := parent.trace.newSpan(name, parent.id)
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TraceIDFromContext returns the trace ID the context carries, or "".
+func TraceIDFromContext(ctx context.Context) string {
+	if s, _ := ctx.Value(spanCtxKey{}).(*Span); s != nil {
+		return s.trace.id
+	}
+	return ""
+}
+
+func (tr *Trace) newSpan(name string, parent int) *Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.nextID++
+	s := &Span{trace: tr, id: tr.nextID, parent: parent, name: name, start: time.Now()}
+	tr.spans = append(tr.spans, s)
+	return s
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.trace.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetBool annotates the span with a boolean value.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatBool(v))
+}
+
+// End stamps the span's end time.  Ending the root span commits the
+// trace to the tracer's ring; ending twice keeps the first stamp.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	tr := s.trace
+	tr.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	root := s.parent == 0
+	tr.mu.Unlock()
+	if root {
+		tr.tracer.commit(tr)
+	}
+}
+
+// commit stores a finished trace, evicting the oldest when full.
+func (t *Tracer) commit(tr *Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// SpanSnapshot is the JSON form of one span.
+type SpanSnapshot struct {
+	ID         int    `json:"id"`
+	Parent     int    `json:"parent,omitempty"`
+	Name       string `json:"name"`
+	StartNs    int64  `json:"start_unix_nano"`
+	DurationNs int64  `json:"duration_ns"`
+	InFlight   bool   `json:"in_flight,omitempty"`
+	Attrs      []Attr `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is the JSON form of one trace.
+type TraceSnapshot struct {
+	ID         string         `json:"id"`
+	Name       string         `json:"name"`
+	StartNs    int64          `json:"start_unix_nano"`
+	DurationNs int64          `json:"duration_ns"`
+	Spans      []SpanSnapshot `json:"spans"`
+}
+
+// snapshot copies the trace under its mutex.
+func (tr *Trace) snapshot() TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := TraceSnapshot{ID: tr.id, Name: tr.name, StartNs: tr.start.UnixNano()}
+	for _, s := range tr.spans {
+		ss := SpanSnapshot{
+			ID:      s.id,
+			Parent:  s.parent,
+			Name:    s.name,
+			StartNs: s.start.UnixNano(),
+		}
+		if s.end.IsZero() {
+			ss.InFlight = true
+		} else {
+			ss.DurationNs = s.end.Sub(s.start).Nanoseconds()
+		}
+		if len(s.attrs) > 0 {
+			ss.Attrs = append([]Attr(nil), s.attrs...)
+		}
+		if s.parent == 0 {
+			out.DurationNs = ss.DurationNs
+		}
+		out.Spans = append(out.Spans, ss)
+	}
+	return out
+}
+
+// Recent returns snapshots of the retained traces, newest first.
+func (t *Tracer) Recent() []TraceSnapshot {
+	t.mu.Lock()
+	traces := make([]*Trace, 0, len(t.ring))
+	// Ring order is oldest-first starting at next; walk backwards from
+	// the newest slot.
+	for i := 0; i < len(t.ring); i++ {
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		traces = append(traces, t.ring[idx])
+	}
+	t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.snapshot())
+	}
+	return out
+}
+
+// Get returns the snapshot of the retained trace with the given ID.
+func (t *Tracer) Get(id string) (TraceSnapshot, bool) {
+	t.mu.Lock()
+	var found *Trace
+	for _, tr := range t.ring {
+		if tr.id == id {
+			found = tr
+			break
+		}
+	}
+	t.mu.Unlock()
+	if found == nil {
+		return TraceSnapshot{}, false
+	}
+	return found.snapshot(), true
+}
+
+// WriteJSON dumps the recent traces (newest first) as indented JSON —
+// the /debug/traces payload.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Recent())
+}

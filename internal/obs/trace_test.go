@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartTraceDisabled(t *testing.T) {
+	Disable()
+	tr := NewTracer(4)
+	ctx, span := tr.StartTrace(context.Background(), "q")
+	if span != nil {
+		t.Fatal("disabled tracer must return a nil span")
+	}
+	if ctx != context.Background() {
+		t.Fatal("disabled tracer must return the context unchanged")
+	}
+	// All span methods must be nil-safe.
+	span.SetAttr("k", "v")
+	span.SetInt("n", 1)
+	span.SetBool("b", true)
+	span.End()
+}
+
+func TestNilTracer(t *testing.T) {
+	Enable()
+	defer Disable()
+	var tr *Tracer
+	_, span := tr.StartTrace(context.Background(), "q")
+	if span != nil {
+		t.Fatal("nil tracer must return a nil span")
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	Enable()
+	defer Disable()
+	ctx := context.Background()
+	got, span := StartSpan(ctx, "stage")
+	if span != nil {
+		t.Fatal("StartSpan without an active trace must return nil")
+	}
+	if got != ctx {
+		t.Fatal("StartSpan without an active trace must return ctx unchanged")
+	}
+	if id := TraceIDFromContext(ctx); id != "" {
+		t.Fatalf("TraceIDFromContext = %q, want empty", id)
+	}
+}
+
+func TestTraceSpansAndAttrs(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(4)
+	ctx, root := tr.StartTrace(context.Background(), "query")
+	if root == nil {
+		t.Fatal("enabled tracer returned nil root span")
+	}
+	id := TraceIDFromContext(ctx)
+	if len(id) != 16 {
+		t.Fatalf("trace id %q, want 16 hex chars", id)
+	}
+
+	childCtx, child := StartSpan(ctx, "probe")
+	child.SetInt("candidates", 42)
+	_, grand := StartSpan(childCtx, "descent")
+	grand.End()
+	child.End()
+	root.SetAttr("status", "ok")
+	root.End()
+
+	snap, ok := tr.Get(id)
+	if !ok {
+		t.Fatalf("trace %s not retained after root End", id)
+	}
+	if len(snap.Spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(snap.Spans))
+	}
+	byName := map[string]SpanSnapshot{}
+	for _, s := range snap.Spans {
+		byName[s.Name] = s
+	}
+	if byName["probe"].Parent != byName["query"].ID {
+		t.Fatal("probe span must be a child of the root")
+	}
+	if byName["descent"].Parent != byName["probe"].ID {
+		t.Fatal("descent span must be a child of probe")
+	}
+	found := false
+	for _, a := range byName["probe"].Attrs {
+		if a.Key == "candidates" && a.Value == "42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("probe attrs missing candidates=42: %+v", byName["probe"].Attrs)
+	}
+	if snap.DurationNs < byName["probe"].DurationNs {
+		t.Fatalf("root duration %d < child duration %d", snap.DurationNs, byName["probe"].DurationNs)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ctx, root := tr.StartTrace(context.Background(), fmt.Sprintf("q%d", i))
+		ids = append(ids, TraceIDFromContext(ctx))
+		root.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring retains %d traces, want 3", len(recent))
+	}
+	// Newest first: q4, q3, q2.
+	for i, want := range []string{"q4", "q3", "q2"} {
+		if recent[i].Name != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].Name, want)
+		}
+	}
+	if _, ok := tr.Get(ids[0]); ok {
+		t.Fatal("oldest trace must have been evicted")
+	}
+	if _, ok := tr.Get(ids[4]); !ok {
+		t.Fatal("newest trace must be retained")
+	}
+}
+
+func TestRecentPartialRing(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(8)
+	for i := 0; i < 2; i++ {
+		_, root := tr.StartTrace(context.Background(), fmt.Sprintf("q%d", i))
+		root.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 2 {
+		t.Fatalf("ring retains %d traces, want 2", len(recent))
+	}
+	if recent[0].Name != "q1" || recent[1].Name != "q0" {
+		t.Fatalf("recent order = %s, %s; want q1, q0", recent[0].Name, recent[1].Name)
+	}
+}
+
+func TestEndTwiceKeepsFirstStamp(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(2)
+	ctx, root := tr.StartTrace(context.Background(), "q")
+	_, child := StartSpan(ctx, "stage")
+	child.End()
+	root.End()
+	id := TraceIDFromContext(ctx)
+	first, _ := tr.Get(id)
+	child.End() // must not move the stamp
+	root.End()
+	second, _ := tr.Get(id)
+	if first.Spans[1].DurationNs != second.Spans[1].DurationNs {
+		t.Fatal("second End changed the span duration")
+	}
+}
+
+func TestInFlightSpanSnapshot(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(2)
+	ctx, root := tr.StartTrace(context.Background(), "q")
+	_, child := StartSpan(ctx, "stage")
+	_ = child // never ended
+	root.End()
+	id := TraceIDFromContext(ctx)
+	snap, ok := tr.Get(id)
+	if !ok {
+		t.Fatal("trace not committed")
+	}
+	if !snap.Spans[1].InFlight {
+		t.Fatal("unended span must be marked in_flight")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := tr.StartTrace(context.Background(), "q")
+				sctx, s := StartSpan(ctx, "stage")
+				s.SetInt("i", int64(i))
+				_, g := StartSpan(sctx, "inner")
+				g.End()
+				s.End()
+				root.End()
+				// Concurrent readers against concurrent commits.
+				if i%50 == 0 {
+					tr.Recent()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Recent()); got != 16 {
+		t.Fatalf("ring holds %d traces, want capacity 16", got)
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(1)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		ctx, root := tr.StartTrace(context.Background(), "q")
+		id := TraceIDFromContext(ctx)
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s", id)
+		}
+		seen[id] = true
+		root.End()
+	}
+}
+
+func TestWriteTracesJSON(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(4)
+	ctx, root := tr.StartTrace(context.Background(), "jsonq")
+	_, s := StartSpan(ctx, "stage")
+	s.End()
+	root.End()
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"name": "jsonq"`) || !strings.Contains(out, `"name": "stage"`) {
+		t.Fatalf("trace JSON missing spans: %s", out)
+	}
+}
+
+func TestSpanFromContext(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(1)
+	ctx, root := tr.StartTrace(context.Background(), "q")
+	if SpanFromContext(ctx) != root {
+		t.Fatal("SpanFromContext must return the active span")
+	}
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("SpanFromContext without a trace must return nil")
+	}
+	root.End()
+}

@@ -17,8 +17,10 @@ import (
 
 // LineSearchContext is LineSearch with cooperative cancellation.
 func (t *Tree) LineSearchContext(ctx context.Context, l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) ([]Item, error) {
+	nb, lb := descentBefore(stats)
 	var out []Item
 	err := t.lineSearchCtx(ctx, t.root, l, eps, strategy, &out, stats)
+	recordDescent(stats, nb, lb)
 	return out, err
 }
 
@@ -56,8 +58,10 @@ func (t *Tree) lineSearchCtx(ctx context.Context, n *node, l vec.Line, eps float
 
 // SegmentSearchContext is SegmentSearch with cooperative cancellation.
 func (t *Tree) SegmentSearchContext(ctx context.Context, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) ([]Item, error) {
+	nb, lb := descentBefore(stats)
 	var out []Item
 	err := t.segmentSearchCtx(ctx, t.root, l, tMin, tMax, eps, strategy, &out, stats)
+	recordDescent(stats, nb, lb)
 	return out, err
 }
 
@@ -96,8 +100,10 @@ func (t *Tree) segmentSearchCtx(ctx context.Context, n *node, l vec.Line, tMin, 
 // LineSearchRectsContext is LineSearchRects with cooperative
 // cancellation.
 func (t *Tree) LineSearchRectsContext(ctx context.Context, l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) ([]RectItem, error) {
+	nb, lb := descentBefore(stats)
 	var out []RectItem
 	err := t.lineSearchRectsCtx(ctx, t.root, l, eps, strategy, &out, stats)
+	recordDescent(stats, nb, lb)
 	return out, err
 }
 
@@ -136,8 +142,10 @@ func (t *Tree) lineSearchRectsCtx(ctx context.Context, n *node, l vec.Line, eps 
 // SegmentSearchRectsContext is SegmentSearchRects with cooperative
 // cancellation.
 func (t *Tree) SegmentSearchRectsContext(ctx context.Context, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) ([]RectItem, error) {
+	nb, lb := descentBefore(stats)
 	var out []RectItem
 	err := t.segmentSearchRectsCtx(ctx, t.root, l, tMin, tMax, eps, strategy, &out, stats)
+	recordDescent(stats, nb, lb)
 	return out, err
 }
 

@@ -1,0 +1,54 @@
+package rtree
+
+import (
+	"sync"
+
+	"scaleshift/internal/obs"
+)
+
+// Tree-level instrumentation: each context-aware search (the variants
+// the query engine drives) reports one descent plus its node-read and
+// leaf-check deltas to the obs default registry.  The recursive walk
+// itself stays untouched — counters are derived from the caller's
+// SearchStats after the descent, so the disabled path costs a single
+// atomic load per search and nothing per node.
+var tm struct {
+	once sync.Once
+
+	descents   *obs.Counter
+	nodeReads  *obs.Counter
+	leafChecks *obs.Counter
+}
+
+func initTreeMetrics() {
+	r := obs.Default
+	tm.descents = r.Counter("scaleshift_rtree_descents_total",
+		"R*-tree descents executed by context-aware searches.")
+	tm.nodeReads = r.Counter("scaleshift_rtree_node_reads_total",
+		"Tree pages read by context-aware searches (supernodes count their page span).")
+	tm.leafChecks = r.Counter("scaleshift_rtree_leaf_checks_total",
+		"Leaf entries tested against the query line by context-aware searches.")
+}
+
+// descentBefore snapshots the counters a descent will advance.  A nil
+// stats means the caller opted out of accounting; the descent is still
+// counted but contributes no read deltas.
+func descentBefore(stats *SearchStats) (nodes, leaves int) {
+	if stats == nil {
+		return 0, 0
+	}
+	return stats.NodeAccesses, stats.LeafEntriesChecked
+}
+
+// recordDescent publishes one finished descent's deltas.
+func recordDescent(stats *SearchStats, nodesBefore, leavesBefore int) {
+	if !obs.Enabled() {
+		return
+	}
+	tm.once.Do(initTreeMetrics)
+	tm.descents.Inc()
+	if stats != nil {
+		tm.nodeReads.Add(int64(stats.NodeAccesses - nodesBefore))
+		tm.leafChecks.Add(int64(stats.LeafEntriesChecked - leavesBefore))
+	}
+}

@@ -154,6 +154,8 @@ func (t *Tree) NearestRectsToLineFunc(l vec.Line, stats *SearchStats, fn func(Re
 	if t.size == 0 {
 		return
 	}
+	nb, lb := descentBefore(stats)
+	defer recordDescent(stats, nb, lb)
 	h := &rectNNHeap{{dist: 0, child: t.root}}
 	for h.Len() > 0 {
 		top := heap.Pop(h).(rectNNEntry)
@@ -255,6 +257,8 @@ func (t *Tree) NearestToLineFunc(l vec.Line, stats *SearchStats, fn func(ItemDis
 	if t.size == 0 {
 		return
 	}
+	nb, lb := descentBefore(stats)
+	defer recordDescent(stats, nb, lb)
 	h := &nnHeap{{dist: 0, child: t.root}}
 	for h.Len() > 0 {
 		top := heap.Pop(h).(nnHeapEntry)

@@ -1,0 +1,37 @@
+package store
+
+import (
+	"sync"
+
+	"scaleshift/internal/obs"
+)
+
+// Page-level instrumentation: every PageCounter touch also feeds the
+// obs default registry, giving the /metrics view the same raw-touch
+// and buffer-miss numbers the per-query counters report.  The check is
+// one atomic load when the layer is disabled.
+var sm struct {
+	once sync.Once
+
+	pageTouches *obs.Counter
+	poolMisses  *obs.Counter
+}
+
+func initStoreMetrics() {
+	r := obs.Default
+	sm.pageTouches = r.Counter("scaleshift_store_page_touches_total",
+		"Data page touches recorded by PageCounters (raw, before dedup).")
+	sm.poolMisses = r.Counter("scaleshift_store_pool_misses_total",
+		"Page touches that missed the shared LRU buffer pool.")
+}
+
+func recordTouch(miss bool) {
+	if !obs.Enabled() {
+		return
+	}
+	sm.once.Do(initStoreMetrics)
+	sm.pageTouches.Inc()
+	if miss {
+		sm.poolMisses.Inc()
+	}
+}

@@ -42,9 +42,12 @@ func (c *PageCounter) Touch(page int) {
 		c.seen = make(map[int]struct{})
 	}
 	c.seen[page] = struct{}{}
+	miss := false
 	if c.Pool != nil && !c.Pool.Access(page) {
 		c.Misses++
+		miss = true
 	}
+	recordTouch(miss)
 }
 
 // Distinct returns the number of unique pages touched.
