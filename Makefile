@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-planner bench-smoke bench-obs fmt-check
+.PHONY: check vet build test race bench bench-planner bench-smoke bench-obs fmt-check soak soak-smoke
 
-check: vet fmt-check build test race
+check: vet fmt-check build test race soak-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,18 @@ bench-planner:
 bench-smoke:
 	$(GO) run ./cmd/ssbench -experiment fig45 -scale small -metrics-out BENCH_smoke.json
 	@echo "metrics snapshot:" && head -20 BENCH_smoke.json
+
+# Soak smoke: ~30s of chaos against a live ssserve under -race —
+# concurrent queries vs an unfaulted oracle, hot reloads (clean and
+# fault-injected), client disconnects, overload bursts, and a
+# goroutine-leak assertion.  SOAK_smoke.json is the metrics artifact
+# CI uploads.
+soak-smoke:
+	SOAK_SECONDS=20 SOAK_METRICS_OUT=SOAK_smoke.json $(GO) test -race -count=1 -run 'TestSoak$$' -v ./cmd/ssserve
+
+# Full soak: minutes of the same chaos, for local pre-release runs.
+soak:
+	SOAK_SECONDS=120 SOAK_METRICS_OUT=SOAK_full.json $(GO) test -race -count=1 -timeout 10m -run 'TestSoak$$' -v ./cmd/ssserve
 
 # Observability overhead: the disabled-path micro-benchmarks (must be
 # 0 allocs/op) and the query benchmarks obs hooks ride on.

@@ -1,12 +1,18 @@
 // Command ssserve is the HTTP query server: it loads (or builds) a
 // checksummed index/store artifact pair and serves scale/shift-
 // invariant similarity queries with full observability — Prometheus
-// metrics, expvar, pprof, and a ring of recent per-query traces.
+// metrics, expvar, pprof, and a ring of recent per-query traces — and
+// overload protection: deadline-aware admission control, a circuit
+// breaker on the degraded scan path, and hot artifact reload.
 //
 // Endpoints:
 //
-//	/search        run a query (JSON; see parseSearchRequest for params)
-//	/healthz       liveness plus the degraded-mode flag
+//	/search        GET: run a query (see parseSearchRequest for params)
+//	               POST: run a JSON batch of queries
+//	/healthz       process health plus the degraded-mode flag
+//	/livez         liveness only (restart signal)
+//	/readyz        readiness (drain/reload/breaker aware; routing signal)
+//	/admin/reload  POST: reload artifacts; SIGHUP does the same
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar JSON (includes the metrics snapshot)
 //	/debug/pprof/  the standard Go profiler endpoints
@@ -35,6 +41,7 @@ import (
 	"scaleshift/internal/geom"
 	"scaleshift/internal/obs"
 	"scaleshift/internal/query"
+	"scaleshift/internal/resilience"
 )
 
 func main() {
@@ -60,8 +67,12 @@ func run(args []string) error {
 	indexCache := fs.String("index", "", "index artifact path (load when present, save after building)")
 	strictCache := fs.Bool("strict", false, "fail instead of degrading to a scan when the index artifact is invalid")
 	traceRing := fs.Int("trace-ring", 128, "recent query traces retained for /debug/traces")
+	serveFlags := cliutil.AddServeFlags(fs)
 	obsFlags := cliutil.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := serveFlags.Validate(); err != nil {
 		return err
 	}
 	logger, err := obsFlags.Setup()
@@ -98,13 +109,53 @@ func run(args []string) error {
 
 	tracer := obs.NewTracer(*traceRing)
 	obs.Default.PublishExpvar("scaleshift")
-	srv := newServer(ix, normScale, tracer, logger)
+
+	// Hot reload needs a durable artifact to reload from; synthetic and
+	// CSV servers run without it.
+	var reload *reloadConfig
+	if *storeFile != "" {
+		reload = &reloadConfig{
+			StorePath: *storeFile,
+			IndexPath: *indexCache,
+			Opts:      opts,
+			Bulk:      *bulk,
+			Seed:      *seed,
+		}
+	}
+	srv, err := newServer(serverConfig{
+		snap:    &snapshot{ix: ix, normScale: normScale, how: how, loadedAt: time.Now()},
+		tracer:  tracer,
+		logger:  logger,
+		serve:   *serveFlags,
+		breaker: resilience.DefaultBreakerConfig(),
+		reload:  reload,
+	})
+	if err != nil {
+		return err
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// SIGHUP triggers a hot artifact reload; a rejected reload keeps the
+	// old snapshot serving and only logs.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if reload == nil {
+				logger.Warn("SIGHUP ignored: no -store artifact to reload from")
+				continue
+			}
+			if err := srv.Reload(); err != nil {
+				logger.Error("SIGHUP reload rejected", "err", err)
+			}
+		}
+	}()
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -120,6 +171,9 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	logger.Info("shutting down")
+	// Flip /readyz to 503 first so load balancers stop routing here,
+	// then let in-flight requests finish.
+	srv.SetDraining(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

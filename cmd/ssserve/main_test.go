@@ -11,21 +11,33 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"scaleshift/internal/cliutil"
 	"scaleshift/internal/core"
 	"scaleshift/internal/obs"
 	"scaleshift/internal/query"
+	"scaleshift/internal/resilience"
 	"scaleshift/internal/stock"
 	"scaleshift/internal/store"
 )
 
-// newTestServer builds a server over a small synthetic store, with the
-// obs layer enabled (as ssserve always runs).
-func newTestServer(t *testing.T, degraded bool) *server {
-	t.Helper()
-	obs.Enable()
-	t.Cleanup(obs.Disable)
+// testServeFlags are the admission limits test servers run with:
+// generous enough that ordinary tests never shed, small enough that
+// the overload tests can saturate them deliberately.
+func testServeFlags() cliutil.ServeFlags {
+	return cliutil.ServeFlags{
+		MaxInflight:    16,
+		MaxQueue:       32,
+		QueueTimeout:   2 * time.Second,
+		RequestTimeout: 30 * time.Second,
+	}
+}
 
+// newTestIndex builds a small synthetic store + index + normScale for
+// server tests.
+func newTestIndex(t *testing.T, degraded bool) (*core.Index, float64) {
+	t.Helper()
 	st := store.New()
 	cfg := stock.DefaultConfig()
 	cfg.Companies = 10
@@ -53,8 +65,40 @@ func newTestServer(t *testing.T, degraded bool) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return ix, normScale
+}
+
+// newTestServerConfig builds the default test serverConfig over a small
+// synthetic store; tests adjust it before calling newServerFromConfig.
+func newTestServerConfig(t *testing.T, degraded bool) serverConfig {
+	t.Helper()
+	ix, normScale := newTestIndex(t, degraded)
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	return newServer(ix, normScale, obs.NewTracer(16), logger)
+	return serverConfig{
+		snap:    &snapshot{ix: ix, normScale: normScale, how: "built for test", loadedAt: time.Now()},
+		tracer:  obs.NewTracer(16),
+		logger:  logger,
+		serve:   testServeFlags(),
+		breaker: resilience.DefaultBreakerConfig(),
+	}
+}
+
+func newServerFromConfig(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// newTestServer builds a server over a small synthetic store, with the
+// obs layer enabled (as ssserve always runs).
+func newTestServer(t *testing.T, degraded bool) *server {
+	t.Helper()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	return newServerFromConfig(t, newTestServerConfig(t, degraded))
 }
 
 func get(t *testing.T, s *server, path string) (*http.Response, []byte) {

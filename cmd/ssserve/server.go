@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"log/slog"
@@ -9,52 +11,106 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"scaleshift/internal/cliutil"
 	"scaleshift/internal/core"
 	"scaleshift/internal/engine"
 	"scaleshift/internal/obs"
+	"scaleshift/internal/resilience"
 	"scaleshift/internal/vec"
 )
 
-// server is the HTTP query frontend: one loaded index, one tracer ring,
-// one metrics registry.  It is constructed by newServer so tests can
-// drive it through httptest without opening a socket.
-type server struct {
-	ix        *core.Index
-	tracer    *obs.Tracer
-	logger    *slog.Logger
-	reg       *obs.Registry
-	normScale float64 // mean window SE-norm, the eps_frac denominator
-	mux       *http.ServeMux
+// Request-body and batch-size ceilings for POST /search.  These are
+// not tunables: a batch bigger than this belongs in ssbench, and a
+// bigger body is either a bug or an attack.
+const (
+	maxRequestBody  = 1 << 20 // 1 MiB of JSON
+	maxBatchQueries = 256
+)
+
+// serverConfig assembles a server.  Everything is explicit so tests
+// can build small, deterministic instances.
+type serverConfig struct {
+	snap    *snapshot
+	tracer  *obs.Tracer
+	logger  *slog.Logger
+	serve   cliutil.ServeFlags
+	breaker resilience.BreakerConfig
+	reload  *reloadConfig // nil disables hot reload
 }
 
-func newServer(ix *core.Index, normScale float64, tracer *obs.Tracer, logger *slog.Logger) *server {
+// server is the HTTP query frontend.  The artifact snapshot sits
+// behind an RCU cell so hot reloads swap it atomically; the admission
+// controller and circuit breaker stand between the mux and the
+// engine; liveness and readiness are separate signals.
+type server struct {
+	snap    *resilience.Cell[*snapshot]
+	adm     *resilience.Admission
+	breaker *resilience.Breaker
+	rel     *reloader
+	tracer  *obs.Tracer
+	logger  *slog.Logger
+	reg     *obs.Registry
+	mux     *http.ServeMux
+
+	requestTimeout time.Duration
+	draining       atomic.Bool
+	reloading      atomic.Bool
+	lastReloadErr  atomic.Pointer[reloadFailure]
+
+	readyGauge      *obs.Gauge
+	reloadsOK       *obs.Counter
+	reloadsRejected *obs.Counter
+	generation      *obs.Gauge
+	genCount        atomic.Int64
+}
+
+// reloadFailure records the most recent rejected reload for /readyz.
+type reloadFailure struct {
+	Err string    `json:"error"`
+	At  time.Time `json:"at"`
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	if err := cfg.serve.Validate(); err != nil {
+		return nil, err
+	}
 	s := &server{
-		ix:        ix,
-		tracer:    tracer,
-		logger:    logger,
-		reg:       obs.Default,
-		normScale: normScale,
-		mux:       http.NewServeMux(),
+		snap:   resilience.NewCell(cfg.snap),
+		tracer: cfg.tracer,
+		logger: cfg.logger,
+		reg:    obs.Default,
+		mux:    http.NewServeMux(),
+
+		requestTimeout: cfg.serve.RequestTimeout,
+	}
+	s.adm = resilience.NewAdmission(resilience.AdmissionConfig{
+		MaxInflight:  cfg.serve.MaxInflight,
+		MaxQueue:     cfg.serve.MaxQueue,
+		QueueTimeout: cfg.serve.QueueTimeout,
+		Registry:     s.reg,
+	})
+	cfg.breaker.Registry = s.reg
+	s.breaker = resilience.NewBreaker(cfg.breaker)
+	if cfg.reload != nil {
+		s.rel = newReloader(*cfg.reload)
 	}
 
-	// Startup gauges: the static shape of what this process serves.
-	st := ix.Store()
-	s.reg.Gauge("scaleshift_index_windows", "Windows indexed by the loaded index.").Set(float64(ix.WindowCount()))
-	s.reg.Gauge("scaleshift_index_pages", "Pages of the loaded R*-tree.").Set(float64(ix.IndexPageCount()))
-	s.reg.Gauge("scaleshift_index_height", "Height of the loaded R*-tree.").Set(float64(ix.TreeHeight()))
-	s.reg.Gauge("scaleshift_store_sequences", "Sequences in the loaded store.").Set(float64(st.NumSequences()))
-	s.reg.Gauge("scaleshift_store_values", "Samples in the loaded store.").Set(float64(st.TotalValues()))
-	s.reg.Gauge("scaleshift_store_pages", "Data pages in the loaded store.").Set(float64(st.PageCount()))
-	degraded := 0.0
-	if deg, _ := ix.Degraded(); deg {
-		degraded = 1
-	}
-	s.reg.Gauge("scaleshift_index_degraded", "1 when the index is serving in degraded (scan-only) mode.").Set(degraded)
+	s.readyGauge = s.reg.Gauge("scaleshift_ready", "1 when /readyz reports ready.")
+	s.readyGauge.Set(1)
+	s.reloadsOK = s.reg.Counter("scaleshift_reloads_total", "Artifact reload attempts, by result.", obs.Label{Key: "result", Value: "ok"})
+	s.reloadsRejected = s.reg.Counter("scaleshift_reloads_total", "Artifact reload attempts, by result.", obs.Label{Key: "result", Value: "rejected"})
+	s.generation = s.reg.Gauge("scaleshift_snapshot_generation", "Monotone generation number of the serving snapshot; increments on every successful reload.")
+	s.generation.Set(0)
+	s.publishSnapshotGauges(cfg.snap)
 
-	s.handle("search", "/search", s.handleSearch)
+	s.handle("search", "/search", s.guard(s.handleSearch))
 	s.handle("healthz", "/healthz", s.handleHealthz)
+	s.handle("livez", "/livez", s.handleLivez)
+	s.handle("readyz", "/readyz", s.handleReadyz)
+	s.handle("reload", "/admin/reload", s.handleReload)
 	s.handle("metrics", "/metrics", s.handleMetrics)
 	s.handle("traces", "/debug/traces", s.handleTraces)
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -63,10 +119,27 @@ func newServer(ix *core.Index, normScale float64, tracer *obs.Tracer, logger *sl
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// publishSnapshotGauges re-announces the static shape of the serving
+// snapshot; called at startup and after every successful swap.
+func (s *server) publishSnapshotGauges(sn *snapshot) {
+	st := sn.ix.Store()
+	s.reg.Gauge("scaleshift_index_windows", "Windows indexed by the loaded index.").Set(float64(sn.ix.WindowCount()))
+	s.reg.Gauge("scaleshift_index_pages", "Pages of the loaded R*-tree.").Set(float64(sn.ix.IndexPageCount()))
+	s.reg.Gauge("scaleshift_index_height", "Height of the loaded R*-tree.").Set(float64(sn.ix.TreeHeight()))
+	s.reg.Gauge("scaleshift_store_sequences", "Sequences in the loaded store.").Set(float64(st.NumSequences()))
+	s.reg.Gauge("scaleshift_store_values", "Samples in the loaded store.").Set(float64(st.TotalValues()))
+	s.reg.Gauge("scaleshift_store_pages", "Data pages in the loaded store.").Set(float64(st.PageCount()))
+	degraded := 0.0
+	if deg, _ := sn.ix.Degraded(); deg {
+		degraded = 1
+	}
+	s.reg.Gauge("scaleshift_index_degraded", "1 when the index is serving in degraded (scan-only) mode.").Set(degraded)
+}
 
 // handle wraps a route with the request-logging and per-route metrics
 // middleware.  Route label values are constant, so the counters are
@@ -90,6 +163,49 @@ func (s *server) handle(name, pattern string, h http.HandlerFunc) {
 			"method", r.Method, "path", r.URL.Path, "status", sw.status,
 			"duration", elapsed, "remote", r.RemoteAddr)
 	})
+}
+
+// guard is the serving-path middleware: it applies the per-request
+// timeout (feeding the engine's cooperative cancellation), bounds the
+// request body, and runs the request through the admission controller.
+// Shed requests get 429 with a Retry-After hint and never touch the
+// engine.
+func (s *server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		}
+		release, err := s.adm.Acquire(ctx)
+		if err != nil {
+			s.writeOverloaded(w, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// writeOverloaded renders an admission or breaker rejection: 429 (shed)
+// or 503 (breaker open), always with a Retry-After header so polite
+// clients back off instead of hammering.
+func (s *server) writeOverloaded(w http.ResponseWriter, err error) {
+	status := http.StatusTooManyRequests
+	retryAfter := time.Second
+	var oe *resilience.OverloadError
+	var be *resilience.BreakerOpenError
+	switch {
+	case errors.As(err, &oe):
+		retryAfter = oe.RetryAfter
+	case errors.As(err, &be):
+		status = http.StatusServiceUnavailable
+		retryAfter = be.RetryAfter
+	}
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	s.writeError(w, status, err)
 }
 
 // statusWriter captures the response status for logging and metrics.
@@ -120,7 +236,9 @@ func (s *server) writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	deg, reason := s.ix.Degraded()
+	sn := s.snap.Acquire()
+	defer sn.Release()
+	deg, reason := sn.Value().ix.Degraded()
 	resp := map[string]interface{}{"status": "ok", "degraded": deg}
 	if deg {
 		// Degraded still answers exactly (scan fallback), so the server
@@ -128,6 +246,148 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp["reason"] = reason
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLivez is pure liveness: the process is up and the mux answers.
+// It never consults snapshots, breakers, or drain state — a draining
+// server is still alive, and restarting it because it is draining
+// would be the bug.
+func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SetDraining flips the drain flag /readyz reports; main sets it when
+// shutdown begins so load balancers stop routing here while in-flight
+// requests finish.
+func (s *server) SetDraining(v bool) {
+	s.draining.Store(v)
+	s.updateReadyGauge()
+}
+
+func (s *server) ready() (bool, map[string]interface{}) {
+	sn := s.snap.Acquire()
+	defer sn.Release()
+	deg, degReason := sn.Value().ix.Degraded()
+	breakerState := s.breaker.State()
+	draining := s.draining.Load()
+	reloading := s.reloading.Load()
+	ready := !draining && !reloading && breakerState != resilience.BreakerOpen
+
+	detail := map[string]interface{}{
+		"ready":     ready,
+		"draining":  draining,
+		"reloading": reloading,
+		"breaker":   breakerState.String(),
+		"degraded":  deg,
+		"snapshot": map[string]interface{}{
+			"how":       sn.Value().how,
+			"loaded_at": sn.Value().loadedAt,
+		},
+	}
+	if deg {
+		detail["degraded_reason"] = degReason
+	}
+	if f := s.lastReloadErr.Load(); f != nil {
+		detail["last_reload_rejected"] = f
+	}
+	return ready, detail
+}
+
+func (s *server) updateReadyGauge() {
+	if ready, _ := s.ready(); ready {
+		s.readyGauge.Set(1)
+	} else {
+		s.readyGauge.Set(0)
+	}
+}
+
+// handleReadyz is readiness: 200 only when this instance should
+// receive traffic.  Draining, a reload in progress, and an open
+// circuit breaker all report 503 — the process is healthy (see
+// /livez) but routing to it right now would hurt.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, detail := s.ready()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	s.updateReadyGauge()
+	s.writeJSON(w, status, detail)
+}
+
+// Reload loads a fresh snapshot from the configured artifacts and
+// swaps it in.  On any validation failure the current snapshot keeps
+// serving untouched and the rejection is reported via /readyz and the
+// scaleshift_reloads_total{result="rejected"} counter.
+func (s *server) Reload() error {
+	if s.rel == nil {
+		return fmt.Errorf("reload unavailable: server was not started from a -store artifact")
+	}
+	s.rel.mu.Lock()
+	defer s.rel.mu.Unlock()
+
+	s.reloading.Store(true)
+	s.updateReadyGauge()
+	defer func() {
+		s.reloading.Store(false)
+		s.updateReadyGauge()
+	}()
+
+	start := time.Now()
+	sn, err := s.rel.load()
+	if err != nil {
+		s.reloadsRejected.Inc()
+		s.lastReloadErr.Store(&reloadFailure{Err: err.Error(), At: time.Now()})
+		s.logger.Error("reload rejected; old snapshot keeps serving", "err", err)
+		return err
+	}
+	old := s.snap.Swap(sn)
+	gen := s.genCount.Add(1)
+	s.generation.Set(float64(gen))
+	s.reloadsOK.Inc()
+	s.lastReloadErr.Store(nil)
+	s.publishSnapshotGauges(sn)
+	s.logger.Info("snapshot swapped",
+		"generation", gen, "how", sn.how,
+		"windows", sn.ix.WindowCount(),
+		"elapsed", time.Since(start).Round(time.Millisecond))
+	// Old queries finish on the superseded generation; log when it
+	// quiesces without blocking the reload path.
+	go func() {
+		<-old.Drained()
+		s.logger.Info("previous snapshot drained", "generation", gen-1)
+	}()
+	return nil
+}
+
+// handleReload is the operational trigger: POST /admin/reload.  The
+// response distinguishes a swap (200) from a rejected artifact (422,
+// old snapshot still serving) and from reload being unconfigured
+// (409).
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("reload requires POST"))
+		return
+	}
+	if s.rel == nil {
+		s.writeError(w, http.StatusConflict, fmt.Errorf("reload unavailable: server was not started from a -store artifact"))
+		return
+	}
+	if err := s.Reload(); err != nil {
+		s.writeJSON(w, http.StatusUnprocessableEntity, map[string]interface{}{
+			"error":   err.Error(),
+			"serving": "previous snapshot (unchanged)",
+		})
+		return
+	}
+	sn := s.snap.Acquire()
+	defer sn.Release()
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":     "reloaded",
+		"generation": s.genCount.Load(),
+		"how":        sn.Value().how,
+	})
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -175,7 +435,7 @@ type searchRequest struct {
 //	path           auto | rtree | trail | scan
 //	scale_min, scale_max, shift_abs   transformation cost bounds
 //	limit          cap on returned matches (default 100, 0 = all)
-func (s *server) parseSearchRequest(r *http.Request) (*searchRequest, error) {
+func (s *server) parseSearchRequest(sn *snapshot, r *http.Request) (*searchRequest, error) {
 	p := r.URL.Query()
 	floatParam := func(name string, def float64) (float64, error) {
 		v := p.Get(name)
@@ -201,7 +461,7 @@ func (s *server) parseSearchRequest(r *http.Request) (*searchRequest, error) {
 	}
 
 	req := &searchRequest{}
-	window := s.ix.Options().WindowLen
+	window := sn.ix.Options().WindowLen
 
 	// Query vector.
 	if values := p.Get("values"); values != "" {
@@ -237,7 +497,7 @@ func (s *server) parseSearchRequest(r *http.Request) (*searchRequest, error) {
 			return nil, err
 		}
 		w := make(vec.Vector, n)
-		if err := s.ix.Store().Window(seq, start, n, w, nil); err != nil {
+		if err := sn.ix.Store().Window(seq, start, n, w, nil); err != nil {
 			return nil, err
 		}
 		req.q = vec.Apply(w, scale, shift)
@@ -256,7 +516,7 @@ func (s *server) parseSearchRequest(r *http.Request) (*searchRequest, error) {
 		if err != nil {
 			return nil, err
 		}
-		eps = frac * s.normScale
+		eps = frac * sn.normScale
 	}
 	req.eps = eps
 
@@ -341,10 +601,61 @@ type searchResponse struct {
 	Plan      *planJSON   `json:"plan,omitempty"`
 }
 
+// matchesJSON converts engine matches, applying the per-query limit.
+func matchesJSON(matches []core.Match, qlen, limit int) (out []matchJSON, truncated bool) {
+	out = make([]matchJSON, 0, len(matches))
+	for i, m := range matches {
+		if limit > 0 && i >= limit {
+			truncated = true
+			break
+		}
+		out = append(out, matchJSON{
+			Name: m.Name, Seq: m.Seq, Start: m.Start, End: m.Start + qlen,
+			Dist: m.Dist, Scale: m.Scale, Shift: m.Shift,
+		})
+	}
+	return out, truncated
+}
+
+// breakerGate admits or rejects a query that would run on the
+// degraded scan path.  It returns a record func (no-op on a healthy
+// index) to call with the query's outcome.
+func (s *server) breakerGate(w http.ResponseWriter, r *http.Request, sn *snapshot) (record func(d time.Duration, err error), ok bool) {
+	if deg, _ := sn.ix.Degraded(); !deg {
+		return func(time.Duration, error) {}, true
+	}
+	if err := s.breaker.Allow(); err != nil {
+		s.writeOverloaded(w, err)
+		return nil, false
+	}
+	return func(d time.Duration, err error) {
+		// A client that hung up says nothing about the scan path's
+		// health; only server-side failures and slowness count.
+		if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+			err = nil
+		}
+		s.breaker.Record(d, err)
+	}, true
+}
+
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	req, err := s.parseSearchRequest(r)
+	pin := s.snap.Acquire()
+	defer pin.Release()
+	sn := pin.Value()
+
+	if r.Method == http.MethodPost {
+		s.handleSearchBatch(w, r, sn)
+		return
+	}
+
+	req, err := s.parseSearchRequest(sn, r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	record, ok := s.breakerGate(w, r, sn)
+	if !ok {
 		return
 	}
 
@@ -357,21 +668,22 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var stats core.SearchStats
 	var matches []core.Match
 	var ex *engine.Explain
-	window := s.ix.Options().WindowLen
+	window := sn.ix.Options().WindowLen
 	start := time.Now()
 	switch {
 	case req.nn > 0:
-		matches, err = s.ix.NearestNeighborsWithCosts(req.q, req.nn, req.costs, &stats)
+		matches, err = sn.ix.NearestNeighborsWithCostsContext(ctx, req.q, req.nn, req.costs, &stats)
 	case len(req.q) > window:
-		matches, ex, err = s.ix.SearchLongPlannedContext(ctx, req.q, req.eps, req.costs, req.force, &stats)
+		matches, ex, err = sn.ix.SearchLongPlannedContext(ctx, req.q, req.eps, req.costs, req.force, &stats)
 	default:
-		matches, ex, err = s.ix.SearchPlannedContext(ctx, req.q, req.eps, req.costs, req.force, nil, &stats)
+		matches, ex, err = sn.ix.SearchPlannedContext(ctx, req.q, req.eps, req.costs, req.force, nil, &stats)
 	}
 	elapsed := time.Since(start)
+	record(elapsed, err)
 	if err != nil {
 		root.SetAttr("error", err.Error())
 		root.End()
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeSearchError(w, r, err)
 		return
 	}
 	root.SetInt("matches", int64(len(matches)))
@@ -383,7 +695,6 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Eps:       req.eps,
 		ElapsedNs: elapsed.Nanoseconds(),
 		Total:     len(matches),
-		Matches:   make([]matchJSON, 0, len(matches)),
 		Stats: statsJSON{
 			Candidates:     stats.Candidates,
 			FalseAlarms:    stats.FalseAlarms,
@@ -408,15 +719,242 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			EstCandidates:  ex.EstCandidates,
 		}
 	}
-	for i, m := range matches {
-		if req.limit > 0 && i >= req.limit {
-			resp.Truncated = true
-			break
-		}
-		resp.Matches = append(resp.Matches, matchJSON{
-			Name: m.Name, Seq: m.Seq, Start: m.Start, End: m.Start + len(req.q),
-			Dist: m.Dist, Scale: m.Scale, Shift: m.Shift,
-		})
-	}
+	resp.Matches, resp.Truncated = matchesJSON(matches, len(req.q), req.limit)
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSearchError maps an engine error to a response.  A canceled
+// request whose client hung up gets a token 499 (nothing will read
+// it); the server-imposed deadline reports 503 with a retry hint;
+// anything else is the query's fault (422).
+func (s *server) writeSearchError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, 499, err) // nginx's "client closed request"
+	case errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request timed out after %v: %w", s.requestTimeout, err))
+	default:
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// batchQueryJSON is one query of a POST /search batch.  The fields
+// mirror the GET parameters; Values and Seq/Start are alternatives
+// exactly as in the query string.
+type batchQueryJSON struct {
+	Seq      *int      `json:"seq,omitempty"`
+	Start    *int      `json:"start,omitempty"`
+	Len      int       `json:"len,omitempty"`
+	Scale    *float64  `json:"scale,omitempty"`
+	Shift    *float64  `json:"shift,omitempty"`
+	Values   []float64 `json:"values,omitempty"`
+	Eps      float64   `json:"eps,omitempty"`
+	EpsFrac  float64   `json:"eps_frac,omitempty"`
+	ScaleMin float64   `json:"scale_min,omitempty"`
+	ScaleMax float64   `json:"scale_max,omitempty"`
+	ShiftAbs float64   `json:"shift_abs,omitempty"`
+}
+
+// batchRequestJSON is the POST /search body.
+type batchRequestJSON struct {
+	Queries     []batchQueryJSON `json:"queries"`
+	Path        string           `json:"path,omitempty"`
+	Limit       *int             `json:"limit,omitempty"`
+	Parallelism int              `json:"parallelism,omitempty"`
+}
+
+// batchItemJSON is one query's slot in the batch response, positionally
+// aligned with the request's queries.
+type batchItemJSON struct {
+	Status    string      `json:"status"` // complete | incomplete
+	Eps       float64     `json:"eps,omitempty"`
+	Total     int         `json:"total_matches"`
+	Matches   []matchJSON `json:"matches"`
+	Truncated bool        `json:"truncated,omitempty"`
+}
+
+// batchResponseJSON is the POST /search payload.
+type batchResponseJSON struct {
+	TraceID   string          `json:"trace_id,omitempty"`
+	ElapsedNs int64           `json:"elapsed_ns"`
+	Completed int             `json:"completed"`
+	Canceled  bool            `json:"canceled,omitempty"`
+	Results   []batchItemJSON `json:"results"`
+	Stats     statsJSON       `json:"stats"`
+}
+
+// toBatchQuery resolves one JSON query against the snapshot.
+func (s *server) toBatchQuery(sn *snapshot, i int, bq batchQueryJSON) (core.BatchQuery, int, error) {
+	window := sn.ix.Options().WindowLen
+	var q vec.Vector
+	switch {
+	case len(bq.Values) > 0:
+		q = vec.Vector(bq.Values)
+	case bq.Seq != nil || bq.Start != nil:
+		seq, start, n := 0, 0, window
+		if bq.Seq != nil {
+			seq = *bq.Seq
+		}
+		if bq.Start != nil {
+			start = *bq.Start
+		}
+		if bq.Len > 0 {
+			n = bq.Len
+		}
+		w := make(vec.Vector, n)
+		if err := sn.ix.Store().Window(seq, start, n, w, nil); err != nil {
+			return core.BatchQuery{}, 0, fmt.Errorf("query %d: %w", i, err)
+		}
+		scale, shift := 1.0, 0.0
+		if bq.Scale != nil {
+			scale = *bq.Scale
+		}
+		if bq.Shift != nil {
+			shift = *bq.Shift
+		}
+		q = vec.Apply(w, scale, shift)
+	default:
+		return core.BatchQuery{}, 0, fmt.Errorf("query %d: provide seq/start or values", i)
+	}
+	if len(q) > window {
+		return core.BatchQuery{}, 0, fmt.Errorf("query %d: long queries (len %d > window %d) are not batchable; use GET /search", i, len(q), window)
+	}
+
+	eps := bq.Eps
+	if eps <= 0 {
+		frac := bq.EpsFrac
+		if frac <= 0 {
+			frac = 0.02
+		}
+		eps = frac * sn.normScale
+	}
+	costs := core.UnboundedCosts()
+	if bq.ScaleMin != 0 {
+		costs.ScaleMin = bq.ScaleMin
+	}
+	if bq.ScaleMax != 0 {
+		costs.ScaleMax = bq.ScaleMax
+	}
+	if bq.ShiftAbs != 0 {
+		costs.ShiftMin, costs.ShiftMax = -bq.ShiftAbs, bq.ShiftAbs
+	}
+	return core.BatchQuery{Q: q, Eps: eps, Costs: costs}, len(q), nil
+}
+
+// handleSearchBatch answers POST /search: a JSON batch fanned out
+// through the engine's batch executor under the request context, so a
+// dropped connection cancels every in-flight query of the batch within
+// the engine's cancellation grain.
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request, sn *snapshot) {
+	var breq batchRequestJSON
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, status, fmt.Errorf("decoding batch body: %w", err))
+		return
+	}
+	if len(breq.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no queries"))
+		return
+	}
+	if len(breq.Queries) > maxBatchQueries {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d queries exceeds the %d-query limit", len(breq.Queries), maxBatchQueries))
+		return
+	}
+	force := engine.PathAuto
+	if breq.Path != "" {
+		var err error
+		if force, err = engine.ParsePathKind(breq.Path); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	limit := 100
+	if breq.Limit != nil {
+		limit = *breq.Limit
+	}
+
+	queries := make([]core.BatchQuery, len(breq.Queries))
+	qlens := make([]int, len(breq.Queries))
+	for i, bq := range breq.Queries {
+		q, qlen, err := s.toBatchQuery(sn, i, bq)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		queries[i] = q
+		qlens[i] = qlen
+	}
+
+	record, ok := s.breakerGate(w, r, sn)
+	if !ok {
+		return
+	}
+
+	ctx, root := s.tracer.StartTrace(r.Context(), "search_batch")
+	root.SetInt("queries", int64(len(queries)))
+
+	var stats core.SearchStats
+	start := time.Now()
+	results, _, statuses, err := sn.ix.SearchBatchPlannedContext(ctx, queries, force, breq.Parallelism, &stats)
+	elapsed := time.Since(start)
+	record(elapsed, err)
+	canceled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !canceled {
+		root.SetAttr("error", err.Error())
+		root.End()
+		s.writeSearchError(w, r, err)
+		return
+	}
+	if canceled && r.Context().Err() != nil && errors.Is(err, context.Canceled) {
+		// The client is gone; there is nobody to render partial
+		// results for.
+		root.SetAttr("error", "client disconnected")
+		root.End()
+		s.writeError(w, 499, err)
+		return
+	}
+	root.End()
+
+	resp := batchResponseJSON{
+		TraceID:   obs.TraceIDFromContext(ctx),
+		ElapsedNs: elapsed.Nanoseconds(),
+		Canceled:  canceled,
+		Results:   make([]batchItemJSON, len(results)),
+		Stats: statsJSON{
+			Candidates:     stats.Candidates,
+			FalseAlarms:    stats.FalseAlarms,
+			CostRejected:   stats.CostRejected,
+			IndexNodeReads: stats.IndexNodeAccesses,
+			DataPageReads:  stats.DataPageAccesses,
+			PlanNs:         stats.PlanTime.Nanoseconds(),
+			ProbeNs:        stats.ProbeTime.Nanoseconds(),
+			VerifyNs:       stats.VerifyTime.Nanoseconds(),
+		},
+	}
+	for i, matches := range results {
+		item := batchItemJSON{Status: statuses[i].String(), Eps: queries[i].Eps}
+		if statuses[i] == core.BatchComplete {
+			resp.Completed++
+			item.Total = len(matches)
+			item.Matches, item.Truncated = matchesJSON(matches, qlens[i], limit)
+		} else {
+			item.Matches = []matchJSON{}
+		}
+		resp.Results[i] = item
+	}
+	status := http.StatusOK
+	if canceled {
+		// Partial results from a server-side timeout: accepted, but
+		// flagged.  206 tells the client some slots are incomplete.
+		status = http.StatusPartialContent
+	}
+	s.writeJSON(w, status, resp)
 }

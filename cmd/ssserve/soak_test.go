@@ -1,0 +1,439 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scaleshift/internal/atomicfile"
+	"scaleshift/internal/faulty"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/resilience"
+)
+
+// TestSoak is the chaos harness: a live ssserve over real TCP,
+// hammered concurrently with queries, batch queries, hot reloads
+// (clean and fault-injected), client disconnects, and overload bursts.
+//
+// Invariants asserted:
+//
+//   - every admitted, well-formed query returns bit-identical results
+//     to the unfaulted sequential oracle captured before the chaos —
+//     across reloads, rejected reloads, and overload;
+//   - overload sheds with 429 + Retry-After, never 5xx;
+//   - corrupted artifacts never replace the serving snapshot;
+//   - the run leaks no goroutines.
+//
+// Duration comes from SOAK_SECONDS (default 2, CI smoke runs 20); a
+// metrics snapshot is written to SOAK_METRICS_OUT when set.
+func TestSoak(t *testing.T) {
+	duration := 2 * time.Second
+	if v := os.Getenv("SOAK_SECONDS"); v != "" {
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs < 1 {
+			t.Fatalf("SOAK_SECONDS = %q", v)
+		}
+		duration = time.Duration(secs) * time.Second
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	var in faulty.Injector
+	rcfg := writeArtifacts(t, 10, 200)
+	s := newArtifactServerInjected(t, rcfg, &in)
+	ts := httptest.NewServer(s)
+	client := ts.Client()
+
+	// The unfaulted oracle: sequential answers captured before any
+	// chaos starts.  Reloads re-read the same artifacts, so these stay
+	// the ground truth for the whole run.
+	specs := soakSpecs()
+	oracle := make([]searchResponse, len(specs))
+	for i, spec := range specs {
+		resp, err := client.Get(ts.URL + spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("oracle query %s: %d: %s", spec, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &oracle[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		oks, sheds, mismatches        atomic.Int64
+		server5xx                     atomic.Int64
+		cleanReloads, rejectedReloads atomic.Int64
+		disconnects                   atomic.Int64
+		failMu                        sync.Mutex
+		failures                      []string
+	)
+	fail := func(format string, args ...interface{}) {
+		failMu.Lock()
+		defer failMu.Unlock()
+		if len(failures) < 10 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+	}
+	// checkResponse applies the serving invariants to one query
+	// response; spec < 0 means "any spec" (overload bursts don't track
+	// which).
+	checkResponse := func(spec int, status int, header http.Header, body []byte) {
+		switch {
+		case status == http.StatusOK:
+			oks.Add(1)
+			if spec < 0 {
+				return
+			}
+			var sr searchResponse
+			if err := json.Unmarshal(body, &sr); err != nil {
+				fail("spec %d: bad 200 body: %v", spec, err)
+				return
+			}
+			want := oracle[spec]
+			if sr.Total != want.Total || len(sr.Matches) != len(want.Matches) {
+				mismatches.Add(1)
+				fail("spec %d: %d/%d matches, oracle %d/%d", spec, sr.Total, len(sr.Matches), want.Total, len(want.Matches))
+				return
+			}
+			for j := range sr.Matches {
+				if sr.Matches[j] != want.Matches[j] {
+					mismatches.Add(1)
+					fail("spec %d match %d diverged from oracle", spec, j)
+					return
+				}
+			}
+		case status == http.StatusTooManyRequests:
+			sheds.Add(1)
+			if header.Get("Retry-After") == "" {
+				fail("429 without Retry-After")
+			}
+		case status >= 500:
+			server5xx.Add(1)
+			fail("admitted well-formed query got %d: %s", status, body)
+		default:
+			fail("unexpected status %d: %s", status, body)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Query workers: sequential GETs checked against the oracle.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.Intn(len(specs))
+				resp, err := client.Get(ts.URL + specs[i])
+				if err != nil {
+					fail("query worker: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				checkResponse(i, resp.StatusCode, resp.Header, body)
+				if resp.StatusCode == http.StatusTooManyRequests {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(int64(100 + w))
+	}
+
+	// Batch worker: POST batches, each slot checked against the oracle.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			picks := make([]int, 4)
+			breq := batchRequestJSON{}
+			for j := range picks {
+				picks[j] = rng.Intn(len(specs))
+				seq, start, epsFrac := soakSpecParams(picks[j])
+				breq.Queries = append(breq.Queries, batchQueryJSON{Seq: &seq, Start: &start, EpsFrac: epsFrac})
+			}
+			raw, _ := json.Marshal(breq)
+			resp, err := client.Post(ts.URL+"/search", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				fail("batch worker: %v", err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var br batchResponseJSON
+				if err := json.Unmarshal(body, &br); err != nil {
+					fail("batch: bad 200 body: %v", err)
+					continue
+				}
+				for j, item := range br.Results {
+					want := oracle[picks[j]]
+					if item.Status != "complete" || item.Total != want.Total {
+						mismatches.Add(1)
+						fail("batch slot %d: status %q total %d, oracle %d", j, item.Status, item.Total, want.Total)
+						break
+					}
+					for m := range item.Matches {
+						if item.Matches[m] != want.Matches[m] {
+							mismatches.Add(1)
+							fail("batch slot %d match %d diverged", j, m)
+							break
+						}
+					}
+				}
+				oks.Add(1)
+			case http.StatusTooManyRequests:
+				sheds.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			default:
+				if resp.StatusCode >= 500 {
+					server5xx.Add(1)
+				}
+				fail("batch got %d: %s", resp.StatusCode, body)
+			}
+		}
+	}()
+
+	// Reload worker: alternate clean reloads (must swap) and
+	// fault-injected ones (must be rejected, old snapshot serving).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(30 * time.Millisecond):
+			}
+			faultThis := i%3 == 2
+			if faultThis {
+				p := faulty.NonePlan()
+				p.FlipOffset, p.FlipMask = int64(rng.Intn(512)), 0xFF
+				in.Set(p)
+			}
+			resp, err := client.Post(ts.URL+"/admin/reload", "application/json", nil)
+			if faultThis {
+				in.Clear()
+			}
+			if err != nil {
+				fail("reload worker: %v", err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case faultThis && resp.StatusCode == http.StatusUnprocessableEntity:
+				rejectedReloads.Add(1)
+			case !faultThis && resp.StatusCode == http.StatusOK:
+				cleanReloads.Add(1)
+			default:
+				fail("reload (fault=%v) got %d: %s", faultThis, resp.StatusCode, body)
+			}
+		}
+	}()
+
+	// Disconnect worker: batches whose client hangs up mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(13))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			breq := batchRequestJSON{Parallelism: 1}
+			for j := 0; j < 64; j++ {
+				seq, start := j%10, 3+j%150
+				breq.Queries = append(breq.Queries, batchQueryJSON{Seq: &seq, Start: &start, EpsFrac: 0.2})
+			}
+			raw, _ := json.Marshal(breq)
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+rng.Intn(10))*time.Millisecond)
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/search", bytes.NewReader(raw))
+			resp, err := client.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			cancel()
+			disconnects.Add(1)
+		}
+	}()
+
+	// Overload worker: bursts of slow sequential scan batches, well
+	// past max-inflight + max-queue, arriving together.  The admitted
+	// ones occupy slots for many milliseconds, so the extras must shed
+	// with 429 — and never 5xx.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slow := batchRequestJSON{Path: "scan", Parallelism: 1}
+		for j := 0; j < 32; j++ {
+			seq, start := j%10, 5+j%150
+			slow.Queries = append(slow.Queries, batchQueryJSON{Seq: &seq, Start: &start, EpsFrac: 0.3})
+		}
+		raw, _ := json.Marshal(slow)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(150 * time.Millisecond):
+			}
+			var burst sync.WaitGroup
+			for b := 0; b < 16; b++ {
+				burst.Add(1)
+				go func() {
+					defer burst.Done()
+					resp, err := client.Post(ts.URL+"/search", "application/json", bytes.NewReader(raw))
+					if err != nil {
+						fail("burst: %v", err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					checkResponse(-1, resp.StatusCode, resp.Header, body)
+				}()
+			}
+			burst.Wait()
+		}
+	}()
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	ts.Close()
+	client.CloseIdleConnections()
+
+	// The run must have actually exercised every chaos dimension.
+	t.Logf("soak: %v, %d ok, %d shed, %d clean reloads, %d rejected reloads, %d disconnects",
+		duration, oks.Load(), sheds.Load(), cleanReloads.Load(), rejectedReloads.Load(), disconnects.Load())
+	for _, f := range failures {
+		t.Error(f)
+	}
+	if mismatches.Load() > 0 {
+		t.Errorf("%d responses diverged from the oracle", mismatches.Load())
+	}
+	if server5xx.Load() > 0 {
+		t.Errorf("%d admitted well-formed requests got 5xx", server5xx.Load())
+	}
+	if oks.Load() == 0 {
+		t.Error("no successful queries; the soak exercised nothing")
+	}
+	if cleanReloads.Load() < 3 {
+		t.Errorf("only %d successful hot reloads, want >= 3", cleanReloads.Load())
+	}
+	if rejectedReloads.Load() < 1 {
+		t.Error("no fault-injected reload was exercised")
+	}
+	if sheds.Load() < 1 {
+		t.Error("overload never shed; admission control was not exercised")
+	}
+	if disconnects.Load() < 1 {
+		t.Error("no client disconnects were exercised")
+	}
+
+	// Goroutine-leak assertion: everything the run spawned (handlers,
+	// batch fan-outs, drain watchers) must wind down.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			var buf bytes.Buffer
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if out := os.Getenv("SOAK_METRICS_OUT"); out != "" {
+		if err := atomicfile.WriteFile(out, obs.Default.WriteJSON); err != nil {
+			t.Fatalf("writing soak metrics snapshot: %v", err)
+		}
+		t.Logf("metrics snapshot written to %s", out)
+	}
+}
+
+// soakSpecs is the fixed query mix; soakSpecParams mirrors it for the
+// batch worker.
+func soakSpecs() []string {
+	var specs []string
+	for i := 0; i < 16; i++ {
+		seq, start, epsFrac := soakSpecParams(i)
+		specs = append(specs, fmt.Sprintf("/search?seq=%d&start=%d&eps_frac=%g", seq, start, epsFrac))
+	}
+	return specs
+}
+
+func soakSpecParams(i int) (seq, start int, epsFrac float64) {
+	fracs := []float64{0.02, 0.05, 0.1, 0.2}
+	return i % 10, 5 + (i*11)%150, fracs[i%len(fracs)]
+}
+
+// newArtifactServerInjected is newArtifactServer with soak-grade
+// admission limits: small enough that bursts shed, large enough that
+// the steady-state workers mostly get through.
+func newArtifactServerInjected(t *testing.T, rcfg reloadConfig, in *faulty.Injector) *server {
+	t.Helper()
+	obs.Enable()
+	t.Cleanup(obs.Disable)
+	rcfg.Open = func(path string) (io.ReadCloser, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			io.Reader
+			io.Closer
+		}{in.Reader(f), f}, nil
+	}
+	snap, err := newReloader(rcfg).load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve := testServeFlags()
+	serve.MaxInflight = 4
+	serve.MaxQueue = 4
+	serve.QueueTimeout = 250 * time.Millisecond
+	return newServerFromConfig(t, serverConfig{
+		snap:    snap,
+		tracer:  obs.NewTracer(16),
+		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		serve:   serve,
+		breaker: resilience.DefaultBreakerConfig(),
+		reload:  &rcfg,
+	})
+}

@@ -61,6 +61,54 @@ func (o *ObsFlags) Finish() error {
 	return nil
 }
 
+// ServeFlags carries the overload-protection flag values for the
+// serving path (ssserve).  The defaults are deliberately conservative:
+// a box that can verify a few hundred windows per millisecond clears a
+// 64-deep in-flight set quickly, and a queue twice that size absorbs
+// bursts without letting latency run away.
+type ServeFlags struct {
+	// MaxInflight is the number of search requests serviced
+	// concurrently (-max-inflight).
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue (-max-queue).
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait for an
+	// in-flight slot before it is shed (-queue-timeout).
+	QueueTimeout time.Duration
+	// RequestTimeout is the per-request deadline applied to every
+	// search (-request-timeout); it propagates through the engine's
+	// cooperative cancellation.
+	RequestTimeout time.Duration
+}
+
+// AddServeFlags registers the shared serving flags on fs with their
+// defaults.  Validate after parsing.
+func AddServeFlags(fs *flag.FlagSet) *ServeFlags {
+	s := &ServeFlags{}
+	fs.IntVar(&s.MaxInflight, "max-inflight", 64, "search requests serviced concurrently (must be > 0)")
+	fs.IntVar(&s.MaxQueue, "max-queue", 128, "search requests allowed to wait for a slot; beyond this the server sheds with 429 (must be > 0)")
+	fs.DurationVar(&s.QueueTimeout, "queue-timeout", 2*time.Second, "longest a search may wait for a slot before shedding with 429 (must be > 0)")
+	fs.DurationVar(&s.RequestTimeout, "request-timeout", 15*time.Second, "per-request deadline for searches (must be > 0)")
+	return s
+}
+
+// Validate rejects non-positive limits: a zero queue or timeout turns
+// the admission controller into either a hard wall or an unbounded
+// buffer, and both are misconfigurations worth failing loudly on.
+func (s *ServeFlags) Validate() error {
+	switch {
+	case s.MaxInflight <= 0:
+		return fmt.Errorf("-max-inflight must be > 0, got %d", s.MaxInflight)
+	case s.MaxQueue <= 0:
+		return fmt.Errorf("-max-queue must be > 0, got %d", s.MaxQueue)
+	case s.QueueTimeout <= 0:
+		return fmt.Errorf("-queue-timeout must be > 0, got %v", s.QueueTimeout)
+	case s.RequestTimeout <= 0:
+		return fmt.Errorf("-request-timeout must be > 0, got %v", s.RequestTimeout)
+	}
+	return nil
+}
+
 // LoadStore resolves the shared database flags: a checksummed binary
 // artifact (-store), a CSV file (-data), or freshly generated
 // synthetic data.

@@ -9,6 +9,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"strings"
+	"time"
+
 	"scaleshift/internal/core"
 	"scaleshift/internal/obs"
 )
@@ -137,5 +140,54 @@ func TestOpenIndexBuildAndReload(t *testing.T) {
 	if built.WindowCount() != loaded.WindowCount() {
 		t.Fatalf("cache round trip changed window count: %d != %d",
 			built.WindowCount(), loaded.WindowCount())
+	}
+}
+
+func TestAddServeFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s := AddServeFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxInflight != 64 || s.MaxQueue != 128 ||
+		s.QueueTimeout != 2*time.Second || s.RequestTimeout != 15*time.Second {
+		t.Fatalf("defaults = %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+}
+
+func TestServeFlagsParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s := AddServeFlags(fs)
+	args := []string{"-max-inflight", "8", "-max-queue", "16", "-queue-timeout", "500ms", "-request-timeout", "3s"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxInflight != 8 || s.MaxQueue != 16 ||
+		s.QueueTimeout != 500*time.Millisecond || s.RequestTimeout != 3*time.Second {
+		t.Fatalf("parsed = %+v", s)
+	}
+}
+
+func TestServeFlagsValidateRejectsNonPositive(t *testing.T) {
+	good := ServeFlags{MaxInflight: 1, MaxQueue: 1, QueueTimeout: time.Second, RequestTimeout: time.Second}
+	for name, mutate := range map[string]func(*ServeFlags){
+		"max-inflight":    func(s *ServeFlags) { s.MaxInflight = 0 },
+		"max-queue":       func(s *ServeFlags) { s.MaxQueue = -1 },
+		"queue-timeout":   func(s *ServeFlags) { s.QueueTimeout = 0 },
+		"request-timeout": func(s *ServeFlags) { s.RequestTimeout = -time.Second },
+	} {
+		s := good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: non-positive value validated", name)
+		} else if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error %q does not name the flag", name, err)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
 	}
 }

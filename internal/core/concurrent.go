@@ -96,6 +96,22 @@ func (c *ConcurrentIndex) NearestNeighborsWithCosts(q vec.Vector, k int, costs C
 	return c.ix.NearestNeighborsWithCosts(q, k, costs, stats)
 }
 
+// NearestNeighborsContext is Index.NearestNeighborsContext under the
+// read lock.
+func (c *ConcurrentIndex) NearestNeighborsContext(ctx context.Context, q vec.Vector, k int, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.NearestNeighborsContext(ctx, q, k, stats)
+}
+
+// NearestNeighborsWithCostsContext is the cost-bounded context variant
+// under the read lock.
+func (c *ConcurrentIndex) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vector, k int, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ix.NearestNeighborsWithCostsContext(ctx, q, k, costs, stats)
+}
+
 // SearchContext is Index.SearchContext under the read lock.  Note the
 // lock is held until the search returns; cancellation makes it return
 // promptly, which is exactly how a stuck reader is evicted.

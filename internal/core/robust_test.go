@@ -505,3 +505,62 @@ func TestIndexArtifactCorruptionAlwaysDetected(t *testing.T) {
 		t.Fatalf("v1 magic: err = %v, want ErrVersion", err)
 	}
 }
+
+func TestNearestNeighborsContextCancelled(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 6, 120)
+	q, _ := testQueryEps(t, ix)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.NearestNeighborsContext(ctx, q, 3, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// A live context changes nothing: results equal the plain API's.
+	want, err := ix.NearestNeighbors(q, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.NearestNeighborsContext(context.Background(), q, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("context NN: %d matches, plain %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("NN match %d differs under context", i)
+		}
+	}
+}
+
+// TestNearestNeighborsCancelsPromptly is the serving-path contract:
+// a dropped client stops an in-flight k-NN refinement within the
+// shared cancellation grain.
+func TestNearestNeighborsCancelsPromptly(t *testing.T) {
+	ix := buildTestIndex(t, testOptions(), 30, 650)
+	q, _ := testQueryEps(t, ix)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ix.NearestNeighborsContext(ctx, q, 50, nil)
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancelled := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+		// err == nil means the query beat the cancel; that's fine.
+		if d := time.Since(cancelled); d > promptBound() {
+			t.Errorf("NN returned %v after cancel, want <= %v", d, promptBound())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NN search did not return after cancel")
+	}
+}

@@ -592,6 +592,15 @@ func (ix *Index) NearestNeighbors(q vec.Vector, k int, stats *SearchStats) ([]Ma
 	return ix.NearestNeighborsWithCosts(q, k, UnboundedCosts(), stats)
 }
 
+// NearestNeighborsContext is NearestNeighbors under a context: the
+// refinement loop polls ctx every verifyCheckInterval candidates, so
+// a disconnected client stops paying for exact window checks within
+// the same cancellation grain as range queries.  On cancellation the
+// function returns nil matches and ctx.Err().
+func (ix *Index) NearestNeighborsContext(ctx context.Context, q vec.Vector, k int, stats *SearchStats) ([]Match, error) {
+	return ix.NearestNeighborsWithCostsContext(ctx, q, k, UnboundedCosts(), stats)
+}
+
 // NearestNeighborsWithCosts is NearestNeighbors restricted to windows
 // whose optimal transformation passes the cost bounds — e.g. bounding
 // the scale factor away from zero excludes the degenerate matches
@@ -599,6 +608,12 @@ func (ix *Index) NearestNeighbors(q vec.Vector, k int, stats *SearchStats) ([]Ma
 // The refinement bound remains valid because the feature distance
 // lower-bounds the true distance of every window, filtered or not.
 func (ix *Index) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	return ix.NearestNeighborsWithCostsContext(context.Background(), q, k, costs, stats)
+}
+
+// NearestNeighborsWithCostsContext is NearestNeighborsWithCosts under
+// a context; see NearestNeighborsContext for the cancellation grain.
+func (ix *Index) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vector, k int, costs CostBounds, stats *SearchStats) ([]Match, error) {
 	if len(q) != ix.opts.WindowLen {
 		return nil, fmt.Errorf("core: %w: query length %d, index window length %d",
 			ErrInvalidQuery, len(q), ix.opts.WindowLen)
@@ -615,13 +630,16 @@ func (ix *Index) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds
 		// would be wrong, so NN queries fail loudly until a rebuild.
 		return nil, fmt.Errorf("core: nearest-neighbour search unavailable: index is degraded (%s)", ix.degraded)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var treeStats rtree.SearchStats
 	var pc store.PageCounter
 	line := ix.seLine(q)
 	var best []Match // sorted ascending by Dist, at most k
 	var candidates int
-	var scanErr error
+	var scanErr, ctxErr error
 
 	slack := ix.numericSlack()
 	vq := ix.newVerifier(q, 0, costs)
@@ -632,6 +650,12 @@ func (ix *Index) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds
 	// could only discard the window anyway) is skipped.
 	refine := func(seq, start int) bool {
 		candidates++
+		if candidates%verifyCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
 		w, err := ix.st.WindowView(seq, start, ix.opts.WindowLen, &pc)
 		if err != nil {
 			scanErr = err
@@ -695,6 +719,9 @@ func (ix *Index) NearestNeighborsWithCosts(q vec.Vector, k int, costs CostBounds
 			seq, start := store.DecodeWindowID(id.Item.ID)
 			return refine(seq, start)
 		})
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	if scanErr != nil {
 		return nil, fmt.Errorf("core: nearest-neighbour refinement: %w", scanErr)

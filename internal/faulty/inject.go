@@ -1,0 +1,114 @@
+package faulty
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// delayReader sleeps before every Read — a slow disk or a saturated
+// network path feeding an artifact load.
+type delayReader struct {
+	r     io.Reader
+	delay time.Duration
+}
+
+// DelayReader returns a reader that sleeps delay before each
+// underlying Read call, injecting latency without changing the bytes.
+func DelayReader(r io.Reader, delay time.Duration) io.Reader {
+	return &delayReader{r: r, delay: delay}
+}
+
+func (d *delayReader) Read(p []byte) (int, error) {
+	time.Sleep(d.delay)
+	return d.r.Read(p)
+}
+
+// Plan describes the faults an Injector applies to the readers it
+// wraps.  The zero value injects nothing; each field arms one fault
+// independently, and armed faults compose (e.g. latency plus a bit
+// flip).  Offsets follow the package convention: deterministic byte
+// positions, so a failing run replays identically.
+type Plan struct {
+	// ReadDelay sleeps before every Read when positive.
+	ReadDelay time.Duration
+	// ErrAfter returns Err (ErrInjected when nil) once this many bytes
+	// have been read.  Negative disarms; zero fails the first Read.
+	ErrAfter int64
+	// Err overrides the error returned by ErrAfter.
+	Err error
+	// TruncateAt yields a clean io.EOF after this many bytes when
+	// non-negative — the partial-write fault observed from the read
+	// side: only a prefix of the artifact ever made it to disk.
+	TruncateAt int64
+	// FlipOffset XORs FlipMask into the byte at this offset when
+	// non-negative and FlipMask is non-zero.
+	FlipOffset int64
+	FlipMask   byte
+}
+
+// NonePlan is the disarmed plan: all offset-armed faults off.  Plan's
+// zero value arms ErrAfter=0 and TruncateAt=0 (fail/stop immediately),
+// so code that wants "no faults" should start from NonePlan.
+func NonePlan() Plan {
+	return Plan{ErrAfter: -1, TruncateAt: -1, FlipOffset: -1}
+}
+
+// active reports whether the plan injects anything.
+func (p Plan) active() bool {
+	return p.ReadDelay > 0 || p.ErrAfter >= 0 || p.TruncateAt >= 0 ||
+		(p.FlipOffset >= 0 && p.FlipMask != 0)
+}
+
+// Injector hands out fault-wrapped readers according to a plan that
+// can be swapped atomically while the target is serving — the knob a
+// chaos/soak harness turns against a live server's artifact-reload
+// path.  The zero value is an injector with no plan (wrap is the
+// identity); Set arms it, Clear disarms it.
+type Injector struct {
+	plan      atomic.Pointer[Plan]
+	injected  atomic.Int64
+	wrapCalls atomic.Int64
+}
+
+// Set replaces the active plan.
+func (in *Injector) Set(p Plan) { in.plan.Store(&p) }
+
+// Clear disarms the injector.
+func (in *Injector) Clear() { in.plan.Store(nil) }
+
+// Injections counts how many readers were handed out with at least
+// one armed fault — the soak harness asserts faults actually fired.
+func (in *Injector) Injections() int64 { return in.injected.Load() }
+
+// Wraps counts all Reader calls, armed or not.
+func (in *Injector) Wraps() int64 { return in.wrapCalls.Load() }
+
+// Reader wraps r according to the plan active at call time.  The plan
+// is captured once per call, so a concurrent Set/Clear affects the
+// next wrapped reader, never one mid-stream.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	in.wrapCalls.Add(1)
+	pp := in.plan.Load()
+	if pp == nil || !pp.active() {
+		return r
+	}
+	in.injected.Add(1)
+	p := *pp
+	// Order matters: the flip sees artifact offsets, truncation cuts
+	// the flipped stream, the error fires on what survives, and the
+	// delay wraps everything.
+	if p.FlipOffset >= 0 && p.FlipMask != 0 {
+		r = BitFlipReader(r, p.FlipOffset, p.FlipMask)
+	}
+	if p.TruncateAt >= 0 {
+		r = TruncateReader(r, p.TruncateAt)
+	}
+	if p.ErrAfter >= 0 {
+		r = ErrReader(r, p.ErrAfter, p.Err)
+	}
+	if p.ReadDelay > 0 {
+		r = DelayReader(r, p.ReadDelay)
+	}
+	return r
+}

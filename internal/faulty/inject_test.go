@@ -1,0 +1,160 @@
+package faulty
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDelayReader(t *testing.T) {
+	src := bytes.Repeat([]byte("x"), 64)
+	start := time.Now()
+	out, err := io.ReadAll(DelayReader(bytes.NewReader(src), 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("delay reader changed the bytes")
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("no delay observed: %v", elapsed)
+	}
+}
+
+func TestInjectorZeroValuePassesThrough(t *testing.T) {
+	var in Injector
+	src := []byte("hello world")
+	out, err := io.ReadAll(in.Reader(bytes.NewReader(src)))
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if in.Injections() != 0 {
+		t.Fatalf("injections = %d, want 0", in.Injections())
+	}
+	if in.Wraps() != 1 {
+		t.Fatalf("wraps = %d, want 1", in.Wraps())
+	}
+}
+
+func TestInjectorNonePlanPassesThrough(t *testing.T) {
+	var in Injector
+	in.Set(NonePlan())
+	src := []byte("payload")
+	out, err := io.ReadAll(in.Reader(bytes.NewReader(src)))
+	if err != nil || !bytes.Equal(out, src) {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	if in.Injections() != 0 {
+		t.Fatalf("injections = %d, want 0", in.Injections())
+	}
+}
+
+func TestInjectorError(t *testing.T) {
+	var in Injector
+	boom := errors.New("boom")
+	p := NonePlan()
+	p.ErrAfter, p.Err = 4, boom
+	in.Set(p)
+	out, err := io.ReadAll(in.Reader(bytes.NewReader([]byte("abcdefgh"))))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if string(out) != "abcd" {
+		t.Fatalf("read %q before the fault, want abcd", out)
+	}
+	if in.Injections() != 1 {
+		t.Fatalf("injections = %d, want 1", in.Injections())
+	}
+}
+
+func TestInjectorDefaultError(t *testing.T) {
+	var in Injector
+	p := NonePlan()
+	p.ErrAfter = 0
+	in.Set(p)
+	_, err := io.ReadAll(in.Reader(bytes.NewReader([]byte("abc"))))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestInjectorTruncateAndFlip(t *testing.T) {
+	var in Injector
+	p := NonePlan()
+	p.TruncateAt = 6
+	p.FlipOffset, p.FlipMask = 1, 0x20
+	in.Set(p)
+	out, err := io.ReadAll(in.Reader(bytes.NewReader([]byte("ABCDEFGH"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip lowercases the 'B' (0x42^0x20 = 0x62 'b'); truncation cuts
+	// the stream to six bytes.
+	if string(out) != "AbCDEF" {
+		t.Fatalf("out = %q, want AbCDEF", out)
+	}
+}
+
+func TestInjectorClear(t *testing.T) {
+	var in Injector
+	p := NonePlan()
+	p.ErrAfter = 0
+	in.Set(p)
+	in.Clear()
+	out, err := io.ReadAll(in.Reader(bytes.NewReader([]byte("ok"))))
+	if err != nil || string(out) != "ok" {
+		t.Fatalf("cleared injector still faulting: out=%q err=%v", out, err)
+	}
+}
+
+// TestInjectorConcurrentSwap flips plans while readers stream; each
+// reader sees one coherent plan (captured at wrap time), and the
+// injector itself must be race-free.
+func TestInjectorConcurrentSwap(t *testing.T) {
+	var in Injector
+	src := bytes.Repeat([]byte("data"), 256)
+	stop := make(chan struct{})
+	var swapper, readers sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				p := NonePlan()
+				p.TruncateAt = int64(i % 100)
+				in.Set(p)
+			} else {
+				in.Clear()
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				out, err := io.ReadAll(in.Reader(bytes.NewReader(src)))
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				// Either the whole payload or a truncated prefix of it.
+				if !bytes.HasPrefix(src, out) {
+					t.Errorf("reader saw bytes not in the source")
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	swapper.Wait()
+}

@@ -1,0 +1,194 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"scaleshift/internal/obs"
+)
+
+// AdmissionConfig sizes an admission controller.  All three knobs must
+// be positive; they map one-to-one onto the shared serving flags
+// (-max-inflight, -max-queue, -queue-timeout).
+type AdmissionConfig struct {
+	// MaxInflight is the number of requests serviced concurrently.
+	MaxInflight int
+	// MaxQueue bounds how many requests may wait for a slot.  A
+	// request arriving with the queue full is shed immediately —
+	// queueing is a shock absorber, never unbounded buffering.
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait in the queue
+	// before it is shed.
+	QueueTimeout time.Duration
+	// Registry receives the admission metrics; nil uses obs.Default.
+	Registry *obs.Registry
+}
+
+// Admission is a deadline-aware admission controller: a bounded
+// in-flight semaphore fronted by a bounded wait queue.  Requests whose
+// context deadline would expire before they could plausibly be served
+// (estimated from an EWMA of recent service times) are shed
+// immediately rather than wasting a queue slot on work whose client
+// will have given up.
+//
+// All sheds return an *OverloadError (errors.Is ErrOverloaded) whose
+// RetryAfter estimates when capacity frees up.
+type Admission struct {
+	slots        chan struct{}
+	queued       atomic.Int64
+	maxQueue     int64
+	maxInflight  int64
+	queueTimeout time.Duration
+
+	// svcEWMA is an exponentially weighted moving average of service
+	// time in nanoseconds, updated lock-free on every release.  It
+	// feeds the deadline-aware shed check and the RetryAfter hint.
+	svcEWMA atomic.Int64
+
+	admitted   *obs.Counter
+	shedFull   *obs.Counter
+	shedWait   *obs.Counter
+	shedDeadln *obs.Counter
+	shedCancel *obs.Counter
+	queueDepth *obs.Gauge
+	inflight   *obs.Gauge
+	waitNs     *obs.Histogram
+}
+
+// NewAdmission builds an admission controller; it panics on
+// non-positive limits (configuration is validated at flag-parse time,
+// so a bad value here is a programmer error).
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.MaxInflight <= 0 || cfg.MaxQueue <= 0 || cfg.QueueTimeout <= 0 {
+		panic("resilience: admission limits must be positive")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	a := &Admission{
+		slots:        make(chan struct{}, cfg.MaxInflight),
+		maxQueue:     int64(cfg.MaxQueue),
+		maxInflight:  int64(cfg.MaxInflight),
+		queueTimeout: cfg.QueueTimeout,
+
+		admitted:   reg.Counter("scaleshift_admission_admitted_total", "Requests admitted past the admission controller."),
+		shedFull:   reg.Counter("scaleshift_admission_shed_total", "Requests shed by the admission controller, by reason.", obs.Label{Key: "reason", Value: "queue_full"}),
+		shedWait:   reg.Counter("scaleshift_admission_shed_total", "Requests shed by the admission controller, by reason.", obs.Label{Key: "reason", Value: "queue_timeout"}),
+		shedDeadln: reg.Counter("scaleshift_admission_shed_total", "Requests shed by the admission controller, by reason.", obs.Label{Key: "reason", Value: "deadline"}),
+		shedCancel: reg.Counter("scaleshift_admission_shed_total", "Requests shed by the admission controller, by reason.", obs.Label{Key: "reason", Value: "canceled"}),
+		queueDepth: reg.Gauge("scaleshift_admission_queue_depth", "Requests currently waiting for an in-flight slot."),
+		inflight:   reg.Gauge("scaleshift_admission_inflight", "Requests currently holding an in-flight slot."),
+		waitNs:     reg.Histogram("scaleshift_admission_wait_ns", "Queue wait before admission, nanoseconds."),
+	}
+	return a
+}
+
+// ServiceEstimate returns the current EWMA of service time (zero until
+// the first release).
+func (a *Admission) ServiceEstimate() time.Duration {
+	return time.Duration(a.svcEWMA.Load())
+}
+
+// QueueDepth returns the number of requests currently waiting.
+func (a *Admission) QueueDepth() int { return int(a.queued.Load()) }
+
+// Inflight returns the number of requests currently holding a slot.
+func (a *Admission) Inflight() int { return len(a.slots) }
+
+// retryAfter estimates when a shed client should retry: the expected
+// time to drain the work ahead of it (queue plus in-flight) through
+// MaxInflight servers, floored at one second.
+func (a *Admission) retryAfter() time.Duration {
+	ewma := a.svcEWMA.Load()
+	ahead := a.queued.Load() + int64(len(a.slots))
+	est := time.Duration(ewma * (ahead + 1) / a.maxInflight)
+	return retryAfterFloor(est)
+}
+
+// overload builds the typed shed error and bumps the matching counter.
+func (a *Admission) overload(reason string, c *obs.Counter) error {
+	c.Inc()
+	return &OverloadError{Reason: reason, RetryAfter: a.retryAfter()}
+}
+
+// Acquire admits the request or sheds it.  On success it returns a
+// release function that MUST be called exactly once when the request
+// finishes; release feeds the service-time EWMA.
+//
+// Shedding order, cheapest first:
+//
+//  1. a context that is already done, or whose deadline is nearer
+//     than the EWMA service time, is shed immediately ("deadline") —
+//     the client would be gone before service completed;
+//  2. if a slot is free it is taken without queueing;
+//  3. if the queue is full the request is shed ("queue_full");
+//  4. otherwise the request waits for a slot until QueueTimeout
+//     ("queue_timeout") or context cancellation ("canceled").
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, a.overload("deadline", a.shedDeadln)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(d); remaining < time.Duration(a.svcEWMA.Load()) {
+			return nil, a.overload("deadline", a.shedDeadln)
+		}
+	}
+
+	// Fast path: free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		a.inflight.Set(float64(len(a.slots)))
+		return a.releaseFunc(time.Now()), nil
+	default:
+	}
+
+	// Slow path: take a queue position if one is left.
+	if q := a.queued.Add(1); q > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, a.overload("queue_full", a.shedFull)
+	}
+	a.queueDepth.Set(float64(a.queued.Load()))
+	start := time.Now()
+	timer := time.NewTimer(a.queueTimeout)
+	defer func() {
+		timer.Stop()
+		a.queued.Add(-1)
+		a.queueDepth.Set(float64(a.queued.Load()))
+	}()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Inc()
+		a.waitNs.ObserveDuration(time.Since(start))
+		a.inflight.Set(float64(len(a.slots)))
+		return a.releaseFunc(time.Now()), nil
+	case <-timer.C:
+		return nil, a.overload("queue_timeout", a.shedWait)
+	case <-ctx.Done():
+		return nil, a.overload("canceled", a.shedCancel)
+	}
+}
+
+// releaseFunc frees the slot and folds the observed service time into
+// the EWMA (alpha = 1/8, integer arithmetic, CAS-free: a lost update
+// under contention only delays convergence of a heuristic).
+func (a *Admission) releaseFunc(admittedAt time.Time) func() {
+	var released atomic.Bool
+	return func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		elapsed := time.Since(admittedAt).Nanoseconds()
+		old := a.svcEWMA.Load()
+		next := old + (elapsed-old)/8
+		if old == 0 {
+			next = elapsed
+		}
+		a.svcEWMA.Store(next)
+		<-a.slots
+		a.inflight.Set(float64(len(a.slots)))
+	}
+}

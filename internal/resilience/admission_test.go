@@ -1,0 +1,244 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"scaleshift/internal/obs"
+)
+
+func testAdmission(t *testing.T, inflight, queue int, wait time.Duration) *Admission {
+	t.Helper()
+	return NewAdmission(AdmissionConfig{
+		MaxInflight:  inflight,
+		MaxQueue:     queue,
+		QueueTimeout: wait,
+		Registry:     obs.NewRegistry(),
+	})
+}
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := testAdmission(t, 2, 2, time.Second)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+	if a.ServiceEstimate() <= 0 {
+		t.Fatal("release must feed the service-time EWMA")
+	}
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	a := testAdmission(t, 1, 1, time.Minute)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Occupy the single queue slot with a waiter.
+	waiterIn := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		waiterIn <- err
+	}()
+	// Wait until the waiter is queued.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request: slot busy, queue full -> immediate shed.
+	_, err = a.Acquire(context.Background())
+	var oe *OverloadError
+	if !errors.As(err, &oe) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want *OverloadError wrapping ErrOverloaded", err)
+	}
+	if oe.Reason != "queue_full" {
+		t.Fatalf("reason = %q, want queue_full", oe.Reason)
+	}
+	if oe.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", oe.RetryAfter)
+	}
+
+	release() // frees the slot; the waiter gets in
+	if err := <-waiterIn; err != nil {
+		t.Fatalf("queued waiter shed: %v", err)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := testAdmission(t, 1, 4, 20*time.Millisecond)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	start := time.Now()
+	_, err = a.Acquire(context.Background())
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue_timeout" {
+		t.Fatalf("err = %v, want queue_timeout shed", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("queue timeout took %v", waited)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after timeout, want 0", a.QueueDepth())
+	}
+}
+
+func TestAdmissionDeadlineAwareShed(t *testing.T) {
+	a := testAdmission(t, 1, 4, time.Minute)
+	// Teach the EWMA that service takes ~50ms.
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	release()
+	if a.ServiceEstimate() < 10*time.Millisecond {
+		t.Fatalf("EWMA = %v, expected ~50ms", a.ServiceEstimate())
+	}
+
+	// A request with 1ms of budget cannot be served in ~50ms: shed
+	// immediately even though a slot is free.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err = a.Acquire(ctx)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "deadline" {
+		t.Fatalf("err = %v, want deadline shed", err)
+	}
+
+	// An already-expired context is shed the same way.
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := a.Acquire(expired); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired ctx: err = %v, want ErrOverloaded", err)
+	}
+
+	// A generous deadline is admitted.
+	ctx3, cancel3 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel3()
+	r, err := a.Acquire(ctx3)
+	if err != nil {
+		t.Fatalf("generous deadline shed: %v", err)
+	}
+	r()
+}
+
+func TestAdmissionCanceledWhileQueued(t *testing.T) {
+	a := testAdmission(t, 1, 4, time.Minute)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err = a.Acquire(ctx)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "canceled" {
+		t.Fatalf("err = %v, want canceled shed", err)
+	}
+}
+
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := testAdmission(t, 1, 1, time.Second)
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // second call must be a no-op, not a slot underflow
+	if got := a.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+// TestAdmissionConcurrent hammers the controller under -race: every
+// admitted request must hold a real slot, and the final state must be
+// empty.
+func TestAdmissionConcurrent(t *testing.T) {
+	a := testAdmission(t, 4, 8, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	var admitted, shed sync.Map
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				release, err := a.Acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					shed.Store([2]int{g, i}, true)
+					continue
+				}
+				if n := a.Inflight(); n < 1 || n > 4 {
+					t.Errorf("inflight = %d outside [1,4]", n)
+				}
+				admitted.Store([2]int{g, i}, true)
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.Inflight() != 0 || a.QueueDepth() != 0 {
+		t.Fatalf("inflight=%d queued=%d after drain, want 0/0", a.Inflight(), a.QueueDepth())
+	}
+	count := func(m *sync.Map) (n int) {
+		m.Range(func(_, _ any) bool { n++; return true })
+		return
+	}
+	if count(&admitted) == 0 {
+		t.Fatal("nothing admitted under load")
+	}
+	t.Logf("admitted=%d shed=%d", count(&admitted), count(&shed))
+}
+
+func TestAdmissionConfigPanics(t *testing.T) {
+	for _, cfg := range []AdmissionConfig{
+		{MaxInflight: 0, MaxQueue: 1, QueueTimeout: time.Second},
+		{MaxInflight: 1, MaxQueue: 0, QueueTimeout: time.Second},
+		{MaxInflight: 1, MaxQueue: 1, QueueTimeout: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAdmission(%+v) did not panic", cfg)
+				}
+			}()
+			NewAdmission(cfg)
+		}()
+	}
+}

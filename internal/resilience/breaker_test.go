@@ -1,0 +1,211 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"scaleshift/internal/obs"
+)
+
+// fakeClock is an injectable clock for deterministic timer tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func testBreaker(t *testing.T) (*Breaker, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg := BreakerConfig{
+		FailureThreshold:  3,
+		SlowThreshold:     time.Second,
+		OpenTimeout:       10 * time.Second,
+		HalfOpenSuccesses: 2,
+		Registry:          obs.NewRegistry(),
+		now:               clk.now,
+	}
+	return NewBreaker(cfg), clk
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(t)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected probe %d: %v", i, err)
+		}
+		b.Record(time.Millisecond, boom)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped below the threshold")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(time.Millisecond, boom) // third consecutive failure
+
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	err := b.Allow()
+	var be *BreakerOpenError
+	if !errors.As(err, &be) || !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want *BreakerOpenError wrapping ErrBreakerOpen", err)
+	}
+	if be.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", be.RetryAfter)
+	}
+}
+
+func TestBreakerSlowProbesCount(t *testing.T) {
+	b, _ := testBreaker(t)
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(2*time.Second, nil) // success, but slower than SlowThreshold
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after 3 slow probes, want open", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker(t)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			b.Record(time.Millisecond, boom)
+		} else {
+			b.Record(time.Millisecond, nil) // breaks the streak
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("alternating outcomes tripped the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := testBreaker(t)
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(time.Millisecond, boom)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("setup: breaker not open")
+	}
+
+	clk.advance(9 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("before the open timeout: err = %v, want open rejection", err)
+	}
+
+	clk.advance(2 * time.Second) // past OpenTimeout
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Exactly one probe at a time.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open must admit one probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent half-open probe admitted: %v", err)
+	}
+	b.Record(time.Millisecond, nil) // probe 1 ok
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("one good probe closed a breaker that needs two")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(time.Millisecond, nil) // probe 2 ok -> closed
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after enough good probes, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(t)
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(time.Millisecond, boom)
+	}
+	clk.advance(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(time.Millisecond, boom) // the probe fails
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed half-open probe, want open", b.State())
+	}
+	// And the open timer restarted: still open just before it expires.
+	clk.advance(9 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open timer did not restart: %v", err)
+	}
+}
+
+// TestBreakerConcurrent drives the breaker from many goroutines under
+// -race; the state machine must stay consistent (no panic, state is
+// always one of the three).
+func TestBreakerConcurrent(t *testing.T) {
+	b, clk := testBreaker(t)
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := b.Allow(); err != nil {
+					if !errors.Is(err, ErrBreakerOpen) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					continue
+				}
+				var outcome error
+				if (g+i)%3 == 0 {
+					outcome = boom
+				}
+				b.Record(time.Millisecond, outcome)
+				if i%50 == 0 {
+					clk.advance(3 * time.Second)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("state = %v", s)
+	}
+}
+
+func TestBreakerConfigPanics(t *testing.T) {
+	cfg := DefaultBreakerConfig()
+	cfg.FailureThreshold = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBreaker with zero threshold did not panic")
+		}
+	}()
+	NewBreaker(cfg)
+}

@@ -1,0 +1,102 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Snapshot is one refcounted generation of a value held by a Cell.
+// Readers pin a generation with Cell.Acquire, use Value, and Release;
+// the generation outlives a swap for as long as any reader holds it,
+// which is exactly the hot-reload contract: in-flight queries finish
+// on the artifacts they started with.
+type Snapshot[T any] struct {
+	v       T
+	refs    atomic.Int64
+	drained chan struct{}
+}
+
+// Value returns the snapshot's payload.  Only valid between Acquire
+// and Release.
+func (s *Snapshot[T]) Value() T { return s.v }
+
+// Release drops the reader's pin.  The last release of a superseded
+// generation closes Drained.  Releasing more than once is a bug; the
+// refcount going negative would resurrect a drained snapshot, so it
+// panics loudly instead.
+func (s *Snapshot[T]) Release() {
+	switch n := s.refs.Add(-1); {
+	case n == 0:
+		close(s.drained)
+	case n < 0:
+		panic("resilience: Snapshot.Release called twice")
+	}
+}
+
+// Drained is closed once the generation has been superseded by a swap
+// AND every reader has released it — the moment the old artifacts can
+// be discarded (or, in tests, the moment to assert quiescence).
+func (s *Snapshot[T]) Drained() <-chan struct{} { return s.drained }
+
+// AwaitDrained blocks until the snapshot drains or ctx ends.
+func (s *Snapshot[T]) AwaitDrained(ctx context.Context) error {
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cell is an RCU-style holder of the current Snapshot.  Acquire is a
+// handful of atomics (no locks, no allocation), Swap publishes a new
+// generation atomically, and superseded generations report via
+// Drained when their last reader leaves.
+type Cell[T any] struct {
+	p atomic.Pointer[Snapshot[T]]
+}
+
+// NewCell starts a cell at generation v.
+func NewCell[T any](v T) *Cell[T] {
+	c := &Cell[T]{}
+	c.p.Store(newSnapshot(v))
+	return c
+}
+
+// newSnapshot starts with one reference — the cell's own, released by
+// the Swap that supersedes it.
+func newSnapshot[T any](v T) *Snapshot[T] {
+	s := &Snapshot[T]{v: v, drained: make(chan struct{})}
+	s.refs.Store(1)
+	return s
+}
+
+// Acquire pins and returns the current generation.  The CAS loop
+// handles the race with Swap: a generation whose refcount has reached
+// zero is already drained (Release closed its channel), so pinning it
+// would be a use-after-free — the loop re-reads the pointer instead.
+// While the cell holds its own reference the count of the current
+// generation is always >= 1, so the loop terminates as soon as it
+// reads a pointer that is still current.
+func (c *Cell[T]) Acquire() *Snapshot[T] {
+	for {
+		s := c.p.Load()
+		n := s.refs.Load()
+		if n == 0 {
+			continue // superseded and drained between Load and here
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return s
+		}
+	}
+}
+
+// Swap publishes v as the new current generation and returns the
+// superseded one, whose Drained channel closes once its last reader
+// releases.  Callers that don't care may ignore the return value; the
+// cell's own reference is already dropped.
+func (c *Cell[T]) Swap(v T) *Snapshot[T] {
+	old := c.p.Swap(newSnapshot(v))
+	old.Release() // the cell's reference; readers may still hold theirs
+	return old
+}

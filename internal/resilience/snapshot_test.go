@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCellAcquireRelease(t *testing.T) {
+	c := NewCell("gen0")
+	s := c.Acquire()
+	if s.Value() != "gen0" {
+		t.Fatalf("value = %q", s.Value())
+	}
+	s.Release()
+}
+
+func TestCellSwapDrains(t *testing.T) {
+	c := NewCell(0)
+	pinned := c.Acquire()
+
+	old := c.Swap(1)
+	select {
+	case <-old.Drained():
+		t.Fatal("old generation drained while a reader still pins it")
+	default:
+	}
+
+	// New readers see the new generation while the pin persists.
+	s := c.Acquire()
+	if s.Value() != 1 {
+		t.Fatalf("post-swap value = %d, want 1", s.Value())
+	}
+	s.Release()
+	if pinned.Value() != 0 {
+		t.Fatal("pinned reader's generation changed under it")
+	}
+
+	pinned.Release()
+	select {
+	case <-old.Drained():
+	case <-time.After(time.Second):
+		t.Fatal("old generation never drained after the last release")
+	}
+}
+
+func TestCellSwapWithoutReadersDrainsImmediately(t *testing.T) {
+	c := NewCell("a")
+	old := c.Swap("b")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := old.AwaitDrained(ctx); err != nil {
+		t.Fatalf("drain wait: %v", err)
+	}
+}
+
+func TestSnapshotReleasePastZeroPanics(t *testing.T) {
+	c := NewCell(1)
+	old := c.Swap(2) // the swap drops the cell's reference: refs hit 0
+	<-old.Drained()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release past zero did not panic")
+		}
+	}()
+	old.Release()
+}
+
+// TestCellConcurrentSwaps races many readers against many swappers
+// under -race: every acquired snapshot must stay valid until released,
+// every superseded generation must eventually drain, and a reader must
+// never observe a generation after its Drained channel closed.
+func TestCellConcurrentSwaps(t *testing.T) {
+	type gen struct{ n int }
+	c := NewCell(&gen{0})
+	var wg sync.WaitGroup
+
+	var drains sync.WaitGroup
+	wg.Add(1)
+	go func() { // swapper
+		defer wg.Done()
+		for i := 1; i < 200; i++ {
+			old := c.Swap(&gen{i})
+			drains.Add(1)
+			go func(old *Snapshot[*gen]) {
+				defer drains.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := old.AwaitDrained(ctx); err != nil {
+					t.Errorf("generation never drained: %v", err)
+				}
+			}(old)
+		}
+	}()
+
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s := c.Acquire()
+				select {
+				case <-s.Drained():
+					t.Error("acquired a drained snapshot")
+				default:
+				}
+				if s.Value() == nil {
+					t.Error("nil value from live snapshot")
+				}
+				s.Release()
+				if i%64 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	drains.Wait()
+
+	// The final generation is still held by the cell and must serve.
+	s := c.Acquire()
+	if s.Value().n != 199 {
+		t.Fatalf("final generation %d, want 199", s.Value().n)
+	}
+	s.Release()
+}
