@@ -256,6 +256,39 @@ func TestBreakerIgnoresHealthyPath(t *testing.T) {
 	}
 }
 
+// TestBreakerIgnoresClientErrors: on a degraded index, requests the
+// engine rejects as the client's own mistake (served as 422 — e.g. NN
+// search, which a degraded index cannot answer) must not move the
+// breaker.  Otherwise a handful of malformed requests would trip it
+// open and convert client misuse into 503s for valid scan queries.
+func TestBreakerIgnoresClientErrors(t *testing.T) {
+	cfg := newTestServerConfig(t, true)
+	cfg.breaker = resilience.BreakerConfig{
+		FailureThreshold:  2,
+		OpenTimeout:       time.Hour,
+		HalfOpenSuccesses: 1,
+	}
+	s := newServerFromConfig(t, cfg)
+
+	// Enough unsupported requests to trip a threshold-2 breaker many
+	// times over, were they (wrongly) counted as path failures.
+	for i := 0; i < 5; i++ {
+		resp, body := get(t, s, "/search?seq=0&start=5&nn=1")
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("NN on degraded index: %d, want 422: %s", resp.StatusCode, body)
+		}
+	}
+	if st := s.breaker.State(); st != resilience.BreakerClosed {
+		t.Fatalf("breaker %v after client errors only, want closed", st)
+	}
+
+	// The degraded scan path still serves well-formed queries.
+	resp, body := get(t, s, "/search?seq=0&start=5&eps_frac=0.05")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid scan query after client errors: %d: %s", resp.StatusCode, body)
+	}
+}
+
 // batchBody builds a POST /search payload of windows read back from
 // the store.
 func batchBody(t *testing.T, n int, epsFrac float64, path string) []byte {

@@ -629,12 +629,20 @@ func (s *server) breakerGate(w http.ResponseWriter, r *http.Request, sn *snapsho
 		return nil, false
 	}
 	return func(d time.Duration, err error) {
-		// A client that hung up says nothing about the scan path's
-		// health; only server-side failures and slowness count.
-		if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
-			err = nil
+		// Only outcomes that reflect the scan path's health may move the
+		// breaker.  A client that hung up proved nothing; neither did a
+		// request the engine rejected as the client's own mistake (an
+		// invalid query or an unsupported operation, served as 4xx) —
+		// recording those would let client misuse trip the breaker and
+		// convert into self-inflicted 503s for valid queries.
+		switch {
+		case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+			s.breaker.RecordNeutral()
+		case errors.Is(err, core.ErrInvalidQuery) || errors.Is(err, engine.ErrUnsupported):
+			s.breaker.RecordNeutral()
+		default:
+			s.breaker.Record(d, err)
 		}
-		s.breaker.Record(d, err)
 	}, true
 }
 

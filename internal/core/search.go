@@ -628,7 +628,7 @@ func (ix *Index) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vec
 		// The refinement bound needs the tree's best-first stream; a
 		// degraded index has no tree, and silently returning nothing
 		// would be wrong, so NN queries fail loudly until a rebuild.
-		return nil, fmt.Errorf("core: nearest-neighbour search unavailable: index is degraded (%s)", ix.degraded)
+		return nil, fmt.Errorf("core: %w: nearest-neighbour search unavailable: index is degraded (%s)", engine.ErrUnsupported, ix.degraded)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -23,6 +24,15 @@ import (
 	"scaleshift/internal/rtree"
 	"scaleshift/internal/vec"
 )
+
+// ErrUnsupported tags a query that asks for an operation the current
+// index state or configuration cannot serve — a forced path that is
+// unavailable or unregistered, no access path at all, or (wrapped by
+// the core layer) nearest-neighbour search on a degraded index.  These
+// are the caller's problem, not the path's: serving layers use
+// errors.Is(err, ErrUnsupported) to map them to 4xx responses and keep
+// them out of path-health accounting such as circuit breakers.
+var ErrUnsupported = errors.New("unsupported operation")
 
 // PathKind identifies an access path.
 type PathKind int

@@ -201,7 +201,7 @@ func (p *Planner) Plan(q Query, force PathKind) (AccessPath, *Explain, error) {
 				continue
 			}
 			if !ok {
-				return nil, ex, fmt.Errorf("engine: path %s unavailable: %s", force, reason)
+				return nil, ex, fmt.Errorf("engine: %w: path %s unavailable: %s", ErrUnsupported, force, reason)
 			}
 			chosen, chosenCost = path, pp.Cost
 			ex.Forced = true
@@ -213,9 +213,9 @@ func (p *Planner) Plan(q Query, force PathKind) (AccessPath, *Explain, error) {
 	}
 	if chosen == nil {
 		if force != PathAuto {
-			return nil, ex, fmt.Errorf("engine: path %s is not registered", force)
+			return nil, ex, fmt.Errorf("engine: %w: path %s is not registered", ErrUnsupported, force)
 		}
-		return nil, ex, fmt.Errorf("engine: no access path available")
+		return nil, ex, fmt.Errorf("engine: %w: no access path available", ErrUnsupported)
 	}
 	ex.Chosen = chosen.Kind()
 	ex.EstCandidates = chosenCost.Candidates

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -119,19 +120,35 @@ func (a *Admission) overload(reason string, c *obs.Counter) error {
 //
 // Shedding order, cheapest first:
 //
-//  1. a context that is already done, or whose deadline is nearer
-//     than the EWMA service time, is shed immediately ("deadline") —
-//     the client would be gone before service completed;
-//  2. if a slot is free it is taken without queueing;
-//  3. if the queue is full the request is shed ("queue_full");
-//  4. otherwise the request waits for a slot until QueueTimeout
+//  1. a context that is already done is shed immediately — as
+//     "canceled" when the client hung up, as "deadline" when its
+//     deadline passed before admission;
+//  2. a context whose deadline is nearer than the EWMA service time is
+//     shed ("deadline") — the client would be gone before service
+//     completed.  Each such shed decays the EWMA (see below), so the
+//     estimate cannot pin itself above every request's budget forever;
+//  3. if a slot is free it is taken without queueing;
+//  4. if the queue is full the request is shed ("queue_full");
+//  5. otherwise the request waits for a slot until QueueTimeout
 //     ("queue_timeout") or context cancellation ("canceled").
 func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
-	if err := ctx.Err(); err != nil {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.Canceled) {
+			return nil, a.overload("canceled", a.shedCancel)
+		}
 		return nil, a.overload("deadline", a.shedDeadln)
 	}
 	if d, ok := ctx.Deadline(); ok {
 		if remaining := time.Until(d); remaining < time.Duration(a.svcEWMA.Load()) {
+			// Decay the estimate on every deadline shed.  The EWMA is
+			// only fed by releases of admitted requests, so without
+			// decay a single run to the engine deadline could pin it at
+			// (or above) every future request's budget and shed all
+			// traffic forever.  Shrinking by 1/8 per shed guarantees a
+			// probe request is admitted after a bounded run of sheds;
+			// its release then re-measures the true service time.
+			old := a.svcEWMA.Load()
+			a.svcEWMA.Store(old - old/8)
 			return nil, a.overload("deadline", a.shedDeadln)
 		}
 	}

@@ -133,11 +133,22 @@ func TestAdmissionDeadlineAwareShed(t *testing.T) {
 		t.Fatalf("err = %v, want deadline shed", err)
 	}
 
-	// An already-expired context is shed the same way.
-	expired, cancel2 := context.WithCancel(context.Background())
+	// A context canceled before admission is a client hang-up, not
+	// deadline pressure: shed as "canceled" so the shed-reason metrics
+	// attribute it correctly.
+	hungUp, cancel2 := context.WithCancel(context.Background())
 	cancel2()
-	if _, err := a.Acquire(expired); !errors.Is(err, ErrOverloaded) {
-		t.Fatalf("expired ctx: err = %v, want ErrOverloaded", err)
+	_, err = a.Acquire(hungUp)
+	if !errors.As(err, &oe) || oe.Reason != "canceled" {
+		t.Fatalf("pre-canceled ctx: err = %v, want canceled shed", err)
+	}
+
+	// A deadline that passed before admission is shed as "deadline".
+	expired, cancelExpired := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelExpired()
+	_, err = a.Acquire(expired)
+	if !errors.As(err, &oe) || oe.Reason != "deadline" {
+		t.Fatalf("pre-expired ctx: err = %v, want deadline shed", err)
 	}
 
 	// A generous deadline is admitted.
@@ -148,6 +159,43 @@ func TestAdmissionDeadlineAwareShed(t *testing.T) {
 		t.Fatalf("generous deadline shed: %v", err)
 	}
 	r()
+}
+
+// TestAdmissionDeadlineShedRecovers is the anti-wedge regression: when
+// the service-time EWMA lands at or above every request's budget (e.g.
+// the very first request ran to the engine deadline), deadline sheds
+// must decay the estimate until a probe request is admitted — the
+// controller must never settle into shedding 100% of traffic forever.
+func TestAdmissionDeadlineShedRecovers(t *testing.T) {
+	a := testAdmission(t, 1, 1, time.Second)
+	// Simulate the pathological cold start: the EWMA sits far above any
+	// deadline the guarded requests will ever carry.
+	a.svcEWMA.Store(int64(time.Hour))
+
+	admittedAt := -1
+	for i := 0; i < 1000; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		release, err := a.Acquire(ctx)
+		cancel()
+		if err == nil {
+			release()
+			admittedAt = i
+			break
+		}
+		var oe *OverloadError
+		if !errors.As(err, &oe) || oe.Reason != "deadline" {
+			t.Fatalf("shed %d: err = %v, want deadline shed", i, err)
+		}
+	}
+	if admittedAt < 0 {
+		t.Fatal("admission controller wedged: EWMA never decayed below the request budget")
+	}
+	t.Logf("probe admitted after %d deadline sheds", admittedAt)
+	// The admitted probe's release re-measured service time, so the
+	// estimate now reflects reality, not the stale ceiling.
+	if est := a.ServiceEstimate(); est >= 50*time.Millisecond {
+		t.Fatalf("EWMA = %v after a fast probe, want < the request budget", est)
+	}
 }
 
 func TestAdmissionCanceledWhileQueued(t *testing.T) {

@@ -178,9 +178,11 @@ func (b *Breaker) Allow() error {
 }
 
 // Record reports the outcome of an allowed probe.  err != nil or a
-// duration past SlowThreshold counts against the path; context
-// cancellation by the *client* is the caller's business — pass a nil
-// err for it, since a canceled request says nothing about path health.
+// duration past SlowThreshold counts against the path.  Outcomes that
+// say nothing about path health — the client hung up, or the request
+// itself was malformed/unsupported — must go through RecordNeutral
+// instead: recording them here would count a non-observation as
+// evidence for (or against) the path.
 func (b *Breaker) Record(d time.Duration, err error) {
 	bad := err != nil || (b.cfg.SlowThreshold > 0 && d >= b.cfg.SlowThreshold)
 	b.mu.Lock()
@@ -209,5 +211,21 @@ func (b *Breaker) Record(d time.Duration, err error) {
 		}
 	case BreakerOpen:
 		// A straggler from before the trip; its outcome is stale.
+	}
+}
+
+// RecordNeutral discharges an Allow whose outcome proved nothing about
+// the path: a client-canceled request, or one rejected for the
+// caller's own mistake (invalid query, unsupported operation).  It
+// satisfies the "allowed callers MUST report back" contract — in
+// half-open it frees the probe slot so a real probe can run — without
+// moving the failure streak or the half-open success count in either
+// direction.  Two canceled probes must not close a breaker the path
+// never actually answered for.
+func (b *Breaker) RecordNeutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
 	}
 }

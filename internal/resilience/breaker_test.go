@@ -164,6 +164,62 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerNeutralOutcome: a probe whose outcome proved nothing —
+// client canceled, or the request was the caller's own mistake — frees
+// the half-open probe slot without counting toward recovery, and never
+// disturbs a closed breaker's failure streak.  Without this, two
+// canceled probes could close a breaker over a path that never
+// actually answered.
+func TestBreakerNeutralOutcome(t *testing.T) {
+	b, clk := testBreaker(t)
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Record(time.Millisecond, boom)
+	}
+	clk.advance(11 * time.Second) // past OpenTimeout -> half-open
+
+	// More neutral probes than HalfOpenSuccesses must NOT close the
+	// breaker; each must free the probe slot for the next Allow.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("half-open probe %d not admitted after neutral outcome: %v", i, err)
+		}
+		b.RecordNeutral()
+		if b.State() != BreakerHalfOpen {
+			t.Fatalf("state = %v after %d neutral probes, want half-open", b.State(), i+1)
+		}
+	}
+
+	// Real successes still close it.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.Record(time.Millisecond, nil)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after real successes, want closed", b.State())
+	}
+
+	// Closed: a neutral outcome is invisible — it neither extends nor
+	// resets the failure streak (threshold is 3).
+	b.Allow()
+	b.Record(time.Millisecond, boom)
+	b.Allow()
+	b.Record(time.Millisecond, boom)
+	b.Allow()
+	b.RecordNeutral()
+	if b.State() != BreakerClosed {
+		t.Fatal("neutral outcome counted as a failure")
+	}
+	b.Allow()
+	b.Record(time.Millisecond, boom)
+	if b.State() != BreakerOpen {
+		t.Fatal("neutral outcome reset the failure streak")
+	}
+}
+
 // TestBreakerConcurrent drives the breaker from many goroutines under
 // -race; the state machine must stay consistent (no panic, state is
 // always one of the three).
