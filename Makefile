@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-planner bench-smoke bench-obs fmt-check soak soak-smoke
+.PHONY: check vet build test race bench bench-json bench-planner bench-smoke bench-obs fmt-check soak soak-smoke
 
 check: vet fmt-check build test race soak-smoke
 
@@ -28,6 +28,17 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBulkBuild' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkVerify' -benchtime 0.2s ./internal/vec/
+
+# Hot-path perf trajectory: pointer tree vs frozen flat arena (range
+# and k-NN QPS, allocations), scalar vs batched pruning kernel, and
+# zero-copy cold-open latency, written per revision under results/.
+# -enforce fails the run if the batched kernel is below 1.5x the
+# scalar path or the flat tree regresses throughput by more than 10%.
+bench-json:
+	@rev="$$(git rev-parse --short HEAD 2>/dev/null || echo dev)"; \
+	$(GO) run ./cmd/ssbench -experiment perf -scale small -label "$$rev" \
+		-json "results/BENCH_$$rev.json" -enforce && \
+	echo "wrote results/BENCH_$$rev.json"
 
 # Planner calibration: time cost-based auto against every forced access
 # path over a store-size x epsilon grid, regenerating the committed

@@ -44,7 +44,10 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | all")
+	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | perf | all")
+	jsonPath := fs.String("json", "", "write the perf experiment's report as JSON to this file")
+	enforce := fs.Bool("enforce", false, "fail if the perf report misses the regression gates (kernel >= 1.5x, flat within 10% of pointer throughput)")
+	label := fs.String("label", "", "label recorded in the perf JSON report (e.g. a git revision)")
 	scale := fs.String("scale", "medium", "full (paper: 1000x650, 100 queries) | medium (200x650, 30) | small (50x330, 10)")
 	companies := fs.Int("companies", 0, "override company count")
 	queries := fs.Int("queries", 0, "override query count")
@@ -333,7 +336,30 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 
-	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
+	if *experiment == "perf" || *experiment == "all" {
+		rep, err := bench.RunPerf(cfg, stdout)
+		if err != nil {
+			return err
+		}
+		rep.Label = *label
+		if *jsonPath != "" {
+			err := atomicfile.WriteFile(*jsonPath, func(w io.Writer) error {
+				return rep.WriteJSON(w)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", *jsonPath)
+		}
+		if *enforce {
+			if err := rep.Enforce(1.5, 0.10); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, "perf: regression gates passed")
+		}
+	}
+
+	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "perf" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
 		*experiment != "ablation-window" && *experiment != "ablation-fanout" &&
 		*experiment != "ablation-build" && *experiment != "ablation-reduction" &&
 		*experiment != "ablation-index" && *experiment != "ablation-trail" && *experiment != "all" {

@@ -137,8 +137,8 @@ func TestIndexCacheRoundTrip(t *testing.T) {
 	if err := run(smallArgs("-query", "3:50", "-eps-frac", "0.001", "-index-cache", cache), &sb2); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb2.String(), "loaded from") {
-		t.Errorf("second run did not load:\n%s", sb2.String())
+	if !strings.Contains(sb2.String(), "mapped from") {
+		t.Errorf("second run did not map the cache:\n%s", sb2.String())
 	}
 	tail := func(s string) string { return s[strings.Index(s, "matches"):] }
 	if tail(sb.String()) != tail(sb2.String()) {

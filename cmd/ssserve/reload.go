@@ -51,13 +51,21 @@ type reloadConfig struct {
 type reloader struct {
 	mu  sync.Mutex
 	cfg reloadConfig
+	// fileOpen selects the zero-copy index path: when the artifact
+	// source is the real filesystem (no injected Open), the index is
+	// memory-mapped and fully verified before the swap, making reload
+	// cost O(store) + O(1) in the index size instead of re-parsing the
+	// whole tree.
+	fileOpen bool
 }
 
 func newReloader(cfg reloadConfig) *reloader {
+	rl := &reloader{fileOpen: cfg.Open == nil}
 	if cfg.Open == nil {
 		cfg.Open = func(path string) (io.ReadCloser, error) { return os.Open(path) }
 	}
-	return &reloader{cfg: cfg}
+	rl.cfg = cfg
+	return rl
 }
 
 // load reads and validates a complete snapshot from the configured
@@ -86,17 +94,34 @@ func (rl *reloader) load() (*snapshot, error) {
 	var ix *core.Index
 	var how string
 	if cfg.IndexPath != "" {
-		g, err := cfg.Open(cfg.IndexPath)
-		if err != nil {
-			return nil, fmt.Errorf("opening index artifact: %w", err)
-		}
-		ix, err = core.LoadIndex(g, st)
-		closeErr = g.Close()
-		if err != nil {
-			return nil, fmt.Errorf("index artifact %s rejected: %w", cfg.IndexPath, err)
-		}
-		if closeErr != nil {
-			return nil, fmt.Errorf("closing index artifact: %w", closeErr)
+		if rl.fileOpen {
+			// Zero-copy: map the artifact and run the deferred integrity
+			// check (every CRC + arena validation) here, off the serving
+			// path — the swap only publishes verified bytes, and the old
+			// snapshot keeps serving while we check.
+			ix, err = core.LoadIndexFile(cfg.IndexPath, st)
+			if err == nil {
+				if verr := ix.VerifyArtifact(); verr != nil {
+					ix.Close()
+					err = verr
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("index artifact %s rejected: %w", cfg.IndexPath, err)
+			}
+		} else {
+			g, err := cfg.Open(cfg.IndexPath)
+			if err != nil {
+				return nil, fmt.Errorf("opening index artifact: %w", err)
+			}
+			ix, err = core.LoadIndex(g, st)
+			closeErr = g.Close()
+			if err != nil {
+				return nil, fmt.Errorf("index artifact %s rejected: %w", cfg.IndexPath, err)
+			}
+			if closeErr != nil {
+				return nil, fmt.Errorf("closing index artifact: %w", closeErr)
+			}
 		}
 		how = fmt.Sprintf("reloaded from %s + %s", cfg.StorePath, cfg.IndexPath)
 	} else {

@@ -355,6 +355,11 @@ func (s *server) Reload() error {
 	// quiesces without blocking the reload path.
 	go func() {
 		<-old.Drained()
+		// No reader can touch the superseded index anymore; release its
+		// memory mapping (a no-op for heap-built indexes).
+		if err := old.Value().ix.Close(); err != nil {
+			s.logger.Warn("closing drained snapshot", "err", err)
+		}
 		s.logger.Info("previous snapshot drained", "generation", gen-1)
 	}()
 	return nil

@@ -55,6 +55,7 @@ const sectionChunk = 1 << 20
 type Writer struct {
 	w    io.Writer
 	file hash.Hash32 // running CRC of every framed byte
+	n    int64
 	err  error
 }
 
@@ -62,6 +63,11 @@ type Writer struct {
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w, file: crc32.New(castagnoli)}
 }
+
+// Pos returns the number of bytes framed so far — the file offset the
+// next write lands on.  Writers of alignment-sensitive payloads (the
+// mmap-served index arena) use it to compute padding.
+func (bw *Writer) Pos() int64 { return bw.n }
 
 func (bw *Writer) write(p []byte) {
 	if bw.err != nil {
@@ -72,6 +78,7 @@ func (bw *Writer) write(p []byte) {
 		return
 	}
 	bw.file.Write(p)
+	bw.n += int64(len(p))
 }
 
 func (bw *Writer) writeU64(v uint64) {
@@ -163,6 +170,28 @@ func (br *Reader) Magic(want []byte) error {
 			ErrVersion, got[len(got)-1], want[len(want)-1])
 	}
 	return fmt.Errorf("bad magic %q (want %q)", got, want)
+}
+
+// MagicVersions consumes the artifact's magic like Magic, but accepts
+// any of the listed version bytes after want's identifying prefix and
+// returns the one found.  want's own final byte names the newest
+// (preferred) version for the error message.
+func (br *Reader) MagicVersions(want []byte, accept ...byte) (byte, error) {
+	got := make([]byte, len(want))
+	if err := br.read(got); err != nil {
+		return 0, err
+	}
+	if string(got[:len(got)-1]) != string(want[:len(want)-1]) {
+		return 0, fmt.Errorf("bad magic %q (want %q)", got, want)
+	}
+	v := got[len(got)-1]
+	for _, a := range accept {
+		if v == a {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: format version %d (this build reads version %d)",
+		ErrVersion, v, want[len(want)-1])
 }
 
 // Section reads one length-prefixed payload and verifies its CRC32C.

@@ -1,0 +1,28 @@
+package binio
+
+// Mapping is a read-only view of a whole artifact file, memory-mapped
+// where the platform supports it and heap-loaded otherwise.  Data must
+// not be written to, and must not be read after Close — for mmap-backed
+// artifacts the serving layer is responsible for keeping the mapping
+// alive until the last reader drains (the RCU snapshot refcount in
+// ssserve does exactly that).
+type Mapping struct {
+	Data   []byte
+	mapped bool
+	closed bool
+}
+
+// Close releases the mapping.  Safe to call more than once; a nil
+// receiver is a no-op, so callers can Close unconditionally.
+func (m *Mapping) Close() error {
+	if m == nil || m.closed {
+		return nil
+	}
+	m.closed = true
+	data := m.Data
+	m.Data = nil
+	if !m.mapped || data == nil {
+		return nil
+	}
+	return unmap(data)
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package binio
+
+import "os"
+
+// OpenMapping reads the file at path into memory.  On platforms
+// without mmap support the "mapping" is a plain heap copy — same
+// contract, no zero-copy benefit.
+func OpenMapping(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{Data: data}, nil
+}
+
+func unmap(data []byte) error { return nil }

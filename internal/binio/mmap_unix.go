@@ -1,0 +1,41 @@
+//go:build unix
+
+package binio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenMapping maps the file at path read-only into memory.  The
+// returned Data is the whole file; it stays valid until Close.  The
+// mapping is shared and page-cache backed, so opening an arbitrarily
+// large artifact costs O(1) work and no heap.
+func OpenMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("binio: artifact %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("binio: mmap %s: %w", path, err)
+	}
+	return &Mapping{Data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

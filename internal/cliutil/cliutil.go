@@ -153,26 +153,44 @@ func LoadStore(storeFile, dataFile string, companies, days int, seed int64) (*st
 // obtained, for the command's status output.
 func OpenIndex(st *store.Store, opts core.Options, cache string, bulk, strict bool, logger *slog.Logger) (*core.Index, string, error) {
 	if cache != "" {
-		if f, err := os.Open(cache); err == nil {
-			defer f.Close()
+		if _, err := os.Stat(cache); err == nil {
 			start := time.Now()
 			if strict {
-				ix, err := core.LoadIndex(f, st)
+				// A strict open must not serve unverified bytes, so run the
+				// deferred checksum + structural pass before returning; the
+				// mapping itself is still zero-copy.
+				ix, err := core.LoadIndexFile(cache, st)
+				if err == nil {
+					if err = ix.VerifyArtifact(); err != nil {
+						ix.Close()
+					}
+				}
 				if err != nil {
 					return nil, "", fmt.Errorf("index cache %s unusable: %v (delete it or rebuild without a cache)", cache, err)
 				}
-				return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
+				return ix, fmt.Sprintf("mapped from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
 			}
-			ix, status, err := core.OpenOrRebuild(f, st, opts)
+			ix, status, err := core.OpenOrRebuildFile(cache, st, opts)
 			if err != nil {
 				return nil, "", err
+			}
+			if !status.Degraded {
+				if verr := ix.VerifyArtifact(); verr != nil {
+					ix.Close()
+					status.Degraded = true
+					status.Reason = fmt.Sprintf("index artifact rejected: %v", verr)
+					ix, err = core.NewDegradedIndex(st, opts, status.Reason)
+					if err != nil {
+						return nil, "", err
+					}
+				}
 			}
 			if status.Degraded {
 				logger.Warn("index degraded; serving exact results via full scan",
 					"reason", status.Reason, "cache", cache)
 				return ix, fmt.Sprintf("DEGRADED (%s)", status.Reason), nil
 			}
-			return ix, fmt.Sprintf("loaded from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
+			return ix, fmt.Sprintf("mapped from %s in %v", cache, time.Since(start).Round(time.Millisecond)), nil
 		}
 	}
 	ix, err := core.NewIndex(st, opts)

@@ -134,8 +134,8 @@ func TestOpenIndexBuildAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains([]byte(how), []byte("loaded")) {
-		t.Fatalf("second open should load the cache, got %q", how)
+	if !bytes.Contains([]byte(how), []byte("mapped")) {
+		t.Fatalf("second open should map the cache, got %q", how)
 	}
 	if built.WindowCount() != loaded.WindowCount() {
 		t.Fatalf("cache round trip changed window count: %d != %d",

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"scaleshift/internal/binio"
 	"scaleshift/internal/dft"
 	"scaleshift/internal/engine"
 	"scaleshift/internal/geom"
@@ -264,6 +265,16 @@ type Index struct {
 	st   *store.Store
 	fmap *dft.FeatureMap
 	tree *rtree.Tree
+	// flat, when non-nil, is the frozen pointer-free serving
+	// representation; every search routes through it (qtree) and
+	// structural mutation thaws it back into tree first.
+	flat *rtree.FlatTree
+	// mapping backs flat when the index was opened zero-copy from a
+	// file (LoadIndexFile); the arena's arrays alias it, so it must
+	// outlive the last search.  artifact is the whole mapped frame,
+	// kept for the deferred VerifyArtifact pass.
+	mapping  *binio.Mapping
+	artifact []byte
 	// indexed tracks how many windows of each sequence are indexed, so
 	// dynamic extension indexes only the new ones.
 	indexed []int
@@ -329,12 +340,13 @@ func (ix *Index) Degraded() (bool, string) {
 // checkMutable rejects structural mutation of a degraded index: with
 // no tree to keep consistent, inserts and deletes would silently
 // desynchronize the indexed-window accounting the scan path relies
-// on.  Rebuild from the store instead.
+// on.  Rebuild from the store instead.  A frozen index is mutable —
+// it is thawed back to the pointer representation first.
 func (ix *Index) checkMutable() error {
 	if ix.degraded != "" {
 		return fmt.Errorf("core: index is degraded (%s); rebuild it before mutating", ix.degraded)
 	}
-	return nil
+	return ix.thaw()
 }
 
 // trailRect computes the MBR of the features of windows
@@ -437,7 +449,7 @@ func (ix *Index) Store() *store.Store { return ix.st }
 // but every window of the raw store remains searchable.
 func (ix *Index) WindowCount() int {
 	if !ix.trailMode() && ix.degraded == "" {
-		return ix.tree.Len()
+		return ix.qtree().Len()
 	}
 	total := 0
 	for _, c := range ix.indexed {
@@ -449,19 +461,19 @@ func (ix *Index) WindowCount() int {
 // EntryCount returns the number of leaf entries in the tree — equal to
 // WindowCount for point mode, and the number of sub-trail MBRs in
 // trail mode.
-func (ix *Index) EntryCount() int { return ix.tree.Len() }
+func (ix *Index) EntryCount() int { return ix.qtree().Len() }
 
 // IndexPageCount returns the number of index pages (tree nodes).
-func (ix *Index) IndexPageCount() int { return ix.tree.NodeCount() }
+func (ix *Index) IndexPageCount() int { return ix.qtree().NodeCount() }
 
 // TreeHeight returns the R*-tree height.
-func (ix *Index) TreeHeight() int { return ix.tree.Height() }
+func (ix *Index) TreeHeight() int { return ix.qtree().Height() }
 
 // WriteIndexStats renders per-level geometry statistics of the
 // directory (occupancy, MBR elongation, circumscribed/inscribed sphere
 // gap) — the numbers behind §7's explanation of the bounding-spheres
 // failure.
-func (ix *Index) WriteIndexStats(w io.Writer) error { return ix.tree.WriteStats(w) }
+func (ix *Index) WriteIndexStats(w io.Writer) error { return ix.qtree().WriteStats(w) }
 
 // Build indexes every not-yet-indexed window of every sequence
 // currently in the store (§6 pre-processing).
@@ -871,7 +883,7 @@ func (ix *Index) UnindexSequence(seq int) error {
 // exact post-processing check reapplies the caller's epsilon, so the
 // widening never adds false results.
 func (ix *Index) numericSlack() float64 {
-	bounds, ok := ix.tree.Bounds()
+	bounds, ok := ix.qtree().Bounds()
 	if !ok {
 		return 0
 	}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"scaleshift/internal/binio"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// testQueries derives a few transformed windows from the store so
+// every query has at least one guaranteed match.
+func testQueries(t *testing.T, ix *Index, n int) []vec.Vector {
+	t.Helper()
+	st := ix.Store()
+	wl := ix.Options().WindowLen
+	var qs []vec.Vector
+	for i := 0; i < n; i++ {
+		seq := i % st.NumSequences()
+		start := (i * 13) % (st.SequenceLen(seq) - wl)
+		w := make(vec.Vector, wl)
+		if err := st.Window(seq, start, wl, w, nil); err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, vec.Apply(w, 1.0+0.1*float64(i), float64(i)-2))
+	}
+	return qs
+}
+
+// checkStatsInvariant asserts the accounting identity every search
+// must satisfy: all candidates are either verified away or reported.
+func checkStatsInvariant(t *testing.T, s SearchStats) {
+	t.Helper()
+	if s.Candidates != s.FalseAlarms+s.CostRejected+s.Results {
+		t.Fatalf("stats invariant broken: Candidates=%d FalseAlarms=%d CostRejected=%d Results=%d",
+			s.Candidates, s.FalseAlarms, s.CostRejected, s.Results)
+	}
+}
+
+// runAllSearches exercises range, long-query, k-NN, and batch search,
+// returning everything for equality comparison.  Stats are asserted
+// against the accounting invariant as they stream by.
+func runAllSearches(t *testing.T, ix *Index, qs []vec.Vector, eps float64) ([][]Match, [][]Match, [][]Match, []SearchStats) {
+	t.Helper()
+	var rangeRes, nnRes [][]Match
+	var allStats []SearchStats
+	for _, q := range qs {
+		var s SearchStats
+		m, err := ix.Search(q, eps, UnboundedCosts(), &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStatsInvariant(t, s)
+		// Wall-clock fields differ run to run; blank them for equality.
+		s.PlanTime, s.ProbeTime, s.VerifyTime = 0, 0, 0
+		rangeRes = append(rangeRes, m)
+		allStats = append(allStats, s)
+
+		var ns SearchStats
+		nn, err := ix.NearestNeighbors(q, 5, &ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nnRes = append(nnRes, nn)
+	}
+	// Long query: three windows stitched together.
+	wl := ix.Options().WindowLen
+	long := make(vec.Vector, 3*wl)
+	for i := range long {
+		long[i] = qs[0][i%wl] + 0.01*float64(i)
+	}
+	var ls SearchStats
+	lm, err := ix.SearchLong(long, eps, UnboundedCosts(), &ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStatsInvariant(t, ls)
+	batch, err := ix.SearchBatch(qs, eps, UnboundedCosts(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch = append(batch, lm)
+	return rangeRes, nnRes, batch, allStats
+}
+
+// TestFrozenIndexEquivalence freezes an index and asserts every search
+// family returns bit-identical results and identical deterministic
+// stats to the pointer-tree representation.
+func TestFrozenIndexEquivalence(t *testing.T) {
+	for _, bulk := range []bool{false, true} {
+		opts := testOptions()
+		ix := buildTestIndex(t, opts, 8, 120)
+		if bulk {
+			st := ix.Store()
+			fresh, err := NewIndex(st, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.BuildBulk(); err != nil {
+				t.Fatal(err)
+			}
+			ix = fresh
+		}
+		qs := testQueries(t, ix, 6)
+		eps := 8.0
+		wantR, wantNN, wantB, wantS := runAllSearches(t, ix, qs, eps)
+
+		if err := ix.Freeze(); err != nil {
+			t.Fatal(err)
+		}
+		if !ix.Frozen() {
+			t.Fatal("Freeze did not mark index frozen")
+		}
+		gotR, gotNN, gotB, gotS := runAllSearches(t, ix, qs, eps)
+
+		if !reflect.DeepEqual(wantR, gotR) {
+			t.Fatalf("bulk=%v: range results diverged after freeze", bulk)
+		}
+		if !reflect.DeepEqual(wantNN, gotNN) {
+			t.Fatalf("bulk=%v: k-NN results diverged after freeze", bulk)
+		}
+		if !reflect.DeepEqual(wantB, gotB) {
+			t.Fatalf("bulk=%v: batch/long results diverged after freeze", bulk)
+		}
+		if !reflect.DeepEqual(wantS, gotS) {
+			t.Fatalf("bulk=%v: search stats diverged after freeze:\n%+v\nvs\n%+v", bulk, wantS, gotS)
+		}
+	}
+}
+
+// TestFileLoadedIndexEquivalence round-trips through the v3 artifact
+// on disk (the mmap zero-copy path) and asserts search equality, then
+// exercises VerifyArtifact and Close.
+func TestFileLoadedIndexEquivalence(t *testing.T) {
+	opts := testOptions()
+	ix := buildTestIndex(t, opts, 8, 120)
+	qs := testQueries(t, ix, 6)
+	eps := 8.0
+	wantR, wantNN, wantB, wantS := runAllSearches(t, ix, qs, eps)
+
+	path := filepath.Join(t.TempDir(), "ix.v3")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadIndexFile(path, ix.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if !loaded.Frozen() {
+		t.Fatal("file-loaded v3 index should serve from the flat arena")
+	}
+	if err := loaded.VerifyArtifact(); err != nil {
+		t.Fatalf("VerifyArtifact on a pristine artifact: %v", err)
+	}
+	gotR, gotNN, gotB, gotS := runAllSearches(t, loaded, qs, eps)
+	if !reflect.DeepEqual(wantR, gotR) || !reflect.DeepEqual(wantNN, gotNN) ||
+		!reflect.DeepEqual(wantB, gotB) || !reflect.DeepEqual(wantS, gotS) {
+		t.Fatal("file-loaded index diverged from in-memory index")
+	}
+
+	// Stream load of the same artifact agrees too.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := LoadIndex(bytes.NewReader(data), ix.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sR, sNN, sB, sS := runAllSearches(t, streamed, qs, eps)
+	if !reflect.DeepEqual(wantR, sR) || !reflect.DeepEqual(wantNN, sNN) ||
+		!reflect.DeepEqual(wantB, sB) || !reflect.DeepEqual(wantS, sS) {
+		t.Fatal("stream-loaded index diverged from in-memory index")
+	}
+}
+
+// TestFrozenIndexMutationThaws checks that a frozen (and file-loaded)
+// index transparently returns to the mutable representation on
+// structural mutation, with nothing lost.
+func TestFrozenIndexMutationThaws(t *testing.T) {
+	opts := testOptions()
+	ix := buildTestIndex(t, opts, 4, 80)
+	before := ix.WindowCount()
+	if err := ix.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.AppendAndIndex("NEW", make([]float64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Frozen() {
+		t.Fatal("mutation should thaw the frozen index")
+	}
+	wl := opts.WindowLen
+	if got, want := ix.WindowCount(), before+(64-wl+1); got != want {
+		t.Fatalf("window count after thaw+append = %d, want %d", got, want)
+	}
+}
+
+// TestV3ArtifactCorruption is the exhaustive sweep over the v3 format:
+// flip a bit in EVERY byte and cut the file at every offset.  The
+// stream loader must reject every mutation outright; the lazy file
+// loader may open some mutations, but then the deferred VerifyArtifact
+// must catch them.  Nothing may panic.
+func TestV3ArtifactCorruption(t *testing.T) {
+	opts := testOptions()
+	opts.WindowLen = 24
+	ix := buildTestIndex(t, opts, 2, 40)
+	st := ix.Store()
+	var buf bytes.Buffer
+	if err := ix.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	probe := func(mut []byte, what string, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s at %d: panic %v", what, i, r)
+			}
+		}()
+		if _, err := LoadIndex(bytes.NewReader(mut), st); err == nil {
+			t.Fatalf("%s at %d: stream load accepted a corrupt artifact", what, i)
+		}
+		lazy, err := loadIndexBytes(mut, st)
+		if err != nil {
+			return
+		}
+		lazy.artifact = mut
+		if err := lazy.VerifyArtifact(); err == nil {
+			t.Fatalf("%s at %d: VerifyArtifact accepted a corrupt artifact", what, i)
+		}
+	}
+
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0x40
+		probe(mut, "flip", i)
+	}
+	for cut := 0; cut < len(good); cut++ {
+		probe(good[:cut], "cut", cut)
+	}
+}
+
+// writeV2Artifact emits the previous format version so compatibility
+// stays pinned by a test even though WriteBinary now produces v3.
+func writeV2Artifact(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.Magic([]byte("SSIDX\x02"))
+	bw.Section(ix.encodeHeader())
+	var tb bytes.Buffer
+	if err := ix.tree.WriteBinary(&tb); err != nil {
+		t.Fatal(err)
+	}
+	bw.Section(tb.Bytes())
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestV2ArtifactCompatibility loads a v2 (pointer-tree) artifact
+// through both the stream and file paths and asserts full equality
+// with the live index.
+func TestV2ArtifactCompatibility(t *testing.T) {
+	opts := testOptions()
+	ix := buildTestIndex(t, opts, 6, 100)
+	qs := testQueries(t, ix, 4)
+	eps := 8.0
+	wantR, wantNN, wantB, wantS := runAllSearches(t, ix, qs, eps)
+	v2 := writeV2Artifact(t, ix)
+
+	streamed, err := LoadIndex(bytes.NewReader(v2), ix.Store())
+	if err != nil {
+		t.Fatalf("v2 stream load: %v", err)
+	}
+	if streamed.Frozen() {
+		t.Fatal("v2 artifacts parse into the pointer representation")
+	}
+	sR, sNN, sB, sS := runAllSearches(t, streamed, qs, eps)
+	if !reflect.DeepEqual(wantR, sR) || !reflect.DeepEqual(wantNN, sNN) ||
+		!reflect.DeepEqual(wantB, sB) || !reflect.DeepEqual(wantS, sS) {
+		t.Fatal("v2 stream-loaded index diverged")
+	}
+
+	path := filepath.Join(t.TempDir(), "ix.v2")
+	if err := os.WriteFile(path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadIndexFile(path, ix.Store())
+	if err != nil {
+		t.Fatalf("v2 file load: %v", err)
+	}
+	defer fromFile.Close()
+	fR, _, _, _ := runAllSearches(t, fromFile, qs, eps)
+	if !reflect.DeepEqual(wantR, fR) {
+		t.Fatal("v2 file-loaded index diverged")
+	}
+
+	// v2 corruption is rejected eagerly on both paths.
+	mut := append([]byte(nil), v2...)
+	mut[len(mut)/2] ^= 0x10
+	if _, err := LoadIndex(bytes.NewReader(mut), ix.Store()); err == nil {
+		t.Fatal("corrupt v2 accepted by stream load")
+	}
+	if _, err := loadIndexBytes(mut, ix.Store()); err == nil {
+		t.Fatal("corrupt v2 accepted by byte load")
+	}
+}
+
+// TestLoadIndexFileMissing keeps the degraded-open contract: a missing
+// artifact degrades OpenOrRebuildFile rather than failing it.
+func TestLoadIndexFileMissing(t *testing.T) {
+	opts := testOptions()
+	st := store.New()
+	st.AppendSequence("a", make([]float64, 80))
+	if _, err := LoadIndexFile(filepath.Join(t.TempDir(), "nope"), st); err == nil {
+		t.Fatal("missing artifact should fail LoadIndexFile")
+	}
+	ix, status, err := OpenOrRebuildFile(filepath.Join(t.TempDir(), "nope"), st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !status.Degraded {
+		t.Fatal("missing artifact should degrade OpenOrRebuildFile")
+	}
+	if deg, _ := ix.Degraded(); !deg {
+		t.Fatal("index should report degraded")
+	}
+}

@@ -47,7 +47,7 @@ func (p *rtreePath) Available() (bool, string) {
 }
 
 func (p *rtreePath) EstimateCost(q engine.Query) engine.Cost {
-	h := p.ix.tree.CostHints()
+	h := p.ix.qtree().CostHints()
 	return engine.EstimateTreeCostSampled(h, q.Windows, q.Eps, sampleDists(h, q))
 }
 
@@ -57,9 +57,9 @@ func (p *rtreePath) Candidates(ctx context.Context, q engine.Query, ts *rtree.Se
 	var cands []rtree.Item
 	var err error
 	if q.Segment {
-		cands, err = p.ix.tree.SegmentSearchContext(descentCtx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.qtree().SegmentSearchContext(descentCtx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
 	} else {
-		cands, err = p.ix.tree.LineSearchContext(descentCtx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.qtree().LineSearchContext(descentCtx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
 	}
 	endDescentSpan(span, ts, nodesBefore, leavesBefore, len(cands), err)
 	if err != nil {
@@ -90,7 +90,7 @@ func (p *trailPath) Available() (bool, string) {
 }
 
 func (p *trailPath) EstimateCost(q engine.Query) engine.Cost {
-	h := p.ix.tree.CostHints()
+	h := p.ix.qtree().CostHints()
 	return engine.EstimateTrailCostSampled(h, q.Windows, p.ix.opts.SubtrailLen, q.Eps, sampleDists(h, q))
 }
 
@@ -100,9 +100,9 @@ func (p *trailPath) Candidates(ctx context.Context, q engine.Query, ts *rtree.Se
 	var cands []rtree.RectItem
 	var err error
 	if q.Segment {
-		cands, err = p.ix.tree.SegmentSearchRectsContext(descentCtx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.qtree().SegmentSearchRectsContext(descentCtx, q.Line, q.TMin, q.TMax, q.Eps, p.ix.opts.Strategy, ts)
 	} else {
-		cands, err = p.ix.tree.LineSearchRectsContext(descentCtx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
+		cands, err = p.ix.qtree().LineSearchRectsContext(descentCtx, q.Line, q.Eps, p.ix.opts.Strategy, ts)
 	}
 	endDescentSpan(span, ts, nodesBefore, leavesBefore, len(cands), err)
 	if err != nil {

@@ -698,7 +698,7 @@ func (ix *Index) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vec
 	if ix.trailMode() {
 		// Trails stream in non-decreasing line-to-MBR distance, a lower
 		// bound for every window feature inside the MBR.
-		ix.tree.NearestRectsToLineFunc(line, &treeStats, func(it rtree.RectItemDist) bool {
+		ix.qtree().NearestRectsToLineFunc(line, &treeStats, func(it rtree.RectItemDist) bool {
 			if len(best) == k && it.Dist > best[k-1].Dist+slack {
 				return false
 			}
@@ -712,7 +712,7 @@ func (ix *Index) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vec
 			return true
 		})
 	} else {
-		ix.tree.NearestToLineFunc(line, &treeStats, func(id rtree.ItemDist) bool {
+		ix.qtree().NearestToLineFunc(line, &treeStats, func(id rtree.ItemDist) bool {
 			if len(best) == k && id.Dist > best[k-1].Dist+slack {
 				return false // lower bound exceeds kth exact distance: done
 			}

@@ -12,12 +12,20 @@ import (
 	"scaleshift/internal/store"
 )
 
-// indexMagic identifies the binary index format, version 2: two
+// indexMagic identifies the binary index format, version 3: two
 // CRC32C-protected sections (header: options and per-sequence indexed
-// window counts; tree: the serialized R*-tree) and a whole-file
-// trailer checksum.  Version 1 (unchecksummed) artifacts are rejected
-// with ErrVersion; rebuild them from the store.
-var indexMagic = []byte("SSIDX\x02")
+// window counts; arena: the frozen flat R*-tree, padded so its arrays
+// land on 8-byte file offsets) and a whole-file trailer checksum.  The
+// arena is stored verbatim — little-endian float64/uint64 arrays — so
+// a memory-mapped artifact serves queries zero-copy (LoadIndexFile).
+//
+// Version 2 (same framing, pointer-tree payload in the second
+// section) is still read.  Version 1 (unchecksummed) artifacts are
+// rejected with ErrVersion; rebuild them from the store.
+var indexMagic = []byte("SSIDX\x03")
+
+// indexVersions lists the format versions LoadIndex accepts.
+var indexVersions = []byte{2, 3}
 
 // Typed artifact-validation failures from LoadIndex, re-exported from
 // the shared framing package so callers can errors.Is against
@@ -33,19 +41,14 @@ var (
 // actually provide.
 const maxIndexSection = 1 << 36
 
-// WriteBinary serializes the index — its options, per-sequence indexed
-// window counts, and the full R*-tree — in the checksummed v2 format,
-// so it can be reopened with LoadIndex without re-running
-// pre-processing.  The underlying store is NOT included; persist it
-// separately with Store.WriteBinary.  A degraded index (see
-// OpenOrRebuild) refuses to serialize: it has no tree to persist.
-func (ix *Index) WriteBinary(w io.Writer) error {
-	if ix.degraded != "" {
-		return fmt.Errorf("core: refusing to serialize a degraded index (%s)", ix.degraded)
-	}
-	bw := binio.NewWriter(w)
-	bw.Magic(indexMagic)
+// indexHeader is the decoded first section of an index artifact.
+type indexHeader struct {
+	windowLen, coeffs, reduction, strategy, subtrail uint64
+	indexed                                          []int
+}
 
+// encodeHeader serializes the options and indexed counts.
+func (ix *Index) encodeHeader() []byte {
 	var head bytes.Buffer
 	var scratch [8]byte
 	writeU64 := func(v uint64) {
@@ -65,33 +68,13 @@ func (ix *Index) WriteBinary(w io.Writer) error {
 	for _, c := range ix.indexed {
 		writeU64(uint64(c))
 	}
-	bw.Section(head.Bytes())
-
-	var tree bytes.Buffer
-	if err := ix.tree.WriteBinary(&tree); err != nil {
-		return err
-	}
-	bw.Section(tree.Bytes())
-	return bw.Close()
+	return head.Bytes()
 }
 
-// LoadIndex reopens an index written by WriteBinary, attaching it to
-// st, which must be the same store (or a bit-exact copy) the index was
-// built over.  Every byte of the artifact is covered by a CRC32C
-// before it is parsed, so truncation and corruption always surface as
-// a typed error (ErrChecksum, ErrTruncated, ErrVersion); the
-// consistency checks against st guard the pair itself — an index
-// loaded against the wrong store is rejected, not served.
-func LoadIndex(r io.Reader, st *store.Store) (*Index, error) {
-	br := binio.NewReader(r)
-	if err := br.Magic(indexMagic); err != nil {
-		return nil, fmt.Errorf("core: reading magic: %w", err)
-	}
-
-	head, err := br.Section(maxIndexSection)
-	if err != nil {
-		return nil, fmt.Errorf("core: header section: %w", err)
-	}
+// parseIndexHeader decodes a header section, validating the sequence
+// count against the store.
+func parseIndexHeader(head []byte, st *store.Store) (indexHeader, error) {
+	var h indexHeader
 	hr := bytes.NewReader(head)
 	var scratch [8]byte
 	readU64 := func() (uint64, error) {
@@ -100,78 +83,259 @@ func LoadIndex(r io.Reader, st *store.Store) (*Index, error) {
 		}
 		return binary.LittleEndian.Uint64(scratch[:]), nil
 	}
-	var windowLen, coeffs, reduction, strategy, subtrail, nIndexed uint64
-	for _, dst := range []*uint64{&windowLen, &coeffs, &reduction, &strategy, &subtrail, &nIndexed} {
+	var nIndexed uint64
+	for _, dst := range []*uint64{&h.windowLen, &h.coeffs, &h.reduction, &h.strategy, &h.subtrail, &nIndexed} {
 		v, err := readU64()
 		if err != nil {
-			return nil, fmt.Errorf("core: reading header: %w", err)
+			return h, fmt.Errorf("core: reading header: %w", err)
 		}
 		*dst = v
 	}
 	if nIndexed > uint64(st.NumSequences()) {
-		return nil, fmt.Errorf("core: index covers %d sequences but store has %d",
+		return h, fmt.Errorf("core: index covers %d sequences but store has %d",
 			nIndexed, st.NumSequences())
 	}
-	indexed := make([]int, nIndexed)
-	for i := range indexed {
+	h.indexed = make([]int, nIndexed)
+	for i := range h.indexed {
 		v, err := readU64()
 		if err != nil {
-			return nil, fmt.Errorf("core: reading indexed counts: %w", err)
+			return h, fmt.Errorf("core: reading indexed counts: %w", err)
 		}
-		indexed[i] = int(v)
+		h.indexed[i] = int(v)
 	}
 	if hr.Len() != 0 {
-		return nil, fmt.Errorf("core: %d trailing header bytes: %w", hr.Len(), ErrChecksum)
+		return h, fmt.Errorf("core: %d trailing header bytes: %w", hr.Len(), ErrChecksum)
+	}
+	return h, nil
+}
+
+// assembleIndex builds the Index shell for a loaded artifact and runs
+// the store-consistency checks shared by every load path: tree
+// dimensionality must match the options' feature map, and the indexed
+// counts must agree with the store's sequence lengths and the tree's
+// leaf-entry count (one entry per window in point mode, one per
+// sub-trail in trail mode).
+func assembleIndex(h indexHeader, cfg rtree.Config, treeLen int, st *store.Store) (*Index, error) {
+	opts := Options{
+		WindowLen:    int(h.windowLen),
+		Coefficients: int(h.coeffs),
+		Reduction:    ReductionKind(h.reduction),
+		Strategy:     geom.Strategy(h.strategy),
+		SubtrailLen:  int(h.subtrail),
+		Tree:         cfg,
+	}
+	ix, err := NewIndex(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dim != ix.fmap.Dim() {
+		return nil, fmt.Errorf("core: tree dimension %d does not match options (%d)",
+			cfg.Dim, ix.fmap.Dim())
+	}
+	total := 0
+	for seq, c := range h.indexed {
+		if c < 0 || (c > 0 && c+int(h.windowLen)-1 > st.SequenceLen(seq)) {
+			return nil, fmt.Errorf("core: indexed count %d exceeds sequence %d (len %d)",
+				c, seq, st.SequenceLen(seq))
+		}
+		if k := int(h.subtrail); k >= 2 {
+			total += (c + k - 1) / k
+		} else {
+			total += c
+		}
+	}
+	if total != treeLen {
+		return nil, fmt.Errorf("core: indexed counts imply %d leaf entries but tree holds %d",
+			total, treeLen)
+	}
+	ix.indexed = h.indexed
+	return ix, nil
+}
+
+// WriteBinary serializes the index — its options, per-sequence indexed
+// window counts, and the frozen flat R*-tree arena — in the
+// checksummed v3 format, so it can be reopened with LoadIndex (or
+// memory-mapped with LoadIndexFile) without re-running
+// pre-processing.  An unfrozen index is frozen transiently for
+// writing; the in-memory representation is left unchanged.  The
+// underlying store is NOT included; persist it separately with
+// Store.WriteBinary.  A degraded index (see OpenOrRebuild) refuses to
+// serialize: it has no tree to persist.
+func (ix *Index) WriteBinary(w io.Writer) error {
+	if ix.degraded != "" {
+		return fmt.Errorf("core: refusing to serialize a degraded index (%s)", ix.degraded)
+	}
+	flat := ix.flat
+	if flat == nil {
+		var err error
+		flat, err = ix.tree.Freeze()
+		if err != nil {
+			return err
+		}
+	}
+	bw := binio.NewWriter(w)
+	bw.Magic(indexMagic)
+	bw.Section(ix.encodeHeader())
+
+	// The arena section payload is a u64 pad length, that many zero
+	// bytes, then the arena verbatim.  The pad is chosen so the arena's
+	// first byte lands on an 8-byte FILE offset: the section starts at
+	// Pos(), its payload at Pos()+8 (after the length prefix), the
+	// arena at Pos()+16+pad.  With every array element 8 bytes wide,
+	// file-offset alignment is what lets an mmap-backed open
+	// reinterpret the arrays in place.
+	pad := int((8 - (bw.Pos()+16)%8) % 8)
+	payload := make([]byte, 8+pad, 8+pad+flat.ArenaSize())
+	binary.LittleEndian.PutUint64(payload, uint64(pad))
+	payload = flat.AppendArena(payload)
+	bw.Section(payload)
+	return bw.Close()
+}
+
+// arenaFromSection peels the pad prefix off an arena section payload.
+func arenaFromSection(payload []byte) ([]byte, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("core: arena section too short (%d bytes): %w", len(payload), ErrTruncated)
+	}
+	pad := binary.LittleEndian.Uint64(payload)
+	if pad >= 8 || 8+pad > uint64(len(payload)) {
+		return nil, fmt.Errorf("core: implausible arena padding %d: %w", pad, ErrChecksum)
+	}
+	return payload[8+pad:], nil
+}
+
+// LoadIndex reopens an index written by WriteBinary, attaching it to
+// st, which must be the same store (or a bit-exact copy) the index was
+// built over.  Every byte of the artifact is covered by a CRC32C
+// before it is parsed, and the arena is structurally validated, so
+// truncation and corruption always surface as a typed error
+// (ErrChecksum, ErrTruncated, ErrVersion) — never a panic and never
+// wrong results.  The consistency checks against st guard the pair
+// itself: an index loaded against the wrong store is rejected, not
+// served.  For O(1) zero-copy opens from a file, use LoadIndexFile.
+func LoadIndex(r io.Reader, st *store.Store) (*Index, error) {
+	br := binio.NewReader(r)
+	version, err := br.MagicVersions(indexMagic, indexVersions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
 
-	treeBytes, err := br.Section(maxIndexSection)
+	head, err := br.Section(maxIndexSection)
+	if err != nil {
+		return nil, fmt.Errorf("core: header section: %w", err)
+	}
+	h, err := parseIndexHeader(head, st)
+	if err != nil {
+		return nil, err
+	}
+
+	body, err := br.Section(maxIndexSection)
 	if err != nil {
 		return nil, fmt.Errorf("core: tree section: %w", err)
 	}
-	tree, err := rtree.ReadBinary(bytes.NewReader(treeBytes))
+
+	if version == 2 {
+		tree, err := rtree.ReadBinary(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := br.Trailer(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ix, err := assembleIndex(h, tree.Config(), tree.Len(), st)
+		if err != nil {
+			return nil, err
+		}
+		ix.tree = tree
+		return ix, nil
+	}
+
+	arena, err := arenaFromSection(body)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := rtree.FlatFromArena(arena)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if err := br.Trailer(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-
-	opts := Options{
-		WindowLen:    int(windowLen),
-		Coefficients: int(coeffs),
-		Reduction:    ReductionKind(reduction),
-		Strategy:     geom.Strategy(strategy),
-		SubtrailLen:  int(subtrail),
-		Tree:         tree.Config(),
+	// The CRCs passed, but defense in depth is cheap relative to the
+	// stream read: validate so traversal is panic-free even against an
+	// artifact whose checksums were deliberately recomputed.
+	if err := flat.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	ix, err := NewIndex(st, opts)
+	ix, err := assembleIndex(h, flat.Config(), flat.Len(), st)
 	if err != nil {
 		return nil, err
 	}
-	if tree.Config().Dim != ix.fmap.Dim() {
-		return nil, fmt.Errorf("core: tree dimension %d does not match options (%d)",
-			tree.Config().Dim, ix.fmap.Dim())
+	ix.flat = flat
+	return ix, nil
+}
+
+// loadIndexBytes opens an index artifact already resident in memory
+// (typically a memory mapping).  v3 artifacts open in O(1): the header
+// section is small and CRC-checked, but the arena section's checksum
+// and structural validation are DEFERRED (Index.VerifyArtifact) and
+// the arena's arrays are reinterpreted in place, aliasing data.  v2
+// artifacts are fully verified and parsed, exactly like LoadIndex.
+func loadIndexBytes(data []byte, st *store.Store) (*Index, error) {
+	br := binio.NewByteReader(data)
+	version, err := br.MagicVersions(indexMagic, indexVersions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
-	// The indexed counts must be consistent with the store and the tree:
-	// one leaf entry per window in point mode, one per sub-trail in
-	// trail mode.
-	total := 0
-	for seq, c := range indexed {
-		if c < 0 || (c > 0 && c+int(windowLen)-1 > st.SequenceLen(seq)) {
-			return nil, fmt.Errorf("core: indexed count %d exceeds sequence %d (len %d)",
-				c, seq, st.SequenceLen(seq))
+
+	head, err := br.Section(maxIndexSection)
+	if err != nil {
+		return nil, fmt.Errorf("core: header section: %w", err)
+	}
+	h, err := parseIndexHeader(head, st)
+	if err != nil {
+		return nil, err
+	}
+
+	if version == 2 {
+		body, err := br.Section(maxIndexSection)
+		if err != nil {
+			return nil, fmt.Errorf("core: tree section: %w", err)
 		}
-		if ix0 := int(subtrail); ix0 >= 2 {
-			total += (c + ix0 - 1) / ix0
-		} else {
-			total += c
+		tree, err := rtree.ReadBinary(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
 		}
+		if err := br.Trailer(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ix, err := assembleIndex(h, tree.Config(), tree.Len(), st)
+		if err != nil {
+			return nil, err
+		}
+		ix.tree = tree
+		return ix, nil
 	}
-	if total != tree.Len() {
-		return nil, fmt.Errorf("core: indexed counts imply %d leaf entries but tree holds %d",
-			total, tree.Len())
+
+	body, err := br.SectionLazy(maxIndexSection)
+	if err != nil {
+		return nil, fmt.Errorf("core: arena section: %w", err)
 	}
-	ix.tree = tree
-	ix.indexed = indexed
+	if rest := len(data) - br.Offset(); rest != 4 {
+		return nil, fmt.Errorf("core: %d bytes after arena section (want 4-byte trailer): %w", rest, ErrTruncated)
+	}
+	arena, err := arenaFromSection(body)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := rtree.FlatFromArena(arena)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ix, err := assembleIndex(h, flat.Config(), flat.Len(), st)
+	if err != nil {
+		return nil, err
+	}
+	ix.flat = flat
 	return ix, nil
 }

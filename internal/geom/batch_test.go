@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scaleshift/internal/vec"
+)
+
+// packPlanes lays rects out dimension-major the way a flat tree node
+// stores them: dim rows of lows, then dim rows of highs, each count
+// long.
+func packPlanes(rects []Rect, dim int) NodePlanes {
+	count := len(rects)
+	data := make([]float64, 2*dim*count)
+	for k, r := range rects {
+		for j := 0; j < dim; j++ {
+			data[j*count+k] = r.L[j]
+			data[(dim+j)*count+k] = r.H[j]
+		}
+	}
+	return NodePlanes{Data: data, Count: count, Dim: dim}
+}
+
+func randRectSlice(rng *rand.Rand, dim, count int) []Rect {
+	rects := make([]Rect, count)
+	for k := range rects {
+		l := make(vec.Vector, dim)
+		h := make(vec.Vector, dim)
+		for j := range l {
+			l[j] = (rng.Float64()*2 - 1) * 10
+			h[j] = l[j] + rng.Float64()*3
+		}
+		rects[k] = Rect{L: l, H: h}
+	}
+	return rects
+}
+
+func randLineDim(rng *rand.Rand, dim int) vec.Line {
+	p := make(vec.Vector, dim)
+	d := make(vec.Vector, dim)
+	for j := 0; j < dim; j++ {
+		p[j] = (rng.Float64()*2 - 1) * 5
+		d[j] = rng.Float64()*2 - 1
+	}
+	return vec.Line{P: p, D: d}
+}
+
+// TestPenetrateBatchParity checks that the batched slab/sphere kernels
+// agree with the scalar primitives verdict-for-verdict and
+// stat-for-stat across strategies, counts (hitting both the unrolled
+// and remainder loops), and line/segment forms.
+func TestPenetrateBatchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var sc BatchScratch
+	for _, dim := range []int{1, 2, 3, 6, 7} {
+		for _, count := range []int{1, 2, 3, 4, 5, 8, 9, 20, 33} {
+			for trial := 0; trial < 20; trial++ {
+				rects := randRectSlice(rng, dim, count)
+				pl := packPlanes(rects, dim)
+				l := randLineDim(rng, dim)
+				eps := rng.Float64() * 2
+				tMin, tMax := rng.Float64()*2-1, rng.Float64()*3
+				for _, strat := range []Strategy{EnteringExiting, BoundingSpheres} {
+					var bs CheckStats
+					verdict := PenetratesEnlargedBatch(strat, pl, eps, l, &sc, &bs)
+					var ss CheckStats
+					for k, r := range rects {
+						want := PenetratesEnlarged(strat, r, eps, l, &ss)
+						if verdict[k] != want {
+							t.Fatalf("dim=%d count=%d strat=%v k=%d: batch=%v scalar=%v",
+								dim, count, strat, k, verdict[k], want)
+						}
+					}
+					if bs != ss {
+						t.Fatalf("dim=%d count=%d strat=%v: stats %+v vs %+v", dim, count, strat, bs, ss)
+					}
+
+					bs, ss = CheckStats{}, CheckStats{}
+					verdict = PenetratesEnlargedSegmentBatch(strat, pl, eps, l, tMin, tMax, &sc, &bs)
+					for k, r := range rects {
+						want := PenetratesEnlargedSegment(strat, r, eps, l, tMin, tMax, &ss)
+						if verdict[k] != want {
+							t.Fatalf("segment dim=%d count=%d strat=%v k=%d", dim, count, strat, k)
+						}
+					}
+					if bs != ss {
+						t.Fatalf("segment stats: %+v vs %+v", bs, ss)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectsContainsBatchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	var sc BatchScratch
+	for _, dim := range []int{1, 2, 5} {
+		for _, count := range []int{1, 4, 7, 25} {
+			for trial := 0; trial < 30; trial++ {
+				rects := randRectSlice(rng, dim, count)
+				pl := packPlanes(rects, dim)
+				q := randRectSlice(rng, dim, 1)[0]
+				verdict := make([]bool, count)
+				IntersectsBatch(pl, q, &sc, verdict)
+				for k, r := range rects {
+					if verdict[k] != q.Intersects(r) {
+						t.Fatalf("IntersectsBatch dim=%d k=%d: %v vs %v", dim, k, verdict[k], q.Intersects(r))
+					}
+				}
+				// ContainsBatch reads point rows: degenerate rects.
+				pts := make([]Rect, count)
+				for k := range pts {
+					p := make(vec.Vector, dim)
+					for j := range p {
+						p[j] = (rng.Float64()*2 - 1) * 10
+					}
+					pts[k] = RectFromPoint(p)
+				}
+				ppl := packPlanes(pts, dim)
+				ContainsBatch(ppl.Data, count, q, verdict)
+				for k := range pts {
+					if verdict[k] != q.Contains(pts[k].L) {
+						t.Fatalf("ContainsBatch dim=%d k=%d", dim, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPenetrateBatchParity drives the batch kernels with adversarial
+// coordinates (including NaN and infinities via float reinterpretation
+// of fuzz bytes) and asserts verdict parity with the scalar path.
+func FuzzPenetrateBatchParity(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), 0.5)
+	f.Add(int64(99), uint8(6), uint8(8), 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, dim8, count8 uint8, eps float64) {
+		dim := int(dim8%8) + 1
+		count := int(count8%16) + 1
+		if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+			eps = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rects := randRectSlice(rng, dim, count)
+		pl := packPlanes(rects, dim)
+		l := randLineDim(rng, dim)
+		var sc BatchScratch
+		for _, strat := range []Strategy{EnteringExiting, BoundingSpheres} {
+			verdict := PenetratesEnlargedBatch(strat, pl, eps, l, &sc, nil)
+			for k, r := range rects {
+				if verdict[k] != PenetratesEnlarged(strat, r, eps, l, nil) {
+					t.Fatalf("parity break: strat=%v k=%d", strat, k)
+				}
+			}
+		}
+	})
+}

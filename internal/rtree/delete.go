@@ -131,7 +131,8 @@ func (t *Tree) condense(n *node) {
 			t.nodes -= n.pages()
 		} else {
 			t.shrinkSupernodeIfPossible(n)
-			n.parentEntry().rect = n.mbr()
+			pe := n.parentEntry()
+			n.mbrInto(&pe.rect)
 		}
 		n = parent
 	}

@@ -1,0 +1,696 @@
+package rtree
+
+import (
+	"container/heap"
+	"context"
+	"io"
+
+	"scaleshift/internal/geom"
+	"scaleshift/internal/vec"
+)
+
+// Flat-tree searches.  Every method here is RESULT- and
+// STATS-IDENTICAL to its pointer-tree counterpart in search.go /
+// cancel.go: the traversal order is the same (entries in slot order,
+// depth-first / best-first), and the pruning decisions come from the
+// batched kernels of geom/batch.go and vec/batch.go, which evaluate
+// the exact scalar expressions per entry.  The only differences are
+// mechanical: MBR planes are read from the contiguous SoA arena, a
+// node's entries are tested in one kernel sweep before any descent,
+// and returned Items/Rects are materialized fresh (the arena has no
+// per-entry objects to share).
+
+// flatScratch holds the per-search reusable buffers.  Verdicts of
+// internal nodes must survive the recursive descent below them, so
+// they live in per-level buffers (depth-first search keeps at most
+// one active node per level); the remaining accumulators are consumed
+// before any recursion and are shared.
+type flatScratch struct {
+	bs     geom.BatchScratch
+	levels [][]bool // per-level verdict buffers, each maxNode long
+	qpD    []float64
+	qpQp   []float64
+	dist   []float64
+	rL, rH vec.Vector // entryRect gather destination
+}
+
+func (f *FlatTree) getScratch() *flatScratch {
+	if v := f.pool.Get(); v != nil {
+		return v.(*flatScratch)
+	}
+	sc := &flatScratch{
+		levels: make([][]bool, f.height),
+		qpD:    make([]float64, f.maxNode),
+		qpQp:   make([]float64, f.maxNode),
+		dist:   make([]float64, f.maxNode),
+		rL:     make(vec.Vector, f.cfg.Dim),
+		rH:     make(vec.Vector, f.cfg.Dim),
+	}
+	for i := range sc.levels {
+		sc.levels[i] = make([]bool, f.maxNode)
+	}
+	return sc
+}
+
+func (f *FlatTree) putScratch(sc *flatScratch) { f.pool.Put(sc) }
+
+// leafItem materializes the Item of leaf entry s+k, whose node planes
+// are pl.  Point-mode leaves store the point as the degenerate rect,
+// so the L rows are gathered; rect-mode items carry only the ID.
+func (f *FlatTree) leafItem(ei int, pl geom.NodePlanes, k int) Item {
+	id := int64(f.refs[ei])
+	if f.leafKind != flatLeafPoints {
+		return Item{ID: id}
+	}
+	p := make(vec.Vector, f.cfg.Dim)
+	for j := range p {
+		p[j] = pl.LRow(j)[k]
+	}
+	return Item{Point: p, ID: id}
+}
+
+// leafRect materializes the extent of entry k of the node viewed by pl.
+func (f *FlatTree) leafRect(pl geom.NodePlanes, k int) geom.Rect {
+	d := f.cfg.Dim
+	lo := make(vec.Vector, d)
+	hi := make(vec.Vector, d)
+	for j := 0; j < d; j++ {
+		lo[j] = pl.LRow(j)[k]
+		hi[j] = pl.HRow(j)[k]
+	}
+	return geom.Rect{L: lo, H: hi}
+}
+
+// entryRect gathers entry k of pl into the scratch rect (no
+// allocation) for kernels that take a Rect by value and do not retain
+// it, like geom.LineRectDist.
+func (sc *flatScratch) entryRect(pl geom.NodePlanes, k int) geom.Rect {
+	for j := range sc.rL {
+		sc.rL[j] = pl.LRow(j)[k]
+		sc.rH[j] = pl.HRow(j)[k]
+	}
+	return geom.Rect{L: sc.rL, H: sc.rH}
+}
+
+// RangeSearch appends to out every item whose point lies inside r —
+// the flat counterpart of Tree.RangeSearch.  stats may be nil.
+func (f *FlatTree) RangeSearch(r geom.Rect, stats *SearchStats) []Item {
+	sc := f.getScratch()
+	defer f.putScratch(sc)
+	var out []Item
+	f.rangeSearch(0, r, &out, stats, sc)
+	return out
+}
+
+func (f *FlatTree) rangeSearch(ni int, r geom.Rect, out *[]Item, stats *SearchStats, sc *flatScratch) {
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return
+		}
+		pl := f.nodePlanes(s, e)
+		verdict := sc.levels[0][:c]
+		geom.ContainsBatch(pl.Data, c, r, verdict)
+		for k := 0; k < c; k++ {
+			if verdict[k] {
+				*out = append(*out, f.leafItem(s+k, pl, k))
+			}
+		}
+		return
+	}
+	verdict := sc.levels[lvl][:c]
+	geom.IntersectsBatch(f.nodePlanes(s, e), r, &sc.bs, verdict)
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			f.rangeSearch(f.child(ni, s+k), r, out, stats, sc)
+		}
+	}
+}
+
+// LineSearch returns every item whose point lies within eps of the
+// line l — the flat counterpart of Tree.LineSearch.  stats may be nil.
+func (f *FlatTree) LineSearch(l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) []Item {
+	sc := f.getScratch()
+	defer f.putScratch(sc)
+	var out []Item
+	f.lineSearch(0, l, eps, strategy, &out, stats, sc)
+	return out
+}
+
+func (f *FlatTree) lineSearch(ni int, l vec.Line, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats, sc *flatScratch) {
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return
+		}
+		pl := f.nodePlanes(s, e)
+		vec.PLDFastBatch(pl.Data, c, l, sc.qpD, sc.qpQp, sc.dist)
+		for k := 0; k < c; k++ {
+			if sc.dist[k] <= eps {
+				*out = append(*out, f.leafItem(s+k, pl, k))
+			}
+		}
+		return
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedBatch(strategy, f.nodePlanes(s, e), eps, l, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			f.lineSearch(f.child(ni, s+k), l, eps, strategy, out, stats, sc)
+		}
+	}
+}
+
+// LineSearchRects returns every leaf entry whose ε-enlarged extent is
+// penetrated by l — the flat counterpart of Tree.LineSearchRects.
+func (f *FlatTree) LineSearchRects(l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) []RectItem {
+	sc := f.getScratch()
+	defer f.putScratch(sc)
+	var out []RectItem
+	f.lineSearchRects(0, l, eps, strategy, &out, stats, sc)
+	return out
+}
+
+func (f *FlatTree) lineSearchRects(ni int, l vec.Line, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats, sc *flatScratch) {
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return
+		}
+		pl := f.nodePlanes(s, e)
+		verdict := geom.PenetratesEnlargedBatch(strategy, pl, eps, l, &sc.bs, pen)
+		for k := 0; k < c; k++ {
+			if verdict[k] {
+				*out = append(*out, RectItem{Rect: f.leafRect(pl, k), ID: int64(f.refs[s+k])})
+			}
+		}
+		return
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedBatch(strategy, f.nodePlanes(s, e), eps, l, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			f.lineSearchRects(f.child(ni, s+k), l, eps, strategy, out, stats, sc)
+		}
+	}
+}
+
+// SegmentSearch is LineSearch restricted to the parameter range
+// [tMin, tMax] — the flat counterpart of Tree.SegmentSearch.
+func (f *FlatTree) SegmentSearch(l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) []Item {
+	sc := f.getScratch()
+	defer f.putScratch(sc)
+	var out []Item
+	f.segmentSearch(0, l, tMin, tMax, eps, strategy, &out, stats, sc)
+	return out
+}
+
+func (f *FlatTree) segmentSearch(ni int, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats, sc *flatScratch) {
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return
+		}
+		pl := f.nodePlanes(s, e)
+		vec.PSegDFastBatch(pl.Data, c, l, tMin, tMax, sc.qpD, sc.qpQp, sc.dist)
+		for k := 0; k < c; k++ {
+			if sc.dist[k] <= eps {
+				*out = append(*out, f.leafItem(s+k, pl, k))
+			}
+		}
+		return
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedSegmentBatch(strategy, f.nodePlanes(s, e), eps, l, tMin, tMax, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			f.segmentSearch(f.child(ni, s+k), l, tMin, tMax, eps, strategy, out, stats, sc)
+		}
+	}
+}
+
+// SegmentSearchRects is SegmentSearch for rectangle leaf entries —
+// the flat counterpart of Tree.SegmentSearchRects.
+func (f *FlatTree) SegmentSearchRects(l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) []RectItem {
+	sc := f.getScratch()
+	defer f.putScratch(sc)
+	var out []RectItem
+	f.segmentSearchRects(0, l, tMin, tMax, eps, strategy, &out, stats, sc)
+	return out
+}
+
+func (f *FlatTree) segmentSearchRects(ni int, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats, sc *flatScratch) {
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return
+		}
+		pl := f.nodePlanes(s, e)
+		verdict := geom.PenetratesEnlargedSegmentBatch(strategy, pl, eps, l, tMin, tMax, &sc.bs, pen)
+		for k := 0; k < c; k++ {
+			if verdict[k] {
+				*out = append(*out, RectItem{Rect: f.leafRect(pl, k), ID: int64(f.refs[s+k])})
+			}
+		}
+		return
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedSegmentBatch(strategy, f.nodePlanes(s, e), eps, l, tMin, tMax, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			f.segmentSearchRects(f.child(ni, s+k), l, tMin, tMax, eps, strategy, out, stats, sc)
+		}
+	}
+}
+
+// LineSearchContext is LineSearch with cooperative cancellation,
+// polling ctx at every node visit like the pointer tree.
+func (f *FlatTree) LineSearchContext(ctx context.Context, l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) ([]Item, error) {
+	nb, lb := descentBefore(stats)
+	sc := f.getScratch()
+	var out []Item
+	err := f.lineSearchCtx(ctx, 0, l, eps, strategy, &out, stats, sc)
+	f.putScratch(sc)
+	recordDescent(stats, nb, lb)
+	return out, err
+}
+
+func (f *FlatTree) lineSearchCtx(ctx context.Context, ni int, l vec.Line, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats, sc *flatScratch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return nil
+		}
+		pl := f.nodePlanes(s, e)
+		vec.PLDFastBatch(pl.Data, c, l, sc.qpD, sc.qpQp, sc.dist)
+		for k := 0; k < c; k++ {
+			if sc.dist[k] <= eps {
+				*out = append(*out, f.leafItem(s+k, pl, k))
+			}
+		}
+		return nil
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedBatch(strategy, f.nodePlanes(s, e), eps, l, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			if err := f.lineSearchCtx(ctx, f.child(ni, s+k), l, eps, strategy, out, stats, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SegmentSearchContext is SegmentSearch with cooperative cancellation.
+func (f *FlatTree) SegmentSearchContext(ctx context.Context, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) ([]Item, error) {
+	nb, lb := descentBefore(stats)
+	sc := f.getScratch()
+	var out []Item
+	err := f.segmentSearchCtx(ctx, 0, l, tMin, tMax, eps, strategy, &out, stats, sc)
+	f.putScratch(sc)
+	recordDescent(stats, nb, lb)
+	return out, err
+}
+
+func (f *FlatTree) segmentSearchCtx(ctx context.Context, ni int, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]Item, stats *SearchStats, sc *flatScratch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return nil
+		}
+		pl := f.nodePlanes(s, e)
+		vec.PSegDFastBatch(pl.Data, c, l, tMin, tMax, sc.qpD, sc.qpQp, sc.dist)
+		for k := 0; k < c; k++ {
+			if sc.dist[k] <= eps {
+				*out = append(*out, f.leafItem(s+k, pl, k))
+			}
+		}
+		return nil
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedSegmentBatch(strategy, f.nodePlanes(s, e), eps, l, tMin, tMax, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			if err := f.segmentSearchCtx(ctx, f.child(ni, s+k), l, tMin, tMax, eps, strategy, out, stats, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LineSearchRectsContext is LineSearchRects with cooperative
+// cancellation.
+func (f *FlatTree) LineSearchRectsContext(ctx context.Context, l vec.Line, eps float64, strategy geom.Strategy, stats *SearchStats) ([]RectItem, error) {
+	nb, lb := descentBefore(stats)
+	sc := f.getScratch()
+	var out []RectItem
+	err := f.lineSearchRectsCtx(ctx, 0, l, eps, strategy, &out, stats, sc)
+	f.putScratch(sc)
+	recordDescent(stats, nb, lb)
+	return out, err
+}
+
+func (f *FlatTree) lineSearchRectsCtx(ctx context.Context, ni int, l vec.Line, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats, sc *flatScratch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return nil
+		}
+		pl := f.nodePlanes(s, e)
+		verdict := geom.PenetratesEnlargedBatch(strategy, pl, eps, l, &sc.bs, pen)
+		for k := 0; k < c; k++ {
+			if verdict[k] {
+				*out = append(*out, RectItem{Rect: f.leafRect(pl, k), ID: int64(f.refs[s+k])})
+			}
+		}
+		return nil
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedBatch(strategy, f.nodePlanes(s, e), eps, l, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			if err := f.lineSearchRectsCtx(ctx, f.child(ni, s+k), l, eps, strategy, out, stats, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SegmentSearchRectsContext is SegmentSearchRects with cooperative
+// cancellation.
+func (f *FlatTree) SegmentSearchRectsContext(ctx context.Context, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, stats *SearchStats) ([]RectItem, error) {
+	nb, lb := descentBefore(stats)
+	sc := f.getScratch()
+	var out []RectItem
+	err := f.segmentSearchRectsCtx(ctx, 0, l, tMin, tMax, eps, strategy, &out, stats, sc)
+	f.putScratch(sc)
+	recordDescent(stats, nb, lb)
+	return out, err
+}
+
+func (f *FlatTree) segmentSearchRectsCtx(ctx context.Context, ni int, l vec.Line, tMin, tMax, eps float64, strategy geom.Strategy, out *[]RectItem, stats *SearchStats, sc *flatScratch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.NodeAccesses += f.nodePages(ni)
+	}
+	var pen *geom.CheckStats
+	if stats != nil {
+		pen = &stats.Penetration
+	}
+	s, e := f.nodeEntries(ni)
+	c := e - s
+	lvl := f.nodeLevel(ni)
+	if lvl == 0 {
+		if stats != nil {
+			stats.LeafEntriesChecked += c
+		}
+		if c == 0 {
+			return nil
+		}
+		pl := f.nodePlanes(s, e)
+		verdict := geom.PenetratesEnlargedSegmentBatch(strategy, pl, eps, l, tMin, tMax, &sc.bs, pen)
+		for k := 0; k < c; k++ {
+			if verdict[k] {
+				*out = append(*out, RectItem{Rect: f.leafRect(pl, k), ID: int64(f.refs[s+k])})
+			}
+		}
+		return nil
+	}
+	verdict := sc.levels[lvl][:c]
+	copy(verdict, geom.PenetratesEnlargedSegmentBatch(strategy, f.nodePlanes(s, e), eps, l, tMin, tMax, &sc.bs, pen))
+	for k := 0; k < c; k++ {
+		if verdict[k] {
+			if err := f.segmentSearchRectsCtx(ctx, f.child(ni, s+k), l, tMin, tMax, eps, strategy, out, stats, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flatNNEntry is one best-first queue element: a node to expand
+// (k == -1) or a leaf entry k of node, materialized only when popped
+// so pushes stay allocation-free.
+type flatNNEntry struct {
+	dist float64
+	node int
+	k    int
+}
+
+type flatNNHeap []flatNNEntry
+
+func (h flatNNHeap) Len() int            { return len(h) }
+func (h flatNNHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h flatNNHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *flatNNHeap) Push(x interface{}) { *h = append(*h, x.(flatNNEntry)) }
+func (h *flatNNHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NearestToLine returns the k items closest to the line l — the flat
+// counterpart of Tree.NearestToLine.
+func (f *FlatTree) NearestToLine(l vec.Line, k int, stats *SearchStats) []ItemDist {
+	if k <= 0 {
+		return nil
+	}
+	var out []ItemDist
+	f.NearestToLineFunc(l, stats, func(id ItemDist) bool {
+		out = append(out, id)
+		return len(out) < k
+	})
+	return out
+}
+
+// NearestToLineFunc streams items in non-decreasing distance to l —
+// the flat counterpart of Tree.NearestToLineFunc.  The push sequence
+// and distance values match the pointer tree bit for bit, and the
+// heap orders on distance alone, so the emitted stream is identical.
+func (f *FlatTree) NearestToLineFunc(l vec.Line, stats *SearchStats, fn func(ItemDist) bool) {
+	if f.size == 0 {
+		return
+	}
+	nb, lb := descentBefore(stats)
+	defer recordDescent(stats, nb, lb)
+	sc := f.getScratch()
+	defer f.putScratch(sc)
+	h := &flatNNHeap{{dist: 0, node: 0, k: -1}}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(flatNNEntry)
+		if top.k >= 0 {
+			s, e := f.nodeEntries(top.node)
+			pl := f.nodePlanes(s, e)
+			if !fn(ItemDist{Item: f.leafItem(s+top.k, pl, top.k), Dist: top.dist}) {
+				return
+			}
+			continue
+		}
+		ni := top.node
+		if stats != nil {
+			stats.NodeAccesses += f.nodePages(ni)
+		}
+		s, e := f.nodeEntries(ni)
+		c := e - s
+		if f.nodeLevel(ni) == 0 {
+			if stats != nil {
+				stats.LeafEntriesChecked += c
+			}
+			if c == 0 {
+				continue
+			}
+			pl := f.nodePlanes(s, e)
+			vec.PLDFastBatch(pl.Data, c, l, sc.qpD, sc.qpQp, sc.dist)
+			for k := 0; k < c; k++ {
+				heap.Push(h, flatNNEntry{dist: sc.dist[k], node: ni, k: k})
+			}
+			continue
+		}
+		pl := f.nodePlanes(s, e)
+		for k := 0; k < c; k++ {
+			d := geom.LineRectDist(sc.entryRect(pl, k), l)
+			heap.Push(h, flatNNEntry{dist: d, node: f.child(ni, s+k), k: -1})
+		}
+	}
+}
+
+// NearestRectsToLineFunc streams leaf entries in non-decreasing
+// line-to-extent distance — the flat counterpart of
+// Tree.NearestRectsToLineFunc.
+func (f *FlatTree) NearestRectsToLineFunc(l vec.Line, stats *SearchStats, fn func(RectItemDist) bool) {
+	if f.size == 0 {
+		return
+	}
+	nb, lb := descentBefore(stats)
+	defer recordDescent(stats, nb, lb)
+	sc := f.getScratch()
+	defer f.putScratch(sc)
+	h := &flatNNHeap{{dist: 0, node: 0, k: -1}}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(flatNNEntry)
+		if top.k >= 0 {
+			s, e := f.nodeEntries(top.node)
+			pl := f.nodePlanes(s, e)
+			ri := RectItemDist{Rect: f.leafRect(pl, top.k), ID: int64(f.refs[s+top.k]), Dist: top.dist}
+			if !fn(ri) {
+				return
+			}
+			continue
+		}
+		ni := top.node
+		if stats != nil {
+			stats.NodeAccesses += f.nodePages(ni)
+		}
+		s, e := f.nodeEntries(ni)
+		c := e - s
+		pl := f.nodePlanes(s, e)
+		leaf := f.nodeLevel(ni) == 0
+		for k := 0; k < c; k++ {
+			d := geom.LineRectDist(sc.entryRect(pl, k), l)
+			if leaf {
+				if stats != nil {
+					stats.LeafEntriesChecked++
+				}
+				heap.Push(h, flatNNEntry{dist: d, node: ni, k: k})
+			} else {
+				heap.Push(h, flatNNEntry{dist: d, node: f.child(ni, s+k), k: -1})
+			}
+		}
+	}
+}
+
+// All returns every stored item in document order — the flat
+// counterpart of Tree.All.
+func (f *FlatTree) All() []Item {
+	var out []Item
+	var walk func(ni int)
+	walk = func(ni int) {
+		s, e := f.nodeEntries(ni)
+		if f.nodeLevel(ni) == 0 {
+			pl := f.nodePlanes(s, e)
+			for k := 0; k < e-s; k++ {
+				out = append(out, f.leafItem(s+k, pl, k))
+			}
+			return
+		}
+		for ei := s; ei < e; ei++ {
+			walk(f.child(ni, ei))
+		}
+	}
+	walk(0)
+	return out
+}
+
+// WriteStats renders Stats as an aligned table, matching
+// Tree.WriteStats output byte for byte on an equivalent tree.
+func (f *FlatTree) WriteStats(w io.Writer) error {
+	return writeLevelStats(w, f.Stats())
+}

@@ -156,13 +156,37 @@ func (n *node) pages() int {
 
 func (n *node) isLeaf() bool { return n.level == 0 }
 
-// mbr returns the exact union of the node's entry rectangles.
+// mbr returns the exact union of the node's entry rectangles as a
+// fresh rectangle.
 func (n *node) mbr() geom.Rect {
-	r := geom.Rect{L: n.entries[0].rect.L.Clone(), H: n.entries[0].rect.H.Clone()}
-	for _, e := range n.entries[1:] {
-		r.Extend(e.rect)
-	}
+	var r geom.Rect
+	n.mbrInto(&r)
 	return r
+}
+
+// mbrInto writes the exact union of the node's entry rectangles into
+// dst, reusing dst's backing slices when they have the capacity — the
+// allocation-free form used on the insert path, where the destination
+// is an existing parent-entry rectangle that is recomputed on every
+// adjust step.
+func (n *node) mbrInto(dst *geom.Rect) {
+	first := n.entries[0].rect
+	d := len(first.L)
+	if cap(dst.L) >= d {
+		dst.L = dst.L[:d]
+	} else {
+		dst.L = make(vec.Vector, d)
+	}
+	if cap(dst.H) >= d {
+		dst.H = dst.H[:d]
+	} else {
+		dst.H = make(vec.Vector, d)
+	}
+	copy(dst.L, first.L)
+	copy(dst.H, first.H)
+	for _, e := range n.entries[1:] {
+		dst.Extend(e.rect)
+	}
 }
 
 // parentEntry returns the slot in n.parent that points at n, or nil
@@ -196,6 +220,9 @@ type Tree struct {
 	sample       []vec.Vector
 	sampleStride int
 	sampleTick   int
+	// pathScratch is reused by insertEntry to record the chooseSubtree
+	// descent, so the MBR-adjust ascent never scans a parent's entries.
+	pathScratch []*entry
 }
 
 // New returns an empty tree with the given configuration.
@@ -268,19 +295,23 @@ func (t *Tree) InsertRect(r geom.Rect, id int64) {
 // insertEntry places e into a node at the given level, handling
 // overflow with forced reinsertion or splits.
 func (t *Tree) insertEntry(e *entry, level int) {
-	n := t.chooseSubtree(e.rect, level)
+	n, path := t.chooseSubtree(e.rect, level, t.pathScratch[:0])
+	t.pathScratch = path
 	n.entries = append(n.entries, e)
 	if e.child != nil {
 		e.child.parent = n
 	}
 	// Pure insertion only grows MBRs, so extending the ancestors'
-	// rectangles in place is exact and avoids recomputing unions.
-	for m := n; m.parent != nil; m = m.parent {
-		m.parentEntry().rect.Extend(e.rect)
+	// rectangles in place is exact and avoids recomputing unions.  The
+	// descent already holds the chosen slot at every level, so no
+	// parent-entry scan is needed on the way back up.
+	for _, pe := range path {
+		pe.rect.Extend(e.rect)
 	}
 	// Resolve overflows with a worklist: splitting a supernode can
 	// leave either half still over normal capacity, and a split always
-	// adds an entry to the parent.
+	// adds an entry to the parent.  Nested insertEntry calls (forced
+	// reinsertion) reuse pathScratch; by then path is no longer read.
 	work := []*node{n}
 	for len(work) > 0 {
 		cur := work[len(work)-1]
@@ -294,8 +325,10 @@ func (t *Tree) insertEntry(e *entry, level int) {
 
 // chooseSubtree descends from the root to the node at the target level
 // that should receive a rectangle r (R* ChooseSubtree; Guttman's
-// least-enlargement rule for the classic splits).
-func (t *Tree) chooseSubtree(r geom.Rect, level int) *node {
+// least-enlargement rule for the classic splits).  The entry chosen at
+// each step is appended to path, giving the caller the root-to-target
+// slot chain without any parentEntry scans.
+func (t *Tree) chooseSubtree(r geom.Rect, level int, path []*entry) (*node, []*entry) {
 	n := t.root
 	for n.level > level {
 		var best *entry
@@ -304,9 +337,10 @@ func (t *Tree) chooseSubtree(r geom.Rect, level int) *node {
 		} else {
 			best = chooseMinEnlargement(n.entries, r)
 		}
+		path = append(path, best)
 		n = best.child
 	}
-	return n
+	return n, path
 }
 
 // unionArea returns Area(a ∪ b) without materializing the union.
@@ -453,6 +487,7 @@ func (t *Tree) forcedReinsert(n *node) {
 // child.
 func (t *Tree) refreshUpward(n *node) {
 	for m := n; m.parent != nil; m = m.parent {
-		m.parentEntry().rect = m.mbr()
+		pe := m.parentEntry()
+		m.mbrInto(&pe.rect)
 	}
 }

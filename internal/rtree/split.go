@@ -41,7 +41,8 @@ func (t *Tree) splitNode(n *node, g1, g2 []*entry) *node {
 	}
 	parent := n.parent
 	sibling.parent = parent
-	n.parentEntry().rect = n.mbr()
+	pe := n.parentEntry()
+	n.mbrInto(&pe.rect)
 	parent.entries = append(parent.entries, &entry{rect: sibling.mbr(), child: sibling})
 	t.refreshUpward(parent)
 	return sibling

@@ -95,12 +95,18 @@ func (t *Tree) Stats() []LevelStats {
 
 // WriteStats renders Stats as an aligned table.
 func (t *Tree) WriteStats(w io.Writer) error {
+	return writeLevelStats(w, t.Stats())
+}
+
+// writeLevelStats renders a Stats result as an aligned table — shared
+// by the pointer and flat trees.
+func writeLevelStats(w io.Writer, stats []LevelStats) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-6s %8s %8s %8s %10s %12s %12s\n",
 		"level", "nodes", "pages", "entries", "occupancy", "elongation", "sphere-gap")
 	b.WriteString(strings.Repeat("-", 70))
 	b.WriteByte('\n')
-	for _, ls := range t.Stats() {
+	for _, ls := range stats {
 		fmt.Fprintf(&b, "%-6d %8d %8d %8d %9.1f%% %12.1f %12.1f\n",
 			ls.Level, ls.Nodes, ls.Pages, ls.Entries,
 			100*ls.AvgOccupancy, ls.AvgElongation, ls.AvgSphereGap)

@@ -1,0 +1,114 @@
+package vec
+
+import "math"
+
+// Batched point-to-line kernels over structure-of-arrays point data.
+//
+// A flat tree leaf stores its points dimension-major: rows[j*count+k]
+// is coordinate j of point k.  The kernels below compute PLDFast /
+// PSegDFast for every point of the leaf in one sweep, accumulating per
+// point in dimension-ascending order — the same addition sequence as
+// the scalar functions — so every returned distance is BIT-IDENTICAL
+// to the scalar result for the same point.
+
+// PLDFastBatch writes PLDFast(point_k, l) into out[0:count] for count
+// points stored dimension-major in rows (len(l.P)*count values).  qpD
+// and qpQp are caller scratch of length >= count.
+func PLDFastBatch(rows []float64, count int, l Line, qpD, qpQp, out []float64) {
+	dd := accumBatch(rows, count, l, qpD, qpQp)
+	if dd == 0 {
+		for k := 0; k < count; k++ {
+			out[k] = math.Sqrt(qpQp[k])
+		}
+		return
+	}
+	for k := 0; k < count; k++ {
+		out[k] = math.Sqrt(math.Max(0, qpQp[k]-qpD[k]*qpD[k]/dd))
+	}
+}
+
+// PSegDFastBatch writes PSegDFast(point_k, l, tMin, tMax) into
+// out[0:count] — the segment-restricted form of PLDFastBatch.
+func PSegDFastBatch(rows []float64, count int, l Line, tMin, tMax float64, qpD, qpQp, out []float64) {
+	dd := accumBatch(rows, count, l, qpD, qpQp)
+	if dd == 0 {
+		for k := 0; k < count; k++ {
+			out[k] = math.Sqrt(qpQp[k])
+		}
+		return
+	}
+	for k := 0; k < count; k++ {
+		t := qpD[k] / dd
+		if t < tMin {
+			t = tMin
+		} else if t > tMax {
+			t = tMax
+		}
+		s := qpQp[k] - 2*t*qpD[k] + t*t*dd
+		if s < 0 {
+			s = 0
+		}
+		out[k] = math.Sqrt(s)
+	}
+}
+
+// accumBatch fills the per-point accumulators qpD[k] = Σⱼ(qₖⱼ−Pⱼ)·Dⱼ
+// and qpQp[k] = Σⱼ(qₖⱼ−Pⱼ)² in dimension-ascending order, and returns
+// dd = Σⱼ Dⱼ² accumulated the same way.  The inner sweep over points
+// is 4-wide unrolled; the unroll is across points, never across
+// dimensions, so each point's accumulation order is untouched.
+func accumBatch(rows []float64, count int, l Line, qpD, qpQp []float64) float64 {
+	for k := 0; k < count; k++ {
+		qpD[k], qpQp[k] = 0, 0
+	}
+	var dd float64
+	for j := range l.P {
+		p, d := l.P[j], l.D[j]
+		dd += d * d
+		row := rows[j*count : (j+1)*count]
+		k := 0
+		for ; k+4 <= count; k += 4 {
+			qp0 := row[k] - p
+			qp1 := row[k+1] - p
+			qp2 := row[k+2] - p
+			qp3 := row[k+3] - p
+			qpD[k] += qp0 * d
+			qpD[k+1] += qp1 * d
+			qpD[k+2] += qp2 * d
+			qpD[k+3] += qp3 * d
+			qpQp[k] += qp0 * qp0
+			qpQp[k+1] += qp1 * qp1
+			qpQp[k+2] += qp2 * qp2
+			qpQp[k+3] += qp3 * qp3
+		}
+		for ; k < count; k++ {
+			qp := row[k] - p
+			qpD[k] += qp * d
+			qpQp[k] += qp * qp
+		}
+	}
+	return dd
+}
+
+// dotUnrolled is Dot with four independent accumulators, letting the
+// compiler keep four multiply-adds in flight instead of serializing on
+// one.  The summation order differs from Dot, so the result may differ
+// by normal floating-point rounding — each accumulator performs n/4
+// sequential additions plus three combining additions, so the rounding
+// error stays within the (n+2)·ε·‖u‖·‖v‖ bound MinDistWithStats
+// assumes for its certified slack.
+func dotUnrolled(u, v Vector) float64 {
+	assertSameDim(u, v)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(u); i += 4 {
+		s0 += u[i] * v[i]
+		s1 += u[i+1] * v[i+1]
+		s2 += u[i+2] * v[i+2]
+		s3 += u[i+3] * v[i+3]
+	}
+	for ; i < len(u); i++ {
+		s0 += u[i] * v[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

@@ -1,0 +1,136 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// packRows lays points out dimension-major: rows[j*count+k] is
+// coordinate j of point k, matching the flat leaf layout.
+func packRows(points []Vector, dim int) []float64 {
+	count := len(points)
+	rows := make([]float64, dim*count)
+	for k, p := range points {
+		for j := 0; j < dim; j++ {
+			rows[j*count+k] = p[j]
+		}
+	}
+	return rows
+}
+
+// TestPLDFastBatchBitIdentical asserts the batched kernel returns the
+// EXACT float64 the scalar PLDFast returns for every point — the
+// property the flat tree's bit-identical-results contract rests on.
+func TestPLDFastBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dim := range []int{1, 2, 3, 6, 9} {
+		for _, count := range []int{1, 2, 4, 5, 8, 11, 32} {
+			for trial := 0; trial < 50; trial++ {
+				points := make([]Vector, count)
+				for k := range points {
+					points[k] = make(Vector, dim)
+					for j := range points[k] {
+						points[k][j] = (rng.Float64()*2 - 1) * 100
+					}
+				}
+				l := Line{P: make(Vector, dim), D: make(Vector, dim)}
+				for j := 0; j < dim; j++ {
+					l.P[j] = (rng.Float64()*2 - 1) * 10
+					l.D[j] = rng.Float64()*2 - 1
+				}
+				if trial%7 == 0 {
+					l.D = make(Vector, dim) // degenerate line: dd == 0
+				}
+				rows := packRows(points, dim)
+				qpD := make([]float64, count)
+				qpQp := make([]float64, count)
+				out := make([]float64, count)
+				PLDFastBatch(rows, count, l, qpD, qpQp, out)
+				for k, p := range points {
+					want := PLDFast(p, l)
+					if math.Float64bits(out[k]) != math.Float64bits(want) {
+						t.Fatalf("PLDFastBatch dim=%d count=%d k=%d: %x != %x (%v vs %v)",
+							dim, count, k, math.Float64bits(out[k]), math.Float64bits(want), out[k], want)
+					}
+				}
+
+				tMin, tMax := rng.Float64()*2-1, rng.Float64()*3
+				PSegDFastBatch(rows, count, l, tMin, tMax, qpD, qpQp, out)
+				for k, p := range points {
+					want := PSegDFast(p, l, tMin, tMax)
+					if math.Float64bits(out[k]) != math.Float64bits(want) {
+						t.Fatalf("PSegDFastBatch dim=%d count=%d k=%d: %v vs %v",
+							dim, count, k, out[k], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPLDBatchParity drives the batch kernel with fuzzer-chosen
+// coordinates and checks bit-identity against the scalar path.
+func FuzzPLDBatchParity(f *testing.F) {
+	f.Add(int64(7), uint8(3), uint8(5), 1.5, -0.5)
+	f.Fuzz(func(t *testing.T, seed int64, dim8, count8 uint8, a, b float64) {
+		dim := int(dim8%8) + 1
+		count := int(count8%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		points := make([]Vector, count)
+		for k := range points {
+			points[k] = make(Vector, dim)
+			for j := range points[k] {
+				points[k][j] = rng.NormFloat64() * 50
+			}
+		}
+		if !math.IsNaN(a) && !math.IsInf(a, 0) {
+			points[0][0] = a
+		}
+		l := Line{P: make(Vector, dim), D: make(Vector, dim)}
+		for j := 0; j < dim; j++ {
+			l.P[j] = rng.NormFloat64()
+			l.D[j] = rng.NormFloat64()
+		}
+		if !math.IsNaN(b) && !math.IsInf(b, 0) {
+			l.D[0] = b
+		}
+		rows := packRows(points, dim)
+		qpD := make([]float64, count)
+		qpQp := make([]float64, count)
+		out := make([]float64, count)
+		PLDFastBatch(rows, count, l, qpD, qpQp, out)
+		for k, p := range points {
+			want := PLDFast(p, l)
+			if math.Float64bits(out[k]) != math.Float64bits(want) {
+				t.Fatalf("parity break at k=%d: %v vs %v", k, out[k], want)
+			}
+		}
+	})
+}
+
+// TestDotUnrolledAccuracy bounds dotUnrolled's divergence from the
+// sequential Dot by the rounding-error budget MinDistWithStats
+// certifies its slack against.
+func TestDotUnrolledAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 3, 4, 7, 16, 129} {
+		for trial := 0; trial < 40; trial++ {
+			u := make(Vector, n)
+			v := make(Vector, n)
+			var nu, nv float64
+			for i := range u {
+				u[i] = rng.NormFloat64()
+				v[i] = rng.NormFloat64()
+				nu += u[i] * u[i]
+				nv += v[i] * v[i]
+			}
+			got := dotUnrolled(u, v)
+			want := Dot(u, v)
+			bound := float64(n+2) * 2.3e-16 * math.Sqrt(nu) * math.Sqrt(nv)
+			if math.Abs(got-want) > bound {
+				t.Fatalf("n=%d: |%v - %v| > %v", n, got, want, bound)
+			}
+		}
+	}
+}

@@ -143,7 +143,7 @@ func MinDistWithStats(su Vector, mu, uu float64, v Vector, sum, sumSq, sumErr, s
 			Degenerate: true,
 		}, slack
 	}
-	uv := Dot(su, v)
+	uv := dotUnrolled(su, v)
 	// Dot-product rounding: ≤ (n+2)·ε·‖su‖·‖v‖, with ‖v‖² ≤ sumSq
 	// widened by its own error.  The identity Σ(su)ᵢ = 0 holds only up
 	// to the rounding of su's construction, adding ≤ 4ε·|mv|·Σ|uᵢ| with
