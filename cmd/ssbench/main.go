@@ -44,7 +44,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | perf | all")
+	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | perf | ingest | all")
 	jsonPath := fs.String("json", "", "write the perf experiment's report as JSON to this file")
 	enforce := fs.Bool("enforce", false, "fail if the perf report misses the regression gates (kernel >= 1.5x, flat within 10% of pointer throughput)")
 	label := fs.String("label", "", "label recorded in the perf JSON report (e.g. a git revision)")
@@ -336,8 +336,25 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 
-	if *experiment == "perf" || *experiment == "all" {
-		rep, err := bench.RunPerf(cfg, stdout)
+	if *experiment == "perf" || *experiment == "ingest" || *experiment == "all" {
+		// The ingest rows travel inside the perf report so one JSON
+		// artifact carries both; -experiment ingest skips the (slower)
+		// perf sweep and reports only the streaming rows.
+		var rep *bench.PerfReport
+		if *experiment == "ingest" {
+			rep = &bench.PerfReport{
+				GoVersion: runtime.Version(),
+				Timestamp: time.Now().UTC().Format(time.RFC3339),
+				Companies: cfg.Companies, Days: cfg.Days,
+				WindowLen: cfg.WindowLen, Queries: cfg.Queries,
+			}
+		} else {
+			rep, err = bench.RunPerf(cfg, stdout)
+			if err != nil {
+				return err
+			}
+		}
+		rep.Ingest, err = bench.RunIngest(cfg, stdout)
 		if err != nil {
 			return err
 		}
@@ -352,14 +369,19 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "wrote %s\n\n", *jsonPath)
 		}
 		if *enforce {
-			if err := rep.Enforce(1.5, 0.10); err != nil {
+			if *experiment == "ingest" {
+				err = rep.Ingest.Enforce(0.10)
+			} else {
+				err = rep.Enforce(1.5, 0.10)
+			}
+			if err != nil {
 				return err
 			}
 			fmt.Fprintln(stdout, "perf: regression gates passed")
 		}
 	}
 
-	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "perf" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
+	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "perf" && *experiment != "ingest" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
 		*experiment != "ablation-window" && *experiment != "ablation-fanout" &&
 		*experiment != "ablation-build" && *experiment != "ablation-reduction" &&
 		*experiment != "ablation-index" && *experiment != "ablation-trail" && *experiment != "all" {

@@ -17,6 +17,7 @@ import (
 
 	"scaleshift/internal/atomicfile"
 	"scaleshift/internal/cliutil"
+	"scaleshift/internal/core"
 	"scaleshift/internal/stock"
 	"scaleshift/internal/store"
 )
@@ -36,6 +37,10 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output file (default stdout)")
 	binary := fs.Bool("binary", false, "write the checksummed binary store artifact instead of CSV (for ssquery -store)")
+	segOut := fs.String("segments", "", "also write a pre-segmented index artifact (SSSEG) over the generated data")
+	segCount := fs.Int("segment-count", 4, "frozen segments in the -segments artifact")
+	window := fs.Int("window", 128, "index window length for -segments")
+	fc := fs.Int("fc", 3, "DFT coefficients for -segments")
 	obsFlags := cliutil.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,5 +77,66 @@ func run(args []string, stdout io.Writer) error {
 	logger.Info("wrote data set",
 		"sequences", st.NumSequences(), "values", st.TotalValues(),
 		"pages", st.PageCount(), "page_bytes", store.PageSize)
+
+	if *segOut != "" {
+		opts := core.DefaultOptions()
+		opts.WindowLen = *window
+		opts.Coefficients = *fc
+		g, err := buildSegmented(st, opts, *segCount)
+		if err != nil {
+			return fmt.Errorf("-segments: %w", err)
+		}
+		defer g.Close()
+		if err := atomicfile.WriteFile(*segOut, g.WriteSegments); err != nil {
+			return fmt.Errorf("-segments: %w", err)
+		}
+		b := g.Backlog()
+		logger.Info("wrote segmented index",
+			"path", *segOut, "segments", b.Frozen, "windows", b.FrozenWindows)
+	}
 	return obsFlags.Finish()
+}
+
+// buildSegmented replays the generated store through a segmented index
+// in count chunks, compacting after each, so the artifact ships the
+// frozen-segment layout a live ingest server would have converged to.
+// The features are bit-identical to a from-scratch build — append-time
+// extraction replays the same sliding-DFT schedule — so loading the
+// artifact gives the same answers as building over the full store.
+func buildSegmented(st *store.Store, opts core.Options, count int) (*core.SegmentedIndex, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("segment count %d < 1", count)
+	}
+	// Rebuild the data into a live store chunk by chunk: the first
+	// chunk seeds the bulk-loaded base segment, each later chunk lands
+	// in the delta and freezes into its own segment on Compact.
+	full := make([][]float64, st.NumSequences())
+	live := store.New()
+	for seq := range full {
+		n := st.SequenceLen(seq)
+		full[seq] = make([]float64, n)
+		if err := st.Window(seq, 0, n, full[seq], nil); err != nil {
+			return nil, err
+		}
+		live.AppendSequence(st.SequenceName(seq), full[seq][:n/count])
+	}
+	g, err := core.NewSegmentedIndex(live, opts)
+	if err != nil {
+		return nil, err
+	}
+	g.MaxFrozen = count + 1 // keep each chunk its own segment
+	for k := 2; k <= count; k++ {
+		for seq, vals := range full {
+			lo, hi := len(vals)*(k-1)/count, len(vals)*k/count
+			if err := g.AppendValues(seq, vals[lo:hi]); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
+		if err := g.Compact(); err != nil {
+			g.Close()
+			return nil, err
+		}
+	}
+	return g, nil
 }

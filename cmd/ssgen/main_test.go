@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"scaleshift/internal/core"
 	"scaleshift/internal/store"
 )
 
@@ -58,6 +59,83 @@ func TestRunWritesBinaryArtifact(t *testing.T) {
 	}
 	if st.NumSequences() != 5 || st.TotalValues() != 200 {
 		t.Errorf("store: %d seqs, %d values", st.NumSequences(), st.TotalValues())
+	}
+}
+
+// TestRunWritesSegmentedArtifact checks the -segments path end to end:
+// the artifact loads over its store and answers queries identically to
+// an index built from scratch over the same data.
+func TestRunWritesSegmentedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	storeOut := filepath.Join(dir, "prices.bin")
+	segOut := filepath.Join(dir, "prices.segs")
+	err := run([]string{
+		"-companies", "6", "-days", "300", "-binary", "-o", storeOut,
+		"-segments", segOut, "-segment-count", "3", "-window", "32",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(storeOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(segOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	seg, err := core.LoadSegments(g, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+
+	opts := core.DefaultOptions()
+	opts.WindowLen = 32
+	ref, err := core.NewIndex(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.BuildBulk(); err != nil {
+		t.Fatal(err)
+	}
+	if seg.WindowCount() != ref.WindowCount() {
+		t.Fatalf("segmented artifact indexes %d windows, from-scratch %d", seg.WindowCount(), ref.WindowCount())
+	}
+	b := seg.Backlog()
+	if b.Frozen != 3 || b.DeltaWindows != 0 {
+		t.Fatalf("artifact shape: %d frozen segments, %d delta windows", b.Frozen, b.DeltaWindows)
+	}
+
+	q := make([]float64, 32)
+	for _, start := range []int{0, 97, 260} {
+		if err := st.Window(2, start, 32, q, nil); err != nil {
+			t.Fatal(err)
+		}
+		var s1, s2 core.SearchStats
+		got, err := seg.Search(q, 0.05, core.UnboundedCosts(), &s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Search(q, 0.05, core.UnboundedCosts(), &s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("start %d: %d matches vs %d from scratch", start, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("start %d match %d: %+v vs %+v", start, i, got[i], want[i])
+			}
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"scaleshift/internal/obs"
 	"scaleshift/internal/query"
 	"scaleshift/internal/resilience"
+	"scaleshift/internal/wal"
 )
 
 func main() {
@@ -66,6 +67,8 @@ func run(args []string) error {
 	bulk := fs.Bool("bulk", false, "construct the index with STR bulk loading")
 	indexCache := fs.String("index", "", "index artifact path (load when present, save after building)")
 	strictCache := fs.Bool("strict", false, "fail instead of degrading to a scan when the index artifact is invalid")
+	appendMode := fs.Bool("append", false, "enable live ingest via POST /append (disables hot reload)")
+	walPath := fs.String("wal", "", "write-ahead log path for -append durability (empty: appends are not durable)")
 	traceRing := fs.Int("trace-ring", 128, "recent query traces retained for /debug/traces")
 	serveFlags := cliutil.AddServeFlags(fs)
 	obsFlags := cliutil.AddObsFlags(fs)
@@ -111,9 +114,11 @@ func run(args []string) error {
 	obs.Default.PublishExpvar("scaleshift")
 
 	// Hot reload needs a durable artifact to reload from; synthetic and
-	// CSV servers run without it.
+	// CSV servers run without it.  Append mode disables reload outright:
+	// reloading would replace the live segmented index with the stale
+	// artifact and silently drop every acked append.
 	var reload *reloadConfig
-	if *storeFile != "" {
+	if *storeFile != "" && !*appendMode {
 		reload = &reloadConfig{
 			StorePath: *storeFile,
 			IndexPath: *indexCache,
@@ -122,13 +127,40 @@ func run(args []string) error {
 			Seed:      *seed,
 		}
 	}
+	var serving queryIndex = ix
+	var ingest *ingestState
+	if *appendMode {
+		seg, err := core.NewSegmentedFromIndex(ix)
+		if err != nil {
+			return fmt.Errorf("-append: %w", err)
+		}
+		var log *wal.Log
+		var recs []wal.Record
+		if *walPath != "" {
+			log, recs, err = wal.Open(*walPath)
+			if err != nil {
+				return fmt.Errorf("-wal %s: %w", *walPath, err)
+			}
+			defer log.Close()
+		}
+		ingest, err = newIngestState(seg, log, recs)
+		if err != nil {
+			return fmt.Errorf("replaying %s: %w", *walPath, err)
+		}
+		seg.StartCompactor()
+		serving = seg
+		logger.Info("live ingest enabled",
+			"wal", *walPath, "replayed", len(recs),
+			"windows", seg.WindowCount(), "generation", seg.Generation())
+	}
 	srv, err := newServer(serverConfig{
-		snap:    &snapshot{ix: ix, normScale: normScale, how: how, loadedAt: time.Now()},
+		snap:    &snapshot{ix: serving, normScale: normScale, how: how, loadedAt: time.Now()},
 		tracer:  tracer,
 		logger:  logger,
 		serve:   *serveFlags,
 		breaker: resilience.DefaultBreakerConfig(),
 		reload:  reload,
+		ingest:  ingest,
 	})
 	if err != nil {
 		return err

@@ -18,7 +18,7 @@ import (
 // reload swaps all three at once while in-flight queries finish on the
 // generation they started with.
 type snapshot struct {
-	ix        *core.Index
+	ix        queryIndex
 	normScale float64
 	how       string    // provenance, for logs and /readyz
 	loadedAt  time.Time // when this generation was published

@@ -39,6 +39,7 @@ type serverConfig struct {
 	serve   cliutil.ServeFlags
 	breaker resilience.BreakerConfig
 	reload  *reloadConfig // nil disables hot reload
+	ingest  *ingestState  // nil disables live append
 }
 
 // server is the HTTP query frontend.  The artifact snapshot sits
@@ -50,6 +51,7 @@ type server struct {
 	adm     *resilience.Admission
 	breaker *resilience.Breaker
 	rel     *reloader
+	ingest  *ingestState
 	tracer  *obs.Tracer
 	logger  *slog.Logger
 	reg     *obs.Registry
@@ -79,6 +81,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s := &server{
 		snap:   resilience.NewCell(cfg.snap),
+		ingest: cfg.ingest,
 		tracer: cfg.tracer,
 		logger: cfg.logger,
 		reg:    obs.Default,
@@ -107,6 +110,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.publishSnapshotGauges(cfg.snap)
 
 	s.handle("search", "/search", s.guard(s.handleSearch))
+	s.handle("append", "/append", s.guard(s.handleAppend))
 	s.handle("healthz", "/healthz", s.handleHealthz)
 	s.handle("livez", "/livez", s.handleLivez)
 	s.handle("readyz", "/readyz", s.handleReadyz)
@@ -127,13 +131,13 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // publishSnapshotGauges re-announces the static shape of the serving
 // snapshot; called at startup and after every successful swap.
 func (s *server) publishSnapshotGauges(sn *snapshot) {
-	st := sn.ix.Store()
+	seqs, values, pages := sn.ix.StoreShape()
 	s.reg.Gauge("scaleshift_index_windows", "Windows indexed by the loaded index.").Set(float64(sn.ix.WindowCount()))
 	s.reg.Gauge("scaleshift_index_pages", "Pages of the loaded R*-tree.").Set(float64(sn.ix.IndexPageCount()))
 	s.reg.Gauge("scaleshift_index_height", "Height of the loaded R*-tree.").Set(float64(sn.ix.TreeHeight()))
-	s.reg.Gauge("scaleshift_store_sequences", "Sequences in the loaded store.").Set(float64(st.NumSequences()))
-	s.reg.Gauge("scaleshift_store_values", "Samples in the loaded store.").Set(float64(st.TotalValues()))
-	s.reg.Gauge("scaleshift_store_pages", "Data pages in the loaded store.").Set(float64(st.PageCount()))
+	s.reg.Gauge("scaleshift_store_sequences", "Sequences in the loaded store.").Set(float64(seqs))
+	s.reg.Gauge("scaleshift_store_values", "Samples in the loaded store.").Set(float64(values))
+	s.reg.Gauge("scaleshift_store_pages", "Data pages in the loaded store.").Set(float64(pages))
 	degraded := 0.0
 	if deg, _ := sn.ix.Degraded(); deg {
 		degraded = 1
@@ -289,6 +293,10 @@ func (s *server) ready() (bool, map[string]interface{}) {
 	}
 	if f := s.lastReloadErr.Load(); f != nil {
 		detail["last_reload_rejected"] = f
+	}
+	if s.ingest != nil {
+		detail["ingest"] = s.ingest.detail()
+		s.publishIngestGauges()
 	}
 	return ready, detail
 }
@@ -502,7 +510,7 @@ func (s *server) parseSearchRequest(sn *snapshot, r *http.Request) (*searchReque
 			return nil, err
 		}
 		w := make(vec.Vector, n)
-		if err := sn.ix.Store().Window(seq, start, n, w, nil); err != nil {
+		if err := sn.ix.QueryWindow(seq, start, n, w); err != nil {
 			return nil, err
 		}
 		req.q = vec.Apply(w, scale, shift)
@@ -816,7 +824,7 @@ func (s *server) toBatchQuery(sn *snapshot, i int, bq batchQueryJSON) (core.Batc
 			n = bq.Len
 		}
 		w := make(vec.Vector, n)
-		if err := sn.ix.Store().Window(seq, start, n, w, nil); err != nil {
+		if err := sn.ix.QueryWindow(seq, start, n, w); err != nil {
 			return core.BatchQuery{}, 0, fmt.Errorf("query %d: %w", i, err)
 		}
 		scale, shift := 1.0, 0.0

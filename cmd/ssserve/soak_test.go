@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -20,14 +21,19 @@ import (
 	"time"
 
 	"scaleshift/internal/atomicfile"
+	"scaleshift/internal/core"
 	"scaleshift/internal/faulty"
 	"scaleshift/internal/obs"
 	"scaleshift/internal/resilience"
+	"scaleshift/internal/wal"
 )
 
 // TestSoak is the chaos harness: a live ssserve over real TCP,
 // hammered concurrently with queries, batch queries, hot reloads
 // (clean and fault-injected), client disconnects, and overload bursts.
+// A second ingest-enabled server runs alongside it, hammered with
+// concurrent POST /append writers while its compactor churns under
+// fault injection.
 //
 // Invariants asserted:
 //
@@ -36,6 +42,9 @@ import (
 //     across reloads, rejected reloads, and overload;
 //   - overload sheds with 429 + Retry-After, never 5xx;
 //   - corrupted artifacts never replace the serving snapshot;
+//   - concurrent appends and queries against the ingest server never
+//     5xx, even when compactions are made to fail;
+//   - compaction swap stalls stay under 1ms at p99;
 //   - the run leaks no goroutines.
 //
 // Duration comes from SOAK_SECONDS (default 2, CI smoke runs 20); a
@@ -57,6 +66,10 @@ func TestSoak(t *testing.T) {
 	s := newArtifactServerInjected(t, rcfg, &in)
 	ts := httptest.NewServer(s)
 	client := ts.Client()
+
+	ingestSrv, iseg, hookFaults := newIngestSoakServer(t)
+	tsIngest := httptest.NewServer(ingestSrv)
+	ingestClient := tsIngest.Client()
 
 	// The unfaulted oracle: sequential answers captured before any
 	// chaos starts.  Reloads re-read the same artifacts, so these stay
@@ -83,6 +96,7 @@ func TestSoak(t *testing.T) {
 		server5xx                     atomic.Int64
 		cleanReloads, rejectedReloads atomic.Int64
 		disconnects                   atomic.Int64
+		appendOks, ingestQueryOks     atomic.Int64
 		failMu                        sync.Mutex
 		failures                      []string
 	)
@@ -294,6 +308,105 @@ func TestSoak(t *testing.T) {
 		}
 	}()
 
+	// Ingest writer actors: concurrent POST /append against the live
+	// segmented index — growing existing sequences and creating new
+	// uniquely-named ones — while the background compactor churns with
+	// injected faults.  Admitted appends must ack (200), shed with 429,
+	// and never 5xx: a failed compaction keeps the delta serving.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(500 + w)))
+			created := 0
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var breq appendRequestJSON
+				switch {
+				case i%20 == 19:
+					// A brand-new sequence, unique across writers.
+					breq.Name = fmt.Sprintf("w%d-s%d", w, created)
+					created++
+				case created > 0 && i%5 == 4:
+					// Grow one of this writer's own sequences by name.
+					breq.Name = fmt.Sprintf("w%d-s%d", w, rng.Intn(created))
+				default:
+					// Grow one of the base sequences by id.
+					seq := rng.Intn(10)
+					breq.Seq = &seq
+				}
+				nvals := 8 + rng.Intn(25)
+				for j := 0; j < nvals; j++ {
+					breq.Values = append(breq.Values, 100+rng.Float64()*10)
+				}
+				raw, _ := json.Marshal(breq)
+				resp, err := ingestClient.Post(tsIngest.URL+"/append", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					fail("writer %d: %v", w, err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					appendOks.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					sheds.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				case resp.StatusCode >= 500:
+					server5xx.Add(1)
+					fail("append got %d: %s", resp.StatusCode, body)
+				default:
+					fail("append got %d: %s", resp.StatusCode, body)
+				}
+			}
+		}(w)
+	}
+
+	// Ingest query worker: searches racing the appends above.  Results
+	// change as data lands, so only the serving invariants are checked:
+	// 200 or shed, never 5xx.  /readyz (which renders the compaction
+	// backlog) is polled on the same cadence.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			url := tsIngest.URL + fmt.Sprintf("/search?seq=%d&start=%d&eps_frac=0.1", rng.Intn(10), 5+rng.Intn(80))
+			if i%8 == 7 {
+				url = tsIngest.URL + "/readyz"
+			}
+			resp, err := ingestClient.Get(url)
+			if err != nil {
+				fail("ingest query worker: %v", err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				ingestQueryOks.Add(1)
+			case resp.StatusCode == http.StatusTooManyRequests:
+				sheds.Add(1)
+				time.Sleep(2 * time.Millisecond)
+			case resp.StatusCode >= 500:
+				server5xx.Add(1)
+				fail("ingest query got %d: %s", resp.StatusCode, body)
+			default:
+				fail("ingest query got %d: %s", resp.StatusCode, body)
+			}
+		}
+	}()
+
 	// Overload worker: bursts of slow sequential scan batches, well
 	// past max-inflight + max-queue, arriving together.  The admitted
 	// ones occupy slots for many milliseconds, so the extras must shed
@@ -336,11 +449,14 @@ func TestSoak(t *testing.T) {
 	close(stop)
 	wg.Wait()
 	ts.Close()
+	tsIngest.Close()
 	client.CloseIdleConnections()
+	ingestClient.CloseIdleConnections()
 
 	// The run must have actually exercised every chaos dimension.
-	t.Logf("soak: %v, %d ok, %d shed, %d clean reloads, %d rejected reloads, %d disconnects",
-		duration, oks.Load(), sheds.Load(), cleanReloads.Load(), rejectedReloads.Load(), disconnects.Load())
+	t.Logf("soak: %v, %d ok, %d shed, %d clean reloads, %d rejected reloads, %d disconnects, %d appends, %d ingest queries",
+		duration, oks.Load(), sheds.Load(), cleanReloads.Load(), rejectedReloads.Load(), disconnects.Load(),
+		appendOks.Load(), ingestQueryOks.Load())
 	for _, f := range failures {
 		t.Error(f)
 	}
@@ -364,6 +480,37 @@ func TestSoak(t *testing.T) {
 	}
 	if disconnects.Load() < 1 {
 		t.Error("no client disconnects were exercised")
+	}
+	if appendOks.Load() < 1 {
+		t.Error("no appends were acked; the ingest soak exercised nothing")
+	}
+	if ingestQueryOks.Load() < 1 {
+		t.Error("no queries succeeded against the ingest server")
+	}
+
+	// Quiesce the ingest side: clear the fault hook, run one final
+	// clean compaction, and check the steady-state invariants.
+	iseg.SetCompactHook(nil)
+	if err := iseg.Compact(); err != nil {
+		t.Errorf("final compaction: %v", err)
+	}
+	b := iseg.Backlog()
+	t.Logf("ingest: %d compactions (%d hook faults), %d frozen segs / %d windows, pause p99 %v max %v",
+		b.Compactions, hookFaults.Load(), b.Frozen, b.FrozenWindows, b.CompactPauseP99, b.CompactPauseMax)
+	if b.Compactions < 1 {
+		t.Error("no compaction completed during the soak")
+	}
+	if hookFaults.Load() < 1 {
+		t.Error("no fault-injected compaction was exercised")
+	}
+	if b.DeltaWindows != 0 {
+		t.Errorf("%d delta windows remain after the final compaction", b.DeltaWindows)
+	}
+	if b.CompactPauseP99 >= time.Millisecond {
+		t.Errorf("compaction swap stall p99 %v, want < 1ms", b.CompactPauseP99)
+	}
+	if err := iseg.Close(); err != nil {
+		t.Errorf("closing segmented index: %v", err)
 	}
 
 	// Goroutine-leak assertion: everything the run spawned (handlers,
@@ -401,6 +548,50 @@ func soakSpecs() []string {
 func soakSpecParams(i int) (seq, start int, epsFrac float64) {
 	fracs := []float64{0.02, 0.05, 0.1, 0.2}
 	return i % 10, 5 + (i*11)%150, fracs[i%len(fracs)]
+}
+
+// newIngestSoakServer builds the live-append server the soak hammers:
+// a segmented index with a small compaction threshold (so the
+// background compactor churns constantly), a WAL on disk (so every ack
+// pays the real fsync), and a compaction hook that fails every fourth
+// run to prove a failed compaction never disturbs serving.
+func newIngestSoakServer(t *testing.T) (*server, *core.SegmentedIndex, *atomic.Int64) {
+	t.Helper()
+	ix, normScale := newTestIndex(t, false)
+	seg, err := core.NewSegmentedFromIndex(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.CompactThreshold = 64
+	seg.MaxFrozen = 3
+	hookFaults := &atomic.Int64{}
+	var hookCalls atomic.Int64
+	seg.SetCompactHook(func() error {
+		if hookCalls.Add(1)%4 == 0 {
+			hookFaults.Add(1)
+			return fmt.Errorf("injected compaction fault")
+		}
+		return nil
+	})
+	log, recs, err := wal.Open(filepath.Join(t.TempDir(), "soak.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	ing, err := newIngestState(seg, log, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg.StartCompactor()
+	srv := newServerFromConfig(t, serverConfig{
+		snap:    &snapshot{ix: seg, normScale: normScale, how: "built for soak", loadedAt: time.Now()},
+		tracer:  obs.NewTracer(16),
+		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
+		serve:   testServeFlags(),
+		breaker: resilience.DefaultBreakerConfig(),
+		ingest:  ing,
+	})
+	return srv, seg, hookFaults
 }
 
 // newArtifactServerInjected is newArtifactServer with soak-grade

@@ -70,6 +70,10 @@ type PerfReport struct {
 	// Heap allocations per range query on each representation.
 	PointerRangeAllocs float64 `json:"pointer_range_allocs_per_op"`
 	FlatRangeAllocs    float64 `json:"flat_range_allocs_per_op"`
+
+	// Ingest holds the streaming-ingest rows (RunIngest) when that
+	// experiment ran alongside perf.
+	Ingest *IngestReport `json:"ingest,omitempty"`
 }
 
 // kernelBench times the node-pruning slab test over nodes of count
@@ -389,6 +393,9 @@ func (r *PerfReport) Enforce(minSpeedup, maxRegression float64) error {
 	if r.FlatNNQPS < (1-maxRegression)*r.PointerNNQPS {
 		return fmt.Errorf("bench: flat NN throughput %.0f qps regressed more than %.0f%% vs pointer %.0f qps",
 			r.FlatNNQPS, maxRegression*100, r.PointerNNQPS)
+	}
+	if r.Ingest != nil {
+		return r.Ingest.Enforce(maxRegression)
 	}
 	return nil
 }

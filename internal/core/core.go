@@ -444,6 +444,20 @@ func (ix *Index) SetStrategy(s geom.Strategy) error {
 // Store returns the underlying sequence store.
 func (ix *Index) Store() *store.Store { return ix.st }
 
+// QueryWindow reads window [start, start+n) of sequence seq for
+// serving-layer use.  On an Index the store is immutable, so this is
+// Store().Window; the segmented counterpart reads through the
+// published manifest's snapshot so the read cannot race with appends.
+func (ix *Index) QueryWindow(seq, start, n int, dst vec.Vector) error {
+	return ix.st.Window(seq, start, n, dst, nil)
+}
+
+// StoreShape reports the store's sequence, value, and page counts for
+// serving-layer gauges; see QueryWindow for the concurrency contract.
+func (ix *Index) StoreShape() (seqs, values, pages int) {
+	return ix.st.NumSequences(), ix.st.TotalValues(), ix.st.PageCount()
+}
+
 // WindowCount returns the number of indexed windows.  On a degraded
 // index this is the number of scannable windows — the tree is empty,
 // but every window of the raw store remains searchable.
@@ -884,6 +898,12 @@ func (ix *Index) UnindexSequence(seq int) error {
 // widening never adds false results.
 func (ix *Index) numericSlack() float64 {
 	bounds, ok := ix.qtree().Bounds()
+	return slackFromBounds(bounds, ok, ix.fmap.Dim())
+}
+
+// slackFromBounds is numericSlack over explicit tree bounds, shared
+// with the segmented index (whose slack spans every frozen segment).
+func slackFromBounds(bounds geom.Rect, ok bool, dim int) float64 {
 	if !ok {
 		return 0
 	}
@@ -891,14 +911,18 @@ func (ix *Index) numericSlack() float64 {
 	for i := range bounds.L {
 		m = math.Max(m, math.Max(math.Abs(bounds.L[i]), math.Abs(bounds.H[i])))
 	}
-	return 1e-7 * m * math.Sqrt(float64(ix.fmap.Dim()))
+	return 1e-7 * m * math.Sqrt(float64(dim))
 }
 
 // seLine returns the query's SE-line image in feature space: the line
 // {t·F(T_se(q))} through the origin (§5.1 property 3; linear maps send
 // lines through the origin to lines through the origin).
 func (ix *Index) seLine(q vec.Vector) vec.Line {
+	return seLineFor(ix.fmap, q)
+}
+
+func seLineFor(fmap *dft.FeatureMap, q vec.Vector) vec.Line {
 	se := vec.SETransform(q)
-	d := ix.fmap.Transform(se)
-	return vec.Line{P: make(vec.Vector, ix.fmap.Dim()), D: d}
+	d := fmap.Transform(se)
+	return vec.Line{P: make(vec.Vector, fmap.Dim()), D: d}
 }

@@ -20,16 +20,16 @@ var ErrInvalidQuery = errors.New("invalid query")
 // validateQuery rejects query vectors the search pipeline cannot
 // answer correctly.  minLen is the smallest acceptable length (the
 // window length for range queries; SearchLong accepts longer).
-func (ix *Index) validateQuery(q vec.Vector, eps float64) error {
+func validateQuery(q vec.Vector, eps float64) error {
 	if math.IsNaN(eps) || eps < 0 {
 		return fmt.Errorf("core: %w: epsilon %v (want a finite value >= 0)", ErrInvalidQuery, eps)
 	}
-	return ix.validateQueryValues(q)
+	return validateQueryValues(q)
 }
 
 // validateQueryValues checks the samples alone (used by NN search,
 // which has no epsilon).
-func (ix *Index) validateQueryValues(q vec.Vector) error {
+func validateQueryValues(q vec.Vector) error {
 	for i, v := range q {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("core: %w: sample %d is %v", ErrInvalidQuery, i, v)

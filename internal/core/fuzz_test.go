@@ -64,3 +64,70 @@ func FuzzLoadIndex(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLoadSegments is FuzzLoadIndex for the segmented-manifest
+// decoder: malformed segment counts, overlapping or out-of-bounds
+// window ranges, and CRC flips must all surface as typed errors —
+// never a panic, an over-allocation, or a silently wrong index.
+func FuzzLoadSegments(f *testing.F) {
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = 2
+	cfg.Days = 90
+	if _, err := stock.Populate(st, cfg); err != nil {
+		f.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.WindowLen = 32
+	good := func() []byte {
+		g, err := NewSegmentedIndex(st, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		defer g.Close()
+		// Two frozen segments so the directory has more than one entry.
+		if err := g.AppendValues(0, make([]float64, 40)); err != nil {
+			f.Fatal(err)
+		}
+		if err := g.Compact(); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteSegments(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	// The store grew by 40 values inside the closure; reloads below see
+	// the grown store, which the loader must accept (delta re-extract).
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("SSSEG\x00"))
+	f.Add([]byte("SSSEG\x01"))
+	f.Add([]byte("SSIDX\x03"))
+	f.Add(good[:len(good)/2])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-2] ^= 0x40
+	f.Add(flipped)
+	// Flip a byte inside the segment directory region too.
+	dirFlipped := append([]byte(nil), good...)
+	dirFlipped[20] ^= 0x01
+	f.Add(dirFlipped)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := LoadSegments(bytes.NewReader(in), st)
+		if err != nil {
+			return
+		}
+		defer g.Close()
+		if g.WindowCount() < 0 {
+			t.Fatalf("negative window count: %d", g.WindowCount())
+		}
+		q := make([]float64, opts.WindowLen)
+		if err := st.Window(0, 0, opts.WindowLen, q, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Search(q, 0.1, UnboundedCosts(), nil); err != nil {
+			t.Fatalf("loaded segmented index cannot search: %v", err)
+		}
+	})
+}

@@ -333,16 +333,16 @@ func TestVerifyWorkerPanicRecovered(t *testing.T) {
 
 	ix := buildTestIndex(t, testOptions(), 4, 80)
 	q, _ := testQueryEps(t, ix)
-	v := ix.newVerifier(q, 1, UnboundedCosts())
+	v := newVerifier(ix.st, q, 1, UnboundedCosts())
 	// Poison the verifier: a nil store makes every window fetch panic
 	// with a nil dereference inside the worker.
-	v.ix = &Index{opts: ix.opts, fmap: ix.fmap}
+	v.sv = (*store.Store)(nil)
 	cands := make([]candidate, 2*verifyParallelThreshold)
 	for i := range cands {
 		cands[i] = candidate{0, i}
 	}
 	var pc store.PageCounter
-	_, _, _, err := ix.verifyCandidates(context.Background(), v, cands, &pc)
+	_, _, _, err := verifyCandidates(context.Background(), v, cands, &pc)
 	var wpe *WorkerPanicError
 	if !errors.As(err, &wpe) {
 		t.Fatalf("err = %v, want *WorkerPanicError", err)

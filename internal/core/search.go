@@ -34,6 +34,20 @@ const (
 // keeping the poll invisible in the loop.
 const verifyCheckInterval = 64
 
+// storeView is the read surface the verification and extraction layers
+// need from a data store.  Both *store.Store and *store.Snapshot
+// satisfy it, so the same verifier runs against a live store (the
+// single-Index path) or a pinned snapshot (the segmented path, where
+// appends race with queries and only the snapshot is stable).
+type storeView interface {
+	NumSequences() int
+	SequenceName(seq int) string
+	SequenceLen(seq int) int
+	Window(seq, start, n int, dst vec.Vector, pc *store.PageCounter) error
+	WindowView(seq, start, n int, pc *store.PageCounter) (vec.Vector, error)
+	WindowStats(seq, start, n int) (store.WindowStats, error)
+}
+
 // verifier carries the query-side quantities shared by every candidate
 // check of one query: the SE image su = T_se(q), its squared norm uu,
 // and the query mean mu feed the prefix-sum fast path of
@@ -41,16 +55,16 @@ const verifyCheckInterval = 64
 // verifier is read-only after construction and therefore shared by the
 // parallel verification workers.
 type verifier struct {
-	ix     *Index
+	sv     storeView
 	q, su  vec.Vector
 	mu, uu float64
 	eps    float64
 	costs  CostBounds
 }
 
-func (ix *Index) newVerifier(q vec.Vector, eps float64, costs CostBounds) *verifier {
+func newVerifier(sv storeView, q vec.Vector, eps float64, costs CostBounds) *verifier {
 	su := vec.SETransform(q)
-	return &verifier{ix: ix, q: q, su: su, mu: vec.Mean(q), uu: vec.NormSq(su), eps: eps, costs: costs}
+	return &verifier{sv: sv, q: q, su: su, mu: vec.Mean(q), uu: vec.NormSq(su), eps: eps, costs: costs}
 }
 
 // verify runs the exact post-processing check on one candidate window.
@@ -62,11 +76,11 @@ func (ix *Index) newVerifier(q vec.Vector, eps float64, costs CostBounds) *verif
 // results are bit-identical to the all-exact path.
 func (v *verifier) verify(seq, start int, pc *store.PageCounter) (Match, int, error) {
 	n := len(v.q)
-	w, err := v.ix.st.WindowView(seq, start, n, pc)
+	w, err := v.sv.WindowView(seq, start, n, pc)
 	if err != nil {
 		return Match{}, 0, err
 	}
-	ws, err := v.ix.st.WindowStats(seq, start, n)
+	ws, err := v.sv.WindowStats(seq, start, n)
 	if err != nil {
 		return Match{}, 0, err
 	}
@@ -84,7 +98,7 @@ func (v *verifier) verify(seq, start int, pc *store.PageCounter) (Match, int, er
 	return Match{
 		Seq:   seq,
 		Start: start,
-		Name:  v.ix.st.SequenceName(seq),
+		Name:  v.sv.SequenceName(seq),
 		Dist:  m.Dist,
 		Scale: m.Scale,
 		Shift: m.Shift,
@@ -106,7 +120,7 @@ const verifyParallelThreshold = 32
 // workers poll ctx every verifyCheckInterval candidates; a worker
 // panic (a poisoned window) is recovered into a *WorkerPanicError
 // rather than crashing the process.
-func (ix *Index) verifyCandidates(ctx context.Context, v *verifier, cands []candidate, pc *store.PageCounter) ([]Match, int, int, error) {
+func verifyCandidates(ctx context.Context, v *verifier, cands []candidate, pc *store.PageCounter) ([]Match, int, int, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if len(cands) < verifyParallelThreshold || workers < 2 || pc.Pool != nil {
 		var out []Match
@@ -220,7 +234,13 @@ func (ix *Index) verifyCandidates(ctx context.Context, v *verifier, cands []cand
 // candidate is still reached through the segment.  This prunes the
 // a ≈ 0 degeneracy at the directory rather than in post-processing.
 func (ix *Index) planQuery(line vec.Line, eps float64, costs CostBounds) engine.Query {
-	slack := ix.numericSlack()
+	return buildEngineQuery(line, eps, ix.numericSlack(), costs, ix.WindowCount(), ix.fmap.Dim())
+}
+
+// buildEngineQuery is planQuery's index-free core, shared with the
+// segmented executor (which derives slack and the candidate universe
+// from a pinned manifest instead of a live index).
+func buildEngineQuery(line vec.Line, eps, slack float64, costs CostBounds, windows, dim int) engine.Query {
 	segment := !math.IsInf(costs.ScaleMin, -1) || !math.IsInf(costs.ScaleMax, 1)
 	tMin, tMax := costs.ScaleMin, costs.ScaleMax
 	if segment {
@@ -239,8 +259,8 @@ func (ix *Index) planQuery(line vec.Line, eps float64, costs CostBounds) engine.
 		Segment: segment,
 		TMin:    tMin,
 		TMax:    tMax,
-		Windows: ix.WindowCount(),
-		Dim:     ix.fmap.Dim(),
+		Windows: windows,
+		Dim:     dim,
 	}
 }
 
@@ -351,7 +371,7 @@ func (ix *Index) SearchPlannedContext(ctx context.Context, q vec.Vector, eps flo
 		return nil, nil, fmt.Errorf("core: %w: query length %d, index window length %d (use SearchLong for longer queries)",
 			ErrInvalidQuery, len(q), ix.opts.WindowLen)
 	}
-	if err := ix.validateQuery(q, eps); err != nil {
+	if err := validateQuery(q, eps); err != nil {
 		recordSearchError()
 		return nil, nil, err
 	}
@@ -378,8 +398,8 @@ func (ix *Index) SearchPlannedContext(ctx context.Context, q vec.Vector, eps flo
 	verifyStart := time.Now()
 	verifyCtx, verifySpan := obs.StartSpan(ctx, "verify")
 	pc := store.PageCounter{Pool: pool}
-	v := ix.newVerifier(q, eps, costs)
-	out, falseAlarms, costRejected, err := ix.verifyCandidates(verifyCtx, v, cands, &pc)
+	v := newVerifier(ix.st, q, eps, costs)
+	out, falseAlarms, costRejected, err := verifyCandidates(verifyCtx, v, cands, &pc)
 	if err != nil {
 		spanEndWithError(verifySpan, err)
 		recordSearchError()
@@ -472,7 +492,7 @@ func (ix *Index) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps
 		return nil, nil, fmt.Errorf("core: %w: query length %d below index window length %d",
 			ErrInvalidQuery, len(q), n)
 	}
-	if err := ix.validateQuery(q, eps); err != nil {
+	if err := validateQuery(q, eps); err != nil {
 		recordSearchError()
 		return nil, nil, err
 	}
@@ -531,8 +551,8 @@ func (ix *Index) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps
 	verifyStart := time.Now()
 	verifyCtx, verifySpan := obs.StartSpan(ctx, "verify")
 	var pc store.PageCounter
-	v := ix.newVerifier(q, eps, costs)
-	out, falseAlarms, costRejected, err := ix.verifyCandidates(verifyCtx, v, cands, &pc)
+	v := newVerifier(ix.st, q, eps, costs)
+	out, falseAlarms, costRejected, err := verifyCandidates(verifyCtx, v, cands, &pc)
 	if err != nil {
 		spanEndWithError(verifySpan, err)
 		recordSearchError()
@@ -621,7 +641,7 @@ func (ix *Index) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vec
 	if k < 1 {
 		return nil, fmt.Errorf("core: %w: k %d < 1", ErrInvalidQuery, k)
 	}
-	if err := ix.validateQueryValues(q); err != nil {
+	if err := validateQueryValues(q); err != nil {
 		return nil, err
 	}
 	if ix.degraded != "" {
@@ -642,7 +662,7 @@ func (ix *Index) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vec
 	var scanErr, ctxErr error
 
 	slack := ix.numericSlack()
-	vq := ix.newVerifier(q, 0, costs)
+	vq := newVerifier(ix.st, q, 0, costs)
 	// refine exact-checks one window against the running top-k.  The
 	// prefix-sum fast path supplies a certified lower bound on the true
 	// distance; when the running top-k is full and the bound already
@@ -802,6 +822,16 @@ func (ix *Index) SearchBatchPlanned(queries []BatchQuery, force engine.PathKind,
 // batch with that error, as before.  Per-query stats are accumulated
 // only for completed queries, in query order.
 func (ix *Index) SearchBatchPlannedContext(ctx context.Context, queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, []BatchStatus, error) {
+	return searchBatchPlannedContext(ctx, ix, queries, force, parallelism, stats)
+}
+
+// rangeSearcher is the single-query surface the shared batch executor
+// fans out over; *Index and *SegmentedIndex both provide it.
+type rangeSearcher interface {
+	SearchPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error)
+}
+
+func searchBatchPlannedContext(ctx context.Context, rs rangeSearcher, queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, []BatchStatus, error) {
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -836,7 +866,7 @@ func (ix *Index) SearchBatchPlannedContext(ctx context.Context, queries []BatchQ
 				func(i int) {
 					defer recoverWorkerPanic("batch search", nil, nil, &errs[i])
 					bq := queries[i]
-					results[i], explains[i], errs[i] = ix.SearchPlannedContext(ctx, bq.Q, bq.Eps, bq.Costs, force, nil, &perQuery[i])
+					results[i], explains[i], errs[i] = rs.SearchPlannedContext(ctx, bq.Q, bq.Eps, bq.Costs, force, nil, &perQuery[i])
 				}(i)
 				if errs[i] == nil {
 					statuses[i] = BatchComplete

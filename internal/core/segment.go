@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"scaleshift/internal/dft"
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// The segment model behind SegmentedIndex: an ordered set of immutable
+// frozen segments — each a pointer-free flat R*-tree over a contiguous
+// per-sequence window range — plus a small mutable delta absorbing
+// freshly appended windows.  Every manifest generation pins a store
+// snapshot, so queries fan across segments and verify against data
+// that cannot move under them.
+
+// winRange addresses the windows [Lo, Hi) of sequence Seq covered by a
+// frozen segment.  Coverage is contiguous per sequence: window Lo of a
+// later segment continues exactly where the previous segment's Hi left
+// off, which is what lets the manifest guarantee every window lives in
+// exactly one segment.
+type winRange struct {
+	Seq, Lo, Hi int
+}
+
+// frozenSeg is one immutable segment: a frozen flat tree over the
+// feature points of its windows, plus the window ranges it covers.
+type frozenSeg struct {
+	flat   *rtree.FlatTree
+	ranges []winRange
+	count  int
+}
+
+// deltaEntry is one window absorbed by the mutable delta segment: its
+// address and its feature point (kept so compaction can bulk-load the
+// next frozen segment without re-extracting).
+type deltaEntry struct {
+	seq, start int
+	feat       vec.Vector
+}
+
+// manifest is one immutable generation of the segmented index.  It is
+// published through an RCU cell: readers pin it for the duration of a
+// query, writers publish a fresh one after every mutation, and no
+// reader ever observes a half-updated view.
+type manifest struct {
+	gen    int64
+	snap   *store.Snapshot
+	frozen []*frozenSeg
+	delta  []deltaEntry
+	// slack is the numeric slack for index-phase epsilon widening,
+	// derived from the largest feature magnitude ever published (a
+	// monotone overestimate is safe: the exact verifier reapplies the
+	// caller's epsilon).
+	slack float64
+}
+
+// windowCount is the manifest's candidate universe size.
+func (m *manifest) windowCount() int {
+	total := len(m.delta)
+	for _, sg := range m.frozen {
+		total += sg.count
+	}
+	return total
+}
+
+// extractRange streams the features of windows [lo, hi) of sequence
+// seq into fn, reading through sv.  It replicates featureSegment's
+// checkpoint discipline — the sliding DFT restarts at every absolute
+// multiple of featureCheckpoint — so the emitted features are
+// bit-identical to what Build/BuildBulkParallel computes for the same
+// windows, regardless of how [lo, hi) slices the sequence.
+func extractRange(sv storeView, fmap *dft.FeatureMap, opts Options, seq, lo, hi int, fn func(start int, f vec.Vector) error) error {
+	if lo >= hi {
+		return nil
+	}
+	n := opts.WindowLen
+	feat := make(vec.Vector, fmap.Dim())
+	if opts.Reduction != ReductionDFT {
+		w := make(vec.Vector, n)
+		se := make(vec.Vector, n)
+		for start := lo; start < hi; start++ {
+			if err := sv.Window(seq, start, n, w, nil); err != nil {
+				return err
+			}
+			vec.SETransformInPlace(se, w)
+			fmap.TransformInto(feat, se)
+			if err := fn(start, feat); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	raw := make(vec.Vector, n+featureCheckpoint-1)
+	for cp := lo - lo%featureCheckpoint; cp < hi; cp += featureCheckpoint {
+		segLast := cp + featureCheckpoint - 1
+		if segLast > hi-1 {
+			segLast = hi - 1
+		}
+		span := segLast - cp + n
+		if err := sv.Window(seq, cp, span, raw[:span], nil); err != nil {
+			return err
+		}
+		slider, err := dft.NewSlidingTransformer(fmap, raw[:n])
+		if err != nil {
+			return err
+		}
+		for s := cp; s <= segLast; s++ {
+			if s > cp {
+				slider.Slide(raw[s-cp+n-1])
+			}
+			if s < lo {
+				continue
+			}
+			slider.Feature(feat)
+			if err := fn(s, feat); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rangesOf derives the contiguous window ranges covered by entries,
+// which must be sorted by (seq, start).
+func rangesOf(entries []deltaEntry) []winRange {
+	var out []winRange
+	for _, e := range entries {
+		if k := len(out) - 1; k >= 0 && out[k].Seq == e.seq && out[k].Hi == e.start {
+			out[k].Hi++
+			continue
+		}
+		out = append(out, winRange{Seq: e.seq, Lo: e.start, Hi: e.start + 1})
+	}
+	return out
+}
+
+// buildSegment bulk-loads one frozen segment from delta entries.  The
+// entries' feature points were extracted under the checkpoint
+// discipline, so the segment indexes exactly the features a
+// from-scratch build would.  Returns nil for an empty entry set.
+func buildSegment(entries []deltaEntry, opts Options, dim int) (*frozenSeg, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	sorted := append([]deltaEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].seq != sorted[j].seq {
+			return sorted[i].seq < sorted[j].seq
+		}
+		return sorted[i].start < sorted[j].start
+	})
+	items := make([]rtree.Item, len(sorted))
+	for i, e := range sorted {
+		items[i] = rtree.Item{Point: e.feat, ID: store.EncodeWindowID(e.seq, e.start)}
+	}
+	cfg := opts.Tree
+	cfg.Dim = dim
+	tree, err := rtree.BulkLoadParallel(cfg, items, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, fmt.Errorf("core: segment bulk load: %w", err)
+	}
+	flat, err := tree.Freeze()
+	if err != nil {
+		return nil, fmt.Errorf("core: segment freeze: %w", err)
+	}
+	return &frozenSeg{flat: flat, ranges: rangesOf(sorted), count: len(sorted)}, nil
+}
+
+// mergeSegments re-extracts every window covered by the given frozen
+// segments and delta entries from snap and bulk-loads them into one
+// consolidated segment.  Re-extraction (rather than stitching stored
+// feature points) keeps the merged segment bit-identical to a
+// from-scratch build by construction.
+func mergeSegments(snap *store.Snapshot, fmap *dft.FeatureMap, opts Options, frozen []*frozenSeg, delta []deltaEntry) (*frozenSeg, error) {
+	// Per-sequence coverage: frozen ranges and delta entries tile each
+	// sequence's windows [0, hi) contiguously.
+	hi := map[int]int{}
+	for _, sg := range frozen {
+		for _, r := range sg.ranges {
+			if r.Hi > hi[r.Seq] {
+				hi[r.Seq] = r.Hi
+			}
+		}
+	}
+	for _, e := range delta {
+		if e.start+1 > hi[e.seq] {
+			hi[e.seq] = e.start + 1
+		}
+	}
+	seqs := make([]int, 0, len(hi))
+	for seq := range hi {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	var entries []deltaEntry
+	for _, seq := range seqs {
+		err := extractRange(snap, fmap, opts, seq, 0, hi[seq], func(start int, f vec.Vector) error {
+			entries = append(entries, deltaEntry{seq: seq, start: start, feat: f.Clone()})
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: segment merge: %w", err)
+		}
+	}
+	return buildSegment(entries, opts, fmap.Dim())
+}

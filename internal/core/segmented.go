@@ -1,0 +1,1056 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"scaleshift/internal/dft"
+	"scaleshift/internal/engine"
+	"scaleshift/internal/geom"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/resilience"
+	"scaleshift/internal/rtree"
+	"scaleshift/internal/store"
+	"scaleshift/internal/vec"
+)
+
+// SegmentedIndex is the streaming-ingest variant of Index: an ordered
+// set of immutable frozen segments plus a mutable delta, maintained
+// LSM-style.  AppendValues extends a sequence in place, runs the
+// sliding DFT forward from the last extraction position (no recompute
+// of old windows), and publishes a fresh manifest generation through
+// an RCU cell — queries pin a manifest and never block on ingest or
+// compaction.  A background compactor folds the delta into frozen
+// bulk-loaded segments and merges segments when they pile up.
+//
+// Results are bit-identical to a from-scratch Index over the same
+// final data: extraction follows the same checkpoint discipline, every
+// segment feeds the same exact verifier, and the verifier reads
+// through the manifest's pinned store snapshot.
+//
+// Writer methods (AppendValues, AppendSequence, Compact) are
+// mutually safe against queries but serialize against each other
+// internally; queries may run from any number of goroutines.
+type SegmentedIndex struct {
+	opts Options
+	st   *store.Store
+	fmap *dft.FeatureMap
+	// base retains the wrapped Index (and with it any mmap backing the
+	// initial frozen segment's arena) until Close.
+	base *Index
+
+	// CompactThreshold is the delta size at which the background
+	// compactor is kicked (default 4096); MaxFrozen is the frozen
+	// segment count that triggers a merge into one segment (default 8).
+	// Set both before StartCompactor.
+	CompactThreshold int
+	MaxFrozen        int
+
+	cell *resilience.Cell[*manifest]
+
+	// mu guards the writer-side state below; compactMu serializes
+	// compactions so the slow build phase runs outside mu.
+	mu        sync.Mutex
+	compactMu sync.Mutex
+
+	frozen  []*frozenSeg
+	delta   []deltaEntry
+	sliders map[int]*seqSlider
+	next    []int // per-sequence next window start to extract
+	maxAbs  float64
+	gen     int64
+
+	// compactHook, when set (tests), runs between a compaction's
+	// decide and build phases; a non-nil error aborts the compaction.
+	compactHook func() error
+
+	compactions int
+	pauses      []time.Duration
+	lastErr     error
+
+	compactorOn bool
+	kick        chan struct{}
+	done        chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+}
+
+// seqSlider is one sequence's incremental extraction state: the
+// sliding transformer and the window start it is currently positioned
+// on.
+type seqSlider struct {
+	sl  *dft.SlidingTransformer
+	pos int
+}
+
+// NewSegmentedIndex builds a segmented index over st: the current
+// contents become the initial frozen segment (bulk-loaded in
+// parallel), and subsequent AppendValues/AppendSequence calls grow the
+// delta.  Trail mode is not supported — segments store per-window
+// point entries.
+func NewSegmentedIndex(st *store.Store, opts Options) (*SegmentedIndex, error) {
+	if opts.SubtrailLen >= 2 {
+		return nil, fmt.Errorf("core: segmented index requires per-window point entries (SubtrailLen < 2)")
+	}
+	ix, err := NewIndex(st, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.BuildBulkParallel(0); err != nil {
+		return nil, err
+	}
+	return newSegmentedFrom(ix)
+}
+
+// NewSegmentedFromIndex wraps an already-built (or artifact-loaded)
+// Index as the initial frozen segment of a segmented index.  Windows
+// the store gained after the index was built land in the delta, so
+// the segmented view covers the store completely from the start.
+func NewSegmentedFromIndex(ix *Index) (*SegmentedIndex, error) {
+	if ix.trailMode() {
+		return nil, fmt.Errorf("core: segmented index requires per-window point entries (SubtrailLen < 2)")
+	}
+	if deg, why := ix.Degraded(); deg {
+		return nil, fmt.Errorf("core: cannot segment a degraded index (%s)", why)
+	}
+	return newSegmentedFrom(ix)
+}
+
+func newSegmentedFrom(ix *Index) (*SegmentedIndex, error) {
+	if err := ix.Freeze(); err != nil {
+		return nil, err
+	}
+	g := emptySegmented(ix.st, ix.opts, ix.fmap, ix)
+	var ranges []winRange
+	count := 0
+	for seq := range g.next {
+		c := 0
+		if seq < len(ix.indexed) {
+			c = ix.indexed[seq]
+		}
+		g.next[seq] = c
+		if c > 0 {
+			ranges = append(ranges, winRange{Seq: seq, Lo: 0, Hi: c})
+			count += c
+		}
+	}
+	if count > 0 {
+		flat := ix.flat
+		if flat == nil || flat.Len() != count {
+			return nil, fmt.Errorf("core: index covers %d windows but its tree disagrees", count)
+		}
+		g.frozen = append(g.frozen, &frozenSeg{flat: flat, ranges: ranges, count: count})
+	}
+	if err := g.finishInit(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// emptySegmented allocates the writer-side shell with defaults; the
+// caller fills frozen/next and then finishInit publishes generation 0.
+func emptySegmented(st *store.Store, opts Options, fmap *dft.FeatureMap, base *Index) *SegmentedIndex {
+	return &SegmentedIndex{
+		opts:             opts,
+		st:               st,
+		fmap:             fmap,
+		base:             base,
+		CompactThreshold: 4096,
+		MaxFrozen:        8,
+		sliders:          map[int]*seqSlider{},
+		next:             make([]int, st.NumSequences()),
+		kick:             make(chan struct{}, 1),
+		done:             make(chan struct{}),
+	}
+}
+
+// finishInit extracts every window the frozen segments do not cover
+// into the delta, seeds the numeric slack from the frozen bounds, and
+// publishes the initial manifest.
+func (g *SegmentedIndex) finishInit() error {
+	for _, sg := range g.frozen {
+		if b, ok := sg.flat.Bounds(); ok {
+			if m := maxAbsRect(b); m > g.maxAbs {
+				g.maxAbs = m
+			}
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for seq := range g.next {
+		if err := g.extractLocked(seq); err != nil {
+			return err
+		}
+	}
+	g.cell = resilience.NewCell(g.manifestLocked())
+	return nil
+}
+
+func maxAbsRect(r geom.Rect) float64 {
+	var m float64
+	for i := range r.L {
+		m = math.Max(m, math.Max(math.Abs(r.L[i]), math.Abs(r.H[i])))
+	}
+	return m
+}
+
+// AppendValues appends samples to sequence seq, extracts the features
+// of every window the new samples complete, and publishes a new
+// manifest generation.  Queries in flight keep their pinned manifest;
+// new queries see the appended windows immediately (served exactly
+// from the delta).
+func (g *SegmentedIndex) AppendValues(seq int, values []float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if seq < 0 || seq >= len(g.next) {
+		return fmt.Errorf("core: sequence %d out of range [0, %d)", seq, len(g.next))
+	}
+	if err := g.st.AppendValues(seq, values); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := g.extractLocked(seq); err != nil {
+		return err
+	}
+	g.publishLocked()
+	g.maybeKickLocked()
+	return nil
+}
+
+// AppendSequence adds a whole new sequence and indexes its windows
+// through the delta, returning the sequence id.
+func (g *SegmentedIndex) AppendSequence(name string, values []float64) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seq := g.st.AppendSequence(name, values)
+	for len(g.next) <= seq {
+		g.next = append(g.next, 0)
+	}
+	if err := g.extractLocked(seq); err != nil {
+		return seq, err
+	}
+	g.publishLocked()
+	g.maybeKickLocked()
+	return seq, nil
+}
+
+// extractLocked runs feature extraction forward for sequence seq, from
+// the last extracted window to the end of the sequence.  The sliding
+// DFT continues from its previous position when possible — O(f_c) per
+// new window — and Repositions at every featureCheckpoint boundary,
+// exactly where a from-scratch extraction restarts, so the features
+// absorbed into the delta are bit-identical to what BuildBulkParallel
+// would compute over the grown sequence.
+func (g *SegmentedIndex) extractLocked(seq int) error {
+	n := g.opts.WindowLen
+	lastStart := g.st.SequenceLen(seq) - n
+	if g.next[seq] > lastStart {
+		return nil
+	}
+	feat := make(vec.Vector, g.fmap.Dim())
+	if g.opts.Reduction != ReductionDFT {
+		w := make(vec.Vector, n)
+		se := make(vec.Vector, n)
+		for st := g.next[seq]; st <= lastStart; st++ {
+			if err := g.st.Window(seq, st, n, w, nil); err != nil {
+				return fmt.Errorf("core: incremental extraction: %w", err)
+			}
+			vec.SETransformInPlace(se, w)
+			g.fmap.TransformInto(feat, se)
+			g.absorbLocked(seq, st, feat)
+		}
+		return nil
+	}
+	sl := g.sliders[seq]
+	buf := make(vec.Vector, n)
+	for st := g.next[seq]; st <= lastStart; st++ {
+		switch {
+		case st%featureCheckpoint == 0:
+			// Checkpoint boundary: restart the recurrence from scratch,
+			// as featureSegment does for a fresh segment.
+			if err := g.st.Window(seq, st, n, buf, nil); err != nil {
+				return fmt.Errorf("core: incremental extraction: %w", err)
+			}
+			if sl == nil {
+				t, err := dft.NewSlidingTransformer(g.fmap, buf)
+				if err != nil {
+					return err
+				}
+				sl = &seqSlider{sl: t}
+				g.sliders[seq] = sl
+			} else if err := sl.sl.Reposition(buf); err != nil {
+				return err
+			}
+			sl.pos = st
+		case sl != nil && sl.pos == st-1:
+			// The common streaming case: one new sample, one O(f_c) slide.
+			if err := g.st.Window(seq, st+n-1, 1, buf[:1], nil); err != nil {
+				return fmt.Errorf("core: incremental extraction: %w", err)
+			}
+			sl.sl.Slide(buf[0])
+			sl.pos = st
+		default:
+			// Bootstrap mid-segment (first append after wrapping a loaded
+			// index): replay from the checkpoint so the slider state is
+			// bit-identical to a from-scratch extraction reaching st.
+			cp := st - st%featureCheckpoint
+			span := st - cp + n
+			raw := make(vec.Vector, span)
+			if err := g.st.Window(seq, cp, span, raw, nil); err != nil {
+				return fmt.Errorf("core: incremental extraction: %w", err)
+			}
+			if sl == nil {
+				t, err := dft.NewSlidingTransformer(g.fmap, raw[:n])
+				if err != nil {
+					return err
+				}
+				sl = &seqSlider{sl: t}
+				g.sliders[seq] = sl
+			} else if err := sl.sl.Reposition(raw[:n]); err != nil {
+				return err
+			}
+			for s := cp + 1; s <= st; s++ {
+				sl.sl.Slide(raw[s-cp+n-1])
+			}
+			sl.pos = st
+		}
+		sl.sl.Feature(feat)
+		g.absorbLocked(seq, st, feat)
+	}
+	return nil
+}
+
+func (g *SegmentedIndex) absorbLocked(seq, start int, feat vec.Vector) {
+	g.delta = append(g.delta, deltaEntry{seq: seq, start: start, feat: feat.Clone()})
+	for _, v := range feat {
+		if a := math.Abs(v); a > g.maxAbs {
+			g.maxAbs = a
+		}
+	}
+	g.next[seq] = start + 1
+}
+
+// manifestLocked assembles the current immutable view: frozen segment
+// list and delta pinned by value, store pinned via Snapshot.
+func (g *SegmentedIndex) manifestLocked() *manifest {
+	var slack float64
+	if g.maxAbs > 0 {
+		slack = 1e-7 * g.maxAbs * math.Sqrt(float64(g.fmap.Dim()))
+	}
+	return &manifest{
+		gen:    g.gen,
+		snap:   g.st.Snapshot(),
+		frozen: append([]*frozenSeg(nil), g.frozen...),
+		delta:  g.delta[:len(g.delta):len(g.delta)],
+		slack:  slack,
+	}
+}
+
+func (g *SegmentedIndex) publishLocked() {
+	g.gen++
+	g.cell.Swap(g.manifestLocked())
+}
+
+func (g *SegmentedIndex) maybeKickLocked() {
+	if g.compactorOn && g.CompactThreshold > 0 && len(g.delta) >= g.CompactThreshold {
+		select {
+		case g.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// StartCompactor launches the background compaction goroutine; it
+// wakes whenever the delta crosses CompactThreshold and exits on
+// Close.  Idempotent.
+func (g *SegmentedIndex) StartCompactor() {
+	g.mu.Lock()
+	if g.compactorOn {
+		g.mu.Unlock()
+		return
+	}
+	g.compactorOn = true
+	g.mu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		for {
+			select {
+			case <-g.done:
+				return
+			case <-g.kick:
+				// Errors are recorded in lastErr and surfaced by Backlog;
+				// the delta keeps serving queries exactly in the meantime.
+				_ = g.Compact()
+			}
+		}
+	}()
+}
+
+// SetCompactHook installs a hook that runs between a compaction's
+// decide and build phases; a non-nil error aborts that compaction
+// (recorded in Backlog, delta left intact).  Chaos harnesses use it to
+// prove queries and appends survive compaction failure.
+func (g *SegmentedIndex) SetCompactHook(fn func() error) {
+	g.mu.Lock()
+	g.compactHook = fn
+	g.mu.Unlock()
+}
+
+// Compact folds the current delta into a new frozen segment — or,
+// when the frozen list has reached MaxFrozen, merges everything into
+// one consolidated segment.  The expensive build runs without holding
+// the writer lock, so appends and queries proceed throughout; only the
+// final manifest swap holds the lock, and that pause is recorded (see
+// Backlog).  Safe to call directly (tests, shutdown flush) even while
+// the background compactor runs.
+func (g *SegmentedIndex) Compact() error {
+	g.compactMu.Lock()
+	defer g.compactMu.Unlock()
+
+	// Phase 1 (brief, locked): decide what to compact and pin it.
+	g.mu.Lock()
+	cut := len(g.delta)
+	merge := g.MaxFrozen > 0 && len(g.frozen) >= g.MaxFrozen
+	if cut == 0 && (!merge || len(g.frozen) <= 1) {
+		g.mu.Unlock()
+		return nil
+	}
+	pinned := g.delta[:cut:cut]
+	oldFrozen := append([]*frozenSeg(nil), g.frozen...)
+	snap := g.st.Snapshot()
+	hook := g.compactHook
+	g.mu.Unlock()
+
+	fail := func(err error) error {
+		g.mu.Lock()
+		g.lastErr = err
+		g.mu.Unlock()
+		return err
+	}
+	if hook != nil {
+		if err := hook(); err != nil {
+			return fail(fmt.Errorf("core: compaction aborted: %w", err))
+		}
+	}
+
+	// Phase 2 (slow, unlocked): build the new frozen segment(s).
+	// Appends landing during this phase grow the delta past cut and
+	// survive as the post-compaction delta.
+	var newFrozen []*frozenSeg
+	if merge {
+		seg, err := mergeSegments(snap, g.fmap, g.opts, oldFrozen, pinned)
+		if err != nil {
+			return fail(err)
+		}
+		if seg != nil {
+			newFrozen = []*frozenSeg{seg}
+		}
+	} else {
+		seg, err := buildSegment(pinned, g.opts, g.fmap.Dim())
+		if err != nil {
+			return fail(err)
+		}
+		newFrozen = oldFrozen
+		if seg != nil {
+			newFrozen = append(newFrozen, seg)
+		}
+	}
+
+	// Phase 3 (brief, locked): swap the manifest.  The lock-held time
+	// here is the only moment ingest stalls on compaction.
+	start := time.Now()
+	g.mu.Lock()
+	g.frozen = newFrozen
+	g.delta = append([]deltaEntry(nil), g.delta[cut:]...)
+	g.publishLocked()
+	g.compactions++
+	g.lastErr = nil
+	pause := time.Since(start)
+	if len(g.pauses) >= 1024 {
+		copy(g.pauses, g.pauses[1:])
+		g.pauses = g.pauses[:len(g.pauses)-1]
+	}
+	g.pauses = append(g.pauses, pause)
+	g.mu.Unlock()
+	return nil
+}
+
+// Backlog reports the compaction state for readiness endpoints and
+// tests.
+type Backlog struct {
+	// Generation is the published manifest generation.
+	Generation int64
+	// Frozen and FrozenWindows size the immutable side; DeltaWindows
+	// is the mutable backlog awaiting compaction.
+	Frozen        int
+	FrozenWindows int
+	DeltaWindows  int
+	// Compactions counts completed compactions; the pause fields
+	// distribute the manifest-swap stall (the lock-held phase 3).
+	Compactions     int
+	CompactPauseMax time.Duration
+	CompactPauseP99 time.Duration
+	// LastCompactErr is the most recent compaction failure, empty
+	// after any success.
+	LastCompactErr string
+}
+
+// Backlog returns current ingest/compaction gauges.
+func (g *SegmentedIndex) Backlog() Backlog {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := Backlog{
+		Generation:   g.gen,
+		Frozen:       len(g.frozen),
+		DeltaWindows: len(g.delta),
+		Compactions:  g.compactions,
+	}
+	for _, sg := range g.frozen {
+		b.FrozenWindows += sg.count
+	}
+	if g.lastErr != nil {
+		b.LastCompactErr = g.lastErr.Error()
+	}
+	if len(g.pauses) > 0 {
+		sorted := append([]time.Duration(nil), g.pauses...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		b.CompactPauseMax = sorted[len(sorted)-1]
+		b.CompactPauseP99 = sorted[int(0.99*float64(len(sorted)-1))]
+	}
+	return b
+}
+
+// Close stops the background compactor and releases the wrapped
+// index's resources (including any artifact mapping backing the
+// initial frozen segment).
+func (g *SegmentedIndex) Close() error {
+	g.closeOnce.Do(func() { close(g.done) })
+	g.wg.Wait()
+	if g.base != nil {
+		return g.base.Close()
+	}
+	return nil
+}
+
+// Options returns the index configuration.
+func (g *SegmentedIndex) Options() Options { return g.opts }
+
+// Store returns the underlying store.  It is writer-side state: while
+// appends run, read through QueryWindow (or a manifest snapshot)
+// instead.
+func (g *SegmentedIndex) Store() *store.Store { return g.st }
+
+// Degraded reports false: a segmented index never serves degraded.
+func (g *SegmentedIndex) Degraded() (bool, string) { return false, "" }
+
+// Generation returns the published manifest generation.
+func (g *SegmentedIndex) Generation() int64 {
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	return pin.Value().gen
+}
+
+// WindowCount returns the number of searchable windows (frozen +
+// delta) in the published manifest.
+func (g *SegmentedIndex) WindowCount() int {
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	return pin.Value().windowCount()
+}
+
+// IndexPageCount returns the total index pages across frozen segments.
+func (g *SegmentedIndex) IndexPageCount() int {
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	total := 0
+	for _, sg := range pin.Value().frozen {
+		total += sg.flat.NodeCount()
+	}
+	return total
+}
+
+// TreeHeight returns the tallest frozen segment's height.
+func (g *SegmentedIndex) TreeHeight() int {
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	h := 0
+	for _, sg := range pin.Value().frozen {
+		if sh := sg.flat.Height(); sh > h {
+			h = sh
+		}
+	}
+	return h
+}
+
+// QueryWindow reads one window through the published manifest's store
+// snapshot — safe against concurrent appends, unlike Store().Window.
+func (g *SegmentedIndex) QueryWindow(seq, start, n int, dst vec.Vector) error {
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	return pin.Value().snap.Window(seq, start, n, dst, nil)
+}
+
+// StoreShape reports the snapshot's sequence, value, and page counts
+// for serving-layer gauges, read race-free through the manifest.
+func (g *SegmentedIndex) StoreShape() (seqs, values, pages int) {
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	sn := pin.Value().snap
+	return sn.NumSequences(), sn.TotalValues(), sn.PageCount()
+}
+
+// probeSegment plans and runs the index phase of one frozen segment:
+// a per-segment cost choice between the segment's flat tree and an
+// exact range enumeration, honoring force for the tree/scan paths.
+func (g *SegmentedIndex) probeSegment(ctx context.Context, idx int, sg *frozenSeg, eq engine.Query, force engine.PathKind, ts *rtree.SearchStats, emit func(seq, start int)) (engine.SegmentPlan, error) {
+	eq.Windows = sg.count
+	hints := sg.flat.CostHints()
+	treeCost := engine.EstimateTreeCostSampled(hints, sg.count, eq.Eps, sampleDists(hints, eq))
+	scanCost := engine.EstimateScanCost(sg.count)
+	chosen := engine.PathRTree
+	cost := treeCost
+	switch force {
+	case engine.PathAuto:
+		if scanCost.Units < treeCost.Units {
+			chosen, cost = engine.PathScan, scanCost
+		}
+	case engine.PathRTree:
+	case engine.PathScan:
+		chosen, cost = engine.PathScan, scanCost
+	default:
+		return engine.SegmentPlan{}, fmt.Errorf("core: %w: segmented index cannot serve the %s path", engine.ErrUnsupported, force)
+	}
+	plan := engine.SegmentPlan{Seg: idx, Kind: "frozen", Windows: sg.count, Chosen: chosen, Cost: cost}
+	if chosen == engine.PathRTree {
+		var items []rtree.Item
+		var err error
+		if eq.Segment {
+			items, err = sg.flat.SegmentSearchContext(ctx, eq.Line, eq.TMin, eq.TMax, eq.Eps, g.opts.Strategy, ts)
+		} else {
+			items, err = sg.flat.LineSearchContext(ctx, eq.Line, eq.Eps, g.opts.Strategy, ts)
+		}
+		if err != nil {
+			return plan, err
+		}
+		for _, it := range items {
+			seq, start := store.DecodeWindowID(it.ID)
+			emit(seq, start)
+		}
+		plan.Candidates = len(items)
+		return plan, nil
+	}
+	n := 0
+	for _, r := range sg.ranges {
+		for start := r.Lo; start < r.Hi; start++ {
+			if n%scanCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return plan, err
+				}
+			}
+			n++
+			emit(r.Seq, start)
+		}
+	}
+	plan.Candidates = n
+	return plan, nil
+}
+
+// probeManifest fans one query's index phase across every segment of
+// the manifest: frozen segments go through probeSegment, the delta is
+// emitted wholesale (an exact scan — the verifier filters it).  It
+// returns the per-segment Explain and per-path probe counts.
+func (g *SegmentedIndex) probeManifest(ctx context.Context, man *manifest, line vec.Line, eps float64, costs CostBounds, force engine.PathKind, ts *rtree.SearchStats, emit func(seq, start int)) (*engine.Explain, [engine.NumPathKinds]int, error) {
+	var probes [engine.NumPathKinds]int
+	planStart := time.Now()
+	eq := buildEngineQuery(line, eps, man.slack, costs, man.windowCount(), g.fmap.Dim())
+	ex := &engine.Explain{Chosen: engine.PathScan, Forced: force != engine.PathAuto}
+	ex.PlanTime = time.Since(planStart)
+
+	probeStart := time.Now()
+	largest := -1
+	for i, sg := range man.frozen {
+		plan, err := g.probeSegment(ctx, i, sg, eq, force, ts, emit)
+		if err != nil {
+			ex.ProbeTime = time.Since(probeStart)
+			return ex, probes, err
+		}
+		ex.Segments = append(ex.Segments, plan)
+		ex.EstCandidates += plan.Cost.Candidates
+		probes[plan.Chosen]++
+		if sg.count > largest {
+			largest = sg.count
+			ex.Chosen = plan.Chosen
+		}
+	}
+	if len(man.delta) > 0 {
+		// The delta always scans, whatever force says: skipping it
+		// would silently drop the freshest windows from the answer.
+		for i, e := range man.delta {
+			if i%scanCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					ex.ProbeTime = time.Since(probeStart)
+					return ex, probes, err
+				}
+			}
+			emit(e.seq, e.start)
+		}
+		dplan := engine.SegmentPlan{
+			Seg:        -1,
+			Kind:       "delta",
+			Windows:    len(man.delta),
+			Chosen:     engine.PathScan,
+			Cost:       engine.EstimateScanCost(len(man.delta)),
+			Candidates: len(man.delta),
+		}
+		ex.Segments = append(ex.Segments, dplan)
+		ex.EstCandidates += dplan.Cost.Candidates
+		probes[engine.PathScan]++
+	}
+	ex.ProbeTime = time.Since(probeStart)
+	return ex, probes, nil
+}
+
+// Search is Index.Search over the segmented index.
+func (g *SegmentedIndex) Search(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	out, _, err := g.SearchPlannedContext(context.Background(), q, eps, costs, engine.PathAuto, nil, stats)
+	return out, err
+}
+
+// SearchContext is Search with cooperative cancellation.
+func (g *SegmentedIndex) SearchContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	out, _, err := g.SearchPlannedContext(ctx, q, eps, costs, engine.PathAuto, nil, stats)
+	return out, err
+}
+
+// SearchPlannedContext is the segmented range-query executor: it pins
+// the current manifest, fans the index phase across segments, and
+// verifies every candidate against the manifest's store snapshot
+// through the same exact verifier as Index — so the result set is
+// bit-identical to a from-scratch index over the same data, whatever
+// the segment layout.  The returned Explain carries one SegmentPlan
+// per probed segment.
+func (g *SegmentedIndex) SearchPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, pool *store.BufferPool, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	if len(q) != g.opts.WindowLen {
+		recordSearchError()
+		return nil, nil, fmt.Errorf("core: %w: query length %d, index window length %d (use SearchLong for longer queries)",
+			ErrInvalidQuery, len(q), g.opts.WindowLen)
+	}
+	if err := validateQuery(q, eps); err != nil {
+		recordSearchError()
+		return nil, nil, err
+	}
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	man := pin.Value()
+
+	var treeStats rtree.SearchStats
+	var cands []candidate
+	ex, pathProbes, err := g.probeManifest(ctx, man, seLineFor(g.fmap, q), eps, costs, force, &treeStats, func(seq, start int) {
+		cands = append(cands, candidate{seq, start})
+	})
+	if err != nil {
+		recordSearchError()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, ex, err
+		}
+		return nil, ex, fmt.Errorf("core: segmented probe: %w", err)
+	}
+
+	verifyStart := time.Now()
+	verifyCtx, verifySpan := obs.StartSpan(ctx, "verify")
+	pc := store.PageCounter{Pool: pool}
+	v := newVerifier(man.snap, q, eps, costs)
+	out, falseAlarms, costRejected, err := verifyCandidates(verifyCtx, v, cands, &pc)
+	if err != nil {
+		spanEndWithError(verifySpan, err)
+		recordSearchError()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, ex, err
+		}
+		return nil, ex, fmt.Errorf("core: post-processing: %w", err)
+	}
+	sortMatches(out)
+	if verifySpan != nil {
+		verifySpan.SetInt("candidates", int64(len(cands)))
+		verifySpan.SetInt("false_alarms", int64(falseAlarms))
+		verifySpan.SetInt("matches", int64(len(out)))
+		verifySpan.End()
+	}
+	ex.VerifyTime = time.Since(verifyStart)
+	ex.ActualCandidates = len(cands)
+	ex.Matches = len(out)
+	ex.TraceID = obs.TraceIDFromContext(ctx)
+
+	delta := SearchStats{
+		IndexNodeAccesses:  treeStats.NodeAccesses,
+		DataPageAccesses:   pc.Distinct(),
+		Candidates:         len(cands),
+		FalseAlarms:        falseAlarms,
+		CostRejected:       costRejected,
+		Results:            len(out),
+		LeafEntriesChecked: treeStats.LeafEntriesChecked,
+		Penetration:        treeStats.Penetration,
+		PlanTime:           ex.PlanTime,
+		ProbeTime:          ex.ProbeTime,
+		VerifyTime:         ex.VerifyTime,
+		PathProbes:         pathProbes,
+		TraceID:            ex.TraceID,
+	}
+	recordSearchMetrics(&delta, 1)
+	if stats != nil {
+		stats.Add(delta)
+	}
+	return out, ex, nil
+}
+
+// SearchLong is the multipiece long-query search over the segmented
+// index; see Index.SearchLong for the method.
+func (g *SegmentedIndex) SearchLong(q vec.Vector, eps float64, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	out, _, err := g.SearchLongPlannedContext(context.Background(), q, eps, costs, engine.PathAuto, stats)
+	return out, err
+}
+
+// SearchLongPlannedContext cuts the query into length-n pieces, probes
+// every piece across every segment of ONE pinned manifest (so all
+// pieces see the same generation), and verifies the deduplicated
+// full-length proposals against the manifest's snapshot.
+func (g *SegmentedIndex) SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs CostBounds, force engine.PathKind, stats *SearchStats) ([]Match, *engine.Explain, error) {
+	n := g.opts.WindowLen
+	if len(q) == n {
+		return g.SearchPlannedContext(ctx, q, eps, costs, force, nil, stats)
+	}
+	if len(q) < n {
+		recordSearchError()
+		return nil, nil, fmt.Errorf("core: %w: query length %d below index window length %d",
+			ErrInvalidQuery, len(q), n)
+	}
+	if err := validateQuery(q, eps); err != nil {
+		recordSearchError()
+		return nil, nil, err
+	}
+	pieces := len(q) / n
+	pieceEps := eps / math.Sqrt(float64(pieces))
+
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	man := pin.Value()
+
+	proposed := make(map[candidate]bool)
+	var treeStats rtree.SearchStats
+	var ex *engine.Explain
+	var pathProbes [engine.NumPathKinds]int
+	for i := 0; i < pieces; i++ {
+		piece := q[i*n : (i+1)*n]
+		i := i
+		pieceEx, probes, err := g.probeManifest(ctx, man, seLineFor(g.fmap, piece), pieceEps, costs, force, &treeStats, func(seq, start int) {
+			full := candidate{seq, start - i*n}
+			if full.start < 0 || full.start+len(q) > man.snap.SequenceLen(seq) {
+				return
+			}
+			proposed[full] = true
+		})
+		if err != nil {
+			recordSearchError()
+			return nil, pieceEx, err
+		}
+		for k := range probes {
+			pathProbes[k] += probes[k]
+		}
+		if ex == nil {
+			ex = pieceEx
+		} else {
+			ex.PlanTime += pieceEx.PlanTime
+			ex.ProbeTime += pieceEx.ProbeTime
+		}
+	}
+	ex.Pieces = pieces
+	cands := make([]candidate, 0, len(proposed))
+	for a := range proposed {
+		cands = append(cands, a)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].seq != cands[j].seq {
+			return cands[i].seq < cands[j].seq
+		}
+		return cands[i].start < cands[j].start
+	})
+
+	verifyStart := time.Now()
+	verifyCtx, verifySpan := obs.StartSpan(ctx, "verify")
+	var pc store.PageCounter
+	v := newVerifier(man.snap, q, eps, costs)
+	out, falseAlarms, costRejected, err := verifyCandidates(verifyCtx, v, cands, &pc)
+	if err != nil {
+		spanEndWithError(verifySpan, err)
+		recordSearchError()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, ex, err
+		}
+		return nil, ex, fmt.Errorf("core: long-query post-processing: %w", err)
+	}
+	sortMatches(out)
+	if verifySpan != nil {
+		verifySpan.SetInt("candidates", int64(len(cands)))
+		verifySpan.SetInt("false_alarms", int64(falseAlarms))
+		verifySpan.SetInt("matches", int64(len(out)))
+		verifySpan.End()
+	}
+	ex.VerifyTime = time.Since(verifyStart)
+	ex.ActualCandidates = len(cands)
+	ex.Matches = len(out)
+	ex.TraceID = obs.TraceIDFromContext(ctx)
+
+	delta := SearchStats{
+		IndexNodeAccesses:  treeStats.NodeAccesses,
+		DataPageAccesses:   pc.Distinct(),
+		Candidates:         len(proposed),
+		FalseAlarms:        falseAlarms,
+		CostRejected:       costRejected,
+		Results:            len(out),
+		LeafEntriesChecked: treeStats.LeafEntriesChecked,
+		Penetration:        treeStats.Penetration,
+		PlanTime:           ex.PlanTime,
+		ProbeTime:          ex.ProbeTime,
+		VerifyTime:         ex.VerifyTime,
+		PathProbes:         pathProbes,
+		TraceID:            ex.TraceID,
+	}
+	recordSearchMetrics(&delta, pieces)
+	if stats != nil {
+		stats.Add(delta)
+	}
+	return out, ex, nil
+}
+
+// NearestNeighbors is Index.NearestNeighbors over the segmented index.
+func (g *SegmentedIndex) NearestNeighbors(q vec.Vector, k int, stats *SearchStats) ([]Match, error) {
+	return g.NearestNeighborsWithCostsContext(context.Background(), q, k, UnboundedCosts(), stats)
+}
+
+// NearestNeighborsWithCostsContext streams each frozen segment's
+// candidates in increasing feature-space lower-bound order (with the
+// GEMINI-style early termination against the running kth best) and
+// refines every delta window unconditionally; the shared top-k makes
+// the answer exact across segments.
+func (g *SegmentedIndex) NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vector, k int, costs CostBounds, stats *SearchStats) ([]Match, error) {
+	if len(q) != g.opts.WindowLen {
+		return nil, fmt.Errorf("core: %w: query length %d, index window length %d",
+			ErrInvalidQuery, len(q), g.opts.WindowLen)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: %w: k %d < 1", ErrInvalidQuery, k)
+	}
+	if err := validateQueryValues(q); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pin := g.cell.Acquire()
+	defer pin.Release()
+	man := pin.Value()
+
+	var treeStats rtree.SearchStats
+	var pc store.PageCounter
+	line := seLineFor(g.fmap, q)
+	slack := man.slack
+	var best []Match
+	var candidates int
+	var scanErr, ctxErr error
+
+	vq := newVerifier(man.snap, q, 0, costs)
+	refine := func(seq, start int) bool {
+		candidates++
+		if candidates%verifyCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
+		}
+		w, err := man.snap.WindowView(seq, start, g.opts.WindowLen, &pc)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if len(best) == k {
+			ws, err := man.snap.WindowStats(seq, start, g.opts.WindowLen)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			fast, fslack := vec.MinDistWithStats(vq.su, vq.mu, vq.uu, w, ws.Sum, ws.SumSq, ws.SumErr, ws.SumSqErr)
+			if lb := fast.Dist*fast.Dist - fslack; lb > 0 && math.Sqrt(lb) >= best[k-1].Dist {
+				return true
+			}
+		}
+		m := vec.MinDist(q, w)
+		if !costs.Allow(m.Scale, m.Shift) {
+			return true
+		}
+		if len(best) == k && m.Dist >= best[k-1].Dist {
+			return true
+		}
+		match := Match{
+			Seq:   seq,
+			Start: start,
+			Name:  man.snap.SequenceName(seq),
+			Dist:  m.Dist,
+			Scale: m.Scale,
+			Shift: m.Shift,
+		}
+		pos := sort.Search(len(best), func(i int) bool { return best[i].Dist > m.Dist })
+		if len(best) < k {
+			best = append(best, Match{})
+		}
+		copy(best[pos+1:], best[pos:])
+		best[pos] = match
+		return true
+	}
+	for _, sg := range man.frozen {
+		sg.flat.NearestToLineFunc(line, &treeStats, func(id rtree.ItemDist) bool {
+			if len(best) == k && id.Dist > best[k-1].Dist+slack {
+				return false // this segment cannot improve the top-k
+			}
+			seq, start := store.DecodeWindowID(id.Item.ID)
+			return refine(seq, start)
+		})
+		if ctxErr != nil || scanErr != nil {
+			break
+		}
+	}
+	for _, e := range man.delta {
+		if ctxErr != nil || scanErr != nil {
+			break
+		}
+		if !refine(e.seq, e.start) {
+			break
+		}
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	if scanErr != nil {
+		return nil, fmt.Errorf("core: nearest-neighbour refinement: %w", scanErr)
+	}
+
+	if stats != nil {
+		stats.IndexNodeAccesses += treeStats.NodeAccesses
+		stats.DataPageAccesses += pc.Distinct()
+		stats.Candidates += candidates
+		stats.Results += len(best)
+		stats.LeafEntriesChecked += treeStats.LeafEntriesChecked
+	}
+	return best, nil
+}
+
+// SearchBatchPlannedContext fans a heterogeneous batch over the
+// segmented executor with the same partial-progress semantics as
+// Index.SearchBatchPlannedContext.
+func (g *SegmentedIndex) SearchBatchPlannedContext(ctx context.Context, queries []BatchQuery, force engine.PathKind, parallelism int, stats *SearchStats) ([][]Match, []*engine.Explain, []BatchStatus, error) {
+	return searchBatchPlannedContext(ctx, g, queries, force, parallelism, stats)
+}

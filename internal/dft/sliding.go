@@ -98,6 +98,22 @@ func (st *SlidingTransformer) Feature(dst vec.Vector) {
 	}
 }
 
+// Reposition re-seeds the transformer on a new initial window without
+// allocating, exactly as NewSlidingTransformer would: the coefficients
+// are recomputed from scratch, so the drift budget restarts.
+// Incremental extraction uses it at checkpoint boundaries to restart
+// the recurrence with the same bits a from-scratch extraction
+// produces.
+func (st *SlidingTransformer) Reposition(initial vec.Vector) error {
+	if len(initial) != st.m.N() {
+		return fmt.Errorf("dft: initial window length %d, want %d", len(initial), st.m.N())
+	}
+	st.head = 0
+	copy(st.window, initial)
+	st.recompute()
+	return nil
+}
+
 // Slide advances the window by one sample: the oldest sample leaves,
 // incoming enters.
 func (st *SlidingTransformer) Slide(incoming float64) {

@@ -148,3 +148,49 @@ func BenchmarkSlidingVsDirect(b *testing.B) {
 		}
 	})
 }
+
+// TestRepositionMatchesFresh: after Reposition on a new window the
+// transformer is bit-identical to a freshly constructed one, through
+// subsequent slides.
+func TestRepositionMatchesFresh(t *testing.T) {
+	n, fc := 16, 3
+	m, err := NewFeatureMap(n, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	series := make([]float64, 200)
+	for i := range series {
+		series[i] = r.NormFloat64() * 5
+	}
+	st, err := NewSlidingTransformer(m, series[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 37; i++ {
+		st.Slide(series[n+i])
+	}
+	const at = 80
+	if err := st.Reposition(series[at : at+n]); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewSlidingTransformer(m, series[at:at+n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := make(vec.Vector, m.Dim()), make(vec.Vector, m.Dim())
+	for i := 0; at+n+i < len(series); i++ {
+		st.Feature(a)
+		fresh.Feature(b)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("step %d coord %d: repositioned %v, fresh %v", i, j, a[j], b[j])
+			}
+		}
+		st.Slide(series[at+n+i])
+		fresh.Slide(series[at+n+i])
+	}
+	if err := st.Reposition(series[:4]); err == nil {
+		t.Fatal("Reposition accepted a wrong-length window")
+	}
+}

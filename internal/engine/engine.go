@@ -185,6 +185,29 @@ type Explain struct {
 	// TraceID links this plan to the structured trace the query
 	// produced (empty when tracing was off or no trace was active).
 	TraceID string
+	// Segments holds one entry per probed segment when the query ran
+	// against a segmented (LSM-style) index: each frozen segment is
+	// planned independently and the mutable delta is scanned exactly.
+	// Empty for single-index queries.
+	Segments []SegmentPlan
+}
+
+// SegmentPlan records how one segment of a segmented index served its
+// share of a query's probe.
+type SegmentPlan struct {
+	// Seg is the frozen segment's position in the manifest; -1 is the
+	// mutable delta segment.
+	Seg int
+	// Kind labels the segment ("frozen" or "delta").
+	Kind string
+	// Windows is the segment's window count (its candidate universe).
+	Windows int
+	// Chosen is the access path that probed the segment.
+	Chosen PathKind
+	// Cost is the estimate the per-segment choice was based on.
+	Cost Cost
+	// Candidates is what the segment's probe actually emitted.
+	Candidates int
 }
 
 // WriteText renders the plan in ssquery -explain form.
@@ -216,6 +239,16 @@ func (e *Explain) WriteText(w io.Writer) error {
 	}
 	if e.Pieces > 1 {
 		if _, err := fmt.Fprintf(w, "  pieces: %d (multipiece long query; per-piece estimates above)\n", e.Pieces); err != nil {
+			return err
+		}
+	}
+	for _, sp := range e.Segments {
+		label := fmt.Sprintf("seg %d", sp.Seg)
+		if sp.Seg < 0 {
+			label = "delta"
+		}
+		if _, err := fmt.Fprintf(w, "  %-6s %-6s windows=%d path=%s est-cost=%.4g candidates=%d\n",
+			label, sp.Kind, sp.Windows, sp.Chosen, sp.Cost.Units, sp.Candidates); err != nil {
 			return err
 		}
 	}

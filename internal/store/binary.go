@@ -57,9 +57,22 @@ func (s *Store) WriteBinary(w io.Writer) error {
 	}
 	bw.Section(head.Bytes())
 
-	data := make([]byte, 8*len(s.data))
-	for i, v := range s.data {
-		binary.LittleEndian.PutUint64(data[i*8:], math.Float64bits(v))
+	// Emit samples per sequence — packed region then tail — so a store
+	// grown by AppendValues round-trips into fully compacted form.
+	data := make([]byte, 0, 8*s.TotalValues())
+	var buf [8]byte
+	emit := func(vals []float64) {
+		for _, v := range vals {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			data = append(data, buf[:]...)
+		}
+	}
+	for seq := range s.names {
+		pl := s.packedLen(seq)
+		emit(s.data[s.offsets[seq] : s.offsets[seq]+pl])
+		if s.tailLen(seq) > 0 {
+			emit(s.tails[seq])
+		}
 	}
 	bw.Section(data)
 	return bw.Close()

@@ -25,11 +25,18 @@ func (s *Store) WriteCSV(w io.Writer) error {
 			return err
 		}
 		base := s.offsets[seq]
+		pl := s.packedLen(seq)
 		for i := 0; i < s.lengths[seq]; i++ {
 			if err := bw.WriteByte(','); err != nil {
 				return err
 			}
-			if _, err := bw.WriteString(strconv.FormatFloat(s.data[base+i], 'g', -1, 64)); err != nil {
+			v := 0.0
+			if i < pl {
+				v = s.data[base+i]
+			} else {
+				v = s.tails[seq][i-pl]
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
 				return err
 			}
 		}

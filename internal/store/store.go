@@ -7,11 +7,19 @@
 // tree-based search touches only the index pages plus the data pages of
 // candidate subsequences fetched during post-processing.  PageCounter
 // reproduces both numbers.
+//
+// A store is append-only in two senses: AppendSequence adds whole new
+// sequences to the packed region, and AppendValues grows an existing
+// sequence through a per-sequence tail that never moves already-written
+// samples.  Readers that must not observe concurrent growth take a
+// Snapshot (see append.go), which pins a consistent prefix of every
+// sequence.
 package store
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"scaleshift/internal/vec"
 )
@@ -80,14 +88,20 @@ func (c *PageCounter) Reset() {
 	c.seen = nil
 }
 
-// Store holds a collection of named time sequences packed back to back
-// in page-granular storage.  Sequences are append-only; a Store is safe
-// for concurrent reads after all appends complete.
-type Store struct {
+// view is the read-side state shared by Store and Snapshot: the packed
+// region plus per-sequence growable tails.  Every read path (Window,
+// WindowView, WindowStats, ScanWindows) is defined on view, so a
+// Snapshot answers them identically over its pinned prefix.
+type view struct {
 	names   []string
-	offsets []int // global index of each sequence's first value
-	lengths []int
+	offsets []int // packed-region index of each sequence's first value
+	lengths []int // total samples per sequence (packed + tail)
 	data    []float64
+	// tails holds the growable suffix of each sequence.  Samples
+	// already written are never moved: in-capacity appends write only
+	// beyond every published snapshot's length, and a reallocating
+	// append leaves the old backing array intact for snapshot holders.
+	tails [][]float64
 	// stats holds the per-sequence running prefix sums of Σv and Σv²
 	// that back O(1) WindowStats lookups during candidate verification.
 	stats []seqStats
@@ -95,10 +109,9 @@ type Store struct {
 
 // seqStats carries one sequence's prefix sums: psum[i] (psumsq[i]) is
 // the Kahan-compensated sum of the first i samples (their squares).
-// The running compensations csum/csumsq are kept so ExtendSequence
-// continues the summation exactly as if the sequence had been appended
-// whole — prefix values are therefore independent of the append
-// schedule.
+// The running compensations csum/csumsq are kept so appends continue
+// the summation exactly as if the sequence had been appended whole —
+// prefix values are therefore independent of the append schedule.
 type seqStats struct {
 	psum, psumsq []float64
 	csum, csumsq float64
@@ -138,6 +151,17 @@ func newSeqStats(n int) seqStats {
 	}
 }
 
+// Store holds a collection of named time sequences packed back to back
+// in page-granular storage.  A Store is safe for concurrent reads when
+// no append is running; under concurrent appends readers must go
+// through Snapshot.
+type Store struct {
+	view
+	// gen counts mutations; Snapshot captures it so readers can detect
+	// post-snapshot staleness (ErrStaleSnapshot).
+	gen atomic.Int64
+}
+
 // New returns an empty store.
 func New() *Store { return &Store{} }
 
@@ -149,16 +173,19 @@ func (s *Store) AppendSequence(name string, values []float64) int {
 	s.offsets = append(s.offsets, len(s.data))
 	s.lengths = append(s.lengths, len(values))
 	s.data = append(s.data, values...)
+	s.tails = append(s.tails, nil)
 	s.stats = append(s.stats, newSeqStats(len(values)))
 	s.stats[id].accumulate(values)
+	s.gen.Add(1)
 	return id
 }
 
-// ExtendSequence appends values to an existing sequence.  Only the
-// most recently added sequence can grow, because sequences are packed
-// contiguously — extending an interior sequence would shift its
-// successors.  This is the natural shape of a live feed: the active
-// series receives new samples while completed series are immutable.
+// ExtendSequence appends values to an existing sequence's packed
+// region.  Only the most recently added sequence can grow this way,
+// because packed sequences are contiguous — extending an interior
+// sequence would shift its successors.  Once a sequence has grown a
+// tail via AppendValues its packed region is frozen and ExtendSequence
+// refuses (the new samples would land before the tail).
 func (s *Store) ExtendSequence(seq int, values []float64) error {
 	if seq < 0 || seq >= len(s.names) {
 		return fmt.Errorf("store: sequence %d out of range [0, %d)", seq, len(s.names))
@@ -167,44 +194,72 @@ func (s *Store) ExtendSequence(seq int, values []float64) error {
 		return fmt.Errorf("store: only the last sequence (%d) can be extended, not %d",
 			len(s.names)-1, seq)
 	}
+	if s.tailLen(seq) > 0 {
+		return fmt.Errorf("store: sequence %d already has a tail; use AppendValues", seq)
+	}
 	s.data = append(s.data, values...)
 	s.lengths[seq] += len(values)
 	s.stats[seq].accumulate(values)
+	s.gen.Add(1)
 	return nil
 }
 
 // NumSequences returns the number of stored sequences.
-func (s *Store) NumSequences() int { return len(s.names) }
+func (v *view) NumSequences() int { return len(v.names) }
 
 // TotalValues returns the total number of samples stored.
-func (s *Store) TotalValues() int { return len(s.data) }
+func (v *view) TotalValues() int {
+	total := len(v.data)
+	for _, t := range v.tails {
+		total += len(t)
+	}
+	return total
+}
 
-// PageCount returns the number of pages the data occupies.
-func (s *Store) PageCount() int {
-	return (len(s.data) + ValuesPerPage - 1) / ValuesPerPage
+// PageCount returns the number of pages the data occupies: the packed
+// region plus each sequence's tail, which starts on a page of its own.
+func (v *view) PageCount() int {
+	pages := (len(v.data) + ValuesPerPage - 1) / ValuesPerPage
+	for _, t := range v.tails {
+		pages += (len(t) + ValuesPerPage - 1) / ValuesPerPage
+	}
+	return pages
 }
 
 // SequenceName returns the name of sequence seq.
-func (s *Store) SequenceName(seq int) string { return s.names[seq] }
+func (v *view) SequenceName(seq int) string { return v.names[seq] }
 
 // SequenceLen returns the number of samples in sequence seq.
-func (s *Store) SequenceLen(seq int) int { return s.lengths[seq] }
+func (v *view) SequenceLen(seq int) int { return v.lengths[seq] }
 
-// checkWindow validates a window address and returns the global index
-// of its first sample.
-func (s *Store) checkWindow(seq, start, n int) (int, error) {
-	if seq < 0 || seq >= len(s.names) {
-		return 0, fmt.Errorf("store: sequence %d out of range [0, %d)", seq, len(s.names))
+// tailLen returns the length of sequence seq's tail (0 when it has
+// none).
+func (v *view) tailLen(seq int) int {
+	if seq < len(v.tails) {
+		return len(v.tails[seq])
 	}
-	if n < 0 || start < 0 || start+n > s.lengths[seq] {
-		return 0, fmt.Errorf("store: window [%d, %d) outside sequence %d of length %d",
-			start, start+n, seq, s.lengths[seq])
+	return 0
+}
+
+// packedLen returns the length of sequence seq's immutable packed
+// region.
+func (v *view) packedLen(seq int) int { return v.lengths[seq] - v.tailLen(seq) }
+
+// checkWindow validates a window address against the sequence's total
+// length.
+func (v *view) checkWindow(seq, start, n int) error {
+	if seq < 0 || seq >= len(v.names) {
+		return fmt.Errorf("store: sequence %d out of range [0, %d)", seq, len(v.names))
 	}
-	return s.offsets[seq] + start, nil
+	if n < 0 || start < 0 || start+n > v.lengths[seq] {
+		return fmt.Errorf("store: window [%d, %d) outside sequence %d of length %d",
+			start, start+n, seq, v.lengths[seq])
+	}
+	return nil
 }
 
 // chargeWindow touches the pages covering n samples from global index
-// g.
+// g of the packed region.
 func chargeWindow(pc *PageCounter, g, n int) {
 	if pc == nil || n <= 0 {
 		return
@@ -214,35 +269,90 @@ func chargeWindow(pc *PageCounter, g, n int) {
 	}
 }
 
+// tailPageStride bounds one sequence's tail to 2^20 pages (4 GiB) so
+// tail page ids of different sequences never collide.  Tail pages live
+// in a negative id space, disjoint from the packed region's pages.
+const tailPageStride = 1 << 20
+
+// tailPage returns the page id of local page p of sequence seq's tail.
+func tailPage(seq, p int) int { return -(1 + seq*tailPageStride + p) }
+
+// chargeTail touches the tail pages covering n samples from tail-local
+// index lo of sequence seq.
+func chargeTail(pc *PageCounter, seq, lo, n int) {
+	if pc == nil || n <= 0 {
+		return
+	}
+	for p := lo / ValuesPerPage; p <= (lo+n-1)/ValuesPerPage; p++ {
+		pc.Touch(tailPage(seq, p))
+	}
+}
+
 // Window copies the n samples of sequence seq starting at start into
 // dst (which must have length n), charging the covering pages to pc
 // (which may be nil).  It returns an error when the window falls
 // outside the sequence.
-func (s *Store) Window(seq, start, n int, dst vec.Vector, pc *PageCounter) error {
-	g, err := s.checkWindow(seq, start, n)
-	if err != nil {
+func (v *view) Window(seq, start, n int, dst vec.Vector, pc *PageCounter) error {
+	if err := v.checkWindow(seq, start, n); err != nil {
 		return err
 	}
 	if len(dst) != n {
 		return fmt.Errorf("store: dst length %d, want %d", len(dst), n)
 	}
-	copy(dst, s.data[g:g+n])
-	chargeWindow(pc, g, n)
+	v.copyWindow(seq, start, n, dst, pc)
 	return nil
+}
+
+// copyWindow fills dst with the (validated) window, stitching across
+// the packed/tail boundary when needed, and charges the pages touched.
+func (v *view) copyWindow(seq, start, n int, dst vec.Vector, pc *PageCounter) {
+	pl := v.packedLen(seq)
+	g := v.offsets[seq] + start
+	switch {
+	case start+n <= pl:
+		copy(dst, v.data[g:g+n])
+		chargeWindow(pc, g, n)
+	case start >= pl:
+		lo := start - pl
+		copy(dst, v.tails[seq][lo:lo+n])
+		chargeTail(pc, seq, lo, n)
+	default:
+		head := pl - start
+		copy(dst[:head], v.data[g:g+head])
+		copy(dst[head:], v.tails[seq][:n-head])
+		chargeWindow(pc, g, head)
+		chargeTail(pc, seq, 0, n-head)
+	}
 }
 
 // WindowView returns the n samples of sequence seq starting at start
 // as a read-only view of the backing array, charging the covering
-// pages to pc like Window but without copying.  The view must not be
-// modified and is invalidated by the next AppendSequence or
-// ExtendSequence; it is safe for concurrent use with other reads.
-func (s *Store) WindowView(seq, start, n int, pc *PageCounter) (vec.Vector, error) {
-	g, err := s.checkWindow(seq, start, n)
-	if err != nil {
+// pages to pc like Window but without copying.  A window that crosses
+// the packed/tail boundary is returned as a freshly allocated stitched
+// copy — at most one boundary exists per sequence, so this stays rare.
+// The view must not be modified; on a live Store it is invalidated by
+// the next mutation (take a Snapshot to pin it), and it is safe for
+// concurrent use with other reads.
+func (v *view) WindowView(seq, start, n int, pc *PageCounter) (vec.Vector, error) {
+	if err := v.checkWindow(seq, start, n); err != nil {
 		return nil, err
 	}
-	chargeWindow(pc, g, n)
-	return s.data[g : g+n : g+n], nil
+	pl := v.packedLen(seq)
+	g := v.offsets[seq] + start
+	switch {
+	case start+n <= pl:
+		chargeWindow(pc, g, n)
+		return v.data[g : g+n : g+n], nil
+	case start >= pl:
+		lo := start - pl
+		chargeTail(pc, seq, lo, n)
+		t := v.tails[seq]
+		return t[lo : lo+n : lo+n], nil
+	default:
+		w := make(vec.Vector, n)
+		v.copyWindow(seq, start, n, w, pc)
+		return w, nil
+	}
 }
 
 // statsEps scales the conservative error bounds WindowStats reports:
@@ -265,11 +375,11 @@ type WindowStats struct {
 // index-side metadata, so the lookup charges no data pages — the
 // verification pass that consumes them still reads (and is charged
 // for) the window itself.
-func (s *Store) WindowStats(seq, start, n int) (WindowStats, error) {
-	if _, err := s.checkWindow(seq, start, n); err != nil {
+func (v *view) WindowStats(seq, start, n int) (WindowStats, error) {
+	if err := v.checkWindow(seq, start, n); err != nil {
 		return WindowStats{}, err
 	}
-	st := &s.stats[seq]
+	st := &v.stats[seq]
 	lo, hi := st.psum[start], st.psum[start+n]
 	qlo, qhi := st.psumsq[start], st.psumsq[start+n]
 	// The Kahan bound is relative to the sum of |terms|; for the squares
@@ -286,12 +396,13 @@ func (s *Store) WindowStats(seq, start, n int) (WindowStats, error) {
 }
 
 // rebuildStats recomputes every sequence's prefix sums from the raw
-// data — used by deserialization, which fills the data array directly.
-func (s *Store) rebuildStats() {
-	s.stats = make([]seqStats, len(s.names))
-	for seq := range s.names {
-		s.stats[seq] = newSeqStats(s.lengths[seq])
-		s.stats[seq].accumulate(s.data[s.offsets[seq] : s.offsets[seq]+s.lengths[seq]])
+// data — used by deserialization, which fills the data array directly
+// (deserialized stores are fully packed, so tails are not involved).
+func (v *view) rebuildStats() {
+	v.stats = make([]seqStats, len(v.names))
+	for seq := range v.names {
+		v.stats[seq] = newSeqStats(v.lengths[seq])
+		v.stats[seq].accumulate(v.data[v.offsets[seq] : v.offsets[seq]+v.lengths[seq]])
 	}
 }
 
@@ -300,20 +411,22 @@ func (s *Store) rebuildStats() {
 // The window slice passed to fn is reused between calls; clone it to
 // retain it.  Each data page is charged to pc exactly once, when the
 // scan first enters it — the sequential-read cost model of §7.
-func (s *Store) ScanWindows(n int, pc *PageCounter, fn func(seq, start int, w vec.Vector) bool) {
+func (v *view) ScanWindows(n int, pc *PageCounter, fn func(seq, start int, w vec.Vector) bool) {
 	if n <= 0 {
 		return
 	}
 	w := make(vec.Vector, n)
 	lastPage := -1
-	for seq := range s.names {
-		L := s.lengths[seq]
-		base := s.offsets[seq]
-		if pc != nil && L > 0 {
-			// Charge the pages of this sequence as the scan streams over
-			// them, including short sequences with no full window.
+	for seq := range v.names {
+		L := v.lengths[seq]
+		tl := v.tailLen(seq)
+		pl := L - tl
+		base := v.offsets[seq]
+		if pc != nil && pl > 0 {
+			// Charge the packed pages of this sequence as the scan streams
+			// over them, including short sequences with no full window.
 			first := base / ValuesPerPage
-			last := (base + L - 1) / ValuesPerPage
+			last := (base + pl - 1) / ValuesPerPage
 			for p := first; p <= last; p++ {
 				if p > lastPage {
 					pc.Touch(p)
@@ -321,8 +434,19 @@ func (s *Store) ScanWindows(n int, pc *PageCounter, fn func(seq, start int, w ve
 				}
 			}
 		}
+		if pc != nil && tl > 0 {
+			// Tail pages have per-sequence ids, each visited exactly once
+			// per scan, so they are charged unconditionally.
+			for p := 0; p <= (tl-1)/ValuesPerPage; p++ {
+				pc.Touch(tailPage(seq, p))
+			}
+		}
 		for start := 0; start+n <= L; start++ {
-			copy(w, s.data[base+start:base+start+n])
+			if start+n <= pl {
+				copy(w, v.data[base+start:base+start+n])
+			} else {
+				v.copyWindow(seq, start, n, w, nil)
+			}
 			if !fn(seq, start, w) {
 				return
 			}

@@ -1,0 +1,235 @@
+// Package wal is the write-ahead log behind live ingest: every append
+// is made durable — fsync'd to the log — before it is acknowledged, so
+// a crash between the ack and the next store checkpoint loses nothing.
+// On restart the serving layer loads the last checkpointed store and
+// index artifacts, then Replays the log to roll the store forward; the
+// segmented index re-extracts the replayed windows into its delta,
+// which restores the exact pre-crash search surface.
+//
+// The format is a flat record stream.  Each record is
+//
+//	u32 payload length | payload | u32 CRC32C(payload)
+//
+// little-endian, with the payload's first byte a record kind:
+//
+//	1  new sequence: u32 name length, name bytes, u64 count, count float64s
+//	2  append:       u64 sequence id,             u64 count, count float64s
+//
+// Replay stops cleanly at the first torn or corrupt record (the tail
+// a crash mid-write leaves behind) and reports how many bytes of the
+// log were valid, so the caller can truncate to that offset and keep
+// appending.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// record kinds.
+const (
+	kindNewSequence = 1
+	kindAppend      = 2
+)
+
+// maxRecord bounds one record's length claim (1 GiB) so a corrupt
+// length prefix cannot drive a huge allocation.
+const maxRecord = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only write-ahead log backed by one file.  Append
+// methods are not internally locked — the serving layer already
+// serializes appends through the segmented index's writer lock.
+type Log struct {
+	f   *os.File
+	pos int64
+}
+
+// Open opens (creating if needed) the log at path and positions
+// appends after the last valid record, truncating any torn tail left
+// by a crash.  The caller replays the returned records into its store
+// before appending new ones.
+func Open(path string) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, valid, err := replay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{f: f, pos: valid}, recs, nil
+}
+
+// Record is one replayed mutation.
+type Record struct {
+	// Name is set (and Seq is -1) for a new-sequence record; Seq is
+	// set for an append record.
+	Name   string
+	Seq    int
+	Values []float64
+}
+
+// AppendValues logs an append to an existing sequence and fsyncs.
+func (l *Log) AppendValues(seq int, values []float64) error {
+	payload := make([]byte, 1+8+8+8*len(values))
+	payload[0] = kindAppend
+	binary.LittleEndian.PutUint64(payload[1:], uint64(seq))
+	putValues(payload[9:], values)
+	return l.append(payload)
+}
+
+// AppendSequence logs the creation of a new sequence and fsyncs.
+func (l *Log) AppendSequence(name string, values []float64) error {
+	payload := make([]byte, 1+4+len(name)+8+8*len(values))
+	payload[0] = kindNewSequence
+	binary.LittleEndian.PutUint32(payload[1:], uint32(len(name)))
+	copy(payload[5:], name)
+	putValues(payload[5+len(name):], values)
+	return l.append(payload)
+}
+
+func putValues(dst []byte, values []float64) {
+	binary.LittleEndian.PutUint64(dst, uint64(len(values)))
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(dst[8+8*i:], math.Float64bits(v))
+	}
+}
+
+func (l *Log) append(payload []byte) error {
+	buf := make([]byte, 4+len(payload)+4)
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	binary.LittleEndian.PutUint32(buf[4+len(payload):], crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.pos += int64(len(buf))
+	return nil
+}
+
+// Size returns the current log length in bytes (the durable backlog
+// since the last checkpoint).
+func (l *Log) Size() int64 { return l.pos }
+
+// Reset truncates the log to empty.  Call it only after the store has
+// been checkpointed durably (see Checkpoint) — the log is the only
+// copy of everything it holds.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.pos = 0
+	return nil
+}
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// replay scans r from the start, decoding records until EOF or the
+// first invalid record, and returns the decoded records plus the byte
+// offset of the end of the last valid record.
+func replay(r io.ReadSeeker) ([]Record, int64, error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var recs []Record
+	var valid int64
+	var head [4]byte
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			return recs, valid, nil // clean EOF or torn length prefix
+		}
+		length := binary.LittleEndian.Uint32(head[:])
+		if length < 9 || length > maxRecord {
+			return recs, valid, nil
+		}
+		buf := make([]byte, int(length)+4)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return recs, valid, nil // torn record
+		}
+		payload := buf[:length]
+		want := binary.LittleEndian.Uint32(buf[length:])
+		if crc32.Checksum(payload, castagnoli) != want {
+			return recs, valid, nil // corrupt record
+		}
+		rec, ok := decode(payload)
+		if !ok {
+			return recs, valid, nil
+		}
+		recs = append(recs, rec)
+		valid += int64(4 + len(buf))
+	}
+}
+
+func decode(payload []byte) (Record, bool) {
+	switch payload[0] {
+	case kindNewSequence:
+		if len(payload) < 5 {
+			return Record{}, false
+		}
+		nameLen := int(binary.LittleEndian.Uint32(payload[1:]))
+		if 5+nameLen+8 > len(payload) {
+			return Record{}, false
+		}
+		name := string(payload[5 : 5+nameLen])
+		values, ok := decodeValues(payload[5+nameLen:])
+		if !ok {
+			return Record{}, false
+		}
+		return Record{Name: name, Seq: -1, Values: values}, true
+	case kindAppend:
+		if len(payload) < 17 {
+			return Record{}, false
+		}
+		seq := binary.LittleEndian.Uint64(payload[1:])
+		if seq > math.MaxInt32 {
+			return Record{}, false
+		}
+		values, ok := decodeValues(payload[9:])
+		if !ok {
+			return Record{}, false
+		}
+		return Record{Seq: int(seq), Values: values}, true
+	default:
+		return Record{}, false
+	}
+}
+
+func decodeValues(b []byte) ([]float64, bool) {
+	if len(b) < 8 {
+		return nil, false
+	}
+	count := binary.LittleEndian.Uint64(b)
+	if uint64(len(b)-8) != 8*count {
+		return nil, false
+	}
+	values := make([]float64, count)
+	for i := range values {
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8+8*i:]))
+	}
+	return values, true
+}
