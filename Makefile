@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json bench-planner bench-smoke bench-obs fmt-check soak soak-smoke
+.PHONY: check vet build test race bench bench-json bench-planner bench-smoke bench-obs bench-recovery fmt-check soak soak-smoke
 
 check: vet fmt-check build test race soak-smoke
 
@@ -56,14 +56,23 @@ bench-smoke:
 # Soak smoke: ~30s of chaos against a live ssserve under -race —
 # concurrent queries vs an unfaulted oracle, hot reloads (clean and
 # fault-injected), client disconnects, overload bursts, and a
-# goroutine-leak assertion.  SOAK_smoke.json is the metrics artifact
-# CI uploads.
+# goroutine-leak assertion — plus the kill-and-restart recovery loop
+# (concurrent appends, checkpoints, and reloads between crashes, with
+# every acked append verified after each recovery).  SOAK_smoke.json
+# is the metrics artifact CI uploads.
 soak-smoke:
-	SOAK_SECONDS=20 SOAK_METRICS_OUT=SOAK_smoke.json $(GO) test -race -count=1 -run 'TestSoak$$' -v ./cmd/ssserve
+	SOAK_SECONDS=20 SOAK_METRICS_OUT=SOAK_smoke.json $(GO) test -race -count=1 -run 'TestSoak$$|TestSoakRecovery$$' -v ./cmd/ssserve
 
 # Full soak: minutes of the same chaos, for local pre-release runs.
 soak:
-	SOAK_SECONDS=120 SOAK_METRICS_OUT=SOAK_full.json $(GO) test -race -count=1 -timeout 10m -run 'TestSoak$$' -v ./cmd/ssserve
+	SOAK_SECONDS=120 SOAK_METRICS_OUT=SOAK_full.json $(GO) test -race -count=1 -timeout 10m -run 'TestSoak$$|TestSoakRecovery$$' -v ./cmd/ssserve
+
+# Recovery cost trajectory: cold-restart time vs WAL tail length past
+# the last checkpoint.  -enforce fails the run if recovery replays a
+# record count different from the designed tail, or if a zero-tail
+# checkpoint recovery fails to beat full WAL replay.
+bench-recovery:
+	$(GO) run ./cmd/ssbench -experiment recovery -scale small -enforce
 
 # Observability overhead: the disabled-path micro-benchmarks (must be
 # 0 allocs/op) and the query benchmarks obs hooks ride on.

@@ -44,7 +44,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | perf | ingest | all")
+	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | perf | ingest | recovery | all")
 	jsonPath := fs.String("json", "", "write the perf experiment's report as JSON to this file")
 	enforce := fs.Bool("enforce", false, "fail if the perf report misses the regression gates (kernel >= 1.5x, flat within 10% of pointer throughput)")
 	label := fs.String("label", "", "label recorded in the perf JSON report (e.g. a git revision)")
@@ -336,12 +336,13 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 
-	if *experiment == "perf" || *experiment == "ingest" || *experiment == "all" {
-		// The ingest rows travel inside the perf report so one JSON
-		// artifact carries both; -experiment ingest skips the (slower)
-		// perf sweep and reports only the streaming rows.
+	if *experiment == "perf" || *experiment == "ingest" || *experiment == "recovery" || *experiment == "all" {
+		// The ingest and recovery rows travel inside the perf report so
+		// one JSON artifact carries all of them; -experiment ingest and
+		// -experiment recovery skip the (slower) perf sweep and report
+		// only their own rows.
 		var rep *bench.PerfReport
-		if *experiment == "ingest" {
+		if *experiment == "ingest" || *experiment == "recovery" {
 			rep = &bench.PerfReport{
 				GoVersion: runtime.Version(),
 				Timestamp: time.Now().UTC().Format(time.RFC3339),
@@ -354,9 +355,17 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
-		rep.Ingest, err = bench.RunIngest(cfg, stdout)
-		if err != nil {
-			return err
+		if *experiment != "recovery" {
+			rep.Ingest, err = bench.RunIngest(cfg, stdout)
+			if err != nil {
+				return err
+			}
+		}
+		if *experiment == "recovery" || *experiment == "all" {
+			rep.Recovery, err = bench.RunRecovery(cfg, stdout)
+			if err != nil {
+				return err
+			}
 		}
 		rep.Label = *label
 		if *jsonPath != "" {
@@ -369,9 +378,12 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "wrote %s\n\n", *jsonPath)
 		}
 		if *enforce {
-			if *experiment == "ingest" {
+			switch *experiment {
+			case "ingest":
 				err = rep.Ingest.Enforce(0.10)
-			} else {
+			case "recovery":
+				err = rep.Recovery.Enforce()
+			default:
 				err = rep.Enforce(1.5, 0.10)
 			}
 			if err != nil {
@@ -381,7 +393,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "perf" && *experiment != "ingest" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
+	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "perf" && *experiment != "ingest" && *experiment != "recovery" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
 		*experiment != "ablation-window" && *experiment != "ablation-fanout" &&
 		*experiment != "ablation-build" && *experiment != "ablation-reduction" &&
 		*experiment != "ablation-index" && *experiment != "ablation-trail" && *experiment != "all" {

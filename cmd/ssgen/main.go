@@ -124,7 +124,10 @@ func buildSegmented(st *store.Store, opts core.Options, count int) (*core.Segmen
 	if err != nil {
 		return nil, err
 	}
-	g.MaxFrozen = count + 1 // keep each chunk its own segment
+	// Keep each chunk its own segment: no tiered merging, and a
+	// backstop that never triggers.
+	g.MergeRatio = 0
+	g.MaxFrozen = count + 1
 	for k := 2; k <= count; k++ {
 		for seq, vals := range full {
 			lo, hi := len(vals)*(k-1)/count, len(vals)*k/count

@@ -54,15 +54,21 @@ type ingestState struct {
 }
 
 // newIngestState builds the directory from the store the segmented
-// index currently covers, then replays outstanding WAL records (the
-// appends acked after the last checkpoint) into it.
-func newIngestState(seg *core.SegmentedIndex, log *wal.Log, recs []wal.Record) (*ingestState, error) {
+// index currently covers, then replays outstanding WAL records into it.
+// ckptOffset is the recovered checkpoint's WAL offset: records ending
+// at or below it are already contained in the checkpoint and are
+// skipped, which is what keeps recovery cost proportional to the WAL
+// tail instead of the full ingest history (pass 0 to replay all).
+func newIngestState(seg *core.SegmentedIndex, log *wal.Log, recs []wal.Record, ckptOffset int64) (*ingestState, error) {
 	st := seg.Store()
 	in := &ingestState{seg: seg, log: log, names: make(map[string]int, st.NumSequences())}
 	for seq := 0; seq < st.NumSequences(); seq++ {
 		in.names[st.SequenceName(seq)] = seq
 	}
 	for i, rec := range recs {
+		if rec.End <= ckptOffset {
+			continue
+		}
 		if rec.Name != "" && rec.Seq < 0 {
 			if seq, ok := in.names[rec.Name]; ok {
 				// The checkpoint already contains this sequence; the log
@@ -205,9 +211,26 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// ingestDetail summarizes the compaction backlog for /readyz.
+// index reads the live segmented index under the ingest lock: the
+// append-mode reload barrier swaps in.seg, so unlocked reads of the
+// pointer would race with it.
+func (in *ingestState) index() *core.SegmentedIndex {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seg
+}
+
+// ingestDetail summarizes the compaction backlog for /readyz.  The
+// ingest lock covers both the seg pointer read (racing reloads) and the
+// WAL size read (racing appends).
 func (in *ingestState) detail() map[string]interface{} {
+	in.mu.Lock()
 	b := in.seg.Backlog()
+	var walBytes int64
+	if in.log != nil {
+		walBytes = in.log.Size()
+	}
+	in.mu.Unlock()
 	d := map[string]interface{}{
 		"generation":        b.Generation,
 		"frozen_segments":   b.Frozen,
@@ -216,10 +239,7 @@ func (in *ingestState) detail() map[string]interface{} {
 		"compactions":       b.Compactions,
 		"compact_pause_p99": b.CompactPauseP99.String(),
 		"compact_pause_max": b.CompactPauseMax.String(),
-		"wal_bytes":         int64(0),
-	}
-	if in.log != nil {
-		d["wal_bytes"] = in.log.Size()
+		"wal_bytes":         walBytes,
 	}
 	if b.LastCompactErr != "" {
 		d["last_compact_error"] = b.LastCompactErr
@@ -234,9 +254,13 @@ func (s *server) publishIngestGauges() {
 	if s.ingest == nil {
 		return
 	}
-	b := s.ingest.seg.Backlog()
+	b := s.ingest.index().Backlog()
 	s.reg.Gauge("scaleshift_ingest_delta_windows", "Windows awaiting compaction in the mutable delta.").Set(float64(b.DeltaWindows))
 	s.reg.Gauge("scaleshift_ingest_frozen_segments", "Frozen segments in the manifest.").Set(float64(b.Frozen))
 	s.reg.Gauge("scaleshift_ingest_compactions_total", "Completed compactions.").Set(float64(b.Compactions))
 	s.reg.Gauge("scaleshift_ingest_generation", "Published manifest generation.").Set(float64(b.Generation))
+	if s.ckpt != nil {
+		s.reg.Gauge("scaleshift_wal_bytes", "Bytes of WAL retained past the last truncation (bounds recovery replay).").Set(float64(s.ckpt.walBytes()))
+		s.reg.Gauge("scaleshift_checkpoint_age_seconds", "Seconds since the last durable checkpoint.").Set(s.ckpt.age().Seconds())
+	}
 }

@@ -30,7 +30,7 @@ func newIngestTestServer(t *testing.T, log *wal.Log, recs []wal.Record) (*server
 	if err != nil {
 		t.Fatal(err)
 	}
-	in, err := newIngestState(seg, log, recs)
+	in, err := newIngestState(seg, log, recs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 //	/livez         liveness only (restart signal)
 //	/readyz        readiness (drain/reload/breaker aware; routing signal)
 //	/admin/reload  POST: reload artifacts; SIGHUP does the same
+//	/admin/checkpoint  POST: flush a durable checkpoint now (-checkpoint)
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar JSON (includes the metrics snapshot)
 //	/debug/pprof/  the standard Go profiler endpoints
@@ -36,12 +37,14 @@ import (
 	"syscall"
 	"time"
 
+	"scaleshift/internal/ckpt"
 	"scaleshift/internal/cliutil"
 	"scaleshift/internal/core"
 	"scaleshift/internal/geom"
 	"scaleshift/internal/obs"
 	"scaleshift/internal/query"
 	"scaleshift/internal/resilience"
+	"scaleshift/internal/store"
 	"scaleshift/internal/wal"
 )
 
@@ -67,8 +70,12 @@ func run(args []string) error {
 	bulk := fs.Bool("bulk", false, "construct the index with STR bulk loading")
 	indexCache := fs.String("index", "", "index artifact path (load when present, save after building)")
 	strictCache := fs.Bool("strict", false, "fail instead of degrading to a scan when the index artifact is invalid")
-	appendMode := fs.Bool("append", false, "enable live ingest via POST /append (disables hot reload)")
+	appendMode := fs.Bool("append", false, "enable live ingest via POST /append (hot reload then requires -checkpoint)")
 	walPath := fs.String("wal", "", "write-ahead log path for -append durability (empty: appends are not durable)")
+	ckptPath := fs.String("checkpoint", "", "checkpoint artifact base path for -append (bounds recovery to the WAL tail; keeps a .prev fallback)")
+	ckptWALBytes := fs.Int64("checkpoint-wal-bytes", 64<<20, "take a checkpoint when the retained WAL exceeds this many bytes (0 disables)")
+	ckptInterval := fs.Duration("checkpoint-interval", 0, "take a checkpoint when the last is older than this and appends landed since (0 disables)")
+	ckptMaxLag := fs.Duration("checkpoint-max-lag", 0, "/readyz reports not-ready when checkpoint age exceeds this (0: lag never blocks readiness)")
 	traceRing := fs.Int("trace-ring", 128, "recent query traces retained for /debug/traces")
 	serveFlags := cliutil.AddServeFlags(fs)
 	obsFlags := cliutil.AddObsFlags(fs)
@@ -85,11 +92,10 @@ func run(args []string) error {
 	// A query server exists to be observed: the metrics layer is always
 	// on here, not opt-in as in the batch CLIs.
 	obs.Enable()
-
-	st, err := cliutil.LoadStore(*storeFile, *dataFile, *companies, *days, *seed)
-	if err != nil {
-		return err
+	if *ckptPath != "" && !*appendMode {
+		return fmt.Errorf("-checkpoint requires -append (there is nothing to checkpoint without live ingest)")
 	}
+
 	opts := core.DefaultOptions()
 	opts.WindowLen = *window
 	opts.Coefficients = *fc
@@ -97,45 +103,97 @@ func run(args []string) error {
 		opts.Strategy = geom.BoundingSpheres
 	}
 	opts.SubtrailLen = *subtrail
-	ix, how, err := cliutil.OpenIndex(st, opts, *indexCache, *bulk, *strictCache, logger)
-	if err != nil {
-		return err
-	}
-	normScale, err := query.SENormScale(st, *window, 500, *seed+2)
-	if err != nil {
-		return err
-	}
-	logger.Info("index ready",
-		"windows", ix.WindowCount(), "pages", ix.IndexPageCount(),
-		"height", ix.TreeHeight(), "how", how,
-		"sequences", st.NumSequences(), "values", st.TotalValues())
 
-	tracer := obs.NewTracer(*traceRing)
-	obs.Default.PublishExpvar("scaleshift")
-
-	// Hot reload needs a durable artifact to reload from; synthetic and
-	// CSV servers run without it.  Append mode disables reload outright:
-	// reloading would replace the live segmented index with the stale
-	// artifact and silently drop every acked append.
-	var reload *reloadConfig
-	if *storeFile != "" && !*appendMode {
-		reload = &reloadConfig{
-			StorePath: *storeFile,
-			IndexPath: *indexCache,
-			Opts:      opts,
-			Bulk:      *bulk,
-			Seed:      *seed,
-		}
-	}
-	var serving queryIndex = ix
-	var ingest *ingestState
-	if *appendMode {
-		seg, err := core.NewSegmentedFromIndex(ix)
+	// loadSeed is the cold-start data path: the configured store (or
+	// synthetic data) plus a built-or-loaded index artifact.  In append
+	// mode with -checkpoint it only runs when no checkpoint recovers —
+	// a recovered checkpoint already embeds the grown store.
+	loadSeed := func() (*store.Store, *core.Index, string, error) {
+		st, err := cliutil.LoadStore(*storeFile, *dataFile, *companies, *days, *seed)
 		if err != nil {
-			return fmt.Errorf("-append: %w", err)
+			return nil, nil, "", err
+		}
+		ix, how, err := cliutil.OpenIndex(st, opts, *indexCache, *bulk, *strictCache, logger)
+		return st, ix, how, err
+	}
+
+	var (
+		st      *store.Store
+		serving queryIndex
+		how     string
+		ingest  *ingestState
+		ckptr   *checkpointer
+	)
+	// Hot reload from artifacts needs a durable artifact pair; synthetic
+	// and CSV servers run without it.  In append mode the artifact would
+	// be stale the moment an append lands, so reload goes through the
+	// checkpoint barrier instead (reloadAppend) when -checkpoint is set.
+	var reload *reloadConfig
+	if !*appendMode {
+		var ix *core.Index
+		var err error
+		st, ix, how, err = loadSeed()
+		if err != nil {
+			return err
+		}
+		serving = ix
+		logger.Info("index ready",
+			"windows", ix.WindowCount(), "pages", ix.IndexPageCount(),
+			"height", ix.TreeHeight(), "how", how,
+			"sequences", st.NumSequences(), "values", st.TotalValues())
+		if *storeFile != "" {
+			reload = &reloadConfig{
+				StorePath: *storeFile,
+				IndexPath: *indexCache,
+				Opts:      opts,
+				Bulk:      *bulk,
+				Seed:      *seed,
+			}
+		}
+	} else {
+		// Recovery-first startup: a loadable checkpoint replaces the seed
+		// path entirely and bounds the WAL replay below to the tail past
+		// its offset.  Every rejected artifact on the way is logged loudly
+		// — falling back is designed behavior, doing so silently is not.
+		var seg *core.SegmentedIndex
+		var recovered *ckpt.Result
+		if *ckptPath != "" {
+			res, warns, err := ckpt.Recover(*ckptPath)
+			for _, w := range warns {
+				logger.Warn("recovery: " + w.String())
+			}
+			switch {
+			case err == nil:
+				recovered = res
+				st, seg = res.Store, res.Seg
+				how = fmt.Sprintf("recovered from checkpoint %s (generation %d, wal offset %d)",
+					res.Source, res.Meta.Generation, res.Meta.WALOffset)
+			case errors.Is(err, ckpt.ErrNoCheckpoint) && len(warns) == 0:
+				logger.Info("no checkpoint artifact yet; building from seed data", "path", *ckptPath)
+			case errors.Is(err, ckpt.ErrNoCheckpoint):
+				// Artifacts existed but none loads.  Seed + full WAL replay
+				// can still reconstruct everything — validateRecovery below
+				// refuses if the WAL no longer reaches back to offset zero.
+				logger.Warn("every checkpoint artifact was rejected; attempting full WAL replay from seed data",
+					"path", *ckptPath, "rejected", len(warns))
+			default:
+				return err
+			}
+		}
+		if seg == nil {
+			var ix *core.Index
+			var err error
+			st, ix, how, err = loadSeed()
+			if err != nil {
+				return err
+			}
+			if seg, err = core.NewSegmentedFromIndex(ix); err != nil {
+				return fmt.Errorf("-append: %w", err)
+			}
 		}
 		var log *wal.Log
 		var recs []wal.Record
+		var err error
 		if *walPath != "" {
 			log, recs, err = wal.Open(*walPath)
 			if err != nil {
@@ -143,16 +201,40 @@ func run(args []string) error {
 			}
 			defer log.Close()
 		}
-		ingest, err = newIngestState(seg, log, recs)
+		if err := validateRecovery(recovered, log); err != nil {
+			return err
+		}
+		var ckptOffset int64
+		if recovered != nil {
+			ckptOffset = recovered.Meta.WALOffset
+		}
+		ingest, err = newIngestState(seg, log, recs, ckptOffset)
 		if err != nil {
 			return fmt.Errorf("replaying %s: %w", *walPath, err)
 		}
 		seg.StartCompactor()
 		serving = seg
 		logger.Info("live ingest enabled",
-			"wal", *walPath, "replayed", len(recs),
+			"wal", *walPath, "replayed", len(recs), "how", how,
 			"windows", seg.WindowCount(), "generation", seg.Generation())
+		if *ckptPath != "" {
+			ckptr = newCheckpointer(checkpointConfig{
+				Path:     *ckptPath,
+				WALBytes: *ckptWALBytes,
+				Interval: *ckptInterval,
+				MaxLag:   *ckptMaxLag,
+				Seed:     *seed,
+			}, ingest, logger, recovered)
+		}
 	}
+	normScale, err := query.SENormScale(st, *window, 500, *seed+2)
+	if err != nil {
+		return err
+	}
+
+	tracer := obs.NewTracer(*traceRing)
+	obs.Default.PublishExpvar("scaleshift")
+
 	srv, err := newServer(serverConfig{
 		snap:    &snapshot{ix: serving, normScale: normScale, how: how, loadedAt: time.Now()},
 		tracer:  tracer,
@@ -161,6 +243,7 @@ func run(args []string) error {
 		breaker: resilience.DefaultBreakerConfig(),
 		reload:  reload,
 		ingest:  ingest,
+		ckpt:    ckptr,
 	})
 	if err != nil {
 		return err
@@ -179,8 +262,8 @@ func run(args []string) error {
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
-			if reload == nil {
-				logger.Warn("SIGHUP ignored: no -store artifact to reload from")
+			if reload == nil && ckptr == nil {
+				logger.Warn("SIGHUP ignored: no -store artifact or -checkpoint to reload from")
 				continue
 			}
 			if err := srv.Reload(); err != nil {
@@ -192,6 +275,9 @@ func run(args []string) error {
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if ckptr != nil {
+		go ckptr.loop(ctx)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr)

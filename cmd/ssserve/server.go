@@ -40,6 +40,7 @@ type serverConfig struct {
 	breaker resilience.BreakerConfig
 	reload  *reloadConfig // nil disables hot reload
 	ingest  *ingestState  // nil disables live append
+	ckpt    *checkpointer // nil disables checkpointing (and append-mode reload)
 }
 
 // server is the HTTP query frontend.  The artifact snapshot sits
@@ -52,6 +53,7 @@ type server struct {
 	breaker *resilience.Breaker
 	rel     *reloader
 	ingest  *ingestState
+	ckpt    *checkpointer
 	tracer  *obs.Tracer
 	logger  *slog.Logger
 	reg     *obs.Registry
@@ -82,6 +84,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s := &server{
 		snap:   resilience.NewCell(cfg.snap),
 		ingest: cfg.ingest,
+		ckpt:   cfg.ckpt,
 		tracer: cfg.tracer,
 		logger: cfg.logger,
 		reg:    obs.Default,
@@ -115,6 +118,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.handle("livez", "/livez", s.handleLivez)
 	s.handle("readyz", "/readyz", s.handleReadyz)
 	s.handle("reload", "/admin/reload", s.handleReload)
+	s.handle("checkpoint", "/admin/checkpoint", s.handleCheckpoint)
 	s.handle("metrics", "/metrics", s.handleMetrics)
 	s.handle("traces", "/debug/traces", s.handleTraces)
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -275,7 +279,12 @@ func (s *server) ready() (bool, map[string]interface{}) {
 	breakerState := s.breaker.State()
 	draining := s.draining.Load()
 	reloading := s.reloading.Load()
-	ready := !draining && !reloading && breakerState != resilience.BreakerOpen
+	// Checkpoint lag warns (the detail below carries the age) without
+	// blocking readiness until the configured MaxLag bound: a slow
+	// checkpoint means growing recovery cost, not wrong answers, so the
+	// instance keeps taking traffic while operators see the signal.
+	lagged := s.ckpt != nil && s.ckpt.lagExceeded()
+	ready := !draining && !reloading && !lagged && breakerState != resilience.BreakerOpen
 
 	detail := map[string]interface{}{
 		"ready":     ready,
@@ -297,6 +306,9 @@ func (s *server) ready() (bool, map[string]interface{}) {
 	if s.ingest != nil {
 		detail["ingest"] = s.ingest.detail()
 		s.publishIngestGauges()
+	}
+	if s.ckpt != nil {
+		detail["checkpoint"] = s.ckpt.detail()
 	}
 	return ready, detail
 }
@@ -323,13 +335,18 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, status, detail)
 }
 
-// Reload loads a fresh snapshot from the configured artifacts and
-// swaps it in.  On any validation failure the current snapshot keeps
-// serving untouched and the rejection is reported via /readyz and the
+// Reload swaps in a fresh snapshot.  In artifact mode it re-reads the
+// configured store and index files; in append mode it runs the
+// checkpoint barrier (reloadAppend).  On any validation failure the
+// current snapshot keeps serving untouched and the rejection is
+// reported via /readyz and the
 // scaleshift_reloads_total{result="rejected"} counter.
 func (s *server) Reload() error {
 	if s.rel == nil {
-		return fmt.Errorf("reload unavailable: server was not started from a -store artifact")
+		if s.ingest != nil && s.ckpt != nil {
+			return s.reloadAppend()
+		}
+		return fmt.Errorf("reload unavailable: server was not started from a -store artifact or with -checkpoint")
 	}
 	s.rel.mu.Lock()
 	defer s.rel.mu.Unlock()
@@ -383,8 +400,8 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("reload requires POST"))
 		return
 	}
-	if s.rel == nil {
-		s.writeError(w, http.StatusConflict, fmt.Errorf("reload unavailable: server was not started from a -store artifact"))
+	if s.rel == nil && (s.ingest == nil || s.ckpt == nil) {
+		s.writeError(w, http.StatusConflict, fmt.Errorf("reload unavailable: server was not started from a -store artifact or with -checkpoint"))
 		return
 	}
 	if err := s.Reload(); err != nil {

@@ -74,6 +74,10 @@ type PerfReport struct {
 	// Ingest holds the streaming-ingest rows (RunIngest) when that
 	// experiment ran alongside perf.
 	Ingest *IngestReport `json:"ingest,omitempty"`
+
+	// Recovery carries the checkpoint-recovery experiment's rows when
+	// -experiment recovery (or all) runs.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
 }
 
 // kernelBench times the node-pruning slab test over nodes of count

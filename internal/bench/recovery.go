@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"scaleshift/internal/ckpt"
+	"scaleshift/internal/core"
+	"scaleshift/internal/wal"
+)
+
+// The recovery experiment: restart cost as a function of the WAL tail
+// past the last checkpoint.  One server lifetime appends a fixed
+// history through the WAL while checkpoints are captured at descending
+// marks; each row then measures a cold recovery (artifact load + tail
+// replay) against the same full WAL.  The claim under test is the
+// tentpole's: recovery time is flat in TOTAL history and linear in the
+// TAIL, with full WAL replay (seed rebuild + every record) as the
+// comparison baseline.
+
+// RecoveryRow measures one cold recovery.
+type RecoveryRow struct {
+	// TailRecords is the WAL records past the row's checkpoint — the
+	// designed replay cost.  TotalRecords is the whole history.
+	TailRecords  int `json:"tail_records"`
+	TotalRecords int `json:"total_records"`
+	// ReplayedRecords is what recovery actually replayed; the structural
+	// gate requires it to equal TailRecords exactly.
+	ReplayedRecords int `json:"replayed_records"`
+	// CheckpointBytes is the artifact size backing this row.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// RecoverMillis is artifact load + validation + tail replay.
+	RecoverMillis float64 `json:"recover_ms"`
+}
+
+// RecoveryReport is the machine-readable result of RunRecovery.
+type RecoveryReport struct {
+	Rows []RecoveryRow `json:"rows"`
+	// FullReplayMillis is the no-checkpoint baseline: rebuild the seed
+	// index, then replay the entire WAL.
+	FullReplayMillis float64 `json:"full_replay_ms"`
+	// WALBytes is the untruncated log size backing every row.
+	WALBytes int64 `json:"wal_bytes"`
+}
+
+// Enforce checks the recovery gates: replay counts must match the tail
+// exactly (no record dropped, none double-applied), and a zero-tail
+// checkpoint recovery must comfortably beat the full-replay baseline
+// (a loose 2x slack keeps the timing side un-flaky).
+func (r *RecoveryReport) Enforce() error {
+	for _, row := range r.Rows {
+		if row.ReplayedRecords != row.TailRecords {
+			return fmt.Errorf("bench: recovery with a %d-record tail replayed %d records", row.TailRecords, row.ReplayedRecords)
+		}
+	}
+	if len(r.Rows) > 0 && r.Rows[0].TailRecords == 0 && r.Rows[0].RecoverMillis > 2*r.FullReplayMillis {
+		return fmt.Errorf("bench: zero-tail checkpoint recovery (%.1fms) is slower than 2x full WAL replay (%.1fms)",
+			r.Rows[0].RecoverMillis, r.FullReplayMillis)
+	}
+	return nil
+}
+
+// recoveryChunk is the per-append batch size, matching the ingest
+// experiment's write shape.
+const recoveryChunk = 16
+
+// RunRecovery executes the recovery experiment and prints the
+// recovery-time-vs-tail table to stdout alongside the returned report.
+func RunRecovery(cfg Config, stdout io.Writer) (*RecoveryReport, error) {
+	const totalOps = 1024
+	tails := []int{0, 128, 256, 512, totalOps}
+
+	fmt.Fprintf(stdout, "recovery: building %d x %d (window %d), %d appended chunks...\n",
+		cfg.Companies, cfg.Days, cfg.WindowLen, totalOps)
+	env, err := NewEnvBuilt(cfg, BuildBulk)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Index.Freeze(); err != nil {
+		return nil, err
+	}
+	seg, err := core.NewSegmentedFromIndex(env.Index)
+	if err != nil {
+		return nil, err
+	}
+	defer seg.Close()
+
+	dir, err := os.MkdirTemp("", "ssbench-recovery")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	log, _, err := wal.Open(filepath.Join(dir, "ingest.wal"))
+	if err != nil {
+		return nil, err
+	}
+	defer log.Close()
+
+	// One server lifetime: append the whole history through the WAL,
+	// capturing a checkpoint artifact at each mark (totalOps-tail acked
+	// chunks).  The WAL is never truncated here so every row can replay
+	// against the same log.
+	baseFor := func(tail int) string { return filepath.Join(dir, fmt.Sprintf("ckpt-%d", tail)) }
+	offsets := make(map[int]int64, len(tails))
+	writeCkpt := func(tail int) error {
+		if err := seg.Compact(); err != nil {
+			return err
+		}
+		write, release, err := seg.SegmentWriter()
+		if err != nil {
+			return err
+		}
+		defer release()
+		offsets[tail] = log.Offset()
+		meta := ckpt.Meta{Generation: 1, WALOffset: log.Offset(), CreatedAt: time.Now()}
+		return ckpt.Install(baseFor(tail), meta, seg.Store().Snapshot().WriteBinary, write)
+	}
+	marks := make(map[int]int, len(tails)) // acked chunks -> tail
+	for _, tail := range tails {
+		marks[totalOps-tail] = tail
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	nseq := env.Store.NumSequences()
+	chunk := make([]float64, recoveryChunk)
+	for i := 0; i <= totalOps; i++ {
+		if tail, ok := marks[i]; ok {
+			if err := writeCkpt(tail); err != nil {
+				return nil, err
+			}
+		}
+		if i == totalOps {
+			break
+		}
+		for j := range chunk {
+			chunk[j] = 100 + rng.Float64()*10
+		}
+		seq := i % nseq
+		if err := log.AppendValues(seq, chunk); err != nil {
+			return nil, err
+		}
+		if err := seg.AppendValues(seq, chunk); err != nil {
+			return nil, err
+		}
+	}
+	oracleWindows := seg.WindowCount()
+
+	rep := &RecoveryReport{WALBytes: log.Size()}
+	log2, recs, err := wal.Open(filepath.Join(dir, "ingest.wal"))
+	if err != nil {
+		return nil, err
+	}
+	log2.Close()
+	fmt.Fprintf(stdout, "recovery: %d WAL records (%d bytes) over %d windows\n", len(recs), rep.WALBytes, oracleWindows)
+
+	fmt.Fprintf(stdout, "%12s %12s %14s %12s\n", "tail recs", "replayed", "ckpt bytes", "recover ms")
+	for _, tail := range tails {
+		fi, err := os.Stat(baseFor(tail))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, _, err := ckpt.Recover(baseFor(tail))
+		if err != nil {
+			return nil, err
+		}
+		replayed := 0
+		for _, rec := range recs {
+			if rec.End <= res.Meta.WALOffset {
+				continue
+			}
+			if err := res.Seg.AppendValues(rec.Seq, rec.Values); err != nil {
+				res.Seg.Close()
+				return nil, err
+			}
+			replayed++
+		}
+		elapsed := time.Since(start)
+		if got := res.Seg.WindowCount(); got != oracleWindows {
+			res.Seg.Close()
+			return nil, fmt.Errorf("bench: recovery with a %d-record tail covers %d windows, want %d", tail, got, oracleWindows)
+		}
+		res.Seg.Close()
+		row := RecoveryRow{
+			TailRecords:     tail,
+			TotalRecords:    len(recs),
+			ReplayedRecords: replayed,
+			CheckpointBytes: fi.Size(),
+			RecoverMillis:   float64(elapsed.Nanoseconds()) / 1e6,
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(stdout, "%12d %12d %14d %12.1f\n", row.TailRecords, row.ReplayedRecords, row.CheckpointBytes, row.RecoverMillis)
+	}
+
+	// The no-checkpoint baseline: rebuild the seed index from scratch
+	// and replay every record — what every restart would cost without
+	// the checkpoint subsystem.
+	start := time.Now()
+	env2, err := NewEnvBuilt(cfg, BuildBulk)
+	if err != nil {
+		return nil, err
+	}
+	seg2, err := core.NewSegmentedFromIndex(env2.Index)
+	if err != nil {
+		return nil, err
+	}
+	defer seg2.Close()
+	for _, rec := range recs {
+		if err := seg2.AppendValues(rec.Seq, rec.Values); err != nil {
+			return nil, err
+		}
+	}
+	rep.FullReplayMillis = float64(time.Since(start).Nanoseconds()) / 1e6
+	if got := seg2.WindowCount(); got != oracleWindows {
+		return nil, fmt.Errorf("bench: full replay covers %d windows, want %d", got, oracleWindows)
+	}
+	fmt.Fprintf(stdout, "recovery: full replay baseline (seed rebuild + %d records) %.1fms\n\n", len(recs), rep.FullReplayMillis)
+	return rep, nil
+}

@@ -176,21 +176,30 @@ func buildSegment(entries []deltaEntry, opts Options, dim int) (*frozenSeg, erro
 // consolidated segment.  Re-extraction (rather than stitching stored
 // feature points) keeps the merged segment bit-identical to a
 // from-scratch build by construction.
+//
+// The segments must be an ADJACENT run of the frozen list (plus the
+// folding delta, which continues past the newest segment): per
+// sequence their ranges then tile one contiguous span [lo, hi), and
+// only that span is re-extracted — the size-tiered policy depends on a
+// partial merge not paying for the untouched older segments.
 func mergeSegments(snap *store.Snapshot, fmap *dft.FeatureMap, opts Options, frozen []*frozenSeg, delta []deltaEntry) (*frozenSeg, error) {
-	// Per-sequence coverage: frozen ranges and delta entries tile each
-	// sequence's windows [0, hi) contiguously.
+	lo := map[int]int{}
 	hi := map[int]int{}
+	cover := func(seq, l, h int) {
+		if cur, ok := lo[seq]; !ok || l < cur {
+			lo[seq] = l
+		}
+		if h > hi[seq] {
+			hi[seq] = h
+		}
+	}
 	for _, sg := range frozen {
 		for _, r := range sg.ranges {
-			if r.Hi > hi[r.Seq] {
-				hi[r.Seq] = r.Hi
-			}
+			cover(r.Seq, r.Lo, r.Hi)
 		}
 	}
 	for _, e := range delta {
-		if e.start+1 > hi[e.seq] {
-			hi[e.seq] = e.start + 1
-		}
+		cover(e.seq, e.start, e.start+1)
 	}
 	seqs := make([]int, 0, len(hi))
 	for seq := range hi {
@@ -199,7 +208,7 @@ func mergeSegments(snap *store.Snapshot, fmap *dft.FeatureMap, opts Options, fro
 	sort.Ints(seqs)
 	var entries []deltaEntry
 	for _, seq := range seqs {
-		err := extractRange(snap, fmap, opts, seq, 0, hi[seq], func(start int, f vec.Vector) error {
+		err := extractRange(snap, fmap, opts, seq, lo[seq], hi[seq], func(start int, f vec.Vector) error {
 			entries = append(entries, deltaEntry{seq: seq, start: start, feat: f.Clone()})
 			return nil
 		})

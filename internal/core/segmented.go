@@ -45,10 +45,23 @@ type SegmentedIndex struct {
 	base *Index
 
 	// CompactThreshold is the delta size at which the background
-	// compactor is kicked (default 4096); MaxFrozen is the frozen
-	// segment count that triggers a merge into one segment (default 8).
-	// Set both before StartCompactor.
+	// compactor is kicked (default 4096).
+	//
+	// MergeRatio drives size-tiered retention: when the delta folds,
+	// adjacent frozen segments are absorbed into the new segment from
+	// the newest backward while each is at most MergeRatio times the
+	// windows already in the merge run (default 2 — the binary-counter
+	// schedule, whose total rewrite work is amortized O(log N) per
+	// window).  Zero disables tiering (segments only merge through the
+	// MaxFrozen backstop; ssgen uses this to keep explicit chunks).
+	//
+	// MaxFrozen is the backstop bound on the frozen segment count: a
+	// compaction that would exceed it merges everything into one
+	// segment (default 8; zero means unbounded).
+	//
+	// Set all three before StartCompactor.
 	CompactThreshold int
+	MergeRatio       float64
 	MaxFrozen        int
 
 	cell *resilience.Cell[*manifest]
@@ -77,6 +90,7 @@ type SegmentedIndex struct {
 	kick        chan struct{}
 	done        chan struct{}
 	closeOnce   sync.Once
+	closeErr    error
 	wg          sync.WaitGroup
 }
 
@@ -161,6 +175,7 @@ func emptySegmented(st *store.Store, opts Options, fmap *dft.FeatureMap, base *I
 		fmap:             fmap,
 		base:             base,
 		CompactThreshold: 4096,
+		MergeRatio:       2,
 		MaxFrozen:        8,
 		sliders:          map[int]*seqSlider{},
 		next:             make([]int, st.NumSequences()),
@@ -401,10 +416,42 @@ func (g *SegmentedIndex) SetCompactHook(fn func() error) {
 	g.mu.Unlock()
 }
 
-// Compact folds the current delta into a new frozen segment — or,
-// when the frozen list has reached MaxFrozen, merges everything into
-// one consolidated segment.  The expensive build runs without holding
-// the writer lock, so appends and queries proceed throughout; only the
+// mergeRunLocked decides how far back the size-tiered merge reaches:
+// it returns the frozen-list index k such that segments [k:] merge
+// with the folding delta (k == len(frozen) is a pure fold).  Only a
+// SUFFIX of the list may merge — frozen segments tile each sequence's
+// windows contiguously in list order, so an adjacent run's coverage is
+// itself contiguous and the invariant survives the merge.
+//
+// The tiered walk absorbs the next-older segment while it is at most
+// MergeRatio times the run gathered so far — the logarithmic-method
+// schedule under which a window is rewritten O(log N) times over its
+// lifetime, instead of on every MaxFrozen-th compaction.  MaxFrozen
+// remains a hard backstop: if the tiered choice would still leave too
+// many segments, everything merges into one.
+func (g *SegmentedIndex) mergeRunLocked(cut int) int {
+	k := len(g.frozen)
+	run := cut
+	if g.MergeRatio > 0 {
+		for k > 0 && run > 0 && float64(g.frozen[k-1].count) <= g.MergeRatio*float64(run) {
+			run += g.frozen[k-1].count
+			k--
+		}
+	}
+	resulting := k
+	if run > 0 {
+		resulting++
+	}
+	if g.MaxFrozen > 0 && resulting > g.MaxFrozen {
+		return 0
+	}
+	return k
+}
+
+// Compact folds the current delta into a new frozen segment, absorbing
+// an adjacent run of older segments chosen by the size-tiered policy
+// (see mergeRunLocked).  The expensive build runs without holding the
+// writer lock, so appends and queries proceed throughout; only the
 // final manifest swap holds the lock, and that pause is recorded (see
 // Backlog).  Safe to call directly (tests, shutdown flush) even while
 // the background compactor runs.
@@ -415,13 +462,14 @@ func (g *SegmentedIndex) Compact() error {
 	// Phase 1 (brief, locked): decide what to compact and pin it.
 	g.mu.Lock()
 	cut := len(g.delta)
-	merge := g.MaxFrozen > 0 && len(g.frozen) >= g.MaxFrozen
-	if cut == 0 && (!merge || len(g.frozen) <= 1) {
+	k := g.mergeRunLocked(cut)
+	if cut == 0 && k >= len(g.frozen) {
 		g.mu.Unlock()
 		return nil
 	}
 	pinned := g.delta[:cut:cut]
-	oldFrozen := append([]*frozenSeg(nil), g.frozen...)
+	keep := append([]*frozenSeg(nil), g.frozen[:k]...)
+	run := append([]*frozenSeg(nil), g.frozen[k:]...)
 	snap := g.st.Snapshot()
 	hook := g.compactHook
 	g.mu.Unlock()
@@ -438,27 +486,22 @@ func (g *SegmentedIndex) Compact() error {
 		}
 	}
 
-	// Phase 2 (slow, unlocked): build the new frozen segment(s).
+	// Phase 2 (slow, unlocked): build the replacement segment.
 	// Appends landing during this phase grow the delta past cut and
 	// survive as the post-compaction delta.
-	var newFrozen []*frozenSeg
-	if merge {
-		seg, err := mergeSegments(snap, g.fmap, g.opts, oldFrozen, pinned)
-		if err != nil {
-			return fail(err)
-		}
-		if seg != nil {
-			newFrozen = []*frozenSeg{seg}
-		}
+	var seg *frozenSeg
+	var err error
+	if len(run) > 0 {
+		seg, err = mergeSegments(snap, g.fmap, g.opts, run, pinned)
 	} else {
-		seg, err := buildSegment(pinned, g.opts, g.fmap.Dim())
-		if err != nil {
-			return fail(err)
-		}
-		newFrozen = oldFrozen
-		if seg != nil {
-			newFrozen = append(newFrozen, seg)
-		}
+		seg, err = buildSegment(pinned, g.opts, g.fmap.Dim())
+	}
+	if err != nil {
+		return fail(err)
+	}
+	newFrozen := keep
+	if seg != nil {
+		newFrozen = append(newFrozen, seg)
 	}
 
 	// Phase 3 (brief, locked): swap the manifest.  The lock-held time
@@ -527,14 +570,19 @@ func (g *SegmentedIndex) Backlog() Backlog {
 
 // Close stops the background compactor and releases the wrapped
 // index's resources (including any artifact mapping backing the
-// initial frozen segment).
+// initial frozen segment).  Idempotent and safe to call concurrently:
+// the entire teardown runs once, and every caller returns only after
+// it has completed (a hot-reload drain goroutine and a shutdown path
+// may both close the same superseded index).
 func (g *SegmentedIndex) Close() error {
-	g.closeOnce.Do(func() { close(g.done) })
-	g.wg.Wait()
-	if g.base != nil {
-		return g.base.Close()
-	}
-	return nil
+	g.closeOnce.Do(func() {
+		close(g.done)
+		g.wg.Wait()
+		if g.base != nil {
+			g.closeErr = g.base.Close()
+		}
+	})
+	return g.closeErr
 }
 
 // Options returns the index configuration.

@@ -440,6 +440,162 @@ func TestSegmentedCompactionLifecycle(t *testing.T) {
 	}
 }
 
+// TestSegmentedTieredRetention pins the size-tiered compaction policy:
+// under a long run of small folds the frozen list must stay
+// logarithmic in the ingested volume WITHOUT the MaxFrozen full-merge
+// backstop ever firing, partial merges must only ever touch an
+// adjacent run (checked structurally via the per-sequence contiguous
+// coverage the segment artifact validates), and the results must stay
+// bit-identical to a from-scratch build.
+func TestSegmentedTieredRetention(t *testing.T) {
+	opts := testOptions()
+	ref := buildTestIndex(t, opts, 4, 400)
+	if err := ref.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	names, vals := fullSequences(t, ref.Store())
+	q, eps := testQueryEps(t, ref)
+
+	st := store.New()
+	for seq := range names {
+		st.AppendSequence(names[seq], vals[seq][:60])
+	}
+	g, err := NewSegmentedIndex(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	// Push the backstop out of the way: the tiered ladder alone must
+	// keep the list small.
+	g.MaxFrozen = 1024
+
+	// Feed the rest in small per-round chunks, compacting every round —
+	// the worst case for a flat policy (one new segment per round).
+	const chunk = 8
+	rounds, maxFrozen := 0, 0
+	for pos := 60; pos < 400; pos += chunk {
+		hi := pos + chunk
+		if hi > 400 {
+			hi = 400
+		}
+		for seq := range names {
+			if err := g.AppendValues(seq, vals[seq][pos:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+		if f := g.Backlog().Frozen; f > maxFrozen {
+			maxFrozen = f
+		}
+	}
+	b := g.Backlog()
+	if b.Compactions < rounds {
+		t.Fatalf("only %d compactions over %d rounds", b.Compactions, rounds)
+	}
+	if b.DeltaWindows != 0 {
+		t.Fatalf("delta not drained: %d windows", b.DeltaWindows)
+	}
+	// Ratio-2 tiering admits at most ~log2(total/chunkWindows)+2
+	// segments; 42 rounds under a flat policy would hold 40+.  The
+	// ladder must both form (partial merges, not a full merge every
+	// round) and stay logarithmic.
+	if maxFrozen > 12 {
+		t.Fatalf("tiered retention let the ladder grow to %d segments over %d rounds", maxFrozen, rounds)
+	}
+	if maxFrozen < 3 {
+		t.Fatalf("no ladder formed (max %d segments): merges are rewriting the world", maxFrozen)
+	}
+	if got, want := g.WindowCount(), ref.WindowCount(); got != want {
+		t.Fatalf("segmented covers %d windows, reference %d", got, want)
+	}
+
+	want, err := ref.Search(q, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Search(q, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(got, want) {
+		t.Fatalf("tiered index diverges from reference:\n%v\nvs\n%v", got, want)
+	}
+
+	// The artifact round trip re-validates that every partial merge
+	// preserved contiguous per-sequence coverage (LoadSegments rejects
+	// gaps or overlaps), and the loaded copy serves identically.
+	var buf bytes.Buffer
+	if err := g.WriteSegments(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadSegments(bytes.NewReader(buf.Bytes()), st)
+	if err != nil {
+		t.Fatalf("tiered layout failed artifact validation: %v", err)
+	}
+	defer g2.Close()
+	got2, err := g2.Search(q, eps, UnboundedCosts(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesEqual(got2, want) {
+		t.Fatalf("reloaded tiered index diverges:\n%v\nvs\n%v", got2, want)
+	}
+}
+
+// TestSegmentedMergeRunPolicy unit-tests the decide step directly:
+// the run must be a suffix, absorb equal-size neighbours (binary
+// counter), stop at a much larger older segment, and fall back to a
+// full merge when MaxFrozen would be exceeded.
+func TestSegmentedMergeRunPolicy(t *testing.T) {
+	g := &SegmentedIndex{MergeRatio: 2, MaxFrozen: 8}
+	segs := func(counts ...int) []*frozenSeg {
+		out := make([]*frozenSeg, len(counts))
+		for i, c := range counts {
+			out[i] = &frozenSeg{count: c}
+		}
+		return out
+	}
+	cases := []struct {
+		frozen []*frozenSeg
+		cut    int
+		want   int
+	}{
+		{segs(), 10, 0},             // nothing frozen: pure fold
+		{segs(1000), 10, 1},         // big old segment untouched
+		{segs(1000, 10), 10, 1},     // equal neighbour absorbed
+		{segs(1000, 20, 10), 10, 1}, // cascade: 10+10 absorbs 20
+		{segs(1000, 50, 10), 10, 2}, // 50 > 2*(10+10): cascade stops
+		{segs(8, 4, 2), 1, 0},       // counter roll-up reaches the head
+		{segs(1000, 500), 0, 2},     // empty delta: nothing to fold
+		{segs(40, 20, 10), 1000, 0}, // huge fold swallows everything
+	}
+	for i, c := range cases {
+		g.frozen = c.frozen
+		if got := g.mergeRunLocked(c.cut); got != c.want {
+			t.Errorf("case %d: mergeRun(cut=%d over %d segments) = %d, want %d",
+				i, c.cut, len(c.frozen), got, c.want)
+		}
+	}
+
+	// The MaxFrozen backstop: a fold that would leave 4 segments with
+	// MaxFrozen=3 must merge everything instead.
+	g = &SegmentedIndex{MergeRatio: 2, MaxFrozen: 3}
+	g.frozen = segs(1000, 100, 10)
+	if got := g.mergeRunLocked(1); got != 0 {
+		t.Errorf("backstop: got run start %d, want 0 (full merge)", got)
+	}
+
+	// MergeRatio=0 disables tiering entirely (ssgen's explicit chunks).
+	g = &SegmentedIndex{MergeRatio: 0, MaxFrozen: 10}
+	g.frozen = segs(10, 10, 10)
+	if got := g.mergeRunLocked(10); got != 3 {
+		t.Errorf("tiering disabled: got run start %d, want 3 (pure fold)", got)
+	}
+}
+
 // TestWriteLoadSegments round-trips a multi-segment artifact and
 // verifies the loaded index serves identically — including when the
 // store has grown past the artifact (the WAL-replay restart shape).

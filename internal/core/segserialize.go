@@ -27,24 +27,44 @@ var segVersions = []byte{1}
 // error when uncompacted windows remain.  The store is persisted
 // separately, exactly as with Index.WriteBinary.
 func (g *SegmentedIndex) WriteSegments(w io.Writer) error {
+	write, release, err := g.SegmentWriter()
+	if err != nil {
+		return err
+	}
+	defer release()
+	return write(w)
+}
+
+// SegmentWriter pins the currently published manifest and returns a
+// closure serializing exactly that generation, plus a release func for
+// the pin.  The split lets a checkpoint capture the manifest under the
+// ingest lock and run the serialization after releasing it: segments
+// are immutable, so appends landing meanwhile (which only grow the
+// delta of LATER generations) cannot disturb the pinned bytes.  Errors
+// when the pinned manifest still has uncompacted delta windows.
+func (g *SegmentedIndex) SegmentWriter() (write func(io.Writer) error, release func(), err error) {
 	pin := g.cell.Acquire()
-	defer pin.Release()
 	man := pin.Value()
 	if len(man.delta) > 0 {
-		return fmt.Errorf("core: %d uncompacted delta windows; run Compact before writing segments", len(man.delta))
+		pin.Release()
+		return nil, nil, fmt.Errorf("core: %d uncompacted delta windows; run Compact before writing segments", len(man.delta))
 	}
+	return func(w io.Writer) error { return writeSegments(g.opts, man, w) }, pin.Release, nil
+}
 
+// writeSegments emits one pinned manifest in the SSSEG v1 format.
+func writeSegments(opts Options, man *manifest, w io.Writer) error {
 	var head []byte
 	var scratch [8]byte
 	writeU64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(scratch[:], v)
 		head = append(head, scratch[:]...)
 	}
-	writeU64(uint64(g.opts.WindowLen))
-	writeU64(uint64(g.opts.Coefficients))
-	writeU64(uint64(g.opts.Reduction))
-	writeU64(uint64(g.opts.Strategy))
-	writeU64(uint64(g.opts.SubtrailLen))
+	writeU64(uint64(opts.WindowLen))
+	writeU64(uint64(opts.Coefficients))
+	writeU64(uint64(opts.Reduction))
+	writeU64(uint64(opts.Strategy))
+	writeU64(uint64(opts.SubtrailLen))
 	writeU64(uint64(len(man.frozen)))
 	for _, sg := range man.frozen {
 		writeU64(uint64(sg.count))

@@ -231,6 +231,64 @@ func TestAppendValuesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotWriteBinary serializes a pinned snapshot while appends
+// keep mutating the live store: the artifact must reproduce exactly
+// the snapshot's contents — the checkpoint writer depends on this to
+// serialize off the ingest lock.
+func TestSnapshotWriteBinary(t *testing.T) {
+	st := New()
+	st.AppendSequence("x", []float64{1, 2, 3})
+	st.AppendSequence("y", []float64{4})
+	if err := st.AppendValues(0, []float64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	sn := st.Snapshot()
+	want := make(map[int][]float64)
+	for seq := 0; seq < sn.NumSequences(); seq++ {
+		w := make([]float64, sn.SequenceLen(seq))
+		if err := sn.Window(seq, 0, len(w), w, nil); err != nil {
+			t.Fatal(err)
+		}
+		want[seq] = w
+	}
+
+	// Mutate the live store after the snapshot: both an in-capacity
+	// append and a (likely) reallocating one.
+	if err := st.AppendValues(0, []float64{99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendValues(1, make([]float64, 1024)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sn.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSequences() != sn.NumSequences() {
+		t.Fatalf("round trip has %d sequences, want %d", got.NumSequences(), sn.NumSequences())
+	}
+	for seq, w := range want {
+		if got.SequenceLen(seq) != len(w) {
+			t.Fatalf("seq %d length %d, want snapshot length %d (post-snapshot appends leaked)",
+				seq, got.SequenceLen(seq), len(w))
+		}
+		g := make([]float64, len(w))
+		if err := got.Window(seq, 0, len(g), g, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("seq %d sample %d: %v != %v", seq, i, g[i], w[i])
+			}
+		}
+	}
+}
+
 // TestExtendAfterTailRefused: once a sequence has a tail its packed
 // region is frozen.
 func TestExtendAfterTailRefused(t *testing.T) {

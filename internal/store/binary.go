@@ -38,40 +38,44 @@ const maxSectionLen = 1 << 36
 // format is bit-exact: ReadBinary reproduces every float64
 // identically, and any torn, truncated, or bit-flipped artifact fails
 // ReadBinary with a typed error instead of loading silently wrong.
-func (s *Store) WriteBinary(w io.Writer) error {
+//
+// The receiver is the shared view, so the method also serves Snapshot:
+// a checkpoint serializes a pinned snapshot off the writer lock while
+// appends keep landing in the live store.
+func (v *view) WriteBinary(w io.Writer) error {
 	bw := binio.NewWriter(w)
 	bw.Magic(storeMagic)
 
 	var head bytes.Buffer
 	var scratch [8]byte
-	writeU64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(scratch[:], v)
+	writeU64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], x)
 		head.Write(scratch[:])
 	}
-	writeU64(uint64(len(s.names)))
-	for seq := range s.names {
-		name := s.names[seq]
+	writeU64(uint64(len(v.names)))
+	for seq := range v.names {
+		name := v.names[seq]
 		writeU64(uint64(len(name)))
 		head.WriteString(name)
-		writeU64(uint64(s.lengths[seq]))
+		writeU64(uint64(v.lengths[seq]))
 	}
 	bw.Section(head.Bytes())
 
 	// Emit samples per sequence — packed region then tail — so a store
 	// grown by AppendValues round-trips into fully compacted form.
-	data := make([]byte, 0, 8*s.TotalValues())
+	data := make([]byte, 0, 8*v.TotalValues())
 	var buf [8]byte
 	emit := func(vals []float64) {
-		for _, v := range vals {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		for _, x := range vals {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
 			data = append(data, buf[:]...)
 		}
 	}
-	for seq := range s.names {
-		pl := s.packedLen(seq)
-		emit(s.data[s.offsets[seq] : s.offsets[seq]+pl])
-		if s.tailLen(seq) > 0 {
-			emit(s.tails[seq])
+	for seq := range v.names {
+		pl := v.packedLen(seq)
+		emit(v.data[v.offsets[seq] : v.offsets[seq]+pl])
+		if tl := v.tailLen(seq); tl > 0 {
+			emit(v.tails[seq][:tl])
 		}
 	}
 	bw.Section(data)

@@ -6,7 +6,19 @@
 // segmented index re-extracts the replayed windows into its delta,
 // which restores the exact pre-crash search surface.
 //
-// The format is a flat record stream.  Each record is
+// The log carries a LOGICAL offset space that survives truncation: the
+// file starts with a small header naming the logical offset of its
+// first record byte, and every replayed Record reports the logical
+// offset just past itself (Record.End).  A checkpoint remembers the
+// log's Offset() at capture time; recovery replays only records with
+// End past that mark, and TruncateThrough physically drops the already
+// checkpointed prefix without renumbering what remains.  Because the
+// skip is offset-driven, truncation is purely a space optimization — a
+// crash anywhere between "checkpoint durable" and "prefix dropped"
+// replays the same records either way, never dropping or double-
+// applying an acked append.
+//
+// The format after the header is a flat record stream.  Each record is
 //
 //	u32 payload length | payload | u32 CRC32C(payload)
 //
@@ -18,16 +30,19 @@
 // Replay stops cleanly at the first torn or corrupt record (the tail
 // a crash mid-write leaves behind) and reports how many bytes of the
 // log were valid, so the caller can truncate to that offset and keep
-// appending.
+// appending.  Headerless files written by earlier builds load as
+// logical offset 0.
 package wal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 )
 
 // record kinds.
@@ -40,39 +55,122 @@ const (
 // length prefix cannot drive a huge allocation.
 const maxRecord = 1 << 30
 
+// The header is magic (identifier + version byte), the u64 logical
+// offset of the first record byte, and a CRC32C over both.  It is
+// written only when the stream before it is empty — at creation, at
+// Reset, and into the freshly built file TruncateThrough renames into
+// place — so a torn header can only predate the first acked append.
+var magic = []byte("SSWAL\x01")
+
+const headerLen = 6 + 8 + 4
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// renameFile is swapped by crash-injection tests to simulate a kill
+// between building the truncated log and publishing it.
+var renameFile = os.Rename
 
 // Log is an append-only write-ahead log backed by one file.  Append
 // methods are not internally locked — the serving layer already
 // serializes appends through the segmented index's writer lock.
 type Log struct {
-	f   *os.File
-	pos int64
+	path string
+	f    *os.File
+	base int64 // logical offset of the record stream's first byte
+	hdr  int64 // header length in this file (0 for legacy headerless logs)
+	pos  int64 // physical record-stream length (bytes past the header)
 }
 
 // Open opens (creating if needed) the log at path and positions
 // appends after the last valid record, truncating any torn tail left
 // by a crash.  The caller replays the returned records into its store
-// before appending new ones.
+// before appending new ones; each record carries the logical offset
+// just past itself so a checkpoint-aware caller can skip the prefix it
+// has already applied.
 func Open(path string) (*Log, []Record, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	recs, valid, err := replay(f)
+	base, hdr, err := readHeader(f)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	if err := f.Truncate(valid); err != nil {
+	recs, valid, err := replay(f, hdr, base)
+	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+	if err := f.Truncate(hdr + valid); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	return &Log{f: f, pos: valid}, recs, nil
+	if _, err := f.Seek(hdr+valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{path: path, f: f, base: base, hdr: hdr, pos: valid}, recs, nil
+}
+
+// readHeader classifies the file's start: fresh (write a new header),
+// versioned (decode the base offset), or legacy headerless (offset 0).
+// A file that begins with our magic but whose header is torn or
+// corrupt is reset to empty: the header is only ever written before
+// the first record of its stream, so nothing acked can be behind it.
+func readHeader(f *os.File) (base, hdr int64, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	if st.Size() == 0 {
+		if err := writeHeader(f, 0); err != nil {
+			return 0, 0, err
+		}
+		return 0, headerLen, nil
+	}
+	buf := make([]byte, headerLen)
+	n, rerr := f.ReadAt(buf, 0)
+	if rerr != nil && rerr != io.EOF {
+		return 0, 0, rerr
+	}
+	if n < len(magic) || !bytes.Equal(buf[:len(magic)], magic) {
+		return 0, 0, nil // legacy headerless record stream
+	}
+	if n == headerLen {
+		want := binary.LittleEndian.Uint32(buf[14:])
+		got := crc32.Checksum(buf[:14], castagnoli)
+		off := binary.LittleEndian.Uint64(buf[6:])
+		if want == got && off <= math.MaxInt64 {
+			return int64(off), headerLen, nil
+		}
+	}
+	// Ours, but damaged before the record stream even starts: only a
+	// crash during creation can do that, so the stream holds nothing.
+	if err := f.Truncate(0); err != nil {
+		return 0, 0, err
+	}
+	if err := writeHeader(f, 0); err != nil {
+		return 0, 0, err
+	}
+	return 0, headerLen, nil
+}
+
+// writeHeader stamps an empty file with the header for the given base
+// offset and fsyncs, so an acked append always sits behind a durable
+// header.
+func writeHeader(f *os.File, base int64) error {
+	buf := make([]byte, headerLen)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint64(buf[6:], uint64(base))
+	binary.LittleEndian.PutUint32(buf[14:], crc32.Checksum(buf[:14], castagnoli))
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("wal: header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
 }
 
 // Record is one replayed mutation.
@@ -82,6 +180,9 @@ type Record struct {
 	Name   string
 	Seq    int
 	Values []float64
+	// End is the logical offset just past this record.  A record is
+	// covered by a checkpoint taken at offset c iff End <= c.
+	End int64
 }
 
 // AppendValues logs an append to an existing sequence and fsyncs.
@@ -125,23 +226,143 @@ func (l *Log) append(payload []byte) error {
 	return nil
 }
 
-// Size returns the current log length in bytes (the durable backlog
-// since the last checkpoint).
+// Size returns the current physical record-stream length in bytes (the
+// durable backlog since the last checkpoint truncation).
 func (l *Log) Size() int64 { return l.pos }
 
-// Reset truncates the log to empty.  Call it only after the store has
-// been checkpointed durably (see Checkpoint) — the log is the only
-// copy of everything it holds.
+// Base returns the logical offset of the log's first retained record
+// byte.  Zero means the full ingest history is still present — the
+// only state in which a from-scratch replay reconstructs everything.
+func (l *Log) Base() int64 { return l.base }
+
+// Offset returns the logical end offset of the log: everything acked
+// so far lies at offsets below it.  A checkpoint captures this value;
+// recovery skips replayed records with End at or below the captured
+// mark.
+func (l *Log) Offset() int64 { return l.base + l.pos }
+
+// TruncateThrough physically drops every record whose logical End is
+// at or below offset.  Call it only after a checkpoint covering that
+// offset is durable — the dropped prefix's only other copy is the
+// checkpoint artifact.
+//
+// The rewrite is crash-safe: the surviving tail is copied into a fresh
+// file (new header naming its logical base), fsync'd, and renamed over
+// the log.  A crash before the rename leaves the old log intact; the
+// offset-driven replay skip makes the longer prefix harmless.
+func (l *Log) TruncateThrough(offset int64) error {
+	if offset <= l.base {
+		return nil // nothing retained is that old
+	}
+	if offset > l.base+l.pos {
+		return fmt.Errorf("wal: truncate through %d beyond log end %d", offset, l.base+l.pos)
+	}
+	cut, err := l.findCut(offset)
+	if err != nil {
+		return err
+	}
+	if cut == 0 {
+		return nil
+	}
+	newBase := l.base + cut
+
+	tmp := l.path + ".trunc"
+	tf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	if err := writeHeader(tf, newBase); err != nil {
+		tf.Close()
+		return err
+	}
+	if _, err := tf.Seek(headerLen, io.SeekStart); err != nil {
+		tf.Close()
+		return err
+	}
+	tail := io.NewSectionReader(l.f, l.hdr+cut, l.pos-cut)
+	if _, err := io.Copy(tf, tail); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: truncate copy: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	if err := renameFile(tmp, l.path); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: truncate publish: %w", err)
+	}
+	if err := syncDir(l.path); err != nil {
+		tf.Close()
+		return err
+	}
+	if _, err := tf.Seek(headerLen+(l.pos-cut), io.SeekStart); err != nil {
+		tf.Close()
+		return err
+	}
+	l.f.Close()
+	l.f = tf
+	l.base = newBase
+	l.hdr = headerLen
+	l.pos -= cut
+	return nil
+}
+
+// findCut walks the validated record frames and returns the physical
+// stream position of the end of the last record whose logical End is
+// at or below offset.  Frames up to pos were CRC-checked at Open or
+// written by this process, so only the length prefixes are read.
+func (l *Log) findCut(offset int64) (int64, error) {
+	var cut, at int64
+	var head [4]byte
+	for at < l.pos {
+		if _, err := l.f.ReadAt(head[:], l.hdr+at); err != nil {
+			return 0, fmt.Errorf("wal: truncate scan: %w", err)
+		}
+		length := int64(binary.LittleEndian.Uint32(head[:]))
+		end := at + 4 + length + 4
+		if end > l.pos {
+			return 0, fmt.Errorf("wal: truncate scan: frame at %d overruns log end", at)
+		}
+		if l.base+end > offset {
+			break
+		}
+		at = end
+		cut = end
+	}
+	return cut, nil
+}
+
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("wal: dir sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: dir sync: %w", err)
+	}
+	return nil
+}
+
+// Reset truncates the log to empty while preserving the logical offset
+// space (the new base is the old end).  Call it only after the store
+// has been checkpointed durably — the log is the only other copy of
+// everything it holds.
 func (l *Log) Reset() error {
+	newBase := l.base + l.pos
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+	if err := writeHeader(l.f, newBase); err != nil {
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+	if _, err := l.f.Seek(headerLen, io.SeekStart); err != nil {
+		return err
 	}
+	l.base = newBase
+	l.hdr = headerLen
 	l.pos = 0
 	return nil
 }
@@ -149,11 +370,11 @@ func (l *Log) Reset() error {
 // Close closes the log file.
 func (l *Log) Close() error { return l.f.Close() }
 
-// replay scans r from the start, decoding records until EOF or the
-// first invalid record, and returns the decoded records plus the byte
-// offset of the end of the last valid record.
-func replay(r io.ReadSeeker) ([]Record, int64, error) {
-	if _, err := r.Seek(0, io.SeekStart); err != nil {
+// replay scans r from the end of the header, decoding records until
+// EOF or the first invalid record, and returns the decoded records
+// plus the stream position of the end of the last valid record.
+func replay(r io.ReadSeeker, hdr, base int64) ([]Record, int64, error) {
+	if _, err := r.Seek(hdr, io.SeekStart); err != nil {
 		return nil, 0, err
 	}
 	var recs []Record
@@ -180,8 +401,9 @@ func replay(r io.ReadSeeker) ([]Record, int64, error) {
 		if !ok {
 			return recs, valid, nil
 		}
-		recs = append(recs, rec)
 		valid += int64(4 + len(buf))
+		rec.End = base + valid
+		recs = append(recs, rec)
 	}
 }
 

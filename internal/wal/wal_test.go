@@ -134,6 +134,266 @@ func TestCorruptRecordStopsReplay(t *testing.T) {
 	}
 }
 
+// TestRecordOffsets pins the logical-offset contract: every replayed
+// record's End is the log Offset() right after it was acked, and the
+// numbering survives reopen.
+func TestRecordOffsets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 0 || l.Offset() != 0 {
+		t.Fatalf("fresh log base %d offset %d", l.Base(), l.Offset())
+	}
+	var ends []int64
+	if err := l.AppendSequence("acme", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	ends = append(ends, l.Offset())
+	for i := 0; i < 3; i++ {
+		if err := l.AppendValues(0, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, l.Offset())
+	}
+	l.Close()
+
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != len(ends) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(ends))
+	}
+	for i, rec := range recs {
+		if rec.End != ends[i] {
+			t.Fatalf("record %d End %d, want %d", i, rec.End, ends[i])
+		}
+	}
+	if l.Offset() != ends[len(ends)-1] {
+		t.Fatalf("reopened offset %d, want %d", l.Offset(), ends[len(ends)-1])
+	}
+}
+
+// TestTruncateThrough drops a checkpointed prefix and checks that the
+// surviving records keep their logical offsets across the rewrite and
+// a reopen, and that the log stays appendable.
+func TestTruncateThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int64
+	for i := 0; i < 5; i++ {
+		if err := l.AppendValues(i, []float64{float64(i), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, l.Offset())
+	}
+	fullSize := l.Size()
+
+	// Truncate through record 2's end: records 0-2 drop, 3-4 survive.
+	if err := l.TruncateThrough(ends[2]); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != ends[2] {
+		t.Fatalf("base %d after truncate, want %d", l.Base(), ends[2])
+	}
+	if l.Size() >= fullSize {
+		t.Fatalf("size %d not reduced from %d", l.Size(), fullSize)
+	}
+	if l.Offset() != ends[4] {
+		t.Fatalf("offset %d changed by truncation, want %d", l.Offset(), ends[4])
+	}
+	// The truncated log must keep accepting appends through the swapped
+	// file descriptor.
+	if err := l.AppendValues(9, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	endAfter := l.Offset()
+	l.Close()
+
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records after truncation, want 3: %+v", len(recs), recs)
+	}
+	if recs[0].Seq != 3 || recs[0].End != ends[3] {
+		t.Fatalf("record 0 after truncation: %+v, want seq 3 end %d", recs[0], ends[3])
+	}
+	if recs[1].Seq != 4 || recs[1].End != ends[4] {
+		t.Fatalf("record 1 after truncation: %+v, want seq 4 end %d", recs[1], ends[4])
+	}
+	if recs[2].Seq != 9 || recs[2].End != endAfter {
+		t.Fatalf("record 2 after truncation: %+v, want seq 9 end %d", recs[2], endAfter)
+	}
+
+	// Truncating through an already dropped offset is a no-op; beyond
+	// the end is an error.
+	if err := l.TruncateThrough(ends[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateThrough(l.Offset() + 1); err == nil {
+		t.Fatal("truncate beyond the log end must fail")
+	}
+}
+
+// TestTruncateThroughMidRecord asks for a cut that lands inside a
+// record: only whole records at or below the mark may drop.
+func TestTruncateThroughMidRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendValues(0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	first := l.Offset()
+	if err := l.AppendValues(1, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateThrough(first + 1); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != first {
+		t.Fatalf("mid-record cut moved base to %d, want record boundary %d", l.Base(), first)
+	}
+}
+
+// TestTruncateThroughCrashBeforePublish simulates a kill between
+// building the truncated log and renaming it into place: the old file
+// must survive untouched, and an offset-filtered replay must apply
+// exactly the records past the checkpoint — nothing dropped, nothing
+// doubled.
+func TestTruncateThroughCrashBeforePublish(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int64
+	for i := 0; i < 4; i++ {
+		if err := l.AppendValues(i, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, l.Offset())
+	}
+	ckpt := ends[1] // a durable checkpoint covers records 0 and 1
+
+	renameFile = func(oldpath, newpath string) error {
+		return os.ErrPermission // the "crash": the new file never lands
+	}
+	defer func() { renameFile = os.Rename }()
+	if err := l.TruncateThrough(ckpt); err == nil {
+		t.Fatal("truncation must report the failed publish")
+	}
+	l.Close()
+
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 4 {
+		t.Fatalf("crashed truncation lost records: replayed %d, want 4", len(recs))
+	}
+	applied := 0
+	for _, rec := range recs {
+		if rec.End <= ckpt {
+			continue // covered by the checkpoint: skipping is what prevents double-apply
+		}
+		applied++
+	}
+	if applied != 2 {
+		t.Fatalf("offset filter applied %d records, want exactly the 2 past the checkpoint", applied)
+	}
+}
+
+// TestLegacyHeaderlessLog loads a log written by the headerless format
+// (base offset 0) and upgrades it on the first truncation.
+func TestLegacyHeaderlessLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendValues(7, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendValues(8, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Strip the header: what remains is exactly the old flat format.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[headerLen:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != 7 || recs[1].Seq != 8 {
+		t.Fatalf("legacy replay wrong: %+v", recs)
+	}
+	if l.Base() != 0 {
+		t.Fatalf("legacy log base %d, want 0", l.Base())
+	}
+	first := recs[0].End
+	if err := l.TruncateThrough(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendValues(9, []float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l, recs, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Base() != first {
+		t.Fatalf("upgraded log base %d, want %d", l.Base(), first)
+	}
+	if len(recs) != 2 || recs[0].Seq != 8 || recs[1].Seq != 9 {
+		t.Fatalf("post-upgrade replay wrong: %+v", recs)
+	}
+}
+
+// TestTornHeaderResets crashes mid-creation: a file holding only a
+// partial header must come back as an empty, usable log.
+func TestTornHeaderResets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ingest.wal")
+	if err := os.WriteFile(path, append(append([]byte{}, magic...), 0x01, 0x02), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 0 || l.Size() != 0 || l.Base() != 0 {
+		t.Fatalf("torn header not reset: %d records, size %d, base %d", len(recs), l.Size(), l.Base())
+	}
+	if err := l.AppendValues(0, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReset(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ingest.wal")
 	l, _, err := Open(path)
