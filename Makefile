@@ -3,8 +3,16 @@
 
 GO ?= go
 
+# Build-info stamp: binaries report this via the scaleshift_build_info
+# metric and ssbench -json reports; defaults to the working revision.
+VERSION ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X scaleshift/internal/cliutil.Version=$(VERSION)"
+
 .PHONY: check vet build test race bench bench-json bench-planner bench-smoke bench-obs bench-recovery fmt-check soak soak-smoke
 
+# test already carries the observability gates: the metrics-name lint
+# (internal/obs/lint_test.go) and the 0 allocs/op assertion over the
+# disabled metric, span, and wide-event paths (alloc_test.go).
 check: vet fmt-check build test race soak-smoke
 
 vet:
@@ -15,7 +23,7 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -36,7 +44,8 @@ bench:
 # scalar path or the flat tree regresses throughput by more than 10%.
 bench-json:
 	@rev="$$(git rev-parse --short HEAD 2>/dev/null || echo dev)"; \
-	$(GO) run ./cmd/ssbench -experiment perf -scale small -label "$$rev" \
+	$(GO) run -ldflags "-X scaleshift/internal/cliutil.Version=$$rev" \
+		./cmd/ssbench -experiment perf -scale small -label "$$rev" \
 		-json "results/BENCH_$$rev.json" -enforce && \
 	echo "wrote results/BENCH_$$rev.json"
 
@@ -74,8 +83,9 @@ soak:
 bench-recovery:
 	$(GO) run ./cmd/ssbench -experiment recovery -scale small -enforce
 
-# Observability overhead: the disabled-path micro-benchmarks (must be
-# 0 allocs/op) and the query benchmarks obs hooks ride on.
+# Observability overhead: the disabled-path micro-benchmarks — metric
+# updates, span starts, and wide-event emission must all be 0 allocs/op
+# — and the query benchmarks obs hooks ride on.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkDisabled|BenchmarkCounterInc|BenchmarkHistogramObserve' -benchmem ./internal/obs/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig4CPUTime|BenchmarkTrailSearch' -benchtime 2x -benchmem .

@@ -344,6 +344,7 @@ func run(args []string, stdout io.Writer) error {
 		var rep *bench.PerfReport
 		if *experiment == "ingest" || *experiment == "recovery" {
 			rep = &bench.PerfReport{
+				Version:   cliutil.Version,
 				GoVersion: runtime.Version(),
 				Timestamp: time.Now().UTC().Format(time.RFC3339),
 				Companies: cfg.Companies, Days: cfg.Days,

@@ -11,9 +11,43 @@ import (
 	"time"
 
 	"scaleshift/internal/ckpt"
+	"scaleshift/internal/obs"
 	"scaleshift/internal/query"
 	"scaleshift/internal/wal"
 )
+
+// Checkpoint metrics, registered lazily on the first instrumented
+// checkpoint (the phase label values are fixed, so recording stays
+// allocation-free).
+var ckm struct {
+	once sync.Once
+
+	checkpoints *obs.Counter
+	capture     *obs.Histogram
+	install     *obs.Histogram
+	truncateDur *obs.Histogram
+}
+
+func initCkptMetrics() {
+	r := obs.Default
+	const help = "Checkpoint phase latency, by phase: capture (ingest quiesced), install (serialize + durable write), truncate (WAL prefix drop)."
+	ckm.checkpoints = r.Counter("scaleshift_checkpoints_total", "Durable checkpoints installed.")
+	ckm.capture = r.DurationHistogram("scaleshift_checkpoint_phase_seconds", help, obs.Label{Key: "phase", Value: "capture"})
+	ckm.install = r.DurationHistogram("scaleshift_checkpoint_phase_seconds", help, obs.Label{Key: "phase", Value: "install"})
+	ckm.truncateDur = r.DurationHistogram("scaleshift_checkpoint_phase_seconds", help, obs.Label{Key: "phase", Value: "truncate"})
+}
+
+// recordCheckpoint publishes one durable checkpoint's phase timings.
+func recordCheckpoint(capture, install, truncate time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	ckm.once.Do(initCkptMetrics)
+	ckm.checkpoints.Inc()
+	ckm.capture.ObserveDuration(capture)
+	ckm.install.ObserveDuration(install)
+	ckm.truncateDur.ObserveDuration(truncate)
+}
 
 // checkpointConfig shapes the durable-ingest checkpoint lifecycle.
 type checkpointConfig struct {
@@ -121,6 +155,7 @@ func (c *checkpointer) checkpointLocked(ingestLocked bool) (ckpt.Meta, error) {
 	// after the lock drops; the pinned snapshot and immutable segments
 	// cannot change under it.
 	in := c.in
+	captureStart := time.Now()
 	if !ingestLocked {
 		in.mu.Lock()
 	}
@@ -145,13 +180,16 @@ func (c *checkpointer) checkpointLocked(ingestLocked bool) (ckpt.Meta, error) {
 	if !ingestLocked {
 		in.mu.Unlock()
 	}
+	capture := time.Since(captureStart)
 
 	meta := ckpt.Meta{Generation: c.gen.Load() + 1, WALOffset: offset, CreatedAt: time.Now()}
+	installStart := time.Now()
 	err = ckpt.Install(c.cfg.Path, meta, snap.WriteBinary, write)
 	release()
 	if err != nil {
 		return fail(err)
 	}
+	installDur := time.Since(installStart)
 	c.gen.Store(meta.Generation)
 	c.lastAt.Store(meta.CreatedAt.UnixNano())
 	c.lastOffset.Store(meta.WALOffset)
@@ -160,14 +198,17 @@ func (c *checkpointer) checkpointLocked(ingestLocked bool) (ckpt.Meta, error) {
 	c.prevOffset = meta.WALOffset
 
 	if err := c.hook("pre-truncate"); err != nil {
+		recordCheckpoint(capture, installDur, 0)
 		return meta, err
 	}
+	truncStart := time.Now()
 	if err := c.truncate(prev, ingestLocked); err != nil {
 		// The checkpoint itself is durable; a failed truncation only
 		// delays space reclamation and retries at the next checkpoint
 		// (the next bound supersedes this one).
 		c.logger.Warn("WAL truncation failed; retrying at the next checkpoint", "err", err)
 	}
+	recordCheckpoint(capture, installDur, time.Since(truncStart))
 	return meta, nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"scaleshift/internal/core"
 	"scaleshift/internal/engine"
+	"scaleshift/internal/obs"
 	"scaleshift/internal/store"
 	"scaleshift/internal/vec"
 	"scaleshift/internal/wal"
@@ -160,13 +161,34 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace the durable path: the wal span covers the fsync'd log write,
+	// the apply span the in-memory delta application.  An inbound
+	// traceparent is adopted and echoed exactly as on /search.
+	describe := req.Name
+	if req.Seq != nil {
+		describe = fmt.Sprintf("seq %d", *req.Seq)
+	}
+	describe = fmt.Sprintf("append %d values to %s", len(req.Values), describe)
+	ctx, root := s.tracer.StartTraceWithID(r.Context(), "append",
+		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
+	root.SetAttr("query", describe)
+	if id := obs.TraceIDFromContext(ctx); id != "" {
+		w.Header().Set(obs.TraceparentHeader, obs.FormatTraceparent(id))
+	}
+	fail := func(status int, err error) {
+		root.SetAttr("error", err.Error())
+		root.End()
+		s.fillAppendDraft(ctx, root, describe, 0)
+		s.writeError(w, status, err)
+	}
+
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	seq, created := -1, false
 	if req.Seq != nil {
 		seq = *req.Seq
 		if seq < 0 || seq >= in.seg.Store().NumSequences() {
-			s.writeError(w, http.StatusNotFound, fmt.Errorf("sequence %d does not exist", seq))
+			fail(http.StatusNotFound, fmt.Errorf("sequence %d does not exist", seq))
 			return
 		}
 	} else if known, ok := in.names[req.Name]; ok {
@@ -178,29 +200,37 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	// Durability first: nothing is applied, let alone acked, before the
 	// log write is on disk.
 	if in.log != nil {
+		_, walSpan := obs.StartSpan(ctx, "wal")
 		var err error
 		if created {
 			err = in.log.AppendSequence(req.Name, req.Values)
 		} else {
 			err = in.log.AppendValues(seq, req.Values)
 		}
+		walSpan.End()
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, err)
+			fail(http.StatusInternalServerError, err)
 			return
 		}
 	}
+	_, applySpan := obs.StartSpan(ctx, "apply")
 	if created {
 		newSeq, err := in.seg.AppendSequence(req.Name, req.Values)
 		if err != nil {
-			s.writeError(w, http.StatusInternalServerError, err)
+			applySpan.End()
+			fail(http.StatusInternalServerError, err)
 			return
 		}
 		in.names[req.Name] = newSeq
 		seq = newSeq
 	} else if err := in.seg.AppendValues(seq, req.Values); err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		applySpan.End()
+		fail(http.StatusInternalServerError, err)
 		return
 	}
+	applySpan.End()
+	root.End()
+	s.fillAppendDraft(ctx, root, describe, len(req.Values))
 
 	s.writeJSON(w, http.StatusOK, appendResponseJSON{
 		Seq:        seq,
@@ -209,6 +239,18 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Generation: in.seg.Generation(),
 		Created:    created,
 	})
+}
+
+// fillAppendDraft records the append into the request's wide-event
+// draft (Matches doubles as the applied value count).
+func (s *server) fillAppendDraft(ctx context.Context, root *obs.Span, describe string, values int) {
+	d := eventDraftFrom(ctx)
+	if d == nil {
+		return
+	}
+	d.trace = root.Trace()
+	d.query = describe
+	d.matches = values
 }
 
 // index reads the live segmented index under the ingest lock: the
@@ -257,7 +299,6 @@ func (s *server) publishIngestGauges() {
 	b := s.ingest.index().Backlog()
 	s.reg.Gauge("scaleshift_ingest_delta_windows", "Windows awaiting compaction in the mutable delta.").Set(float64(b.DeltaWindows))
 	s.reg.Gauge("scaleshift_ingest_frozen_segments", "Frozen segments in the manifest.").Set(float64(b.Frozen))
-	s.reg.Gauge("scaleshift_ingest_compactions_total", "Completed compactions.").Set(float64(b.Compactions))
 	s.reg.Gauge("scaleshift_ingest_generation", "Published manifest generation.").Set(float64(b.Generation))
 	if s.ckpt != nil {
 		s.reg.Gauge("scaleshift_wal_bytes", "Bytes of WAL retained past the last truncation (bounds recovery replay).").Set(float64(s.ckpt.walBytes()))

@@ -17,7 +17,8 @@
 //	/metrics       Prometheus text exposition
 //	/debug/vars    expvar JSON (includes the metrics snapshot)
 //	/debug/pprof/  the standard Go profiler endpoints
-//	/debug/traces  recent query traces, newest first (?id= for one)
+//	/debug/traces  retained query traces (?id=, ?min_ms=, ?error=1, ?degraded=1)
+//	/debug/events  wide per-request events, cursor-drained (?since=, ?max=)
 //
 // Example:
 //
@@ -77,6 +78,8 @@ func run(args []string) error {
 	ckptInterval := fs.Duration("checkpoint-interval", 0, "take a checkpoint when the last is older than this and appends landed since (0 disables)")
 	ckptMaxLag := fs.Duration("checkpoint-max-lag", 0, "/readyz reports not-ready when checkpoint age exceeds this (0: lag never blocks readiness)")
 	traceRing := fs.Int("trace-ring", 128, "recent query traces retained for /debug/traces")
+	eventRing := fs.Int("event-ring", 256, "wide per-request events retained for /debug/events")
+	eventLog := fs.String("event-log", "", "append wide events as JSONL to this file (never blocks serving; drops are counted)")
 	serveFlags := cliutil.AddServeFlags(fs)
 	obsFlags := cliutil.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +95,7 @@ func run(args []string) error {
 	// A query server exists to be observed: the metrics layer is always
 	// on here, not opt-in as in the batch CLIs.
 	obs.Enable()
+	cliutil.PublishBuildInfo(obs.Default)
 	if *ckptPath != "" && !*appendMode {
 		return fmt.Errorf("-checkpoint requires -append (there is nothing to checkpoint without live ingest)")
 	}
@@ -155,6 +159,7 @@ func run(args []string) error {
 		// path entirely and bounds the WAL replay below to the tail past
 		// its offset.  Every rejected artifact on the way is logged loudly
 		// — falling back is designed behavior, doing so silently is not.
+		recoveryStart := time.Now()
 		var seg *core.SegmentedIndex
 		var recovered *ckpt.Result
 		if *ckptPath != "" {
@@ -214,8 +219,24 @@ func run(args []string) error {
 		}
 		seg.StartCompactor()
 		serving = seg
+		replayed := 0
+		for _, rec := range recs {
+			if rec.End > ckptOffset {
+				replayed++
+			}
+		}
+		ckptGen := int64(0)
+		if recovered != nil {
+			ckptGen = recovered.Meta.Generation
+		}
+		obs.Default.Gauge("scaleshift_recovery_replayed_records",
+			"WAL records replayed at startup past the recovered checkpoint's offset.").Set(float64(replayed))
+		obs.Default.Gauge("scaleshift_recovery_duration_seconds",
+			"Wall time of startup recovery: checkpoint load plus WAL replay.").Set(time.Since(recoveryStart).Seconds())
+		obs.Default.Gauge("scaleshift_recovery_checkpoint_generation",
+			"Generation of the checkpoint startup recovered from (0: seed start).").Set(float64(ckptGen))
 		logger.Info("live ingest enabled",
-			"wal", *walPath, "replayed", len(recs), "how", how,
+			"wal", *walPath, "replayed", replayed, "how", how,
 			"windows", seg.WindowCount(), "generation", seg.Generation())
 		if *ckptPath != "" {
 			ckptr = newCheckpointer(checkpointConfig{
@@ -235,9 +256,31 @@ func run(args []string) error {
 	tracer := obs.NewTracer(*traceRing)
 	obs.Default.PublishExpvar("scaleshift")
 
+	// The wide-event ring always exists; the JSONL tee is opt-in.  The
+	// sink closes (flushing its queue) after the HTTP server has fully
+	// drained, so no served request's event is lost on shutdown.
+	events := obs.NewEventRing(*eventRing)
+	if *eventLog != "" {
+		f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-event-log %s: %w", *eventLog, err)
+		}
+		sink := obs.NewEventLog(f, 1024)
+		events.Tee(sink)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				logger.Warn("closing event log", "err", err)
+			}
+			if n := sink.Dropped(); n > 0 {
+				logger.Warn("event log shed events under backpressure", "dropped", n)
+			}
+		}()
+	}
+
 	srv, err := newServer(serverConfig{
 		snap:    &snapshot{ix: serving, normScale: normScale, how: how, loadedAt: time.Now()},
 		tracer:  tracer,
+		events:  events,
 		logger:  logger,
 		serve:   *serveFlags,
 		breaker: resilience.DefaultBreakerConfig(),

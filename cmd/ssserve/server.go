@@ -38,9 +38,10 @@ type serverConfig struct {
 	logger  *slog.Logger
 	serve   cliutil.ServeFlags
 	breaker resilience.BreakerConfig
-	reload  *reloadConfig // nil disables hot reload
-	ingest  *ingestState  // nil disables live append
-	ckpt    *checkpointer // nil disables checkpointing (and append-mode reload)
+	reload  *reloadConfig  // nil disables hot reload
+	ingest  *ingestState   // nil disables live append
+	ckpt    *checkpointer  // nil disables checkpointing (and append-mode reload)
+	events  *obs.EventRing // nil gets a default ring
 }
 
 // server is the HTTP query frontend.  The artifact snapshot sits
@@ -58,6 +59,7 @@ type server struct {
 	logger  *slog.Logger
 	reg     *obs.Registry
 	mux     *http.ServeMux
+	events  *obs.EventRing
 
 	requestTimeout time.Duration
 	draining       atomic.Bool
@@ -89,8 +91,12 @@ func newServer(cfg serverConfig) (*server, error) {
 		logger: cfg.logger,
 		reg:    obs.Default,
 		mux:    http.NewServeMux(),
+		events: cfg.events,
 
 		requestTimeout: cfg.serve.RequestTimeout,
+	}
+	if s.events == nil {
+		s.events = obs.NewEventRing(256)
 	}
 	s.adm = resilience.NewAdmission(resilience.AdmissionConfig{
 		MaxInflight:  cfg.serve.MaxInflight,
@@ -112,8 +118,8 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.generation.Set(0)
 	s.publishSnapshotGauges(cfg.snap)
 
-	s.handle("search", "/search", s.guard(s.handleSearch))
-	s.handle("append", "/append", s.guard(s.handleAppend))
+	s.handle("search", "/search", s.instrument("search", s.guard(s.handleSearch)))
+	s.handle("append", "/append", s.instrument("append", s.guard(s.handleAppend)))
 	s.handle("healthz", "/healthz", s.handleHealthz)
 	s.handle("livez", "/livez", s.handleLivez)
 	s.handle("readyz", "/readyz", s.handleReadyz)
@@ -121,6 +127,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.handle("checkpoint", "/admin/checkpoint", s.handleCheckpoint)
 	s.handle("metrics", "/metrics", s.handleMetrics)
 	s.handle("traces", "/debug/traces", s.handleTraces)
+	s.handle("events", "/debug/events", s.handleEvents)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -156,7 +163,7 @@ func (s *server) handle(name, pattern string, h http.HandlerFunc) {
 	l := obs.Label{Key: "handler", Value: name}
 	reqs := s.reg.Counter("scaleshift_http_requests_total", "HTTP requests served, by handler.", l)
 	errs := s.reg.Counter("scaleshift_http_errors_total", "HTTP responses with status >= 400, by handler.", l)
-	dur := s.reg.Histogram("scaleshift_http_request_duration_ns", "HTTP request latency in nanoseconds, by handler.", l)
+	dur := s.reg.DurationHistogram("scaleshift_http_request_duration_seconds", "HTTP request latency, by handler.", l)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -188,7 +195,7 @@ func (s *server) guard(h http.HandlerFunc) http.HandlerFunc {
 		}
 		release, err := s.adm.Acquire(ctx)
 		if err != nil {
-			s.writeOverloaded(w, err)
+			s.writeOverloaded(w, r, err)
 			return
 		}
 		defer release()
@@ -198,10 +205,13 @@ func (s *server) guard(h http.HandlerFunc) http.HandlerFunc {
 
 // writeOverloaded renders an admission or breaker rejection: 429 (shed)
 // or 503 (breaker open), always with a Retry-After header so polite
-// clients back off instead of hammering.
-func (s *server) writeOverloaded(w http.ResponseWriter, err error) {
+// clients back off instead of hammering.  The rejection kind is stamped
+// on the request's wide-event draft — a 503 status alone cannot tell an
+// open breaker from a timeout.
+func (s *server) writeOverloaded(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusTooManyRequests
 	retryAfter := time.Second
+	outcome := "shed"
 	var oe *resilience.OverloadError
 	var be *resilience.BreakerOpenError
 	switch {
@@ -210,6 +220,10 @@ func (s *server) writeOverloaded(w http.ResponseWriter, err error) {
 	case errors.As(err, &be):
 		status = http.StatusServiceUnavailable
 		retryAfter = be.RetryAfter
+		outcome = "breaker_open"
+	}
+	if d := eventDraftFrom(r.Context()); d != nil {
+		d.outcome = outcome
 	}
 	secs := int64((retryAfter + time.Second - 1) / time.Second)
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
@@ -421,26 +435,61 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Ingest and checkpoint gauges are point-in-time reads; refresh them
+	// here so a scrape never serves values stale since the last /readyz.
+	if s.ingest != nil {
+		s.publishIngestGauges()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.logger.Error("writing metrics", "err", err)
 	}
 }
 
+// handleTraces serves the retained traces.  ?id= fetches one; the
+// list accepts ?min_ms= (only traces at least that slow), ?error=1
+// (only errored), and ?degraded=1 (only degraded-path) filters, which
+// compose conjunctively.
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if id := r.URL.Query().Get("id"); id != "" {
+	q := r.URL.Query()
+	if id := q.Get("id"); id != "" {
 		tr, ok := s.tracer.Get(id)
 		if !ok {
-			s.writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained (ring evicts oldest)", id))
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained", id))
 			return
 		}
 		s.writeJSON(w, http.StatusOK, tr)
 		return
 	}
-	if err := s.tracer.WriteJSON(w); err != nil {
-		s.logger.Error("writing traces", "err", err)
+	minMs := 0.0
+	if v := q.Get("min_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("parameter min_ms: %w", err))
+			return
+		}
+		minMs = f
 	}
+	errOnly := q.Get("error") == "1"
+	degOnly := q.Get("degraded") == "1"
+	traces := s.tracer.Recent()
+	if minMs > 0 || errOnly || degOnly {
+		filtered := traces[:0]
+		for _, tr := range traces {
+			if float64(tr.DurationNs)/1e6 < minMs {
+				continue
+			}
+			if errOnly && !tr.Error {
+				continue
+			}
+			if degOnly && !tr.Degraded {
+				continue
+			}
+			filtered = append(filtered, tr)
+		}
+		traces = filtered
+	}
+	s.writeJSON(w, http.StatusOK, traces)
 }
 
 // searchRequest is the decoded /search query string.
@@ -655,7 +704,7 @@ func (s *server) breakerGate(w http.ResponseWriter, r *http.Request, sn *snapsho
 		return func(time.Duration, error) {}, true
 	}
 	if err := s.breaker.Allow(); err != nil {
-		s.writeOverloaded(w, err)
+		s.writeOverloaded(w, r, err)
 		return nil, false
 	}
 	return func(d time.Duration, err error) {
@@ -700,8 +749,15 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Root the query's trace: the engine's plan/probe/verify spans (and
 	// the per-descent spans below them) become children of this span,
 	// so the committed trace is one complete timeline of the request.
-	ctx, root := s.tracer.StartTrace(r.Context(), "search")
+	// An inbound W3C traceparent's trace-id is adopted as the trace's
+	// identity, and a traceparent is echoed either way so the caller can
+	// stitch the cross-process timeline.
+	ctx, root := s.tracer.StartTraceWithID(r.Context(), "search",
+		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
 	root.SetAttr("query", req.describe)
+	if id := obs.TraceIDFromContext(ctx); id != "" {
+		w.Header().Set(obs.TraceparentHeader, obs.FormatTraceparent(id))
+	}
 
 	var stats core.SearchStats
 	var matches []core.Match
@@ -721,11 +777,18 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		root.SetAttr("error", err.Error())
 		root.End()
+		fillSearchDraft(ctx, root, req.describe, &stats, ex, 0)
 		s.writeSearchError(w, r, err)
 		return
 	}
 	root.SetInt("matches", int64(len(matches)))
+	if ex != nil && ex.Degraded {
+		// Flagging the root span routes the trace into the tracer's
+		// degraded retention bucket (and the ?degraded=1 filter).
+		root.SetBool("degraded", true)
+	}
 	root.End() // commits the trace, so /debug/traces can serve it immediately
+	fillSearchDraft(ctx, root, req.describe, &stats, ex, len(matches))
 
 	resp := searchResponse{
 		TraceID:   stats.TraceID,
@@ -936,18 +999,24 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request, sn *s
 		return
 	}
 
-	ctx, root := s.tracer.StartTrace(r.Context(), "search_batch")
+	ctx, root := s.tracer.StartTraceWithID(r.Context(), "search_batch",
+		obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)))
 	root.SetInt("queries", int64(len(queries)))
+	if id := obs.TraceIDFromContext(ctx); id != "" {
+		w.Header().Set(obs.TraceparentHeader, obs.FormatTraceparent(id))
+	}
 
 	var stats core.SearchStats
 	start := time.Now()
 	results, _, statuses, err := sn.ix.SearchBatchPlannedContext(ctx, queries, force, breq.Parallelism, &stats)
 	elapsed := time.Since(start)
 	record(elapsed, err)
+	describe := fmt.Sprintf("batch of %d queries", len(queries))
 	canceled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	if err != nil && !canceled {
 		root.SetAttr("error", err.Error())
 		root.End()
+		fillSearchDraft(ctx, root, describe, &stats, nil, 0)
 		s.writeSearchError(w, r, err)
 		return
 	}
@@ -956,8 +1025,12 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request, sn *s
 		// results for.
 		root.SetAttr("error", "client disconnected")
 		root.End()
+		fillSearchDraft(ctx, root, describe, &stats, nil, 0)
 		s.writeError(w, 499, err)
 		return
+	}
+	if deg, _ := sn.ix.Degraded(); deg {
+		root.SetBool("degraded", true)
 	}
 	root.End()
 
@@ -994,5 +1067,11 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request, sn *s
 		// flagged.  206 tells the client some slots are incomplete.
 		status = http.StatusPartialContent
 	}
+	totalMatches := 0
+	for _, item := range resp.Results {
+		totalMatches += item.Total
+	}
+	fillSearchDraft(ctx, root, describe, &stats, nil, totalMatches)
+	s.emitBatchSlotEvents(resp.TraceID, status, &resp)
 	s.writeJSON(w, status, resp)
 }

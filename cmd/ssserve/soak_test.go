@@ -447,9 +447,103 @@ func TestSoak(t *testing.T) {
 		}
 	}()
 
+	// Wide-event integrity poller: drain /debug/events from both
+	// servers throughout the run, validating every event, then
+	// reconcile the drain/miss accounting against the ring's emit
+	// counter once traffic stops.  Cursor-based draining means each
+	// poll's missed count covers a disjoint seq range, so the totals
+	// must tie out exactly: drained + missed == emitted.
+	pollEvents := func(base string, c *http.Client, cursor, drained, missed *uint64) (emitted uint64, ok bool) {
+		resp, err := c.Get(fmt.Sprintf("%s/debug/events?since=%d&max=512", base, *cursor))
+		if err != nil {
+			fail("event poll: %v", err)
+			return 0, false
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail("event poll status %d: %s", resp.StatusCode, body)
+			return 0, false
+		}
+		var page eventsPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			fail("event poll body: %v", err)
+			return 0, false
+		}
+		for _, e := range page.Events {
+			if e.Kind == "" || e.TraceID == "" {
+				fail("wide event missing identity: kind=%q trace=%q", e.Kind, e.TraceID)
+			}
+			switch e.Outcome {
+			case "ok", "shed", "breaker_open", "client_error", "error":
+			default:
+				fail("wide event with unknown outcome %q", e.Outcome)
+			}
+			if (e.Kind == "search" || e.Kind == "search_batch") && e.Outcome == "ok" {
+				if e.Stats == nil {
+					fail("ok %s event without a stats ledger", e.Kind)
+				} else if err := statsFromEvent(e).CheckInvariants(); err != nil {
+					fail("wide event stats violate invariants: %v", err)
+				}
+			}
+		}
+		*drained += uint64(len(page.Events))
+		*missed += page.Missed
+		*cursor = page.Next
+		return page.Emitted, true
+	}
+	var (
+		evCursor, evDrained, evMissed uint64
+		ivCursor, ivDrained, ivMissed uint64
+	)
+	evStop := make(chan struct{})
+	var evWG sync.WaitGroup
+	evWG.Add(1)
+	go func() {
+		defer evWG.Done()
+		for {
+			select {
+			case <-evStop:
+				return
+			case <-time.After(15 * time.Millisecond):
+			}
+			pollEvents(ts.URL, client, &evCursor, &evDrained, &evMissed)
+			pollEvents(tsIngest.URL, ingestClient, &ivCursor, &ivDrained, &ivMissed)
+		}
+	}()
+
 	time.Sleep(duration)
 	close(stop)
 	wg.Wait()
+
+	// Traffic is quiesced: drain each ring to its head and tie out the
+	// books.
+	close(evStop)
+	evWG.Wait()
+	drainAll := func(name, base string, c *http.Client, cursor, drained, missed *uint64) {
+		for i := 0; i < 1000; i++ {
+			emitted, ok := pollEvents(base, c, cursor, drained, missed)
+			if !ok {
+				return
+			}
+			if *cursor >= emitted {
+				if *drained+*missed != emitted {
+					t.Errorf("%s wide-event accounting broken: drained %d + missed %d != emitted %d",
+						name, *drained, *missed, emitted)
+				}
+				if *drained == 0 {
+					t.Errorf("%s emitted no wide events; the soak exercised nothing", name)
+				}
+				return
+			}
+		}
+		t.Errorf("%s: event drain did not converge", name)
+	}
+	drainAll("query server", ts.URL, client, &evCursor, &evDrained, &evMissed)
+	drainAll("ingest server", tsIngest.URL, ingestClient, &ivCursor, &ivDrained, &ivMissed)
+	t.Logf("wide events: query server drained %d missed %d; ingest server drained %d missed %d",
+		evDrained, evMissed, ivDrained, ivMissed)
+
 	ts.Close()
 	tsIngest.Close()
 	client.CloseIdleConnections()

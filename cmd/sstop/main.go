@@ -1,0 +1,50 @@
+// Command sstop is a terminal dashboard for a running ssserve: it
+// polls /metrics and /debug/events and renders a refreshing frame with
+// QPS and latency quantiles per endpoint, overload-protection state,
+// ingest backlog, WAL size, checkpoint age, and the slowest recent
+// queries from the wide-event stream.
+//
+// Example:
+//
+//	ssserve -store prices.store -index prices.index -addr :8080 &
+//	sstop -addr http://localhost:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scaleshift/internal/cliutil"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "sstop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sstop", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the ssserve to watch")
+	interval := fs.Duration("interval", 2*time.Second, "polling interval")
+	frames := fs.Int("frames", 0, "exit after this many frames (0: run until interrupted)")
+	once := fs.Bool("once", false, "render a single frame and exit (same as -frames 1, without clearing the screen)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: 10 * time.Second}
+	n, clear := *frames, true
+	if *once {
+		n, clear = 1, false
+	}
+	return cliutil.RunDash(ctx, client, *addr, os.Stdout, *interval, n, clear)
+}

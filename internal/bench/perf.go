@@ -12,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"scaleshift/internal/cliutil"
 	"scaleshift/internal/core"
 	"scaleshift/internal/geom"
 	"scaleshift/internal/vec"
@@ -35,6 +36,7 @@ type ColdOpenPoint struct {
 // PerfReport is the machine-readable result of RunPerf.
 type PerfReport struct {
 	Label     string `json:"label"`
+	Version   string `json:"version"` // ldflags-stamped build id (cliutil.Version)
 	GoVersion string `json:"go_version"`
 	Timestamp string `json:"timestamp"`
 
@@ -252,6 +254,7 @@ func percentile(sorted []float64, p float64) float64 {
 // to stdout alongside the returned report.
 func RunPerf(cfg Config, stdout io.Writer) (*PerfReport, error) {
 	rep := &PerfReport{
+		Version:   cliutil.Version,
 		GoVersion: runtime.Version(),
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Companies: cfg.Companies,

@@ -1,0 +1,25 @@
+package cliutil
+
+import (
+	"runtime"
+
+	"scaleshift/internal/obs"
+)
+
+// Version is the release identifier stamped at link time:
+//
+//	go build -ldflags "-X scaleshift/internal/cliutil.Version=$(git rev-parse --short HEAD)"
+//
+// Plain go build / go test binaries report "dev".
+var Version = "dev"
+
+// PublishBuildInfo registers the conventional build-info gauge: a
+// constant 1 whose labels carry the binary's provenance, so dashboards
+// can join metrics to the release that produced them.
+func PublishBuildInfo(r *obs.Registry) {
+	r.Gauge("scaleshift_build_info",
+		"Build provenance of the running binary; the value is always 1.",
+		obs.Label{Key: "version", Value: Version},
+		obs.Label{Key: "go_version", Value: runtime.Version()},
+	).Set(1)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"scaleshift/internal/engine"
 	"scaleshift/internal/obs"
@@ -39,6 +40,11 @@ var cm struct {
 	candPerQ   *obs.Histogram
 	matchPerQ  *obs.Histogram
 	piecesPerQ *obs.Histogram
+
+	compactions  *obs.Counter
+	compactBuild *obs.Histogram
+	compactPause *obs.Histogram
+	deltaApply   *obs.Histogram
 }
 
 func initCoreMetrics() {
@@ -66,20 +72,28 @@ func initCoreMetrics() {
 			"Index-phase probes served, by access path.",
 			obs.Label{Key: "path", Value: k.String()})
 	}
-	cm.searchDur = r.Histogram("scaleshift_search_duration_ns",
-		"End-to-end range-query latency in nanoseconds (plan+probe+verify).")
-	cm.planDur = r.Histogram("scaleshift_plan_duration_ns",
-		"Planner stage latency in nanoseconds.")
-	cm.probeDur = r.Histogram("scaleshift_probe_duration_ns",
-		"Index-probe stage latency in nanoseconds.")
-	cm.verifyDur = r.Histogram("scaleshift_verify_duration_ns",
-		"Verification stage latency in nanoseconds.")
-	cm.candPerQ = r.Histogram("scaleshift_search_candidates",
+	cm.searchDur = r.DurationHistogram("scaleshift_search_duration_seconds",
+		"End-to-end range-query latency (plan+probe+verify).")
+	cm.planDur = r.DurationHistogram("scaleshift_plan_duration_seconds",
+		"Planner stage latency.")
+	cm.probeDur = r.DurationHistogram("scaleshift_probe_duration_seconds",
+		"Index-probe stage latency.")
+	cm.verifyDur = r.DurationHistogram("scaleshift_verify_duration_seconds",
+		"Verification stage latency.")
+	cm.candPerQ = r.Histogram("scaleshift_candidates_per_query",
 		"Candidate windows per query.")
-	cm.matchPerQ = r.Histogram("scaleshift_search_matches",
+	cm.matchPerQ = r.Histogram("scaleshift_matches_per_query",
 		"Matches per query.")
-	cm.piecesPerQ = r.Histogram("scaleshift_search_pieces",
+	cm.piecesPerQ = r.Histogram("scaleshift_pieces_per_query",
 		"Index probes per query (1 for plain range queries, k for multipiece).")
+	cm.compactions = r.Counter("scaleshift_compactions_total",
+		"Segment compactions completed (merges and delta freezes).")
+	cm.compactBuild = r.DurationHistogram("scaleshift_compaction_build_seconds",
+		"Compaction build phase: constructing the replacement segment off-lock.")
+	cm.compactPause = r.DurationHistogram("scaleshift_compaction_pause_seconds",
+		"Compaction swap pause: queries blocked while the segment list swaps.")
+	cm.deltaApply = r.DurationHistogram("scaleshift_delta_apply_seconds",
+		"Ingest delta application: appending points to the mutable tail under the index lock.")
 }
 
 // recordSearchMetrics publishes one completed range query's stats
@@ -109,6 +123,28 @@ func recordSearchMetrics(d *SearchStats, pieces int) {
 	cm.candPerQ.Observe(int64(d.Candidates))
 	cm.matchPerQ.Observe(int64(d.Results))
 	cm.piecesPerQ.Observe(int64(pieces))
+}
+
+// recordCompaction publishes one completed compaction's phase timings:
+// build ran off-lock, pause is the query-visible swap window.
+func recordCompaction(build, pause time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	cm.once.Do(initCoreMetrics)
+	cm.compactions.Inc()
+	cm.compactBuild.ObserveDuration(build)
+	cm.compactPause.ObserveDuration(pause)
+}
+
+// recordDeltaApply publishes one append's in-memory application time
+// (WAL durability excluded — the wal package times its own fsync).
+func recordDeltaApply(d time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	cm.once.Do(initCoreMetrics)
+	cm.deltaApply.ObserveDuration(d)
 }
 
 // recordSearchError counts a failed range query (validation, I/O, or

@@ -220,6 +220,7 @@ func maxAbsRect(r geom.Rect) float64 {
 // new queries see the appended windows immediately (served exactly
 // from the delta).
 func (g *SegmentedIndex) AppendValues(seq int, values []float64) error {
+	start := time.Now()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if seq < 0 || seq >= len(g.next) {
@@ -233,12 +234,14 @@ func (g *SegmentedIndex) AppendValues(seq int, values []float64) error {
 	}
 	g.publishLocked()
 	g.maybeKickLocked()
+	recordDeltaApply(time.Since(start))
 	return nil
 }
 
 // AppendSequence adds a whole new sequence and indexes its windows
 // through the delta, returning the sequence id.
 func (g *SegmentedIndex) AppendSequence(name string, values []float64) (int, error) {
+	start := time.Now()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	seq := g.st.AppendSequence(name, values)
@@ -250,6 +253,7 @@ func (g *SegmentedIndex) AppendSequence(name string, values []float64) (int, err
 	}
 	g.publishLocked()
 	g.maybeKickLocked()
+	recordDeltaApply(time.Since(start))
 	return seq, nil
 }
 
@@ -489,6 +493,7 @@ func (g *SegmentedIndex) Compact() error {
 	// Phase 2 (slow, unlocked): build the replacement segment.
 	// Appends landing during this phase grow the delta past cut and
 	// survive as the post-compaction delta.
+	buildStart := time.Now()
 	var seg *frozenSeg
 	var err error
 	if len(run) > 0 {
@@ -499,6 +504,7 @@ func (g *SegmentedIndex) Compact() error {
 	if err != nil {
 		return fail(err)
 	}
+	build := time.Since(buildStart)
 	newFrozen := keep
 	if seg != nil {
 		newFrozen = append(newFrozen, seg)
@@ -520,6 +526,7 @@ func (g *SegmentedIndex) Compact() error {
 	}
 	g.pauses = append(g.pauses, pause)
 	g.mu.Unlock()
+	recordCompaction(build, pause)
 	return nil
 }
 
@@ -715,15 +722,28 @@ func (g *SegmentedIndex) probeSegment(ctx context.Context, idx int, sg *frozenSe
 func (g *SegmentedIndex) probeManifest(ctx context.Context, man *manifest, line vec.Line, eps float64, costs CostBounds, force engine.PathKind, ts *rtree.SearchStats, emit func(seq, start int)) (*engine.Explain, [engine.NumPathKinds]int, error) {
 	var probes [engine.NumPathKinds]int
 	planStart := time.Now()
+	_, planSpan := obs.StartSpan(ctx, "plan")
 	eq := buildEngineQuery(line, eps, man.slack, costs, man.windowCount(), g.fmap.Dim())
 	ex := &engine.Explain{Chosen: engine.PathScan, Forced: force != engine.PathAuto}
+	if planSpan != nil {
+		planSpan.SetInt("segments", int64(len(man.frozen)))
+		planSpan.SetInt("delta_windows", int64(len(man.delta)))
+		planSpan.End()
+	}
 	ex.PlanTime = time.Since(planStart)
 
 	probeStart := time.Now()
+	probeCtx, probeSpan := obs.StartSpan(ctx, "probe")
+	emitted := 0
+	if probeSpan != nil {
+		inner := emit
+		emit = func(seq, start int) { emitted++; inner(seq, start) }
+	}
 	largest := -1
 	for i, sg := range man.frozen {
-		plan, err := g.probeSegment(ctx, i, sg, eq, force, ts, emit)
+		plan, err := g.probeSegment(probeCtx, i, sg, eq, force, ts, emit)
 		if err != nil {
+			spanEndWithError(probeSpan, err)
 			ex.ProbeTime = time.Since(probeStart)
 			return ex, probes, err
 		}
@@ -741,6 +761,7 @@ func (g *SegmentedIndex) probeManifest(ctx context.Context, man *manifest, line 
 		for i, e := range man.delta {
 			if i%scanCheckInterval == 0 {
 				if err := ctx.Err(); err != nil {
+					spanEndWithError(probeSpan, err)
 					ex.ProbeTime = time.Since(probeStart)
 					return ex, probes, err
 				}
@@ -758,6 +779,11 @@ func (g *SegmentedIndex) probeManifest(ctx context.Context, man *manifest, line 
 		ex.Segments = append(ex.Segments, dplan)
 		ex.EstCandidates += dplan.Cost.Candidates
 		probes[engine.PathScan]++
+	}
+	if probeSpan != nil {
+		probeSpan.SetAttr("path", ex.Chosen.String())
+		probeSpan.SetInt("candidates", int64(emitted))
+		probeSpan.End()
 	}
 	ex.ProbeTime = time.Since(probeStart)
 	return ex, probes, nil

@@ -43,6 +43,20 @@ func TestDisabledPathZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestDisabledEventPathZeroAlloc(t *testing.T) {
+	Disable()
+	r := NewEventRing(16)
+	if n := testing.AllocsPerRun(100, func() {
+		// The emitting layer's contract: check Active before building the
+		// Event, so the disabled path touches one atomic and returns.
+		if r.Active() {
+			panic("unreachable")
+		}
+	}); n != 0 {
+		t.Errorf("disabled event path allocates %.1f per op, want 0", n)
+	}
+}
+
 func TestEnabledRecordingZeroAlloc(t *testing.T) {
 	// Even when on, recording on pre-registered handles is atomic adds
 	// only — no per-observation allocation.
@@ -76,6 +90,17 @@ func BenchmarkDisabledStartTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, s := tr.StartTrace(ctx, "q")
 		s.End()
+	}
+}
+
+func BenchmarkDisabledEventEmit(b *testing.B) {
+	Disable()
+	r := NewEventRing(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r.Active() {
+			r.Emit(&Event{Kind: "search"}, int64(i))
+		}
 	}
 }
 

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventRingDisabled(t *testing.T) {
+	Disable()
+	r := NewEventRing(16)
+	if r.Active() {
+		t.Fatal("ring must be inactive while obs is disabled")
+	}
+	r.Emit(&Event{Kind: "search"}, 1)
+	if r.Emitted() != 0 {
+		t.Fatal("disabled Emit must drop the event")
+	}
+	var nilRing *EventRing
+	if nilRing.Active() {
+		t.Fatal("nil ring must be inactive")
+	}
+	nilRing.Emit(&Event{}, 1) // must not panic
+	if ev, missed, next := nilRing.Drain(0, 10); ev != nil || missed != 0 || next != 0 {
+		t.Fatal("nil ring Drain must be empty")
+	}
+	if nilRing.Emitted() != 0 || nilRing.Overwritten() != 0 {
+		t.Fatal("nil ring counters must read zero")
+	}
+}
+
+func TestEventRingEmitDrain(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewEventRing(16)
+	for i := 0; i < 5; i++ {
+		r.Emit(&Event{Kind: "search", Status: 200, Outcome: "ok", Matches: i}, int64(1000+i))
+	}
+	events, missed, next := r.Drain(0, 0)
+	if len(events) != 5 || missed != 0 || next != 5 {
+		t.Fatalf("Drain = %d events, missed %d, next %d; want 5, 0, 5", len(events), missed, next)
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("events[%d].Seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if e.TimeNs != int64(1000+i) {
+			t.Fatalf("events[%d].TimeNs = %d, want %d", i, e.TimeNs, 1000+i)
+		}
+		if e.Matches != i {
+			t.Fatalf("events out of order: events[%d].Matches = %d", i, e.Matches)
+		}
+	}
+	// Cursor semantics: nothing new since seq 5.
+	if events, missed, next = r.Drain(next, 0); len(events) != 0 || missed != 0 || next != 5 {
+		t.Fatalf("second Drain = %d events, missed %d, next %d; want empty at cursor 5", len(events), missed, next)
+	}
+	r.Emit(&Event{Kind: "append"}, 2000)
+	if events, _, next = r.Drain(next, 0); len(events) != 1 || events[0].Kind != "append" || next != 6 {
+		t.Fatalf("incremental Drain = %+v, next %d", events, next)
+	}
+}
+
+func TestEventRingOverwriteAccounting(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewEventRing(16)
+	const total = 40
+	for i := 0; i < total; i++ {
+		r.Emit(&Event{Kind: "search"}, int64(i))
+	}
+	if got := r.Overwritten(); got != total-16 {
+		t.Fatalf("Overwritten = %d, want %d", got, total-16)
+	}
+	events, missed, next := r.Drain(0, 0)
+	if missed != total-16 {
+		t.Fatalf("missed = %d, want %d", missed, total-16)
+	}
+	if len(events) != 16 {
+		t.Fatalf("drained %d events, want the 16 retained", len(events))
+	}
+	if events[0].Seq != total-16+1 || events[15].Seq != total {
+		t.Fatalf("retained window [%d, %d], want [%d, %d]", events[0].Seq, events[15].Seq, total-16+1, total)
+	}
+	if next != total {
+		t.Fatalf("next = %d, want %d", next, total)
+	}
+	// Exactly-once: drained + missed covers every emitted event.
+	if uint64(len(events))+missed != r.Emitted() {
+		t.Fatalf("accounting leak: %d drained + %d missed != %d emitted", len(events), missed, r.Emitted())
+	}
+}
+
+func TestEventRingMaxCap(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewEventRing(16)
+	for i := 0; i < 10; i++ {
+		r.Emit(&Event{}, int64(i))
+	}
+	events, _, next := r.Drain(0, 3)
+	if len(events) != 3 || next != 3 {
+		t.Fatalf("capped Drain = %d events, next %d; want 3, 3", len(events), next)
+	}
+	events, _, next = r.Drain(next, 3)
+	if len(events) != 3 || events[0].Seq != 4 {
+		t.Fatalf("paged Drain = %d events starting %d; want 3 starting 4", len(events), events[0].Seq)
+	}
+	_ = next
+}
+
+func TestEventBound(t *testing.T) {
+	e := &Event{
+		Query: strings.Repeat("x", 4*maxEventQueryLen),
+		Plan:  make([]EventPlanRow, 3*maxEventPlanRows),
+		Spans: make([]EventSpan, 3*maxEventSpans),
+	}
+	e.Bound()
+	if len(e.Query) != maxEventQueryLen || len(e.Plan) != maxEventPlanRows || len(e.Spans) != maxEventSpans {
+		t.Fatalf("Bound left query=%d plan=%d spans=%d", len(e.Query), len(e.Plan), len(e.Spans))
+	}
+}
+
+func TestEventRingConcurrentAccounting(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewEventRing(64)
+	const writers, perWriter = 4, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Emit(&Event{Kind: "search", Slot: w}, int64(i))
+			}
+		}(w)
+	}
+	var drained, missed uint64
+	var cursor uint64
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	deadline := time.Now().Add(10 * time.Second)
+	writersDone := false
+	for {
+		events, m, next := r.Drain(cursor, 0)
+		drained += uint64(len(events))
+		missed += m
+		cursor = next
+		for i := 1; i < len(events); i++ {
+			if events[i].Seq != events[i-1].Seq+1 {
+				t.Fatalf("non-contiguous drain: %d then %d", events[i-1].Seq, events[i].Seq)
+			}
+		}
+		if writersDone && drained+missed == uint64(writers*perWriter) {
+			break
+		}
+		if !writersDone {
+			select {
+			case <-done:
+				writersDone = true
+			default:
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accounting did not converge: drained %d + missed %d != %d emitted",
+				drained, missed, r.Emitted())
+		}
+	}
+	if r.Emitted() != uint64(writers*perWriter) {
+		t.Fatalf("Emitted = %d, want %d", r.Emitted(), writers*perWriter)
+	}
+}
+
+// nopWriteCloser wraps a buffer for the sink tests.
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func TestEventLogSink(t *testing.T) {
+	Enable()
+	defer Disable()
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := NewEventLog(nopWriteCloser{lockedWriter}, 64)
+	r := NewEventRing(16)
+	r.Tee(l)
+	for i := 0; i < 10; i++ {
+		r.Emit(&Event{Kind: "search", Status: 200, Outcome: "ok", TraceID: fmt.Sprintf("t%d", i)}, int64(i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		if e.Kind != "search" || e.Seq != uint64(n+1) {
+			t.Fatalf("line %d = %+v", n, e)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("sink wrote %d lines, want 10", n)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("sink dropped %d with ample buffer", l.Dropped())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestEventLogShedsWhenBlocked(t *testing.T) {
+	Enable()
+	defer Disable()
+	release := make(chan struct{})
+	blocked := writerFunc(func(p []byte) (int, error) {
+		<-release
+		return len(p), nil
+	})
+	l := NewEventLog(nopWriteCloser{blocked}, 16)
+	r := NewEventRing(16)
+	r.Tee(l)
+	// The drain goroutine stalls on the first encode; the 16-slot queue
+	// fills; everything past queue+in-flight must be shed, not block.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Emit(&Event{Kind: "search"}, int64(i))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a stalled sink")
+	}
+	if d := l.Dropped(); d < 100-17 {
+		t.Fatalf("sink dropped %d, want at least %d", d, 100-17)
+	}
+	close(release)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestEventLogNil(t *testing.T) {
+	var l *EventLog
+	if l.Dropped() != 0 {
+		t.Fatal("nil sink Dropped must be 0")
+	}
+}

@@ -45,15 +45,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writePromHistogram emits the cumulative bucket series, sum, and
 // count.  Only buckets up to the highest occupied one are listed
 // (plus +Inf); a log2 histogram over int64 has 64 fixed buckets and
-// listing empty tails would bloat every scrape.
+// listing empty tails would bloat every scrape.  A seconds-unit
+// histogram stores nanoseconds internally; its bounds and sum render
+// divided by 1e9 so the scraped series carries real seconds.
 func writePromHistogram(w *bufio.Writer, d *desc, h *Histogram) {
 	counts, top := histCounts(h)
 	cum := int64(0)
 	for i := 0; i <= top; i++ {
 		cum += counts[i]
+		le := formatLe(i)
+		if d.unit == "seconds" {
+			le = formatLeSeconds(i)
+		}
 		w.WriteString(d.name)
 		w.WriteString("_bucket")
-		w.WriteString(labelStringWith(d.labels, Label{"le", formatLe(i)}))
+		w.WriteString(labelStringWith(d.labels, Label{"le", le}))
 		w.WriteByte(' ')
 		w.WriteString(strconv.FormatInt(cum, 10))
 		w.WriteByte('\n')
@@ -63,7 +69,12 @@ func writePromHistogram(w *bufio.Writer, d *desc, h *Histogram) {
 	w.WriteString("_bucket")
 	w.WriteString(labelStringWith(d.labels, Label{"le", "+Inf"}))
 	fmt.Fprintf(w, " %d\n", count)
-	fmt.Fprintf(w, "%s_sum%s %d\n", d.name, labelString(d.labels), h.Sum())
+	if d.unit == "seconds" {
+		fmt.Fprintf(w, "%s_sum%s %s\n", d.name, labelString(d.labels),
+			strconv.FormatFloat(float64(h.Sum())/1e9, 'g', -1, 64))
+	} else {
+		fmt.Fprintf(w, "%s_sum%s %d\n", d.name, labelString(d.labels), h.Sum())
+	}
 	fmt.Fprintf(w, "%s_count%s %d\n", d.name, labelString(d.labels), count)
 }
 
@@ -86,6 +97,12 @@ func formatLe(i int) string {
 		return strconv.FormatInt(int64(1)<<uint(i), 10)
 	}
 	return strconv.FormatUint(uint64(1)<<uint(i), 10)
+}
+
+// formatLeSeconds renders bucket i's upper bound 2^i nanoseconds as
+// float seconds.
+func formatLeSeconds(i int) string {
+	return strconv.FormatFloat(float64(uint64(1)<<uint(i))/1e9, 'g', -1, 64)
 }
 
 // labelStringWith renders labels plus one extra pair (the histogram
@@ -119,10 +136,14 @@ type HistBucket struct {
 	Count int64  `json:"count"`
 }
 
-// MetricSnapshot is the JSON form of one metric at one instant.
+// MetricSnapshot is the JSON form of one metric at one instant.  Unit
+// is "seconds" for duration histograms; their Sum and bucket bounds
+// stay in raw nanoseconds here (the JSON snapshot is the lossless
+// form), conversion is the reader's choice.
 type MetricSnapshot struct {
 	Name    string            `json:"name"`
 	Type    string            `json:"type"`
+	Unit    string            `json:"unit,omitempty"`
 	Labels  map[string]string `json:"labels,omitempty"`
 	Value   *float64          `json:"value,omitempty"`
 	Count   *int64            `json:"count,omitempty"`
@@ -136,7 +157,7 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	ds := r.sorted()
 	out := make([]MetricSnapshot, 0, len(ds))
 	for _, d := range ds {
-		s := MetricSnapshot{Name: d.name, Type: d.typ}
+		s := MetricSnapshot{Name: d.name, Type: d.typ, Unit: d.unit}
 		if len(d.labels) > 0 {
 			s.Labels = make(map[string]string, len(d.labels))
 			for _, l := range d.labels {

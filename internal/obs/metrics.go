@@ -23,6 +23,7 @@ type desc struct {
 	name   string
 	help   string
 	typ    string // "counter", "gauge", "histogram"
+	unit   string // "" (raw int64) or "seconds" (observations are ns, exposed as float seconds)
 	labels []Label
 	key    string // name + canonical label rendering, the registry key
 }
@@ -250,6 +251,26 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // name and constant labels.
 func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
 	d := newDesc(name, help, "histogram", labels)
+	h := &Histogram{d: d}
+	if old := r.lookup(d, h); old != nil {
+		got, ok := old.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered with a different type", d.key))
+		}
+		return got
+	}
+	return h
+}
+
+// DurationHistogram registers (or fetches) a log2 histogram whose
+// observations are nanoseconds but whose exposition is in seconds: the
+// bucket bounds and sum render as float seconds (2^i ns / 1e9), which
+// is what Prometheus tooling expects of a *_seconds histogram.
+// Recording is identical to Histogram — Observe/ObserveDuration take
+// nanoseconds and cost three atomic adds.
+func (r *Registry) DurationHistogram(name, help string, labels ...Label) *Histogram {
+	d := newDesc(name, help, "histogram", labels)
+	d.unit = "seconds"
 	h := &Histogram{d: d}
 	if old := r.lookup(d, h); old != nil {
 		got, ok := old.(*Histogram)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -12,12 +13,18 @@ import (
 
 // The tracer gives every query a structured timeline: a Trace is one
 // request, a Span is one stage (plan, probe, rtree descent, verify,
-// ...), and completed traces land in a bounded in-memory ring that
-// /debug/traces dumps.  Propagation is by context: StartTrace roots a
-// trace in a context, StartSpan opens a child of whatever span the
-// context carries.  A context without an active span yields a nil
-// *Span whose methods are no-ops and allocates nothing — the disabled
-// path costs one context lookup.
+// ...), and completed traces land in bounded in-memory reservoir
+// buckets that /debug/traces dumps.  Propagation is by context:
+// StartTrace roots a trace in a context, StartSpan opens a child of
+// whatever span the context carries.  A context without an active span
+// yields a nil *Span whose methods are no-ops and allocates nothing —
+// the disabled path costs one context lookup.
+//
+// Retention is tail-biased, not keep-recent: alongside the ring of
+// most recent traces, separate buckets hold the slowest, the errored,
+// and the degraded traces seen so far.  A burst of ten thousand fast
+// queries can therefore never evict the one slow or failing trace an
+// operator needs — which is exactly the trace worth keeping.
 
 // Attr is one key-value annotation on a span.
 type Attr struct {
@@ -25,30 +32,43 @@ type Attr struct {
 	Value string `json:"value"`
 }
 
-// Tracer owns the ring of recent traces and issues trace IDs.
+// Tracer owns the retention buckets and issues trace IDs.
 type Tracer struct {
-	mu   sync.Mutex
-	ring []*Trace // fixed capacity, next points at the oldest slot
-	next int
-	base uint32
-	seq  atomic.Uint32
+	mu       sync.Mutex
+	recent   []*Trace // fixed capacity ring, next points at the oldest slot
+	next     int
+	slowest  []*Trace // top-K by root duration, unordered
+	errored  []*Trace // ring of traces with an error attr
+	errNext  int
+	degraded []*Trace // ring of traces that ran degraded
+	degNext  int
+	auxCap   int
+	base     uint32
+	seq      atomic.Uint32
 }
 
 // NewTracer returns a tracer keeping the most recent capacity traces
-// (minimum 1).
+// (minimum 1) plus tail-retention buckets of max(4, capacity/8)
+// slowest, errored, and degraded traces each.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
+	auxCap := capacity / 8
+	if auxCap < 4 {
+		auxCap = 4
+	}
 	return &Tracer{
-		ring: make([]*Trace, 0, capacity),
-		base: uint32(time.Now().UnixNano() >> 10),
+		recent: make([]*Trace, 0, capacity),
+		auxCap: auxCap,
+		base:   uint32(time.Now().UnixNano() >> 10),
 	}
 }
 
 // Trace is one request's span collection.  Spans append under mu; the
-// ring snapshot readers take the same mutex, so a trace can be dumped
-// while its query is still running.
+// bucket snapshot readers take the same mutex, so a trace can be
+// dumped while its query is still running.  The classification fields
+// (dur, err, deg) are stamped once at commit, under mu.
 type Trace struct {
 	tracer *Tracer
 	id     string
@@ -57,6 +77,9 @@ type Trace struct {
 	mu     sync.Mutex
 	spans  []*Span
 	nextID int
+	dur    time.Duration
+	err    bool
+	deg    bool
 }
 
 // ID returns the trace's identifier (16 hex characters, unique within
@@ -83,13 +106,24 @@ type spanCtxKey struct{}
 // disabled (or t is nil) the context is returned unchanged with a nil
 // span.
 func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	return t.StartTraceWithID(ctx, name, "")
+}
+
+// StartTraceWithID is StartTrace adopting an externally assigned trace
+// ID (a W3C traceparent's trace-id from an upstream coordinator), so
+// the distributed trace keeps one identity across processes.  An empty
+// id falls back to a locally issued one.
+func (t *Tracer) StartTraceWithID(ctx context.Context, name, id string) (context.Context, *Span) {
 	if t == nil || !Enabled() {
 		return ctx, nil
 	}
 	seq := t.seq.Add(1)
+	if id == "" {
+		id = formatTraceID(t.base, seq)
+	}
 	tr := &Trace{
 		tracer: t,
-		id:     formatTraceID(t.base, seq),
+		id:     id,
 		name:   name,
 		start:  time.Now(),
 	}
@@ -108,6 +142,18 @@ func formatTraceID(base, seq uint32) string {
 		v >>= 4
 	}
 	return string(b[:])
+}
+
+// MintID issues a locally unique trace id from the tracer's sequence
+// without starting a trace.  The serving layer uses it to stamp wide
+// events for requests rejected before a trace can root (admission
+// sheds, open breakers, parse failures), so every event stays
+// correlatable with client-side logs.
+func (t *Tracer) MintID() string {
+	if t == nil {
+		return ""
+	}
+	return formatTraceID(t.base, t.seq.Add(1))
 }
 
 // StartSpan opens a child span of the context's active span, returning
@@ -171,8 +217,17 @@ func (s *Span) SetBool(key string, v bool) {
 	s.SetAttr(key, strconv.FormatBool(v))
 }
 
-// End stamps the span's end time.  Ending the root span commits the
-// trace to the tracer's ring; ending twice keeps the first stamp.
+// Trace returns the span's owning trace (nil on the disabled path).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.trace
+}
+
+// End stamps the span's end time.  Ending the root span classifies the
+// trace and commits it to the tracer's retention buckets; ending twice
+// keeps the first stamp.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -183,22 +238,79 @@ func (s *Span) End() {
 		s.end = time.Now()
 	}
 	root := s.parent == 0
+	if root {
+		tr.classifyLocked(s)
+	}
 	tr.mu.Unlock()
 	if root {
 		tr.tracer.commit(tr)
 	}
 }
 
-// commit stores a finished trace, evicting the oldest when full.
+// classifyLocked stamps the root duration and the error/degraded flags
+// from the span attrs; tr.mu is held.
+func (tr *Trace) classifyLocked(root *Span) {
+	tr.dur = root.end.Sub(root.start)
+	for _, s := range tr.spans {
+		for _, a := range s.attrs {
+			switch {
+			case a.Key == "error":
+				tr.err = true
+			case a.Key == "degraded" && a.Value == "true":
+				tr.deg = true
+			}
+		}
+	}
+}
+
+// commit files a finished trace into every bucket it belongs to.
 func (t *Tracer) commit(tr *Trace) {
+	tr.mu.Lock()
+	dur, errored, degraded := tr.dur, tr.err, tr.deg
+	tr.mu.Unlock()
+
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.ring) < cap(t.ring) {
-		t.ring = append(t.ring, tr)
+	pushRing(&t.recent, &t.next, cap(t.recent), tr)
+	if errored {
+		pushRing(&t.errored, &t.errNext, t.auxCap, tr)
+	}
+	if degraded {
+		pushRing(&t.degraded, &t.degNext, t.auxCap, tr)
+	}
+	// Slowest bucket: fill to capacity, then replace the current
+	// minimum when this trace outlasts it (O(K) with K = auxCap).
+	if len(t.slowest) < t.auxCap {
+		t.slowest = append(t.slowest, tr)
 		return
 	}
-	t.ring[t.next] = tr
-	t.next = (t.next + 1) % cap(t.ring)
+	minIdx, minDur := -1, dur
+	for i, old := range t.slowest {
+		if d := old.duration(); d < minDur {
+			minIdx, minDur = i, d
+		}
+	}
+	if minIdx >= 0 {
+		t.slowest[minIdx] = tr
+	}
+}
+
+// pushRing appends into a capacity-bounded ring, overwriting the
+// oldest entry when full.
+func pushRing(ring *[]*Trace, next *int, capacity int, tr *Trace) {
+	if len(*ring) < capacity {
+		*ring = append(*ring, tr)
+		return
+	}
+	(*ring)[*next] = tr
+	*next = (*next + 1) % capacity
+}
+
+// duration reads the committed root duration.
+func (tr *Trace) duration() time.Duration {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.dur
 }
 
 // SpanSnapshot is the JSON form of one span.
@@ -218,14 +330,17 @@ type TraceSnapshot struct {
 	Name       string         `json:"name"`
 	StartNs    int64          `json:"start_unix_nano"`
 	DurationNs int64          `json:"duration_ns"`
+	Error      bool           `json:"error,omitempty"`
+	Degraded   bool           `json:"degraded,omitempty"`
 	Spans      []SpanSnapshot `json:"spans"`
 }
 
-// snapshot copies the trace under its mutex.
-func (tr *Trace) snapshot() TraceSnapshot {
+// Snapshot copies the trace under its mutex; safe while the request is
+// still running (in-flight spans are flagged).
+func (tr *Trace) Snapshot() TraceSnapshot {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	out := TraceSnapshot{ID: tr.id, Name: tr.name, StartNs: tr.start.UnixNano()}
+	out := TraceSnapshot{ID: tr.id, Name: tr.name, StartNs: tr.start.UnixNano(), Error: tr.err, Degraded: tr.deg}
 	for _, s := range tr.spans {
 		ss := SpanSnapshot{
 			ID:      s.id,
@@ -249,39 +364,56 @@ func (tr *Trace) snapshot() TraceSnapshot {
 	return out
 }
 
-// Recent returns snapshots of the retained traces, newest first.
-func (t *Tracer) Recent() []TraceSnapshot {
+// retained unions every bucket, deduplicating by trace identity (a
+// slow errored trace sits in three buckets at once).
+func (t *Tracer) retained() []*Trace {
 	t.mu.Lock()
-	traces := make([]*Trace, 0, len(t.ring))
-	// Ring order is oldest-first starting at next; walk backwards from
-	// the newest slot.
-	for i := 0; i < len(t.ring); i++ {
-		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
-		traces = append(traces, t.ring[idx])
+	defer t.mu.Unlock()
+	seen := make(map[*Trace]bool, len(t.recent)+3*t.auxCap)
+	var traces []*Trace
+	add := func(tr *Trace) {
+		if tr != nil && !seen[tr] {
+			seen[tr] = true
+			traces = append(traces, tr)
+		}
 	}
-	t.mu.Unlock()
+	// Recent ring newest-first, then the tail buckets.
+	for i := 0; i < len(t.recent); i++ {
+		add(t.recent[(t.next-1-i+len(t.recent))%len(t.recent)])
+	}
+	for _, tr := range t.slowest {
+		add(tr)
+	}
+	for _, tr := range t.errored {
+		add(tr)
+	}
+	for _, tr := range t.degraded {
+		add(tr)
+	}
+	return traces
+}
+
+// Recent returns snapshots of every retained trace — the recent ring
+// plus the slowest/errored/degraded reservoirs — newest first.
+func (t *Tracer) Recent() []TraceSnapshot {
+	traces := t.retained()
 	out := make([]TraceSnapshot, 0, len(traces))
 	for _, tr := range traces {
-		out = append(out, tr.snapshot())
+		out = append(out, tr.Snapshot())
 	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartNs > out[j].StartNs })
 	return out
 }
 
-// Get returns the snapshot of the retained trace with the given ID.
+// Get returns the snapshot of the retained trace with the given ID,
+// searching every bucket.
 func (t *Tracer) Get(id string) (TraceSnapshot, bool) {
-	t.mu.Lock()
-	var found *Trace
-	for _, tr := range t.ring {
+	for _, tr := range t.retained() {
 		if tr.id == id {
-			found = tr
-			break
+			return tr.Snapshot(), true
 		}
 	}
-	t.mu.Unlock()
-	if found == nil {
-		return TraceSnapshot{}, false
-	}
-	return found.snapshot(), true
+	return TraceSnapshot{}, false
 }
 
 // WriteJSON dumps the recent traces (newest first) as indented JSON —

@@ -1,0 +1,85 @@
+package obs
+
+// W3C trace-context interop: an upstream coordinator (the planned
+// scatter-gather tier, or any traceparent-speaking proxy) propagates a
+// 32-hex trace-id; this process adopts it as the trace's identity and
+// echoes a traceparent back so the caller can stitch the cross-process
+// timeline.  Only the trace-id is consumed — span parentage stays
+// process-local — which is all the stitching needs.
+
+// TraceparentHeader is the canonical header name.
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent extracts the trace-id from a W3C traceparent header
+// value: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+// It returns "" for anything malformed, a non-00 version, or an
+// all-zero trace or parent id (both invalid per the spec).
+func ParseTraceparent(h string) string {
+	// version(2) '-' traceid(32) '-' parentid(16) '-' flags(2)
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return ""
+	}
+	if h[0] != '0' || h[1] != '0' {
+		return ""
+	}
+	traceID := h[3:35]
+	if !isHex(traceID) || allZero(traceID) {
+		return ""
+	}
+	if parent := h[36:52]; !isHex(parent) || allZero(parent) {
+		return ""
+	}
+	if !isHex(h[53:55]) {
+		return ""
+	}
+	return traceID
+}
+
+// FormatTraceparent renders a traceparent for the given trace ID.  A
+// local 16-hex ID is zero-padded to the 32-hex trace-id field; the
+// parent-id is the low 64 bits of the trace id (with a fixed non-zero
+// fallback, since an all-zero parent-id is invalid).  The sampled flag
+// is always set — a trace that exists here was recorded.
+func FormatTraceparent(traceID string) string {
+	var id [32]byte
+	for i := range id {
+		id[i] = '0'
+	}
+	src := traceID
+	if len(src) > 32 {
+		src = src[len(src)-32:]
+	}
+	copy(id[32-len(src):], src)
+	for i, c := range id {
+		if !isHexByte(byte(c)) {
+			id[i] = '0'
+		}
+	}
+	parent := string(id[16:])
+	if allZero(parent) {
+		parent = "0000000000000001"
+	}
+	return "00-" + string(id[:]) + "-" + parent + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isHexByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isHexByte(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

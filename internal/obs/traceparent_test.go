@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if got := ParseTraceparent(valid); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("ParseTraceparent(valid) = %q", got)
+	}
+	for name, h := range map[string]string{
+		"empty":            "",
+		"short":            "00-4bf92f35-00f067aa0ba902b7-01",
+		"long":             valid + "-extra",
+		"bad version":      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"zero trace id":    "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero parent id":   "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"uppercase hex":    "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"non-hex trace id": "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+		"non-hex flags":    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz",
+		"wrong dashes":     "00x4bf92f3577b34da6a3ce929d0e0e4736x00f067aa0ba902b7x01",
+	} {
+		if got := ParseTraceparent(h); got != "" {
+			t.Errorf("ParseTraceparent(%s) = %q, want rejection", name, got)
+		}
+	}
+}
+
+func TestFormatTraceparent(t *testing.T) {
+	// A local 16-hex id zero-pads into the trace-id field and reuses its
+	// low 64 bits as the parent-id.
+	got := FormatTraceparent("00f067aa0ba902b7")
+	want := "00-000000000000000000f067aa0ba902b7-00f067aa0ba902b7-01"
+	if got != want {
+		t.Fatalf("FormatTraceparent(local) = %q, want %q", got, want)
+	}
+	// An adopted 32-hex id passes through whole.
+	got = FormatTraceparent("4bf92f3577b34da6a3ce929d0e0e4736")
+	want = "00-4bf92f3577b34da6a3ce929d0e0e4736-a3ce929d0e0e4736-01"
+	if got != want {
+		t.Fatalf("FormatTraceparent(adopted) = %q, want %q", got, want)
+	}
+	// Degenerate ids still render a spec-valid header.
+	for _, id := range []string{"", "0000000000000000", "not hex at all!!", strings.Repeat("ff", 40)} {
+		h := FormatTraceparent(id)
+		if ParseTraceparent(h) == "" && id != "" && id != "0000000000000000" {
+			t.Errorf("FormatTraceparent(%q) = %q does not round-trip", id, h)
+		}
+		if len(h) != 55 {
+			t.Errorf("FormatTraceparent(%q) length %d", id, len(h))
+		}
+	}
+	// All-zero input: the parent-id fallback keeps the header valid.
+	h := FormatTraceparent("0000000000000000")
+	if ParseTraceparent(h) != "" {
+		// trace-id is all zero, so parsers must reject it; but the shape
+		// must still be well-formed for loggers.
+		t.Fatalf("all-zero trace id unexpectedly parsed: %q", h)
+	}
+	if !strings.HasSuffix(h, "-0000000000000001-01") {
+		t.Fatalf("parent fallback missing: %q", h)
+	}
+}
+
+func TestRoundTripLocalID(t *testing.T) {
+	Enable()
+	defer Disable()
+	tr := NewTracer(2)
+	ctx, root := tr.StartTrace(context.Background(), "q")
+	id := TraceIDFromContext(ctx)
+	root.End()
+	h := FormatTraceparent(id)
+	// The echoed header parses, and its trace-id ends with the local id.
+	parsed := ParseTraceparent(h)
+	if parsed == "" || !strings.HasSuffix(parsed, id) {
+		t.Fatalf("local id %q echo %q parsed %q", id, h, parsed)
+	}
+}

@@ -81,7 +81,7 @@ func NewAdmission(cfg AdmissionConfig) *Admission {
 		shedCancel: reg.Counter("scaleshift_admission_shed_total", "Requests shed by the admission controller, by reason.", obs.Label{Key: "reason", Value: "canceled"}),
 		queueDepth: reg.Gauge("scaleshift_admission_queue_depth", "Requests currently waiting for an in-flight slot."),
 		inflight:   reg.Gauge("scaleshift_admission_inflight", "Requests currently holding an in-flight slot."),
-		waitNs:     reg.Histogram("scaleshift_admission_wait_ns", "Queue wait before admission, nanoseconds."),
+		waitNs:     reg.DurationHistogram("scaleshift_admission_wait_seconds", "Queue wait before admission."),
 	}
 	return a
 }

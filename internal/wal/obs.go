@@ -1,0 +1,58 @@
+package wal
+
+import (
+	"sync"
+	"time"
+
+	"scaleshift/internal/obs"
+)
+
+// Instrumentation: the WAL sits on every acked append's critical path,
+// so its fsync latency IS the ingest durability cost — worth a
+// first-class histogram.  Handles are registered lazily on the first
+// recording after obs.Enable and every record call is skipped with one
+// atomic load when the observability layer is off.
+var wm struct {
+	once sync.Once
+
+	appends     *obs.Counter
+	appendBytes *obs.Histogram
+	fsync       *obs.Histogram
+	truncations *obs.Counter
+	truncate    *obs.Histogram
+}
+
+func initWALMetrics() {
+	r := obs.Default
+	wm.appends = r.Counter("scaleshift_wal_appends_total",
+		"WAL records appended and fsync'd (each one acked ingest call).")
+	wm.appendBytes = r.Histogram("scaleshift_wal_append_bytes",
+		"Framed size of each appended WAL record.")
+	wm.fsync = r.DurationHistogram("scaleshift_wal_fsync_seconds",
+		"WAL fsync latency: the durability wait on the append critical path.")
+	wm.truncations = r.Counter("scaleshift_wal_truncations_total",
+		"WAL prefix truncations completed after durable checkpoints.")
+	wm.truncate = r.DurationHistogram("scaleshift_wal_truncate_seconds",
+		"WAL truncation latency (tail copy, fsync, and rename).")
+}
+
+// recordAppend publishes one framed append and its fsync wait.
+func recordAppend(frameBytes int, fsync time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	wm.once.Do(initWALMetrics)
+	wm.appends.Inc()
+	wm.appendBytes.Observe(int64(frameBytes))
+	wm.fsync.ObserveDuration(fsync)
+}
+
+// recordTruncate publishes one completed prefix truncation.
+func recordTruncate(d time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	wm.once.Do(initWALMetrics)
+	wm.truncations.Inc()
+	wm.truncate.ObserveDuration(d)
+}

@@ -43,6 +43,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // record kinds.
@@ -219,9 +220,11 @@ func (l *Log) append(payload []byte) error {
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	recordAppend(len(buf), time.Since(syncStart))
 	l.pos += int64(len(buf))
 	return nil
 }
@@ -264,6 +267,7 @@ func (l *Log) TruncateThrough(offset int64) error {
 	if cut == 0 {
 		return nil
 	}
+	truncStart := time.Now()
 	newBase := l.base + cut
 
 	tmp := l.path + ".trunc"
@@ -306,6 +310,7 @@ func (l *Log) TruncateThrough(offset int64) error {
 	l.base = newBase
 	l.hdr = headerLen
 	l.pos -= cut
+	recordTruncate(time.Since(truncStart))
 	return nil
 }
 
