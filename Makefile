@@ -8,7 +8,7 @@ GO ?= go
 VERSION ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X scaleshift/internal/cliutil.Version=$(VERSION)"
 
-.PHONY: check vet build test race bench bench-json bench-planner bench-smoke bench-obs bench-recovery fmt-check soak soak-smoke
+.PHONY: check vet build test race bench bench-json bench-planner bench-smoke bench-obs bench-recovery fmt-check soak soak-smoke soak-cluster bench-cluster
 
 # test already carries the observability gates: the metrics-name lint
 # (internal/obs/lint_test.go) and the 0 allocs/op assertion over the
@@ -70,11 +70,32 @@ bench-smoke:
 # every acked append verified after each recovery).  SOAK_smoke.json
 # is the metrics artifact CI uploads.
 soak-smoke:
-	SOAK_SECONDS=20 SOAK_METRICS_OUT=SOAK_smoke.json $(GO) test -race -count=1 -run 'TestSoak$$|TestSoakRecovery$$' -v ./cmd/ssserve
+	SOAK_SECONDS=20 SOAK_METRICS_OUT=SOAK_smoke.json $(GO) test -race -count=1 -run 'TestSoak$$|TestSoakRecovery$$|TestSoakCluster$$' -v ./cmd/ssserve
 
 # Full soak: minutes of the same chaos, for local pre-release runs.
 soak:
-	SOAK_SECONDS=120 SOAK_METRICS_OUT=SOAK_full.json $(GO) test -race -count=1 -timeout 10m -run 'TestSoak$$|TestSoakRecovery$$' -v ./cmd/ssserve
+	SOAK_SECONDS=120 SOAK_METRICS_OUT=SOAK_full.json $(GO) test -race -count=1 -timeout 10m -run 'TestSoak$$|TestSoakRecovery$$|TestSoakCluster$$' -v ./cmd/ssserve
+
+# Cluster soak: three real shard processes (one behind a chaos TCP
+# proxy that stalls, resets, and gets SIGKILLed+restarted) behind a
+# scatter-gather coordinator, under -race.  Every answer is checked
+# bit-exactly against a single-node oracle: 200s must equal the union
+# oracle, 206s must equal the oracle minus exactly the faulted shard's
+# slice, and nothing else is allowed — zero 5xx under shard loss.
+soak-cluster:
+	SOAK_SECONDS=30 SOAK_CLUSTER_METRICS_OUT=SOAK_cluster.json $(GO) test -race -count=1 -timeout 10m -run 'TestSoakCluster$$' -v ./cmd/ssserve
+
+# Distribution overhead: single-node vs 3-shard scatter-gather QPS on
+# identical data and queries, with a full exactness sweep (every
+# cluster answer bit-identical to the single-node oracle).  -enforce
+# gates exactness and coverage, not throughput; the overhead factor
+# lands in results/BENCH_<rev>.json alongside the other perf rows.
+bench-cluster:
+	@rev="$$(git rev-parse --short HEAD 2>/dev/null || echo dev)"; \
+	$(GO) run -ldflags "-X scaleshift/internal/cliutil.Version=$$rev" \
+		./cmd/ssbench -experiment cluster -scale small -label "$$rev" \
+		-json "results/BENCH_$$rev.json" -enforce && \
+	echo "wrote results/BENCH_$$rev.json"
 
 # Recovery cost trajectory: cold-restart time vs WAL tail length past
 # the last checkpoint.  -enforce fails the run if recovery replays a

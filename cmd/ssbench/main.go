@@ -44,7 +44,7 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ssbench", flag.ContinueOnError)
-	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | perf | ingest | recovery | all")
+	experiment := fs.String("experiment", "fig45", "fig45 | ablation-split | ablation-dims | ablation-window | ablation-fanout | ablation-build | ablation-reduction | ablation-index | ablation-trail | nn | buffer | shape | recall | planner | perf | ingest | recovery | cluster | all")
 	jsonPath := fs.String("json", "", "write the perf experiment's report as JSON to this file")
 	enforce := fs.Bool("enforce", false, "fail if the perf report misses the regression gates (kernel >= 1.5x, flat within 10% of pointer throughput)")
 	label := fs.String("label", "", "label recorded in the perf JSON report (e.g. a git revision)")
@@ -336,13 +336,13 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 
-	if *experiment == "perf" || *experiment == "ingest" || *experiment == "recovery" || *experiment == "all" {
-		// The ingest and recovery rows travel inside the perf report so
-		// one JSON artifact carries all of them; -experiment ingest and
-		// -experiment recovery skip the (slower) perf sweep and report
-		// only their own rows.
+	if *experiment == "perf" || *experiment == "ingest" || *experiment == "recovery" || *experiment == "cluster" || *experiment == "all" {
+		// The ingest, recovery, and cluster rows travel inside the perf
+		// report so one JSON artifact carries all of them; -experiment
+		// ingest/recovery/cluster skip the (slower) perf sweep and
+		// report only their own rows.
 		var rep *bench.PerfReport
-		if *experiment == "ingest" || *experiment == "recovery" {
+		if *experiment == "ingest" || *experiment == "recovery" || *experiment == "cluster" {
 			rep = &bench.PerfReport{
 				Version:   cliutil.Version,
 				GoVersion: runtime.Version(),
@@ -356,7 +356,7 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 		}
-		if *experiment != "recovery" {
+		if *experiment != "recovery" && *experiment != "cluster" {
 			rep.Ingest, err = bench.RunIngest(cfg, stdout)
 			if err != nil {
 				return err
@@ -364,6 +364,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if *experiment == "recovery" || *experiment == "all" {
 			rep.Recovery, err = bench.RunRecovery(cfg, stdout)
+			if err != nil {
+				return err
+			}
+		}
+		if *experiment == "cluster" || *experiment == "all" {
+			rep.Cluster, err = bench.RunCluster(cfg, 3, stdout)
 			if err != nil {
 				return err
 			}
@@ -384,6 +390,8 @@ func run(args []string, stdout io.Writer) error {
 				err = rep.Ingest.Enforce(0.10)
 			case "recovery":
 				err = rep.Recovery.Enforce()
+			case "cluster":
+				err = rep.Cluster.Enforce()
 			default:
 				err = rep.Enforce(1.5, 0.10)
 			}
@@ -394,7 +402,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "perf" && *experiment != "ingest" && *experiment != "recovery" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
+	if !runFig45 && !runNN && !runBuffer && !runShape && *experiment != "recall" && *experiment != "planner" && *experiment != "perf" && *experiment != "ingest" && *experiment != "recovery" && *experiment != "cluster" && *experiment != "ablation-split" && *experiment != "ablation-dims" &&
 		*experiment != "ablation-window" && *experiment != "ablation-fanout" &&
 		*experiment != "ablation-build" && *experiment != "ablation-reduction" &&
 		*experiment != "ablation-index" && *experiment != "ablation-trail" && *experiment != "all" {

@@ -17,6 +17,7 @@ import (
 
 	"scaleshift/internal/atomicfile"
 	"scaleshift/internal/cliutil"
+	"scaleshift/internal/cluster"
 	"scaleshift/internal/core"
 	"scaleshift/internal/stock"
 	"scaleshift/internal/store"
@@ -39,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	binary := fs.Bool("binary", false, "write the checksummed binary store artifact instead of CSV (for ssquery -store)")
 	segOut := fs.String("segments", "", "also write a pre-segmented index artifact (SSSEG) over the generated data")
 	segCount := fs.Int("segment-count", 4, "frozen segments in the -segments artifact")
+	shards := fs.Int("shards", 0, "hash-partition the data into this many per-shard store artifacts plus an SSMAN cluster manifest (-o names the output directory)")
 	window := fs.Int("window", 128, "index window length for -segments")
 	fc := fs.Int("fc", 3, "DFT coefficients for -segments")
 	obsFlags := cliutil.AddObsFlags(fs)
@@ -59,6 +61,29 @@ func run(args []string, stdout io.Writer) error {
 	st := store.New()
 	if _, err := stock.Populate(st, cfg); err != nil {
 		return err
+	}
+
+	if *shards > 0 {
+		// Sharded output is a different artifact family entirely: a
+		// directory of per-shard stores plus the manifest a coordinator
+		// validates the fleet against.  Each shard's store carries its
+		// own checksums; the manifest carries the partition's.
+		if *out == "" {
+			return fmt.Errorf("-shards requires -o DIR (the shard artifact directory)")
+		}
+		man, err := cluster.WriteShardArtifacts(st, *out, *shards, *seed)
+		if err != nil {
+			return err
+		}
+		for _, sh := range man.Shards {
+			logger.Info("wrote shard artifact", "shard", sh.ID, "dir", sh.Dir,
+				"sequences", len(sh.Seqs), "values", sh.Values,
+				"fingerprint", fmt.Sprintf("%08x", sh.Fingerprint))
+		}
+		logger.Info("wrote cluster manifest",
+			"path", *out+"/"+cluster.ManifestName,
+			"shards", *shards, "sequences", man.Sequences)
+		return obsFlags.Finish()
 	}
 
 	emit := st.WriteCSV

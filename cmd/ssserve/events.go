@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -31,6 +32,7 @@ type eventDraft struct {
 	outcome  string // set early by shed/breaker rejections
 	plan     []obs.EventPlanRow
 	stats    *obs.EventStats
+	shards   []obs.EventShard // coordinator mode: per-fault-domain coverage
 }
 
 type eventDraftKey struct{}
@@ -198,12 +200,17 @@ func (s *server) emitBatchSlotEvents(traceID string, status int, resp *batchResp
 // the ring's accounting counters so a poller can prove exactly-once
 // coverage: drained + missed converges on emitted.
 func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	serveEvents(s.events, s.logger, w, r)
+}
+
+// serveEvents is shared by the shard and coordinator frontends.
+func serveEvents(ring *obs.EventRing, logger *slog.Logger, w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var since uint64
 	if v := q.Get("since"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("parameter since: %w", err))
+			writeErrorResp(logger, w, http.StatusBadRequest, fmt.Errorf("parameter since: %w", err))
 			return
 		}
 		since = n
@@ -212,21 +219,21 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("max"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("parameter max: %w", err))
+			writeErrorResp(logger, w, http.StatusBadRequest, fmt.Errorf("parameter max: %w", err))
 			return
 		}
 		max = n
 	}
-	events, missed, next := s.events.Drain(since, max)
+	events, missed, next := ring.Drain(since, max)
 	if events == nil {
 		events = []*obs.Event{}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSONResp(logger, w, http.StatusOK, map[string]interface{}{
 		"events":       events,
 		"missed":       missed,
 		"next":         next,
-		"emitted":      s.events.Emitted(),
-		"overwritten":  s.events.Overwritten(),
-		"sink_dropped": s.events.SinkDropped(),
+		"emitted":      ring.Emitted(),
+		"overwritten":  ring.Overwritten(),
+		"sink_dropped": ring.SinkDropped(),
 	})
 }

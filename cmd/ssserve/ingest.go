@@ -32,6 +32,7 @@ type queryIndex interface {
 	Close() error
 	QueryWindow(seq, start, n int, dst vec.Vector) error
 	StoreShape() (seqs, values, pages int)
+	Store() *store.Store
 	SearchPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs core.CostBounds, force engine.PathKind, pool *store.BufferPool, stats *core.SearchStats) ([]core.Match, *engine.Explain, error)
 	SearchLongPlannedContext(ctx context.Context, q vec.Vector, eps float64, costs core.CostBounds, force engine.PathKind, stats *core.SearchStats) ([]core.Match, *engine.Explain, error)
 	NearestNeighborsWithCostsContext(ctx context.Context, q vec.Vector, k int, costs core.CostBounds, stats *core.SearchStats) ([]core.Match, error)

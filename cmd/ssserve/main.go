@@ -19,12 +19,26 @@
 //	/debug/pprof/  the standard Go profiler endpoints
 //	/debug/traces  retained query traces (?id=, ?min_ms=, ?error=1, ?degraded=1)
 //	/debug/events  wide per-request events, cursor-drained (?since=, ?max=)
+//	/shardinfo     this instance's cluster identity (fingerprint, shape)
+//	/window        raw sequence values (cluster-internal query resolution)
 //
 // Example:
 //
 //	ssgen -companies 100 -binary -o prices.store
 //	ssserve -store prices.store -index prices.index -addr :8080
 //	curl 'localhost:8080/search?seq=3&start=25&eps_frac=0.05'
+//
+// With -coordinator the process serves no artifacts of its own:
+// it validates a shard fleet against an SSMAN cluster manifest
+// (ssgen -shards) and scatter-gathers every query across it, merging
+// exactly and reporting per-shard coverage — see coord.go.
+//
+//	ssgen -companies 100 -binary -shards 3 -o cluster/
+//	ssserve -store cluster/shard0/store.bin -addr :8081 &
+//	ssserve -store cluster/shard1/store.bin -addr :8082 &
+//	ssserve -store cluster/shard2/store.bin -addr :8083 &
+//	ssserve -coordinator -cluster-manifest cluster/cluster.ssman \
+//	        -shard-addrs localhost:8081,localhost:8082,localhost:8083 -addr :8080
 package main
 
 import (
@@ -80,6 +94,15 @@ func run(args []string) error {
 	traceRing := fs.Int("trace-ring", 128, "recent query traces retained for /debug/traces")
 	eventRing := fs.Int("event-ring", 256, "wide per-request events retained for /debug/events")
 	eventLog := fs.String("event-log", "", "append wide events as JSONL to this file (never blocks serving; drops are counted)")
+	coordinator := fs.Bool("coordinator", false, "serve as a scatter-gather coordinator over a shard fleet (requires -shard-addrs and -cluster-manifest)")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated shard base URLs, ordered by manifest shard id")
+	clusterManifest := fs.String("cluster-manifest", "", "SSMAN cluster manifest written by ssgen -shards")
+	shardTimeout := fs.Duration("shard-timeout", 2*time.Second, "per-attempt deadline for one shard call")
+	shardRetries := fs.Int("shard-retries", 1, "retries after a retryable shard failure")
+	shardBackoff := fs.Duration("shard-backoff", 25*time.Millisecond, "base backoff between shard retries (exponential, jittered)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "launch a hedged shard request after this long (0 disables tail hedging)")
+	shardConnect := fs.Duration("shard-connect-timeout", 30*time.Second, "how long startup waits for every shard to validate against the manifest")
+	readyQuorum := fs.Float64("ready-quorum", 0.5, "coordinator /readyz reports ready when at least this fraction of shards is ready")
 	serveFlags := cliutil.AddServeFlags(fs)
 	obsFlags := cliutil.AddObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -96,6 +119,29 @@ func run(args []string) error {
 	// on here, not opt-in as in the batch CLIs.
 	obs.Enable()
 	cliutil.PublishBuildInfo(obs.Default)
+	if *coordinator {
+		if *storeFile != "" || *dataFile != "" || *appendMode {
+			return fmt.Errorf("-coordinator serves only from shards; -store, -data, and -append do not apply")
+		}
+		if *shardAddrs == "" || *clusterManifest == "" {
+			return fmt.Errorf("-coordinator requires -shard-addrs and -cluster-manifest")
+		}
+		return runCoordinator(coordRunOpts{
+			addr:           *addr,
+			manifestPath:   *clusterManifest,
+			shardAddrs:     splitAddrs(*shardAddrs),
+			attemptTimeout: *shardTimeout,
+			retries:        *shardRetries,
+			backoff:        *shardBackoff,
+			hedgeAfter:     *hedgeAfter,
+			connectTimeout: *shardConnect,
+			quorum:         *readyQuorum,
+			traceRing:      *traceRing,
+			eventRing:      *eventRing,
+			eventLog:       *eventLog,
+			serve:          *serveFlags,
+		}, logger, obsFlags.Finish)
+	}
 	if *ckptPath != "" && !*appendMode {
 		return fmt.Errorf("-checkpoint requires -append (there is nothing to checkpoint without live ingest)")
 	}

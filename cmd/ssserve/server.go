@@ -120,6 +120,8 @@ func newServer(cfg serverConfig) (*server, error) {
 
 	s.handle("search", "/search", s.instrument("search", s.guard(s.handleSearch)))
 	s.handle("append", "/append", s.instrument("append", s.guard(s.handleAppend)))
+	s.handle("shardinfo", "/shardinfo", s.handleShardInfo)
+	s.handle("window", "/window", s.handleWindow)
 	s.handle("healthz", "/healthz", s.handleHealthz)
 	s.handle("livez", "/livez", s.handleLivez)
 	s.handle("readyz", "/readyz", s.handleReadyz)
@@ -241,20 +243,29 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// writeJSON renders v; encoding failures after the header is out can
-// only be logged.
-func (s *server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// writeJSONResp renders v; encoding failures after the header is out
+// can only be logged.  Free function so the coordinator frontend (which
+// is not a *server) shares the exact response shape.
+func writeJSONResp(logger *slog.Logger, w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		s.logger.Error("encoding response", "err", err)
+		logger.Error("encoding response", "err", err)
 	}
 }
 
+func writeErrorResp(logger *slog.Logger, w http.ResponseWriter, status int, err error) {
+	writeJSONResp(logger, w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	writeJSONResp(s.logger, w, status, v)
+}
+
 func (s *server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeErrorResp(s.logger, w, status, err)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -451,28 +462,33 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // (only errored), and ?degraded=1 (only degraded-path) filters, which
 // compose conjunctively.
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	serveTraces(s.tracer, s.logger, w, r)
+}
+
+// serveTraces is shared by the shard and coordinator frontends.
+func serveTraces(tracer *obs.Tracer, logger *slog.Logger, w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	if id := q.Get("id"); id != "" {
-		tr, ok := s.tracer.Get(id)
+		tr, ok := tracer.Get(id)
 		if !ok {
-			s.writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained", id))
+			writeErrorResp(logger, w, http.StatusNotFound, fmt.Errorf("trace %q not retained", id))
 			return
 		}
-		s.writeJSON(w, http.StatusOK, tr)
+		writeJSONResp(logger, w, http.StatusOK, tr)
 		return
 	}
 	minMs := 0.0
 	if v := q.Get("min_ms"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("parameter min_ms: %w", err))
+			writeErrorResp(logger, w, http.StatusBadRequest, fmt.Errorf("parameter min_ms: %w", err))
 			return
 		}
 		minMs = f
 	}
 	errOnly := q.Get("error") == "1"
 	degOnly := q.Get("degraded") == "1"
-	traces := s.tracer.Recent()
+	traces := tracer.Recent()
 	if minMs > 0 || errOnly || degOnly {
 		filtered := traces[:0]
 		for _, tr := range traces {
@@ -489,7 +505,7 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		traces = filtered
 	}
-	s.writeJSON(w, http.StatusOK, traces)
+	writeJSONResp(logger, w, http.StatusOK, traces)
 }
 
 // searchRequest is the decoded /search query string.

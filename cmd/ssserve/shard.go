@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"scaleshift/internal/cluster"
+	"scaleshift/internal/vec"
+)
+
+// Shard-side surface of the cluster protocol: every ssserve instance
+// exposes its identity (/shardinfo) and raw windows (/window) so a
+// coordinator can validate it against the SSMAN manifest and resolve
+// seq/start-addressed queries against the owning shard.  Both routes
+// are read-only views of the serving snapshot and work identically on
+// a single node (where /shardinfo simply describes the whole store).
+
+// handleShardInfo reports the snapshot's identity in the cluster wire
+// shape.  The fingerprint covers the sequence names in store order —
+// the same value ssgen recorded in the manifest for this shard's
+// slice, so a coordinator comparing the two catches a mis-wired
+// address list or a stale artifact before serving a single query.
+func (s *server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	pin := s.snap.Acquire()
+	defer pin.Release()
+	sn := pin.Value()
+
+	st := sn.ix.Store()
+	names := make([]string, st.NumSequences())
+	for i := range names {
+		names[i] = st.SequenceName(i)
+	}
+	seqs, values, _ := sn.ix.StoreShape()
+	degraded, _ := sn.ix.Degraded()
+	s.writeJSON(w, http.StatusOK, cluster.ShardInfoWire{
+		Sequences:    seqs,
+		Values:       values,
+		Windows:      sn.ix.WindowCount(),
+		WindowLen:    sn.ix.Options().WindowLen,
+		Coefficients: sn.ix.Options().Coefficients,
+		NormScale:    sn.normScale,
+		Fingerprint:  cluster.Fingerprint(names),
+		Degraded:     degraded,
+	})
+}
+
+// handleWindow serves raw sequence values: GET /window?seq=&start=&len=.
+// seq is shard-local (the only kind of id a shard knows).
+func (s *server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Query()
+	intParam := func(name string) (int, error) {
+		v := p.Get(name)
+		if v == "" {
+			return 0, fmt.Errorf("parameter %s is required", name)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		return n, nil
+	}
+	seq, err := intParam("seq")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	start, err := intParam("start")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	length, err := intParam("len")
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if length <= 0 || length > maxAppendValues {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("parameter len must be in (0, %d]", maxAppendValues))
+		return
+	}
+
+	pin := s.snap.Acquire()
+	defer pin.Release()
+	vals := make(vec.Vector, length)
+	if err := pin.Value().ix.QueryWindow(seq, start, length, vals); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, cluster.WindowWire{Seq: seq, Start: start, Values: vals})
+}

@@ -80,6 +80,10 @@ type PerfReport struct {
 	// Recovery carries the checkpoint-recovery experiment's rows when
 	// -experiment recovery (or all) runs.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
+
+	// Cluster carries the scatter-gather distribution-overhead rows
+	// when -experiment cluster (or all) runs.
+	Cluster *ClusterReport `json:"cluster,omitempty"`
 }
 
 // kernelBench times the node-pruning slab test over nodes of count

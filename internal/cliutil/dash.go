@@ -424,6 +424,19 @@ func (d *Dash) Render(w io.Writer) {
 			deltaW, frozen, igen, fmtBytes(walB), fmtSeconds(age), ckpts)
 	}
 
+	if total, ok := cur.Lookup("scaleshift_cluster_shards", nil); ok {
+		okN, _ := cur.Lookup("scaleshift_cluster_shards_ok", nil)
+		degN, _ := cur.Lookup("scaleshift_cluster_shards_degraded", nil)
+		failN, _ := cur.Lookup("scaleshift_cluster_shards_failed", nil)
+		full := Rate(d.prev, cur, "scaleshift_cluster_scatter_total", map[string]string{"result": "full"})
+		part := Rate(d.prev, cur, "scaleshift_cluster_scatter_total", map[string]string{"result": "partial"})
+		none := Rate(d.prev, cur, "scaleshift_cluster_scatter_total", map[string]string{"result": "none"})
+		retries := cur.Sum("scaleshift_cluster_shard_retries_total", nil)
+		hedges := cur.Sum("scaleshift_cluster_shard_hedges_total", nil)
+		fmt.Fprintf(w, "cluster: shards=%.0f ok=%.0f degraded=%.0f failed=%.0f  gather/s full=%.1f partial=%.1f none=%.1f  retries=%.0f hedges=%.0f\n",
+			total, okN, degN, failN, full, part, none, retries, hedges)
+	}
+
 	if slow := d.slowest(5); len(slow) > 0 {
 		fmt.Fprintf(w, "\nslow queries (last %d events):\n", len(d.recent))
 		for _, e := range slow {

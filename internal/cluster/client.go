@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"scaleshift/internal/obs"
+	"scaleshift/internal/resilience"
+)
+
+// maxShardResponse bounds one shard reply; a bigger body is a bug (or
+// a shard replaced by something that is not a shard).
+const maxShardResponse = 64 << 20
+
+// ShardConfig tunes one shard client.  The zero value is completed by
+// defaults; only ID and BaseURL are required.
+type ShardConfig struct {
+	// ID is the shard's manifest position; it labels the per-shard
+	// metrics and error messages.
+	ID int
+	// BaseURL is the shard's root, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+	// AttemptTimeout is the per-attempt deadline — the shard-side
+	// fault domain boundary.  A stalled shard costs at most
+	// (Retries+1) × AttemptTimeout plus backoff, never the
+	// coordinator's whole request budget.  Default 2s.
+	AttemptTimeout time.Duration
+	// Retries is how many additional attempts follow a retryable
+	// failure (transport error, 429, 5xx).  Default 1.
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts; the wait before attempt k is jittered uniformly in
+	// [d/2, d] with d = min(BackoffBase << k, BackoffMax).  Defaults
+	// 25ms / 500ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// HedgeAfter, when positive, launches a second identical attempt
+	// if the first has not resolved after this long; the first
+	// response wins and the loser is canceled.  Tail hedging trades a
+	// bounded amount of duplicate work for immunity to one slow
+	// replica moment.  Zero disables.
+	HedgeAfter time.Duration
+	// Breaker configures the shard's circuit breaker.  Thresholds of
+	// zero take resilience.DefaultBreakerConfig with a faster
+	// OpenTimeout (2s): an open shard breaker should re-probe on the
+	// order of a failover, not an operator coffee break.
+	Breaker resilience.BreakerConfig
+	// Registry receives the per-shard metrics; nil uses obs.Default.
+	Registry *obs.Registry
+	// HTTPClient overrides the transport; nil uses a dedicated client
+	// (the default shared transport would let one stalled shard's
+	// sockets starve its siblings' connection pool).
+	HTTPClient *http.Client
+	// Clock and Sleep are injectable for tests; nil means real time.
+	Clock func() time.Time
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Jitter maps a raw backoff to the jittered wait; nil picks
+	// uniformly in [d/2, d].
+	Jitter func(d time.Duration) time.Duration
+}
+
+func (cfg ShardConfig) withDefaults() ShardConfig {
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 500 * time.Millisecond
+	}
+	if cfg.Breaker.FailureThreshold == 0 {
+		b := resilience.DefaultBreakerConfig()
+		b.OpenTimeout = 2 * time.Second
+		b.FailureThreshold = 3
+		b.HalfOpenSuccesses = 1
+		// Slow-but-answering is the admission controller's problem;
+		// the attempt timeout already bounds how slow "answering" can
+		// be, so slowness accounting here would double-count.
+		b.SlowThreshold = 0
+		b.Clock = cfg.Clock
+		cfg.Breaker = b
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	if cfg.Breaker.Registry == nil {
+		cfg.Breaker.Registry = cfg.Registry
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+		}}
+	}
+	return cfg
+}
+
+// ShardDownError reports a shard that could not be reached at all:
+// breaker open, or every attempt of the retry budget failed.
+type ShardDownError struct {
+	ID     int
+	Reason string // breaker_open | unreachable | deadline
+	Err    error
+}
+
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("shard %d down (%s): %v", e.ID, e.Reason, e.Err)
+}
+
+func (e *ShardDownError) Unwrap() error { return e.Err }
+
+// ShardStatusError is a non-2xx shard reply.  4xx statuses (other than
+// 429) are not retried and not charged to the breaker: they mean the
+// request was at fault, not the shard.
+type ShardStatusError struct {
+	ID     int
+	Status int
+	Body   string
+}
+
+func (e *ShardStatusError) Error() string {
+	return fmt.Sprintf("shard %d returned %d: %s", e.ID, e.Status, e.Body)
+}
+
+// ClientFault reports whether err says the request (not the shard) was
+// bad — the coordinator maps such failures to its own 4xx instead of
+// counting them against coverage-by-fault.
+func ClientFault(err error) bool {
+	var se *ShardStatusError
+	return errors.As(err, &se) && se.Status >= 400 && se.Status < 500 && se.Status != http.StatusTooManyRequests
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// CallInfo accounts one logical shard call for coverage reporting.
+type CallInfo struct {
+	Attempts int
+	Hedged   bool
+	Elapsed  time.Duration
+}
+
+// Shard is the client for one fault domain.
+type Shard struct {
+	cfg     ShardConfig
+	breaker *resilience.Breaker
+
+	attempts *obs.Counter
+	retries  *obs.Counter
+	hedges   *obs.Counter
+	hedgeWon *obs.Counter
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewShard builds the client for one shard.
+func NewShard(cfg ShardConfig) *Shard {
+	cfg = cfg.withDefaults()
+	label := obs.Label{Key: "shard", Value: strconv.Itoa(cfg.ID)}
+	if len(cfg.Breaker.Labels) == 0 {
+		cfg.Breaker.Labels = []obs.Label{label}
+	}
+	return &Shard{
+		cfg:     cfg,
+		breaker: resilience.NewBreaker(cfg.Breaker),
+		attempts: cfg.Registry.Counter("scaleshift_cluster_shard_attempts_total",
+			"HTTP attempts sent to a shard, including retries and hedges.", label),
+		retries: cfg.Registry.Counter("scaleshift_cluster_shard_retries_total",
+			"Retry attempts sent to a shard after a retryable failure.", label),
+		hedges: cfg.Registry.Counter("scaleshift_cluster_shard_hedges_total",
+			"Hedge attempts launched against a shard's slow first attempt.", label),
+		hedgeWon: cfg.Registry.Counter("scaleshift_cluster_shard_hedge_wins_total",
+			"Hedge attempts that beat the primary attempt.", label),
+	}
+}
+
+// ID returns the shard's manifest position.
+func (s *Shard) ID() int { return s.cfg.ID }
+
+// Addr returns the shard's base URL.
+func (s *Shard) Addr() string { return s.cfg.BaseURL }
+
+// BreakerState exposes the shard's breaker position for /readyz and
+// the dashboard.
+func (s *Shard) BreakerState() resilience.BreakerState { return s.breaker.State() }
+
+// GetJSON performs one logical GET against the shard — breaker gate,
+// per-attempt deadline, bounded retries, optional hedge — and decodes
+// the 200 body into out.
+func (s *Shard) GetJSON(ctx context.Context, pathQuery string, header http.Header, out interface{}) (CallInfo, error) {
+	var info CallInfo
+	if err := s.breaker.Allow(); err != nil {
+		return info, &ShardDownError{ID: s.cfg.ID, Reason: "breaker_open", Err: err}
+	}
+	start := s.cfg.Clock()
+	body, err := s.attemptLoop(ctx, pathQuery, header, &info)
+	info.Elapsed = s.cfg.Clock().Sub(start)
+
+	// Breaker accounting: only outcomes that say something about the
+	// shard's health may move it.  The caller abandoning the request
+	// (parent context done) and the shard rejecting a malformed query
+	// are both non-observations.
+	switch {
+	case err == nil:
+		s.breaker.Record(info.Elapsed, nil)
+	case ctx.Err() != nil:
+		s.breaker.RecordNeutral()
+	case ClientFault(err):
+		s.breaker.RecordNeutral()
+	default:
+		s.breaker.Record(info.Elapsed, err)
+	}
+	if err != nil {
+		return info, err
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return info, fmt.Errorf("shard %d: decoding response: %w", s.cfg.ID, err)
+	}
+	return info, nil
+}
+
+// attemptLoop runs the bounded retry schedule around hedgedAttempt.
+func (s *Shard) attemptLoop(ctx context.Context, pathQuery string, header http.Header, info *CallInfo) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, err := s.hedgedAttempt(ctx, pathQuery, header, info)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		var se *ShardStatusError
+		if errors.As(err, &se) && !retryableStatus(se.Status) {
+			return nil, err // the request's fault; retrying cannot help
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, &ShardDownError{ID: s.cfg.ID, Reason: "deadline", Err: lastErr}
+		}
+		if attempt >= s.cfg.Retries {
+			return nil, &ShardDownError{ID: s.cfg.ID, Reason: "unreachable", Err: lastErr}
+		}
+		s.retries.Inc()
+		if err := s.cfg.Sleep(ctx, s.backoff(attempt)); err != nil {
+			return nil, &ShardDownError{ID: s.cfg.ID, Reason: "deadline", Err: lastErr}
+		}
+	}
+}
+
+// backoff returns the jittered wait before the retry following failed
+// attempt k.
+func (s *Shard) backoff(attempt int) time.Duration {
+	d := s.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	if s.cfg.Jitter != nil {
+		return s.cfg.Jitter(d)
+	}
+	s.mu.Lock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(int64(s.cfg.ID)*7919 + 1))
+	}
+	j := time.Duration(s.rng.Int63n(int64(d/2) + 1))
+	s.mu.Unlock()
+	return d/2 + j
+}
+
+// hedgedAttempt runs one attempt, optionally racing a hedge launched
+// after HedgeAfter.  The first success wins and cancels the other
+// in-flight request; with no success, the primary's error is reported
+// once every launched request has resolved.
+func (s *Shard) hedgedAttempt(ctx context.Context, pathQuery string, header http.Header, info *CallInfo) ([]byte, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		body  []byte
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedge bool) {
+		info.Attempts++
+		s.attempts.Inc()
+		go func() {
+			b, err := s.doOnce(actx, pathQuery, header)
+			ch <- result{body: b, err: err, hedge: hedge}
+		}()
+	}
+	launch(false)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if s.cfg.HedgeAfter > 0 {
+		hedgeTimer = time.NewTimer(s.cfg.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	outstanding := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					s.hedgeWon.Inc()
+				}
+				return r.body, nil // deferred cancel reaps the loser
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			info.Hedged = true
+			s.hedges.Inc()
+			launch(true)
+			outstanding++
+		}
+	}
+}
+
+// doOnce is a single HTTP attempt under the per-attempt deadline.
+func (s *Shard) doOnce(ctx context.Context, pathQuery string, header http.Header) ([]byte, error) {
+	actx, cancel := context.WithTimeout(ctx, s.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, s.cfg.BaseURL+pathQuery, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	resp, err := s.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxShardResponse {
+		return nil, fmt.Errorf("shard %d response exceeds %d bytes", s.cfg.ID, maxShardResponse)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(body)
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		return nil, &ShardStatusError{ID: s.cfg.ID, Status: resp.StatusCode, Body: msg}
+	}
+	return body, nil
+}
+
+// Probe checks the shard's /readyz without retries, hedging, or
+// breaker accounting: a readiness poll is an observation, not traffic.
+// It returns the shard's readiness plus the decoded body (nil when the
+// shard is unreachable).
+func (s *Shard) Probe(ctx context.Context, timeout time.Duration) (ready bool, detail map[string]interface{}, err error) {
+	pctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, s.cfg.BaseURL+"/readyz", nil)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := s.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return false, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return false, nil, err
+	}
+	_ = json.Unmarshal(body, &detail)
+	return resp.StatusCode == http.StatusOK, detail, nil
+}

@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scaleshift/internal/obs"
+	"scaleshift/internal/resilience"
+)
+
+// fakeClock drives breaker open-timeout expiry without sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// sleepRecorder replaces the backoff sleep: no real waiting, every
+// requested duration recorded.
+type sleepRecorder struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (s *sleepRecorder) sleep(ctx context.Context, d time.Duration) error {
+	s.mu.Lock()
+	s.durs = append(s.durs, d)
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+func (s *sleepRecorder) waits() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.durs...)
+}
+
+// testShard builds a shard client against a scripted handler with an
+// injected clock and recorded sleeps.
+func testShard(t *testing.T, id int, handler http.Handler, clk *fakeClock, rec *sleepRecorder, mutate func(*ShardConfig)) (*Shard, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	cfg := ShardConfig{
+		ID:             id,
+		BaseURL:        srv.URL,
+		AttemptTimeout: 5 * time.Second,
+		Retries:        1,
+		Registry:       obs.NewRegistry(),
+		Clock:          clk.Now,
+		Sleep:          rec.sleep,
+		Jitter:         func(d time.Duration) time.Duration { return d },
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewShard(cfg), srv
+}
+
+func TestFlappingShardTripsBreaker(t *testing.T) {
+	clk := newFakeClock()
+	rec := &sleepRecorder{}
+	var hits atomic.Int64
+	healthy := atomic.Bool{}
+	sh, _ := testShard(t, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if healthy.Load() {
+			w.Write([]byte(`{}`))
+			return
+		}
+		http.Error(w, "shard on fire", http.StatusInternalServerError)
+	}), clk, rec, nil)
+
+	var out struct{}
+	// Default FailureThreshold is 3: three failed logical calls (each
+	// burning its full 1-retry budget) must trip the breaker open.
+	for i := 0; i < 3; i++ {
+		info, err := sh.GetJSON(context.Background(), "/search", nil, &out)
+		var down *ShardDownError
+		if !errors.As(err, &down) || down.Reason != "unreachable" {
+			t.Fatalf("call %d: want unreachable ShardDownError, got %v", i, err)
+		}
+		if info.Attempts != 2 {
+			t.Fatalf("call %d: %d attempts, want 2 (1 + 1 retry)", i, info.Attempts)
+		}
+	}
+	if got := hits.Load(); got != 6 {
+		t.Fatalf("shard saw %d requests, want 6", got)
+	}
+	if sh.BreakerState() != resilience.BreakerOpen {
+		t.Fatalf("breaker %v after 3 failed calls, want open", sh.BreakerState())
+	}
+
+	// Open breaker short-circuits: no HTTP traffic at all.
+	_, err := sh.GetJSON(context.Background(), "/search", nil, &out)
+	var down *ShardDownError
+	if !errors.As(err, &down) || down.Reason != "breaker_open" {
+		t.Fatalf("want breaker_open, got %v", err)
+	}
+	if got := hits.Load(); got != 6 {
+		t.Fatalf("open breaker leaked a request (%d hits)", got)
+	}
+
+	// After OpenTimeout (2s default here) the breaker half-opens; one
+	// healthy probe closes it (HalfOpenSuccesses 1).
+	healthy.Store(true)
+	clk.Advance(3 * time.Second)
+	if _, err := sh.GetJSON(context.Background(), "/search", nil, &out); err != nil {
+		t.Fatalf("half-open probe failed: %v", err)
+	}
+	if sh.BreakerState() != resilience.BreakerClosed {
+		t.Fatalf("breaker %v after healthy probe, want closed", sh.BreakerState())
+	}
+}
+
+// TestFlappingShardDoesNotConsumeHealthyBudget pins the fault-domain
+// isolation property: shard 0 flapping to an open breaker must not
+// cost shard 1 a single retry, backoff sleep, or breaker transition.
+func TestFlappingShardDoesNotConsumeHealthyBudget(t *testing.T) {
+	clk := newFakeClock()
+	badRec, goodRec := &sleepRecorder{}, &sleepRecorder{}
+	bad, _ := testShard(t, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}), clk, badRec, nil)
+	good, _ := testShard(t, 1, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	}), clk, goodRec, nil)
+
+	var out map[string]bool
+	for i := 0; i < 4; i++ {
+		bad.GetJSON(context.Background(), "/search", nil, &out)
+		info, err := good.GetJSON(context.Background(), "/search", nil, &out)
+		if err != nil {
+			t.Fatalf("healthy shard failed: %v", err)
+		}
+		if info.Attempts != 1 {
+			t.Fatalf("healthy shard used %d attempts, want 1", info.Attempts)
+		}
+	}
+	if bad.BreakerState() != resilience.BreakerOpen {
+		t.Fatalf("flapping shard breaker %v, want open", bad.BreakerState())
+	}
+	if good.BreakerState() != resilience.BreakerClosed {
+		t.Fatalf("healthy shard breaker %v, want closed", good.BreakerState())
+	}
+	if ws := goodRec.waits(); len(ws) != 0 {
+		t.Fatalf("healthy shard slept %v; its retry budget was consumed", ws)
+	}
+	if ws := badRec.waits(); len(ws) == 0 {
+		t.Fatal("flapping shard never backed off")
+	}
+}
+
+func TestRetryBackoffSchedule(t *testing.T) {
+	clk := newFakeClock()
+	rec := &sleepRecorder{}
+	var hits atomic.Int64
+	sh, _ := testShard(t, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "later", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}), clk, rec, func(cfg *ShardConfig) {
+		cfg.Retries = 2
+		cfg.BackoffBase = 40 * time.Millisecond
+		cfg.BackoffMax = 60 * time.Millisecond
+	})
+
+	var out struct{}
+	info, err := sh.GetJSON(context.Background(), "/search", nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Attempts != 3 {
+		t.Fatalf("%d attempts, want 3", info.Attempts)
+	}
+	// Identity jitter: waits are base<<k clamped to max — 40ms, then 60ms.
+	want := []time.Duration{40 * time.Millisecond, 60 * time.Millisecond}
+	got := rec.waits()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("backoff schedule %v, want %v", got, want)
+	}
+	if sh.BreakerState() != resilience.BreakerClosed {
+		t.Fatal("a call that eventually succeeded must not charge the breaker")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	sh := NewShard(ShardConfig{ID: 3, BaseURL: "http://unused", Registry: obs.NewRegistry(),
+		BackoffBase: 100 * time.Millisecond, BackoffMax: time.Second})
+	for attempt := 0; attempt < 6; attempt++ {
+		d := 100 * time.Millisecond << uint(attempt)
+		if d > time.Second {
+			d = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			w := sh.backoff(attempt)
+			if w < d/2 || w > d {
+				t.Fatalf("attempt %d: jittered wait %v outside [%v, %v]", attempt, w, d/2, d)
+			}
+		}
+	}
+}
+
+func TestClientFaultNotRetriedNotCharged(t *testing.T) {
+	clk := newFakeClock()
+	rec := &sleepRecorder{}
+	var hits atomic.Int64
+	sh, _ := testShard(t, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "bad query", http.StatusBadRequest)
+	}), clk, rec, func(cfg *ShardConfig) { cfg.Retries = 3 })
+
+	var out struct{}
+	for i := 0; i < 5; i++ {
+		info, err := sh.GetJSON(context.Background(), "/search", nil, &out)
+		var se *ShardStatusError
+		if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+			t.Fatalf("want ShardStatusError 400, got %v", err)
+		}
+		if !ClientFault(err) {
+			t.Fatal("a 400 must classify as the client's fault")
+		}
+		if info.Attempts != 1 {
+			t.Fatalf("4xx was retried: %d attempts", info.Attempts)
+		}
+	}
+	if got := hits.Load(); got != 5 {
+		t.Fatalf("shard saw %d requests, want 5", got)
+	}
+	if sh.BreakerState() != resilience.BreakerClosed {
+		t.Fatal("client faults must not move the breaker")
+	}
+	if len(rec.waits()) != 0 {
+		t.Fatal("client faults must not back off")
+	}
+}
+
+func Test429IsRetriedAndCharged(t *testing.T) {
+	clk := newFakeClock()
+	rec := &sleepRecorder{}
+	var hits atomic.Int64
+	sh, _ := testShard(t, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}), clk, rec, nil)
+	var out struct{}
+	info, err := sh.GetJSON(context.Background(), "/search", nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Attempts != 2 {
+		t.Fatalf("%d attempts, want 2 (429 is retryable)", info.Attempts)
+	}
+}
+
+// TestHedgedRequestCancelsLoser: the primary stalls, the hedge answers,
+// the caller gets the hedge's response, and the stalled primary is
+// reaped by cancellation rather than left running.
+func TestHedgedRequestCancelsLoser(t *testing.T) {
+	clk := newFakeClock()
+	rec := &sleepRecorder{}
+	var order atomic.Int64
+	primaryCanceled := make(chan struct{})
+	sh, _ := testShard(t, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if order.Add(1) == 1 {
+			// Primary: stall until the client gives up on us.
+			<-r.Context().Done()
+			close(primaryCanceled)
+			return
+		}
+		w.Write([]byte(`{"winner":true}`))
+	}), clk, rec, func(cfg *ShardConfig) {
+		cfg.HedgeAfter = 20 * time.Millisecond
+	})
+
+	var out map[string]bool
+	info, err := sh.GetJSON(context.Background(), "/search", nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out["winner"] {
+		t.Fatal("response did not come from the hedge")
+	}
+	if !info.Hedged || info.Attempts != 2 {
+		t.Fatalf("info = %+v, want hedged with 2 attempts", info)
+	}
+	select {
+	case <-primaryCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing primary attempt was never canceled")
+	}
+	if sh.BreakerState() != resilience.BreakerClosed {
+		t.Fatal("a won hedge is a success; the breaker must stay closed")
+	}
+}
+
+// TestParentDeadlineIsNeutral: the caller abandoning the request says
+// nothing about the shard's health, so the breaker must not move.
+func TestParentDeadlineIsNeutral(t *testing.T) {
+	clk := newFakeClock()
+	rec := &sleepRecorder{}
+	sh, _ := testShard(t, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}), clk, rec, func(cfg *ShardConfig) {
+		cfg.AttemptTimeout = 30 * time.Second // only the parent deadline fires
+	})
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		var out struct{}
+		_, err := sh.GetJSON(ctx, "/search", nil, &out)
+		cancel()
+		if err == nil {
+			t.Fatal("call against a stalled shard with an expired parent must fail")
+		}
+	}
+	if sh.BreakerState() != resilience.BreakerClosed {
+		t.Fatalf("breaker %v after parent-deadline failures, want closed", sh.BreakerState())
+	}
+}

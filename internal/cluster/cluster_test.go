@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"scaleshift/internal/stock"
+	"scaleshift/internal/store"
+)
+
+func testStore(t *testing.T, companies, days int) *store.Store {
+	t.Helper()
+	st := store.New()
+	cfg := stock.DefaultConfig()
+	cfg.Companies = companies
+	cfg.Days = days
+	if _, err := stock.Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestAssignShardDeterministicAndTotal(t *testing.T) {
+	for shards := 1; shards <= 5; shards++ {
+		for i := 0; i < 100; i++ {
+			name := fmt.Sprintf("SEQ-%04d", i)
+			a := AssignShard(name, shards)
+			if a < 0 || a >= shards {
+				t.Fatalf("AssignShard(%q, %d) = %d out of range", name, shards, a)
+			}
+			if b := AssignShard(name, shards); b != a {
+				t.Fatalf("AssignShard not deterministic: %d then %d", a, b)
+			}
+		}
+	}
+}
+
+func TestPartitionCoversStoreExactly(t *testing.T) {
+	st := testStore(t, 17, 60)
+	parts, man, err := Partition(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Validate(); err != nil {
+		t.Fatalf("manifest invalid: %v", err)
+	}
+	if man.Sequences != st.NumSequences() {
+		t.Fatalf("manifest sequences %d, store %d", man.Sequences, st.NumSequences())
+	}
+	// Every global sequence's bytes must land, unchanged, at the
+	// (shard, local) address the manifest records.
+	total := 0
+	for s, p := range parts {
+		total += p.NumSequences()
+		for local, global := range man.Shards[s].Seqs {
+			if got, want := p.SequenceName(local), st.SequenceName(global); got != want {
+				t.Fatalf("shard %d local %d name %q, want %q", s, local, got, want)
+			}
+			n := st.SequenceLen(global)
+			if p.SequenceLen(local) != n {
+				t.Fatalf("shard %d local %d len %d, want %d", s, local, p.SequenceLen(local), n)
+			}
+			a, b := make([]float64, n), make([]float64, n)
+			if err := p.Window(local, 0, n, a, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Window(global, 0, n, b, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("shard %d local %d values differ from global %d", s, local, global)
+			}
+		}
+	}
+	if total != st.NumSequences() {
+		t.Fatalf("shards hold %d sequences, store has %d", total, st.NumSequences())
+	}
+	// Owner inverts the partition.
+	for g := 0; g < man.Sequences; g++ {
+		s, local, err := man.Owner(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if man.Shards[s].Seqs[local] != g {
+			t.Fatalf("Owner(%d) = (%d, %d), but Seqs[%d] = %d", g, s, local, local, man.Shards[s].Seqs[local])
+		}
+	}
+}
+
+func TestManifestRoundTripAndCorruption(t *testing.T) {
+	st := testStore(t, 9, 50)
+	_, man, err := Partition(st, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := man.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, man) {
+		t.Fatalf("round trip changed the manifest")
+	}
+	// One flipped payload bit must be a typed load error.
+	raw := buf.Bytes()
+	raw[len(raw)-3] ^= 0x40
+	if _, err := ReadManifest(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted manifest loaded without error")
+	}
+}
+
+func TestManifestValidateRejectsBadPartitions(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Manifest
+	}{
+		{"duplicate", Manifest{Sequences: 2, Shards: []ManifestShard{{ID: 0, Seqs: []int{0, 1}}, {ID: 1, Seqs: []int{1}}}}},
+		{"gap", Manifest{Sequences: 3, Shards: []ManifestShard{{ID: 0, Seqs: []int{0}}, {ID: 1, Seqs: []int{2}}}}},
+		{"out_of_range", Manifest{Sequences: 2, Shards: []ManifestShard{{ID: 0, Seqs: []int{0, 2}}, {ID: 1, Seqs: []int{1}}}}},
+		{"non_ascending", Manifest{Sequences: 2, Shards: []ManifestShard{{ID: 0, Seqs: []int{1, 0}}, {ID: 1, Seqs: nil}}}},
+		{"bad_ids", Manifest{Sequences: 1, Shards: []ManifestShard{{ID: 1, Seqs: []int{0}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken partition", tc.name)
+		}
+	}
+}
+
+func TestMergeRangeOrdersAndDedups(t *testing.T) {
+	a := []WireMatch{{Seq: 0, Start: 3, Dist: 1}, {Seq: 2, Start: 1, Dist: 2}}
+	b := []WireMatch{{Seq: 1, Start: 9, Dist: 3}, {Seq: 2, Start: 0, Dist: 4}}
+	got := MergeRange([][]WireMatch{a, b})
+	want := []WireMatch{
+		{Seq: 0, Start: 3, Dist: 1},
+		{Seq: 1, Start: 9, Dist: 3},
+		{Seq: 2, Start: 0, Dist: 4},
+		{Seq: 2, Start: 1, Dist: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeRange = %+v, want %+v", got, want)
+	}
+	// A misconfigured topology serving the same slice twice must not
+	// duplicate answers.
+	got = MergeRange([][]WireMatch{a, a, b})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeRange with duplicated shard = %+v, want %+v", got, want)
+	}
+}
+
+func TestMergeKNNGlobalTopK(t *testing.T) {
+	perShard := [][]WireMatch{
+		{{Seq: 0, Start: 0, Dist: 0.1}, {Seq: 0, Start: 7, Dist: 0.9}},
+		{{Seq: 3, Start: 2, Dist: 0.2}, {Seq: 3, Start: 5, Dist: 0.3}, {Seq: 4, Start: 0, Dist: 5}},
+		{},
+		{{Seq: 7, Start: 1, Dist: 0.25}},
+	}
+	got := MergeKNN(perShard, 3)
+	want := []WireMatch{
+		{Seq: 0, Start: 0, Dist: 0.1},
+		{Seq: 3, Start: 2, Dist: 0.2},
+		{Seq: 7, Start: 1, Dist: 0.25},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeKNN = %+v, want %+v", got, want)
+	}
+	if n := len(MergeKNN(perShard, 100)); n != 6 {
+		t.Fatalf("MergeKNN with k beyond supply returned %d of 6", n)
+	}
+	if MergeKNN(perShard, 0) != nil {
+		t.Fatal("MergeKNN(k=0) should be empty")
+	}
+	// Distance ties break deterministically on (Seq, Start).
+	tied := [][]WireMatch{
+		{{Seq: 5, Start: 0, Dist: 1}},
+		{{Seq: 2, Start: 3, Dist: 1}, {Seq: 2, Start: 9, Dist: 1}},
+	}
+	gotTied := MergeKNN(tied, 2)
+	if gotTied[0].Seq != 2 || gotTied[0].Start != 3 || gotTied[1].Seq != 2 || gotTied[1].Start != 9 {
+		t.Fatalf("tie break wrong: %+v", gotTied)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint([]string{"A", "B", "C"})
+	if Fingerprint([]string{"A", "B", "C"}) != base {
+		t.Fatal("fingerprint not deterministic")
+	}
+	for _, names := range [][]string{{"A", "C", "B"}, {"A", "B"}, {"AB", "C"}, {"A", "BC"}} {
+		if Fingerprint(names) == base {
+			t.Fatalf("fingerprint collision with %v", names)
+		}
+	}
+}
+
+func TestMergeRangeBitExactFloats(t *testing.T) {
+	// The merge must pass distances through untouched — compare bits,
+	// not values, to catch any accidental arithmetic.
+	d := math.Nextafter(0.1, 1)
+	got := MergeRange([][]WireMatch{{{Seq: 0, Start: 0, Dist: d}}})
+	if math.Float64bits(got[0].Dist) != math.Float64bits(d) {
+		t.Fatal("MergeRange altered a distance")
+	}
+}

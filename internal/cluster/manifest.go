@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"scaleshift/internal/atomicfile"
+	"scaleshift/internal/store"
+)
+
+// The SSMAN artifact: a small checksummed manifest describing one
+// deterministic hash-partitioning of a store across N shards.  ssgen
+// -shards writes it next to the per-shard artifact directories; the
+// coordinator refuses to start without one that matches what the live
+// shards report.  Layout:
+//
+//	"SSMAN\x01"  | uint32 LE payload CRC32C | uint32 LE payload length | JSON payload
+//
+// Every byte after the magic is covered by the checksum, so a torn or
+// bit-flipped manifest is a typed load error, never a silently-wrong
+// shard map.
+
+// manifestMagic identifies the artifact and its version.
+const manifestMagic = "SSMAN\x01"
+
+// ManifestName is the conventional file name ssgen writes inside the
+// shard output directory.
+const ManifestName = "cluster.ssman"
+
+// ErrManifest wraps any manifest load failure.
+type ErrManifest struct {
+	Path string
+	Err  error
+}
+
+func (e *ErrManifest) Error() string {
+	return fmt.Sprintf("cluster manifest %s unusable: %v (regenerate with ssgen -shards)", e.Path, e.Err)
+}
+
+func (e *ErrManifest) Unwrap() error { return e.Err }
+
+// ManifestShard records one shard's slice of the partition.
+type ManifestShard struct {
+	// ID is the shard's position; -shard-addrs is ordered by it.
+	ID int `json:"id"`
+	// Dir is the artifact directory relative to the manifest, as
+	// written by ssgen ("shard0", "shard1", ...).
+	Dir string `json:"dir"`
+	// Seqs lists the global sequence ids this shard holds, in
+	// shard-local order: the shard's local sequence i is the cluster's
+	// sequence Seqs[i].  This is the coordinator's remap table.
+	Seqs []int `json:"seqs"`
+	// Fingerprint is Fingerprint() over the shard's sequence names in
+	// local order; each live shard reports the same value on
+	// /shardinfo, which pins addr ↔ shard identity.
+	Fingerprint uint32 `json:"fingerprint"`
+	// Values is the total sample count on the shard, a cheap secondary
+	// consistency check.
+	Values int `json:"values"`
+}
+
+// Manifest is the cluster partition record.
+type Manifest struct {
+	// Shards holds one entry per fault domain, ordered by ID.
+	Shards []ManifestShard `json:"shards"`
+	// Sequences is the global sequence count; every global id in
+	// [0, Sequences) appears in exactly one shard's Seqs.
+	Sequences int `json:"sequences"`
+	// Seed records the generator seed for provenance (0 for real data).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Partition splits st into per-shard stores by AssignShard over the
+// sequence name, returning the stores and the manifest describing the
+// split.  Global sequences are visited in ascending order, so each
+// shard's local order is the ascending subsequence of global ids it
+// owns — which keeps remapped per-shard result lists sorted and the
+// k-way merge linear.
+func Partition(st *store.Store, shards int) ([]*store.Store, *Manifest, error) {
+	if shards < 1 {
+		return nil, nil, fmt.Errorf("cluster: shard count %d < 1", shards)
+	}
+	parts := make([]*store.Store, shards)
+	names := make([][]string, shards)
+	man := &Manifest{Shards: make([]ManifestShard, shards), Sequences: st.NumSequences()}
+	for i := range parts {
+		parts[i] = store.New()
+		man.Shards[i].ID = i
+		man.Shards[i].Dir = fmt.Sprintf("shard%d", i)
+	}
+	buf := make([]float64, 0)
+	for seq := 0; seq < st.NumSequences(); seq++ {
+		name := st.SequenceName(seq)
+		n := st.SequenceLen(seq)
+		if cap(buf) < n {
+			buf = make([]float64, n)
+		}
+		w := buf[:n]
+		if err := st.Window(seq, 0, n, w, nil); err != nil {
+			return nil, nil, fmt.Errorf("cluster: partitioning sequence %d: %w", seq, err)
+		}
+		s := AssignShard(name, shards)
+		parts[s].AppendSequence(name, w)
+		man.Shards[s].Seqs = append(man.Shards[s].Seqs, seq)
+		man.Shards[s].Values += n
+		names[s] = append(names[s], name)
+	}
+	for i := range parts {
+		man.Shards[i].Fingerprint = Fingerprint(names[i])
+	}
+	return parts, man, nil
+}
+
+// Encode serializes the manifest in the checksummed SSMAN framing.
+func (m *Manifest) Encode(w io.Writer) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := io.WriteString(w, manifestMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadManifest parses and verifies an SSMAN stream.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	head := make([]byte, len(manifestMagic)+8)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	if !bytes.Equal(head[:len(manifestMagic)], []byte(manifestMagic)) {
+		return nil, fmt.Errorf("bad magic %q", head[:len(manifestMagic)])
+	}
+	wantCRC := binary.LittleEndian.Uint32(head[len(manifestMagic):])
+	length := binary.LittleEndian.Uint32(head[len(manifestMagic)+4:])
+	const maxManifest = 64 << 20
+	if length > maxManifest {
+		return nil, fmt.Errorf("implausible payload length %d", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("reading payload: %w", err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("payload checksum mismatch: artifact %08x, computed %08x", wantCRC, got)
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("decoding payload: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// LoadManifest reads the SSMAN artifact at path.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, &ErrManifest{Path: path, Err: err}
+	}
+	defer f.Close()
+	m, err := ReadManifest(f)
+	if err != nil {
+		return nil, &ErrManifest{Path: path, Err: err}
+	}
+	return m, nil
+}
+
+// Validate checks the manifest's internal consistency: shard ids are
+// positional, and the shard sequence lists are a disjoint cover of
+// [0, Sequences).  The merge operators' exactness rests on this.
+func (m *Manifest) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("manifest has no shards")
+	}
+	seen := make([]bool, m.Sequences)
+	total := 0
+	for i, sh := range m.Shards {
+		if sh.ID != i {
+			return fmt.Errorf("shard %d has id %d; ids must be positional", i, sh.ID)
+		}
+		prev := -1
+		for _, g := range sh.Seqs {
+			if g < 0 || g >= m.Sequences {
+				return fmt.Errorf("shard %d holds out-of-range sequence %d (cluster has %d)", i, g, m.Sequences)
+			}
+			if seen[g] {
+				return fmt.Errorf("sequence %d assigned to more than one shard", g)
+			}
+			if g <= prev {
+				return fmt.Errorf("shard %d sequence list not ascending at %d", i, g)
+			}
+			prev = g
+			seen[g] = true
+			total++
+		}
+	}
+	if total != m.Sequences {
+		return fmt.Errorf("shards cover %d of %d sequences", total, m.Sequences)
+	}
+	return nil
+}
+
+// Owner returns the (shard, local sequence) pair holding the given
+// global sequence.
+func (m *Manifest) Owner(globalSeq int) (shard, local int, err error) {
+	if globalSeq < 0 || globalSeq >= m.Sequences {
+		return 0, 0, fmt.Errorf("sequence %d out of range (cluster has %d)", globalSeq, m.Sequences)
+	}
+	for s := range m.Shards {
+		seqs := m.Shards[s].Seqs
+		lo, hi := 0, len(seqs)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if seqs[mid] < globalSeq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(seqs) && seqs[lo] == globalSeq {
+			return s, lo, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("sequence %d not covered by any shard", globalSeq)
+}
+
+// WriteShardArtifacts partitions st into n shards under dir: one
+// checksummed store artifact per shard directory plus the SSMAN
+// manifest.  Layout:
+//
+//	dir/cluster.ssman
+//	dir/shard0/store.bin
+//	dir/shard1/store.bin
+//	...
+//
+// Index artifacts are not written here — each shard builds (and
+// optionally caches, via ssserve -index) its index at startup, exactly
+// as a single node does.
+func WriteShardArtifacts(st *store.Store, dir string, n int, seed int64) (*Manifest, error) {
+	parts, man, err := Partition(st, n)
+	if err != nil {
+		return nil, err
+	}
+	man.Seed = seed
+	for i, p := range parts {
+		sub := filepath.Join(dir, man.Shards[i].Dir)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+		if err := atomicfile.WriteFile(filepath.Join(sub, "store.bin"), p.WriteBinary); err != nil {
+			return nil, fmt.Errorf("cluster: writing shard %d store: %w", i, err)
+		}
+	}
+	if err := atomicfile.WriteFile(filepath.Join(dir, ManifestName), man.Encode); err != nil {
+		return nil, fmt.Errorf("cluster: writing manifest: %w", err)
+	}
+	return man, nil
+}

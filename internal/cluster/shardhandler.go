@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"scaleshift/internal/core"
+	"scaleshift/internal/engine"
+	"scaleshift/internal/obs"
+	"scaleshift/internal/vec"
+)
+
+// ShardNode is a minimal in-process shard: the same /search, /window,
+// /shardinfo, and /readyz surface a full ssserve shard exposes, served
+// straight off a core.Index with none of the serving stack around it.
+// The cluster tests and the bench harness build topologies from these
+// (via httptest) without spawning processes; the contract they exercise
+// — wire shapes, local-id semantics, traceparent echo — is exactly what
+// the coordinator relies on against real shards.
+type ShardNode struct {
+	ix          *core.Index
+	normScale   float64
+	fingerprint uint32
+}
+
+// NewShardNode wraps an index as a shard.  normScale is the shard's
+// eps_frac denominator, as ssserve computes at startup.
+func NewShardNode(ix *core.Index, normScale float64) *ShardNode {
+	st := ix.Store()
+	names := make([]string, st.NumSequences())
+	for i := range names {
+		names[i] = st.SequenceName(i)
+	}
+	return &ShardNode{ix: ix, normScale: normScale, fingerprint: Fingerprint(names)}
+}
+
+// Handler returns the shard's HTTP surface.
+func (n *ShardNode) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", n.handleSearch)
+	mux.HandleFunc("/window", n.handleWindow)
+	mux.HandleFunc("/shardinfo", n.handleShardInfo)
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeShardJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	})
+	return mux
+}
+
+func writeShardJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeShardError(w http.ResponseWriter, status int, err error) {
+	writeShardJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (n *ShardNode) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	seqs, values, _ := n.ix.StoreShape()
+	degraded, _ := n.ix.Degraded()
+	writeShardJSON(w, http.StatusOK, ShardInfoWire{
+		Sequences:    seqs,
+		Values:       values,
+		Windows:      n.ix.WindowCount(),
+		WindowLen:    n.ix.Options().WindowLen,
+		Coefficients: n.ix.Options().Coefficients,
+		NormScale:    n.normScale,
+		Fingerprint:  n.fingerprint,
+		Degraded:     degraded,
+	})
+}
+
+func (n *ShardNode) handleWindow(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Query()
+	seq, err1 := strconv.Atoi(p.Get("seq"))
+	start, err2 := strconv.Atoi(p.Get("start"))
+	length, err3 := strconv.Atoi(p.Get("len"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		writeShardError(w, http.StatusBadRequest, fmt.Errorf("seq, start, and len must be integers"))
+		return
+	}
+	vals := make(vec.Vector, length)
+	if err := n.ix.QueryWindow(seq, start, length, vals); err != nil {
+		writeShardError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeShardJSON(w, http.StatusOK, WindowWire{Seq: seq, Start: start, Values: vals})
+}
+
+func (n *ShardNode) handleSearch(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Query()
+	floatParam := func(name string, def float64) (float64, error) {
+		v := p.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		return f, nil
+	}
+	intParam := func(name string, def int) (int, error) {
+		v := p.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		i, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %s: %w", name, err)
+		}
+		return i, nil
+	}
+
+	values := p.Get("values")
+	if values == "" {
+		writeShardError(w, http.StatusBadRequest, fmt.Errorf("shard search requires values="))
+		return
+	}
+	fields := strings.Split(values, ",")
+	q := make(vec.Vector, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			writeShardError(w, http.StatusBadRequest, fmt.Errorf("parameter values, field %d: %w", i+1, err))
+			return
+		}
+		q[i] = v
+	}
+
+	eps, err := floatParam("eps", -1)
+	if err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	}
+	if eps < 0 {
+		frac, err := floatParam("eps_frac", 0.02)
+		if err != nil {
+			writeShardError(w, http.StatusBadRequest, err)
+			return
+		}
+		eps = frac * n.normScale
+	}
+	costs := core.UnboundedCosts()
+	if v, err := floatParam("scale_min", 0); err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	} else if v != 0 {
+		costs.ScaleMin = v
+	}
+	if v, err := floatParam("scale_max", 0); err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	} else if v != 0 {
+		costs.ScaleMax = v
+	}
+	if v, err := floatParam("shift_abs", 0); err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	} else if v != 0 {
+		costs.ShiftMin, costs.ShiftMax = -v, v
+	}
+	force := engine.PathAuto
+	if ps := p.Get("path"); ps != "" {
+		if force, err = engine.ParsePathKind(ps); err != nil {
+			writeShardError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	nn, err := intParam("nn", 0)
+	if err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := intParam("limit", 0)
+	if err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	var stats core.SearchStats
+	var matches []core.Match
+	var ex *engine.Explain
+	window := n.ix.Options().WindowLen
+	switch {
+	case nn > 0:
+		matches, err = n.ix.NearestNeighborsWithCostsContext(r.Context(), q, nn, costs, &stats)
+	case len(q) > window:
+		matches, ex, err = n.ix.SearchLongPlannedContext(r.Context(), q, eps, costs, force, &stats)
+	default:
+		matches, ex, err = n.ix.SearchPlannedContext(r.Context(), q, eps, costs, force, nil, &stats)
+	}
+	if err != nil {
+		writeShardError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	resp := SearchWire{
+		TraceID: obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)),
+		Eps:     eps,
+		Total:   len(matches),
+		Matches: make([]WireMatch, 0, len(matches)),
+	}
+	for i, m := range matches {
+		if limit > 0 && i >= limit {
+			resp.Truncated = true
+			break
+		}
+		resp.Matches = append(resp.Matches, WireMatch{
+			Name: m.Name, Seq: m.Seq, Start: m.Start, End: m.Start + len(q),
+			Dist: m.Dist, Scale: m.Scale, Shift: m.Shift,
+		})
+	}
+	resp.Stats = WireStats{
+		Candidates:     stats.Candidates,
+		FalseAlarms:    stats.FalseAlarms,
+		CostRejected:   stats.CostRejected,
+		IndexNodeReads: stats.IndexNodeAccesses,
+		DataPageReads:  stats.DataPageAccesses,
+		PlanNs:         stats.PlanTime.Nanoseconds(),
+		ProbeNs:        stats.ProbeTime.Nanoseconds(),
+		VerifyNs:       stats.VerifyTime.Nanoseconds(),
+	}
+	if ex != nil {
+		degraded, reason := ex.Degraded, ex.DegradedReason
+		resp.Plan = &WirePlan{Path: ex.Chosen.String(), Degraded: degraded, DegradedReason: reason}
+	}
+	writeShardJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,192 @@
+package faulty
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ProxyMode selects how the chaos proxy treats traffic.
+type ProxyMode int32
+
+const (
+	// ProxyPass forwards traffic transparently.
+	ProxyPass ProxyMode = iota
+	// ProxyStall accepts connections and then never answers: bytes in,
+	// nothing out.  The client's own deadline is the only way out —
+	// exactly the failure a wedged-but-listening process produces.
+	ProxyStall
+	// ProxyReset kills every connection with a TCP RST, immediately on
+	// arrival and retroactively for connections already in flight.
+	ProxyReset
+)
+
+func (m ProxyMode) String() string {
+	switch m {
+	case ProxyPass:
+		return "pass"
+	case ProxyStall:
+		return "stall"
+	case ProxyReset:
+		return "reset"
+	}
+	return fmt.Sprintf("ProxyMode(%d)", int32(m))
+}
+
+// Proxy is a mode-switchable TCP proxy in front of one backend — the
+// network fault domain for the cluster soak: the process behind it
+// stays healthy while its network stalls, resets, or heals, and the
+// mode can flip mid-query.
+type Proxy struct {
+	ln      net.Listener
+	backend string
+	mode    atomic.Int32
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy listens on a fresh loopback port and forwards to backend
+// (a host:port) while in ProxyPass mode.
+func NewProxy(backend string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Mode returns the current mode.
+func (p *Proxy) Mode() ProxyMode { return ProxyMode(p.mode.Load()) }
+
+// SetMode switches the proxy's behavior.  Switching to ProxyReset
+// resets connections already in flight, not just future ones: a
+// mid-query network partition, not a polite drain.
+func (p *Proxy) SetMode(m ProxyMode) {
+	p.mode.Store(int32(m))
+	if m == ProxyReset {
+		p.mu.Lock()
+		for c := range p.conns {
+			rst(c)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close stops accepting, severs every connection, and waits for the
+// proxy's goroutines — so a test's goroutine-leak baseline stays clean.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a live connection; the false return means the proxy
+// is closing and the caller must drop the connection.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// rst arms SO_LINGER(0) so Close sends a TCP RST instead of FIN — the
+// connection-reset fault, as distinct from a clean close.
+func rst(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !p.track(client) {
+			client.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(client)
+	}
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	switch p.Mode() {
+	case ProxyReset:
+		rst(client)
+		return
+	case ProxyStall:
+		// Swallow the request and never answer.  Keep reading so the
+		// client's writes succeed (the stall bites at response time),
+		// until the client gives up or the mode ends the world.
+		defer client.Close()
+		buf := make([]byte, 4096)
+		for {
+			if _, err := client.Read(buf); err != nil {
+				return
+			}
+			if p.Mode() == ProxyReset {
+				rst(client)
+				return
+			}
+		}
+	}
+
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		// Backend gone (e.g. the soak killed the process): the client
+		// sees a reset, the honest signal for "nothing is listening".
+		rst(client)
+		return
+	}
+	if !p.track(backend) {
+		backend.Close()
+		client.Close()
+		return
+	}
+	defer p.untrack(backend)
+
+	// Bidirectional pump; either side closing tears down both.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(backend, client)
+		backend.Close()
+		client.Close()
+	}()
+	io.Copy(client, backend)
+	client.Close()
+	backend.Close()
+}

@@ -23,6 +23,7 @@ const (
 	maxEventQueryLen = 256
 	maxEventPlanRows = 16
 	maxEventSpans    = 32
+	maxEventShards   = 64
 )
 
 // EventPlanRow is one segment's slice of the query plan.
@@ -55,6 +56,21 @@ type EventSpan struct {
 	DurationNs int64  `json:"duration_ns"`
 }
 
+// EventShard is one shard's slice of a scatter-gather request: the
+// fault-domain state it ended in, the shard-local trace id (the
+// coordinator propagates its traceparent, so a healthy shard reports
+// the same id — which is exactly what makes cross-process slow-query
+// drill-down work), and the attempt accounting.
+type EventShard struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"` // ok | degraded | failed
+	TraceID    string `json:"trace_id,omitempty"`
+	Attempts   int    `json:"attempts,omitempty"`
+	Hedged     bool   `json:"hedged,omitempty"`
+	DurationNs int64  `json:"duration_ns,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
 // Event is one wide event.  Seq and TimeNs are stamped by Emit.
 type Event struct {
 	Seq        uint64         `json:"seq"`
@@ -72,6 +88,9 @@ type Event struct {
 	Plan       []EventPlanRow `json:"plan,omitempty"`
 	Stats      *EventStats    `json:"stats,omitempty"`
 	Spans      []EventSpan    `json:"spans,omitempty"`
+	// Shards carries the per-fault-domain coverage of a coordinator
+	// (scatter-gather) request; empty on single-node events.
+	Shards []EventShard `json:"shards,omitempty"`
 }
 
 // Bound truncates the variable-size fields to the package caps so one
@@ -85,6 +104,9 @@ func (e *Event) Bound() {
 	}
 	if len(e.Spans) > maxEventSpans {
 		e.Spans = e.Spans[:maxEventSpans]
+	}
+	if len(e.Shards) > maxEventShards {
+		e.Shards = e.Shards[:maxEventShards]
 	}
 }
 

@@ -51,7 +51,15 @@ type BreakerConfig struct {
 	HalfOpenSuccesses int
 	// Registry receives the breaker metrics; nil uses obs.Default.
 	Registry *obs.Registry
-	// now is the clock, injectable in tests; nil uses time.Now.
+	// Labels are attached to every breaker metric.  A process running
+	// several breakers at once (the scatter-gather coordinator keeps
+	// one per shard) distinguishes them here, e.g. {shard="3"}.
+	Labels []obs.Label
+	// Clock is the time source, injectable so tests (and the cluster
+	// client's retry tests) can drive open-timeout expiry without
+	// sleeping; nil uses time.Now.
+	Clock func() time.Time
+	// now is the legacy internal clock field; Clock takes precedence.
 	now func() time.Time
 }
 
@@ -97,6 +105,9 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	if cfg.FailureThreshold <= 0 || cfg.OpenTimeout <= 0 || cfg.HalfOpenSuccesses <= 0 {
 		panic("resilience: breaker thresholds must be positive")
 	}
+	if cfg.Clock != nil {
+		cfg.now = cfg.Clock
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -106,9 +117,9 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 	}
 	b := &Breaker{
 		cfg:         cfg,
-		stateGauge:  reg.Gauge("scaleshift_breaker_state", "Circuit breaker state: 0 closed, 1 open, 2 half-open."),
-		transitions: reg.Counter("scaleshift_breaker_transitions_total", "Circuit breaker state transitions."),
-		rejected:    reg.Counter("scaleshift_breaker_rejected_total", "Requests rejected by the open circuit breaker."),
+		stateGauge:  reg.Gauge("scaleshift_breaker_state", "Circuit breaker state: 0 closed, 1 open, 2 half-open.", cfg.Labels...),
+		transitions: reg.Counter("scaleshift_breaker_transitions_total", "Circuit breaker state transitions.", cfg.Labels...),
+		rejected:    reg.Counter("scaleshift_breaker_rejected_total", "Requests rejected by the open circuit breaker.", cfg.Labels...),
 	}
 	b.stateGauge.Set(0)
 	return b
